@@ -1,0 +1,175 @@
+"""Design-choice ablations (DESIGN.md §8) — benches beyond the paper's
+figures that isolate each of the system's key mechanisms.
+
+* domain extraction (Section 3.2.2): without it, nested-aggregate
+  deltas use the recompute-twice rule;
+* batch pre-aggregation (Section 3.3): the mechanism behind the
+  Figure 7 right panel;
+* index specialization (Section 5.2.1): "the benefit of creating
+  these indexes greatly outperforms their maintenance overheads".
+
+Each ablation also asserts result equality between the ON and OFF
+variants, so the knobs are semantics-preserving by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    domain_extraction_ablation,
+    format_table,
+    preaggregation_ablation,
+    specialization_ablation,
+)
+from repro.workloads import MICRO_QUERIES, TPCH_QUERIES
+
+from benchmarks.conftest import LOCAL_SF
+
+
+@pytest.mark.paper_experiment("ablation")
+@pytest.mark.parametrize(
+    "name,floor",
+    [("M2", 1.5), ("M3", 1.2)],
+)
+def test_ablation_domain_extraction_micro(benchmark, name, floor):
+    """Unguarded correlated nested aggregates (the paper's Examples
+    3.1/3.2): domain-restricted deltas beat the recompute-twice rule.
+    Run warm — the advantage is |batch domain| vs |state|."""
+
+    def run():
+        return domain_extraction_ablation(
+            MICRO_QUERIES[name],
+            batch_size=20,
+            workload="micro",
+            sf=0.3,
+            max_batches=6,
+            warm_fraction=0.9,
+        )
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ("query", "knob", "ON vinstr", "OFF vinstr", "speedup"),
+            [
+                (
+                    r.query,
+                    r.knob,
+                    r.on_virtual_instructions,
+                    r.off_virtual_instructions,
+                    round(r.virtual_speedup, 2),
+                )
+            ],
+            title=f"Ablation — domain extraction on {name}",
+        )
+    )
+    assert r.virtual_speedup > floor, (
+        f"{name}: domain extraction did not pay off ({r.virtual_speedup:.2f}x)"
+    )
+
+
+@pytest.mark.paper_experiment("ablation")
+@pytest.mark.parametrize("name", ["Q17", "Q22"])
+def test_ablation_domain_extraction_tpch_not_harmful(name):
+    """On TPC-H nested-aggregate queries the highly selective static
+    predicates (e.g. Q17's brand/container) already prune the outer
+    scan before the nested aggregate is reached, masking the domain
+    advantage at bench scale; the revised rule must at least not
+    regress materially."""
+    r = domain_extraction_ablation(
+        TPCH_QUERIES[name], batch_size=50, sf=LOCAL_SF, max_batches=20,
+        warm_fraction=0.5,
+    )
+    assert r.virtual_speedup > 0.5, (
+        f"{name}: domain extraction regressed {1/r.virtual_speedup:.1f}x"
+    )
+
+
+@pytest.mark.paper_experiment("ablation")
+def test_ablation_batch_preaggregation_pays_off(benchmark):
+    """Filtering/join-pipeline cases: pre-aggregation wins.
+
+    Q19's static predicates prune the batch during pre-aggregation;
+    M1's batch collapses onto the small join-key domain.  (The paper's
+    Q20/Q22-style multi-thousand-x gains rely on per-tuple generated
+    code with no cross-tuple sharing; our reference evaluator's
+    statement-level CSE already harvests the key-dedup saving, so the
+    on/off gap here is the *residual* benefit — see EXPERIMENTS.md.)
+    """
+
+    def run():
+        q19 = preaggregation_ablation(
+            TPCH_QUERIES["Q19"], batch_size=500, sf=LOCAL_SF, max_batches=12
+        )
+        m1 = preaggregation_ablation(
+            MICRO_QUERIES["M1"], batch_size=500, workload="micro",
+            sf=0.5, max_batches=10,
+        )
+        return q19, m1
+
+    q19, m1 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ("query", "ON vinstr", "OFF vinstr", "speedup"),
+            [
+                (
+                    r.query,
+                    r.on_virtual_instructions,
+                    r.off_virtual_instructions,
+                    round(r.virtual_speedup, 2),
+                )
+                for r in (q19, m1)
+            ],
+            title="Ablation — batch pre-aggregation",
+        )
+    )
+    assert q19.virtual_speedup > 1.1, "Q19: pre-aggregation did not pay off"
+    assert m1.virtual_speedup > 1.1, "M1: pre-aggregation did not pay off"
+
+
+@pytest.mark.paper_experiment("ablation")
+@pytest.mark.parametrize("name", ["Q4", "Q22"])
+def test_ablation_preaggregation_overhead_case(name):
+    """Key-preserving queries (Section 3.3): pre-aggregation cannot
+    collapse the batch, so the paper observes pure materialization
+    overhead.  The overhead must stay bounded (no large regression) and
+    no large win should appear out of nowhere."""
+    r = preaggregation_ablation(
+        TPCH_QUERIES[name], batch_size=500, sf=LOCAL_SF, max_batches=12
+    )
+    assert 0.5 < r.virtual_speedup < 5.0, (
+        f"{name}: unexpected pre-aggregation effect "
+        f"({r.virtual_speedup:.2f}x)"
+    )
+
+
+@pytest.mark.paper_experiment("ablation")
+@pytest.mark.parametrize("name", ["Q3", "Q10"])
+def test_ablation_index_specialization(benchmark, name):
+    """Slice-heavy queries: automatic non-unique indexes beat
+    full-scan fallback."""
+
+    def run():
+        return specialization_ablation(
+            TPCH_QUERIES[name], batch_size=200, sf=LOCAL_SF, max_batches=15
+        )
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ("query", "ON vinstr", "OFF vinstr", "speedup"),
+            [
+                (
+                    r.query,
+                    r.on_virtual_instructions,
+                    r.off_virtual_instructions,
+                    round(r.virtual_speedup, 2),
+                )
+            ],
+            title=f"Ablation — index specialization on {name}",
+        )
+    )
+    assert r.virtual_speedup >= 1.0, f"{name}: indexes made things worse"

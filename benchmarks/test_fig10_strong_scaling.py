@@ -1,0 +1,104 @@
+"""Figure 10: strong scalability of Q6, Q17, Q3, Q7 for fixed batch
+sizes, plus the Spark-SQL re-evaluation comparator.
+
+Paper shapes:
+
+* latency falls as workers are added, until synchronization/shuffle
+  overheads flatten (Q6) or even reverse (Q7 beyond 200 workers) the
+  curve;
+* larger batches create more parallelizable work and keep scaling to
+  more workers;
+* incremental maintenance beats Spark-SQL-style re-evaluation by large
+  factors (Q3: 8.5x-20.9x; Q6: >100x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table, strong_scaling
+from repro.harness.scaling import paper_scale_cost_model, reeval_scaling
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.conftest import DIST_SF
+
+WORKERS = (2, 4, 8, 16, 32)
+BATCHES = (500, 1_000, 2_000, 4_000)
+
+
+def _run(name: str):
+    # paper_scale_cost_model restores the paper's compute/sync ratio at
+    # scaled batch sizes (its 50M-400M batches give each worker seconds
+    # of compute; ours would otherwise be pure synchronization).
+    return strong_scaling(
+        TPCH_QUERIES[name],
+        workers=WORKERS,
+        batch_sizes=BATCHES,
+        sf=DIST_SF,
+        max_batches=2,
+        cost_model=paper_scale_cost_model(),
+    )
+
+
+@pytest.mark.paper_experiment("fig10")
+@pytest.mark.parametrize("name", ["Q6", "Q17", "Q3", "Q7"])
+def test_fig10_strong_scaling(benchmark, name):
+    series = benchmark.pedantic(_run, args=(name,), rounds=1, iterations=1)
+
+    rows = []
+    for bs, points in sorted(series.items()):
+        for p in points:
+            rows.append(
+                (bs, p.n_workers, round(p.median_latency_s, 4))
+            )
+    print()
+    print(
+        format_table(
+            ("batch size", "workers", "median latency (s)"),
+            rows,
+            title=f"Figure 10 — strong scaling of {name}",
+        )
+    )
+
+    largest = series[BATCHES[-1]]
+    lat = [p.median_latency_s for p in largest]
+    # Adding workers reduces latency for the largest batch size.
+    assert min(lat) < lat[0], f"{name}: no strong-scaling gain"
+    # The biggest batch at the smallest scale is the slowest point.
+    assert lat[0] == max(lat), f"{name}: unexpected latency maximum"
+
+    # Larger batches take longer at equal worker counts.
+    at_min_workers = {bs: series[bs][0].median_latency_s for bs in BATCHES}
+    assert at_min_workers[BATCHES[-1]] > at_min_workers[BATCHES[0]]
+
+
+@pytest.mark.paper_experiment("fig10")
+@pytest.mark.parametrize("name", ["Q6", "Q3"])
+def test_fig10_incremental_beats_sparksql_reeval(name):
+    """RIVM vs the distributed re-evaluation baseline at the largest
+    batch size (the SparkSQL 400M series of Figs. 10a/10c)."""
+    spec = TPCH_QUERIES[name]
+    batch = BATCHES[-1]
+    ivm = strong_scaling(
+        spec, workers=(8,), batch_sizes=(batch,), sf=DIST_SF, max_batches=2,
+        cost_model=paper_scale_cost_model(),
+    )[batch][0]
+    reev = reeval_scaling(
+        spec, workers=(8,), batch_size=batch, sf=DIST_SF, max_batches=2,
+        cost_model=paper_scale_cost_model(),
+    )[0]
+    print()
+    print(
+        format_table(
+            ("engine", "median latency (s)"),
+            [
+                ("incremental", round(ivm.median_latency_s, 4)),
+                ("spark-sql-reeval", round(reev.median_latency_s, 4)),
+            ],
+            title=f"Figure 10 — {name}: incremental vs re-evaluation "
+            f"(batch {batch}, 8 workers)",
+        )
+    )
+    assert reev.median_latency_s > ivm.median_latency_s, (
+        f"{name}: re-evaluation should be slower than incremental"
+    )

@@ -1,0 +1,62 @@
+"""Figure 11 (Appendix C): strong scaling for 11 more TPC-H queries
+(Q1, Q2, Q4, Q8, Q10, Q11, Q12, Q13, Q14, Q19, Q22).
+
+Same protocol as Figure 10, smaller sweep per query.  The common shape
+across all panels: latency decreases with workers for the largest
+batch size, and larger batches sit above smaller ones at equal scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table, strong_scaling
+from repro.harness.scaling import paper_scale_cost_model
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.conftest import DIST_SF
+
+QUERIES = ("Q1", "Q2", "Q4", "Q8", "Q10", "Q11", "Q12", "Q13", "Q14", "Q19", "Q22")
+WORKERS = (2, 8, 32)
+BATCHES = (500, 2_000)
+
+
+def _run(name: str):
+    return strong_scaling(
+        TPCH_QUERIES[name],
+        workers=WORKERS,
+        batch_sizes=BATCHES,
+        sf=DIST_SF,
+        max_batches=2,
+        cost_model=paper_scale_cost_model(),
+    )
+
+
+@pytest.mark.paper_experiment("fig11")
+@pytest.mark.parametrize("name", QUERIES)
+def test_fig11_strong_scaling_more_queries(benchmark, name):
+    series = benchmark.pedantic(_run, args=(name,), rounds=1, iterations=1)
+
+    rows = [
+        (bs, p.n_workers, round(p.median_latency_s, 4))
+        for bs, points in sorted(series.items())
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ("batch size", "workers", "median latency (s)"),
+            rows,
+            title=f"Figure 11 — strong scaling of {name}",
+        )
+    )
+
+    big = series[BATCHES[-1]]
+    lat = [p.median_latency_s for p in big]
+    assert min(lat) < lat[0] * 1.001, f"{name}: latency never improved"
+
+    small_first = series[BATCHES[0]][0].median_latency_s
+    big_first = series[BATCHES[-1]][0].median_latency_s
+    assert big_first >= small_first, (
+        f"{name}: larger batch not costlier at the smallest scale"
+    )

@@ -1,0 +1,97 @@
+"""Figure 9: weak scalability of distributed IVM on Q6, Q17, Q3, Q7.
+
+Each worker receives a fixed batch share (100,000 tuples in the paper;
+scaled down here), so total batch size grows with the worker count.
+Paper shapes:
+
+* Q6 (single aggregate, one stage) isolates synchronization overhead —
+  latency grows mildly and monotonically with worker count while
+  throughput keeps rising to a mid-scale peak;
+* Q17 / Q3 (two-three stages with shuffles) have higher baseline
+  latency than Q6;
+* Q7 (three jobs, most complex) has the fastest-growing latency, and
+  its throughput peaks earliest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table, weak_scaling
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.conftest import DIST_SF
+
+WORKERS = (2, 4, 8, 16, 32)
+TUPLES_PER_WORKER = 100
+
+
+def _run(name: str):
+    return weak_scaling(
+        TPCH_QUERIES[name],
+        workers=WORKERS,
+        tuples_per_worker=TUPLES_PER_WORKER,
+        sf=DIST_SF,
+        max_batches=3,
+    )
+
+
+@pytest.mark.paper_experiment("fig9")
+@pytest.mark.parametrize("name", ["Q6", "Q17", "Q3", "Q7"])
+def test_fig9_weak_scaling(benchmark, name):
+    points = benchmark.pedantic(_run, args=(name,), rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ("workers", "batch", "median latency (s)", "throughput (tup/s)", "shuffled B"),
+            [
+                (
+                    p.n_workers,
+                    p.batch_size,
+                    round(p.median_latency_s, 4),
+                    round(p.throughput_tuples_per_s),
+                    p.shuffled_bytes,
+                )
+                for p in points
+            ],
+            title=f"Figure 9 — weak scaling of {name} "
+            f"({TUPLES_PER_WORKER} tuples/worker)",
+        )
+    )
+
+    lat = [p.median_latency_s for p in points]
+    thr = [p.throughput_tuples_per_s for p in points]
+
+    # Latency grows with worker count (synchronization term).
+    assert lat[-1] > lat[0], f"{name}: latency did not grow with workers"
+    # Throughput still improves from the smallest to some larger scale
+    # (each worker brings its own batch share).
+    assert max(thr) > thr[0], f"{name}: no weak-scaling throughput gain"
+
+
+@pytest.mark.paper_experiment("fig9")
+def test_fig9_q6_isolates_sync_overhead():
+    """Q6 has the lowest latency of the four queries at every scale —
+    it is the paper's probe for pure synchronization cost."""
+    series = {name: _run(name) for name in ("Q6", "Q17", "Q3", "Q7")}
+    for i, n in enumerate(WORKERS):
+        q6 = series["Q6"][i].median_latency_s
+        for other in ("Q17", "Q3", "Q7"):
+            assert q6 <= series[other][i].median_latency_s, (
+                f"Q6 not cheapest at {n} workers vs {other}"
+            )
+
+
+@pytest.mark.paper_experiment("fig9")
+def test_fig9_q7_latency_grows_fastest():
+    """Q7's latency growth factor across the sweep exceeds Q6's
+    (three shuffle-heavy jobs vs one aggregate-only stage)."""
+    q6 = _run("Q6")
+    q7 = _run("Q7")
+    growth_q6 = q6[-1].median_latency_s / q6[0].median_latency_s
+    growth_q7 = q7[-1].median_latency_s / q7[0].median_latency_s
+    assert q7[0].median_latency_s > q6[0].median_latency_s
+    assert (
+        q7[-1].median_latency_s > q6[-1].median_latency_s
+    ), "Q7 should stay costlier than Q6 at scale"

@@ -1,0 +1,89 @@
+"""Table 2: cache locality of TPC-H Q3 across batch sizes.
+
+The paper profiles generated Q3 code with perf: batch size 1 executes
+almost 10x more instructions than batch size 1,000, and last-level
+cache references/misses are lowest near batch size 1,000 (the U-shape
+that motivates the 1,000-10,000 "best bite size").
+
+Our substitute (DESIGN.md §1) counts virtual instructions and drives a
+two-level LRU cache simulator from the record pools' access trace; the
+bench asserts the same two shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import cache_locality_run, format_table
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.conftest import LOCAL_SF
+
+BATCHES = (1, 10, 100, 1_000)
+
+
+def _rows():
+    spec = TPCH_QUERIES["Q3"]
+    rows = [
+        cache_locality_run(spec, None, sf=LOCAL_SF)  # single-tuple
+    ]
+    rows.extend(
+        cache_locality_run(spec, bs, sf=LOCAL_SF) for bs in BATCHES
+    )
+    return rows
+
+
+@pytest.mark.paper_experiment("table2")
+def test_table2_cache_locality(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            (
+                "batch",
+                "virtual instrs",
+                "L1 refs",
+                "L1 misses",
+                "LLC refs",
+                "LLC misses",
+            ),
+            [
+                (
+                    r.batch_label,
+                    r.virtual_instructions,
+                    r.l1_refs,
+                    r.l1_misses,
+                    r.llc_refs,
+                    r.llc_misses,
+                )
+                for r in rows
+            ],
+            title="Table 2 — cache locality of TPC-H Q3",
+        )
+    )
+
+    by = {r.batch_label: r for r in rows}
+
+    # Shape 1: batch 1 executes several times more instructions than
+    # batch 1,000 (paper: ~10x).
+    ratio = (
+        by["1"].virtual_instructions / by["1000"].virtual_instructions
+    )
+    assert ratio > 3.0, f"batch-1/batch-1000 instruction ratio only {ratio:.1f}x"
+
+    # Shape 2: instruction counts decrease monotonically from batch 1
+    # to batch 1,000 (amortized trigger overhead).
+    instrs = [by[str(b)].virtual_instructions for b in BATCHES]
+    assert all(a >= b for a, b in zip(instrs, instrs[1:])), instrs
+
+    # Shape 3: data-cache traffic follows the same amortization — L1
+    # references and misses at batch 1 dwarf batch 1,000's.  (The
+    # paper's right arm of the U — LLC degradation at 100k-tuple
+    # batches — needs working sets beyond the scaled bench: here the
+    # state fits the simulated LLC, so LLC misses stay at the cold
+    # footprint; we assert they never *grow* with batch size.)
+    assert by["1"].l1_refs > 10 * by["1000"].l1_refs
+    assert by["1"].l1_misses >= by["1000"].l1_misses
+    llc = [by[str(b)].llc_misses for b in BATCHES]
+    assert all(m <= llc[0] for m in llc), llc

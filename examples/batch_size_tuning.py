@@ -1,0 +1,53 @@
+"""Batch-size tuning: finding the "best bite size" for a query.
+
+The paper's title question — in local execution, throughput usually
+peaks at batches of 1,000-10,000 tuples, and for many queries the
+specialized single-tuple engine is hard to beat.  This example sweeps
+batch sizes for a handful of TPC-H queries and prints the normalized
+throughput series (a miniature of Figure 7), then reports each query's
+best bite size.
+
+Run:  python examples/batch_size_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import batch_size_sweep
+from repro.workloads import TPCH_QUERIES
+
+QUERIES = ("Q1", "Q6", "Q13", "Q22")
+BATCH_SIZES = (1, 10, 100, 1_000)
+
+
+def main() -> None:
+    print("normalized throughput (single-tuple engine = 1.0)\n")
+    header = f"{'query':>6} {'Single':>8}" + "".join(
+        f"{bs:>9}" for bs in BATCH_SIZES
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name in QUERIES:
+        spec = TPCH_QUERIES[name]
+        results = batch_size_sweep(
+            spec, batch_sizes=BATCH_SIZES, sf=0.0003, max_batches=40
+        )
+        baseline = results[0].virtual_throughput
+        cells = [f"{1.0:>8.2f}"]
+        best_label, best_value = "Single", 1.0
+        for r in results[1:]:
+            norm = r.virtual_throughput / baseline
+            cells.append(f"{norm:>9.2f}")
+            if norm > best_value:
+                best_label, best_value = str(r.batch_size), norm
+        print(f"{name:>6} " + "".join(cells) + f"   best: {best_label}")
+
+    print()
+    print("Q1 and Q22 collapse their batches onto small key domains, so")
+    print("batching wins big; Q13's maintenance code is simple enough")
+    print("that the single-tuple engine stays competitive — the paper's")
+    print('refutation of "batching always wins".')
+
+
+if __name__ == "__main__":
+    main()

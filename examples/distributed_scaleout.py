@@ -1,0 +1,78 @@
+"""Distributed scale-out of a TPC-H-style continuous query.
+
+Compiles TPC-H Q3 for the simulated synchronous cluster (the paper's
+Section 4 pipeline: annotate -> optimize -> fuse blocks -> plan jobs),
+streams order/lineitem/customer batches through clusters of growing
+size, and prints the weak-scaling latency/throughput curve — a
+miniature of the paper's Figure 9c.
+
+Run:  python examples/distributed_scaleout.py
+"""
+
+from __future__ import annotations
+
+from repro.distributed import SimulatedCluster, compile_distributed
+from repro.eval import evaluate
+from repro.harness.scaling import _preload_static
+from repro.harness.setup import prepare_stream
+from repro.workloads import TPCH_QUERIES
+
+WORKERS = (2, 4, 8, 16)
+TUPLES_PER_WORKER = 150
+
+
+def main() -> None:
+    spec = TPCH_QUERIES["Q3"]
+
+    # ------------------------------------------------------------------
+    # 1. Compile once; show what the distributed program looks like.
+    # ------------------------------------------------------------------
+    dprog = compile_distributed(
+        spec.query,
+        name=spec.name,
+        key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    print("=== distributed program (fused blocks) ===")
+    print(dprog.describe())
+
+    trig = next(iter(dprog.triggers.values()))
+    print(f"\nexample trigger: {len(trig.blocks)} blocks, "
+          f"{len(trig.jobs)} jobs")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Weak scaling: each worker contributes a fixed batch share.
+    # ------------------------------------------------------------------
+    print("=== weak scaling (miniature Figure 9c) ===")
+    print(f"{'workers':>8} {'batch':>7} {'median latency':>15} "
+          f"{'throughput':>12}")
+    for n in WORKERS:
+        batch_size = n * TUPLES_PER_WORKER
+        prepared = prepare_stream(
+            spec, batch_size, sf=0.002, max_batches=3
+        )
+        cluster = SimulatedCluster(dprog, n_workers=n)
+        _preload_static(cluster, prepared, dprog)
+
+        reference = prepared.fresh_static()
+        for relation, batch in prepared.batches:
+            cluster.on_batch(relation, batch)
+            reference.apply_update(relation, batch)
+
+        # The distributed result matches a from-scratch evaluation.
+        assert cluster.result() == evaluate(spec.query, reference)
+
+        m = cluster.metrics
+        throughput = m.throughput_tuples_per_s(prepared.n_tuples)
+        print(f"{n:>8} {batch_size:>7} {m.median_latency_s:>13.4f}s "
+              f"{throughput:>10.0f}/s   "
+              f"(jobs={m.jobs}, stages={m.stages}, "
+              f"shuffled={m.shuffled_bytes}B)")
+
+    print("\nlatency grows mildly with workers (synchronization term)")
+    print("while throughput scales with the added batch shares.")
+
+
+if __name__ == "__main__":
+    main()

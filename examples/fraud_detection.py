@@ -1,0 +1,126 @@
+"""Fraud detection with a nested-aggregate continuous query.
+
+Another intro motivation: flag accounts whose transaction count
+exceeds a per-account threshold — a correlated nested aggregate, the
+query class the paper's *domain extraction* technique (Section 3.2)
+makes incrementally maintainable:
+
+    SELECT COUNT(*) FROM ACCOUNTS a
+    WHERE a.threshold <
+          (SELECT COUNT(*) FROM TXNS t WHERE t.acct = a.acct)
+
+The naive delta rule recomputes the assignment twice per update; with
+domain extraction the delta touches only the accounts present in the
+batch.  The example shows both the maintained alert count and the cost
+gap between the two compilations.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database, evaluate
+from repro.exec import RecursiveIVMEngine
+from repro.metrics import Counters
+from repro.query.builder import assign, cmp, join, rel, sum_over
+from repro.ring import GMR
+
+N_ACCOUNTS = 400
+N_BATCHES = 12
+BATCH_SIZE = 20
+WARM_TXNS = 1500
+
+
+def build_query():
+    """COUNT of accounts whose txn count exceeds their threshold."""
+    nested = sum_over([], join(rel("TXNS", "acct2", "amount"),
+                               cmp("acct2", "==", "acct")))
+    return sum_over(
+        [],
+        join(
+            rel("ACCOUNTS", "acct", "threshold"),
+            assign("txn_count", nested),
+            cmp("threshold", "<", "txn_count"),
+        ),
+    )
+
+
+def main() -> None:
+    query = build_query()
+    rng = random.Random(3)
+
+    accounts = Database()
+    accounts.insert_rows(
+        "ACCOUNTS",
+        [(a, rng.randint(3, 12)) for a in range(N_ACCOUNTS)],
+    )
+    # Warm store: the advantage of domain extraction is |batch domain|
+    # vs |materialized state|, so start with history already loaded.
+    accounts.insert_rows(
+        "TXNS",
+        [
+            (rng.randrange(N_ACCOUNTS), rng.randint(1, 500))
+            for _ in range(WARM_TXNS)
+        ],
+    )
+
+    batches = []
+    for _ in range(N_BATCHES):
+        batch = GMR()
+        for _ in range(BATCH_SIZE):
+            batch.add_tuple(
+                (rng.randrange(N_ACCOUNTS), rng.randint(1, 500)), 1
+            )
+        batches.append(batch)
+
+    runs = {}
+    for label, use_domain in (
+        ("with domain extraction", True),
+        ("recompute-twice delta", False),
+    ):
+        counters = Counters()
+        program = compile_query(
+            query,
+            "FRAUD",
+            updatable=frozenset({"TXNS"}),
+            use_domain=use_domain,
+        )
+        program = apply_batch_preaggregation(program)
+        engine = RecursiveIVMEngine(program, mode="batch", counters=counters)
+        engine.initialize(accounts.copy())
+
+        reference = accounts.copy()
+        start = time.perf_counter()
+        for batch in batches:
+            engine.on_batch("TXNS", batch)
+        elapsed = time.perf_counter() - start
+
+        for batch in batches:
+            reference.apply_update("TXNS", batch)
+        assert engine.result() == evaluate(query, reference), label
+        runs[label] = (elapsed, counters.virtual_instructions(), engine)
+
+    print("maintaining the fraud-alert count over "
+          f"{N_BATCHES * BATCH_SIZE} transactions:\n")
+    for label, (elapsed, vinstr, _) in runs.items():
+        print(f"  {label:>24}: {elapsed*1e3:8.1f} ms, "
+              f"{vinstr:>10} virtual instructions")
+
+    on = runs["with domain extraction"][1]
+    off = runs["recompute-twice delta"][1]
+    print(f"\ndomain extraction speedup: {off/on:.1f}x "
+          "(virtual instructions)")
+
+    engine = runs["with domain extraction"][2]
+    alerts = engine.result()
+    count = next(iter(alerts.data.values()), 0)
+    print(f"\naccounts currently above their threshold: {count} "
+          f"of {N_ACCOUNTS}")
+
+
+if __name__ == "__main__":
+    main()

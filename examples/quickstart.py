@@ -1,0 +1,82 @@
+"""Quickstart: incrementally maintain a 3-way join-count view.
+
+This is the paper's running example (Example 2.1/2.2): the query
+counts tuples of R(A,B) |><| S(B,C) |><| T(C,D) grouped by B.  We
+compile it with the recursive IVM compiler, inspect the generated
+trigger program, and stream update batches through the engine while
+checking the result against a from-scratch evaluation.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database, evaluate
+from repro.exec import RecursiveIVMEngine
+from repro.query.builder import join, rel, sum_over
+from repro.ring import GMR
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Define the view: Sum_[B](R(A,B) * S(B,C) * T(C,D))
+    # ------------------------------------------------------------------
+    query = sum_over(
+        ["b"],
+        join(rel("R", "a", "b"), rel("S", "b", "c"), rel("T", "c", "d")),
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Compile to a recursive maintenance program.
+    # ------------------------------------------------------------------
+    program = compile_query(query, "QCOUNT")
+    program = apply_batch_preaggregation(program)
+
+    print("=== compiled maintenance program ===")
+    print(program.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Stream random update batches through the engine.
+    # ------------------------------------------------------------------
+    engine = RecursiveIVMEngine(program, mode="batch")
+    reference = Database()  # mirror of the raw base tables
+    rng = random.Random(0)
+
+    def random_batch(cols: int) -> GMR:
+        batch = GMR()
+        for _ in range(50):
+            batch.add_tuple(
+                tuple(rng.randint(0, 9) for _ in range(cols)), 1
+            )
+        return batch
+
+    for step in range(1, 11):
+        relation = ("R", "S", "T")[step % 3]
+        batch = random_batch(2)
+        engine.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+
+        maintained = engine.result()
+        recomputed = evaluate(query, reference)
+        status = "OK" if maintained == recomputed else "DIVERGED"
+        print(
+            f"batch {step:2d} -> {relation}: "
+            f"{len(maintained)} groups, check={status}"
+        )
+        assert maintained == recomputed
+
+    print()
+    print("=== final view contents (B -> count) ===")
+    for t, m in sorted(engine.result().items()):
+        print(f"  B={t[0]}: {m}")
+
+    views = engine.memory_footprint()
+    print(f"\nmaterialized {program.view_count()} views, {views} tuples total")
+
+
+if __name__ == "__main__":
+    main()

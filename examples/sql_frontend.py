@@ -1,0 +1,79 @@
+"""SQL in, incremental maintenance out.
+
+The frontend parses a SQL subset (joins, filters, GROUP BY, SUM/COUNT,
+DISTINCT, correlated nested aggregates, EXISTS) into the query algebra
+and hands it to the same compiler as the hand-written workloads.  This
+example maintains the paper's Example 3.1 query — written as SQL —
+over a transaction stream.
+
+Run:  python examples/sql_frontend.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database, evaluate
+from repro.exec import RecursiveIVMEngine
+from repro.query import parse_sql
+from repro.ring import GMR
+
+CATALOG = {
+    "ORDERS": ("okey", "ckey", "total"),
+    "CUSTOMER": ("ckey", "limit"),
+}
+
+SQL = """
+SELECT COUNT(*)
+FROM CUSTOMER
+WHERE CUSTOMER.limit <
+      (SELECT SUM(total) FROM ORDERS WHERE ORDERS.ckey = CUSTOMER.ckey)
+"""
+
+
+def main() -> None:
+    print("input SQL:")
+    print(SQL)
+    query = parse_sql(SQL, CATALOG)
+    print("lowered algebra:")
+    print(f"  {query!r}\n")
+
+    program = apply_batch_preaggregation(
+        compile_query(query, "OVERLIMIT", updatable=frozenset({"ORDERS"}))
+    )
+    print("compiled maintenance program:")
+    print(program.describe())
+    print()
+
+    rng = random.Random(11)
+    n_customers = 60
+    static = Database()
+    static.insert_rows(
+        "CUSTOMER",
+        [(c, rng.randint(500, 3000)) for c in range(n_customers)],
+    )
+
+    engine = RecursiveIVMEngine(program, mode="batch")
+    engine.initialize(static.copy())
+    reference = static.copy()
+
+    for step in range(10):
+        batch = GMR()
+        for _ in range(40):
+            batch.add_tuple(
+                (rng.randrange(10_000), rng.randrange(n_customers),
+                 rng.randint(10, 400)),
+                1,
+            )
+        engine.on_batch("ORDERS", batch)
+        reference.apply_update("ORDERS", batch)
+        over = engine.result().get((), 0)
+        assert engine.result() == evaluate(query, reference)
+        print(f"after batch {step + 1:2d}: {over:3} customers over limit")
+
+    print("\nmaintained view verified against re-evaluation at every step")
+
+
+if __name__ == "__main__":
+    main()

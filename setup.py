@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so pip's PEP 517 editable-build path fails; ``python setup.py develop``
+installs the package with plain setuptools.  All metadata lives in
+``setup.cfg`` (deliberately not pyproject.toml — its presence alone
+pushes pip >= 23.1 onto the wheel-requiring path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Baseline engines: the PostgreSQL substitutes of Figure 8 / Table 1.
+
+* :class:`ReevalEngine` — refreshes the view by recomputing the query
+  from the (materialized) base tables after every batch.
+* :class:`ClassicalIVMEngine` — classical first-order incremental view
+  maintenance: evaluates one delta query per updated relation against
+  the full base tables, then merges it into the result (Section 2.1).
+
+Both engines run on the same evaluator and data structures as the
+recursive engine, so throughput comparisons isolate the *strategy*,
+exactly as the paper's comparisons intend.
+"""
+
+from repro.baselines.reeval import ReevalEngine
+from repro.baselines.classical import ClassicalIVMEngine
+from repro.baselines.distributed_reeval import (
+    compile_distributed_reeval,
+    compile_reeval_program,
+)
+
+__all__ = [
+    "ReevalEngine",
+    "ClassicalIVMEngine",
+    "compile_distributed_reeval",
+    "compile_reeval_program",
+]

@@ -1,0 +1,43 @@
+"""Naive re-evaluation: recompute the query after every update batch."""
+
+from __future__ import annotations
+
+from repro.eval import Database, Evaluator
+from repro.metrics import Counters
+from repro.query.ast import Expr
+from repro.ring import GMR
+
+
+class ReevalEngine:
+    """Maintains a view by full recomputation per batch.
+
+    Cost grows with the size of the base tables, so throughput falls as
+    the stream accumulates — the behaviour the paper's re-evaluation
+    baseline exhibits for every query.
+    """
+
+    def __init__(self, query: Expr, counters: Counters | None = None):
+        self.query = query
+        self.counters = counters if counters is not None else Counters()
+        self.db = Database()
+        self._evaluator = Evaluator(self.db, self.counters)
+        self._result = GMR()
+        self._dirty = False
+
+    def initialize(self, base: Database) -> None:
+        self.db = base.copy()
+        self._evaluator = Evaluator(self.db, self.counters)
+        self._dirty = True
+
+    def on_batch(self, relation: str, batch: GMR) -> None:
+        self.counters.triggers_fired += 1
+        self.db.apply_update(relation, batch)
+        self.counters.statements_executed += 1
+        self._result = self._evaluator.evaluate(self.query)
+        self._dirty = False
+
+    def result(self) -> GMR:
+        if self._dirty:
+            self._result = self._evaluator.evaluate(self.query)
+            self._dirty = False
+        return self._result

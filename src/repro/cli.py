@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-queries`` — the benchmark workloads and their metadata;
+* ``compile`` — show the maintenance program compiled for a workload
+  query or an ad-hoc SQL string;
+* ``run`` — stream a generated dataset through an engine and report
+  throughput;
+* ``distributed`` — compile for the simulated cluster and show the
+  blocks/jobs plan (optionally execute a weak-scaling sweep);
+* ``advise`` — rank partitioning strategies for a query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import format_table
+
+
+def _resolve_spec(args):
+    from repro.query.sqlfront import sql_to_spec
+    from repro.workloads import MICRO_QUERIES, TPCDS_QUERIES, TPCH_QUERIES
+
+    if getattr(args, "sql", None):
+        catalog = _demo_catalog()
+        return sql_to_spec("ADHOC", args.sql, catalog)
+    name = args.query
+    for family in (TPCH_QUERIES, TPCDS_QUERIES, MICRO_QUERIES):
+        if name in family:
+            return family[name]
+    raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
+
+
+def _demo_catalog():
+    from repro.workloads import MICRO_TABLES, TPCH_TABLES
+
+    catalog = dict(TPCH_TABLES)
+    catalog.update(MICRO_TABLES)
+    return catalog
+
+
+def cmd_list_queries(_args) -> int:
+    from repro.workloads import MICRO_QUERIES, TPCDS_QUERIES, TPCH_QUERIES
+
+    rows = []
+    for family, queries in (
+        ("tpch", TPCH_QUERIES),
+        ("tpcds", TPCDS_QUERIES),
+        ("micro", MICRO_QUERIES),
+    ):
+        for name in sorted(queries):
+            spec = queries[name]
+            rows.append(
+                (family, name, ",".join(sorted(spec.updatable)))
+            )
+    print(format_table(("workload", "query", "streamed relations"), rows))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.compiler import apply_batch_preaggregation, compile_query
+
+    spec = _resolve_spec(args)
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    if args.preagg:
+        program = apply_batch_preaggregation(program)
+    print(program.describe())
+    print(
+        f"\n{program.view_count()} materialized views, "
+        f"{program.statement_count()} trigger statements"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.harness import measure_throughput
+
+    spec = _resolve_spec(args)
+    workload = args.workload
+    result = measure_throughput(
+        spec,
+        args.strategy,
+        None if args.batch_size == 0 else args.batch_size,
+        workload=workload,
+        sf=args.sf,
+        max_batches=args.max_batches,
+    )
+    print(
+        format_table(
+            ("query", "strategy", "batch", "tuples", "seconds", "tuples/s"),
+            [
+                (
+                    result.query,
+                    result.strategy,
+                    result.batch_label,
+                    result.n_tuples,
+                    round(result.elapsed_s, 3),
+                    round(result.throughput),
+                )
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_distributed(args) -> int:
+    from repro.distributed import compile_distributed
+    from repro.harness import weak_scaling
+
+    spec = _resolve_spec(args)
+    dprog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable, opt_level=args.opt_level,
+    )
+    print(dprog.describe())
+    if args.workers:
+        workers = tuple(int(w) for w in args.workers.split(","))
+        points = weak_scaling(
+            spec, workers=workers, tuples_per_worker=args.tuples_per_worker,
+            sf=args.sf, max_batches=args.max_batches,
+        )
+        print()
+        print(
+            format_table(
+                ("workers", "batch", "median latency (s)", "tuples/s"),
+                [
+                    (
+                        p.n_workers,
+                        p.batch_size,
+                        round(p.median_latency_s, 4),
+                        round(p.throughput_tuples_per_s),
+                    )
+                    for p in points
+                ],
+                title=f"weak scaling of {spec.name}",
+            )
+        )
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from repro.compiler import compile_query
+    from repro.distributed import PartitioningAdvisor
+
+    spec = _resolve_spec(args)
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    advisor = PartitioningAdvisor(program, spec.key_hints)
+    rows = [
+        (c.candidate, c.transformers, c.jobs, c.stages)
+        for c in advisor.rank()
+    ]
+    print(
+        format_table(
+            ("strategy", "transformers", "jobs", "stages"),
+            rows,
+            title=f"partitioning strategies for {spec.name}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed incremental view maintenance with batch updates "
+            "(SIGMOD 2016 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-queries", help="list benchmark queries")
+
+    p = sub.add_parser("compile", help="show a compiled maintenance program")
+    p.add_argument("query", nargs="?", default="Q3")
+    p.add_argument("--sql", help="compile an ad-hoc SQL string instead")
+    p.add_argument(
+        "--preagg", action="store_true",
+        help="apply batch pre-aggregation",
+    )
+
+    p = sub.add_parser("run", help="measure one engine over a stream")
+    p.add_argument("query", nargs="?", default="Q3")
+    p.add_argument("--sql")
+    p.add_argument("--strategy", default="rivm-batch",
+                   choices=["rivm-single", "rivm-batch", "rivm-specialized",
+                            "reeval", "civm"])
+    p.add_argument("--batch-size", type=int, default=100,
+                   help="0 = single-tuple execution")
+    p.add_argument("--workload", default="tpch",
+                   choices=["tpch", "tpcds", "micro"])
+    p.add_argument("--sf", type=float, default=0.0005)
+    p.add_argument("--max-batches", type=int, default=None)
+
+    p = sub.add_parser("distributed", help="distributed plan (and sweep)")
+    p.add_argument("query", nargs="?", default="Q3")
+    p.add_argument("--sql")
+    p.add_argument("--opt-level", type=int, default=3, choices=[0, 1, 2, 3])
+    p.add_argument("--workers", help="comma-separated counts, e.g. 2,4,8")
+    p.add_argument("--tuples-per-worker", type=int, default=100)
+    p.add_argument("--sf", type=float, default=0.002)
+    p.add_argument("--max-batches", type=int, default=3)
+
+    p = sub.add_parser("advise", help="rank partitioning strategies")
+    p.add_argument("query", nargs="?", default="Q3")
+    p.add_argument("--sql")
+
+    return parser
+
+
+_COMMANDS = {
+    "list-queries": cmd_list_queries,
+    "compile": cmd_compile,
+    "run": cmd_run,
+    "distributed": cmd_distributed,
+    "advise": cmd_advise,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

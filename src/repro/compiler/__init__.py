@@ -1,0 +1,30 @@
+"""The recursive IVM compiler (paper Sections 2.2, 3, 5.1).
+
+``compile_query`` turns a view-definition query into a
+:class:`~repro.compiler.ir.TriggerProgram`: a set of materialized views
+that support each other's incremental maintenance, plus one trigger per
+base relation whose statements refresh all affected views for a batch
+update.  Statements are ordered by decreasing view complexity, which is
+the data-flow DAG property the distributed compiler later relies on.
+"""
+
+from repro.compiler.ir import (
+    Statement,
+    Trigger,
+    TriggerProgram,
+    ViewInfo,
+)
+from repro.compiler.materializer import compile_query
+from repro.compiler.preagg import apply_batch_preaggregation
+from repro.compiler.access import AccessPattern, analyze_access_patterns
+
+__all__ = [
+    "Statement",
+    "Trigger",
+    "TriggerProgram",
+    "ViewInfo",
+    "compile_query",
+    "apply_batch_preaggregation",
+    "AccessPattern",
+    "analyze_access_patterns",
+]

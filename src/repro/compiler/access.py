@@ -1,0 +1,101 @@
+"""Access-pattern analysis (paper Section 5.2.1).
+
+For every statement, we replay the left-to-right binding discipline of
+the evaluator and record, per materialized view, how it is accessed:
+
+* ``scan``  — all columns unbound: a full ``foreach``;
+* ``get``   — all columns bound: a point lookup (unique hash index);
+* ``slice`` — some columns bound: an index scan (non-unique hash index
+  over the bound columns).
+
+The storage layer consumes this analysis to build exactly the indexes
+each view needs — the paper's automatic index selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.ast import (
+    Assign,
+    DeltaRel,
+    Expr,
+    Join,
+    Rel,
+    Sum,
+    Union,
+    Exists,
+    is_expr,
+)
+from repro.query.schema import out_cols
+from repro.compiler.ir import TriggerProgram
+
+
+@dataclass
+class AccessPattern:
+    """Accumulated access patterns for one materialized view."""
+
+    name: str
+    scan: bool = False
+    #: frozensets of bound-column combinations used for point lookups
+    gets: set[frozenset[str]] = field(default_factory=set)
+    #: frozensets of bound-column combinations used for index scans
+    slices: set[frozenset[str]] = field(default_factory=set)
+
+    def record(self, cols: tuple[str, ...], bound: set[str]) -> None:
+        bound_here = frozenset(c for c in cols if c in bound)
+        if not bound_here:
+            self.scan = True
+        elif len(bound_here) == len(cols):
+            self.gets.add(bound_here)
+        else:
+            self.slices.add(bound_here)
+
+
+def analyze_access_patterns(
+    program: TriggerProgram,
+) -> dict[str, AccessPattern]:
+    """Analyze every trigger statement of a compiled program."""
+    patterns: dict[str, AccessPattern] = {}
+
+    def pat(name: str) -> AccessPattern:
+        if name not in patterns:
+            patterns[name] = AccessPattern(name)
+        return patterns[name]
+
+    def visit(e: Expr, bound: set[str]) -> set[str]:
+        """Record accesses of ``e`` given ``bound`` columns; return the
+        bound set extended by the columns ``e`` produces."""
+        if isinstance(e, (Rel, DeltaRel)):
+            pat(e.name).record(e.cols, bound)
+            return bound | set(e.cols)
+        if isinstance(e, Join):
+            b = set(bound)
+            for p in e.parts:
+                b = visit(p, b)
+            return b
+        if isinstance(e, Union):
+            for p in e.parts:
+                visit(p, set(bound))
+            return bound | set(out_cols(e))
+        if isinstance(e, Sum):
+            visit(e.child, set(bound))
+            return bound | set(out_cols(e))
+        if isinstance(e, Exists):
+            visit(e.child, set(bound))
+            return bound | set(out_cols(e))
+        if isinstance(e, Assign) and is_expr(e.child):
+            visit(e.child, set(bound))
+            return bound | set(out_cols(e))
+        return bound | set(out_cols(e))
+
+    for trig in program.triggers.values():
+        for stmt in trig.statements:
+            visit(stmt.expr, set())
+            # The written view is looked up by its full key on update.
+            target = pat(stmt.target)
+            if stmt.target_cols:
+                target.gets.add(frozenset(stmt.target_cols))
+            else:
+                target.scan = True
+    return patterns

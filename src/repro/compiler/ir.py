@@ -1,0 +1,101 @@
+"""Intermediate representation of compiled maintenance programs.
+
+A :class:`TriggerProgram` is the unit the execution engines and the
+distributed compiler consume:
+
+* ``views`` — every materialized view, with its columns and its
+  definition over base relations (used for initialization from a loaded
+  database and for debugging);
+* ``triggers`` — one :class:`Trigger` per updatable base relation,
+  holding an ordered list of :class:`Statement`.
+
+Statement scopes:
+
+* ``"view"`` — the target is a materialized view; ``+=`` merges the
+  evaluated RHS into it, ``:=`` replaces its contents (the
+  re-evaluation strategy of Section 3.2.3).
+* ``"batch"`` — the target is a per-batch transient (a pre-aggregated
+  update or a domain expression); it lives in the delta namespace and
+  is discarded once the batch is processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.ast import Expr
+from repro.query.schema import query_degree
+
+
+@dataclass
+class Statement:
+    """One maintenance step: ``target op expr``."""
+
+    target: str
+    op: str  # '+=' or ':='
+    target_cols: tuple[str, ...]
+    expr: Expr
+    scope: str = "view"  # 'view' or 'batch'
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.target_cols)
+        return f"{self.target}({cols}) {self.op} {self.expr!r}"
+
+
+@dataclass
+class Trigger:
+    """All maintenance statements for one base relation's update batch."""
+
+    relation: str
+    rel_cols: tuple[str, ...]
+    statements: list[Statement] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        body = "\n  ".join(repr(s) for s in self.statements)
+        return f"ON UPDATE {self.relation}:\n  {body}"
+
+
+@dataclass
+class ViewInfo:
+    """A materialized view: its schema and defining query."""
+
+    name: str
+    cols: tuple[str, ...]
+    definition: Expr
+
+    @property
+    def degree(self) -> int:
+        """Number of base-relation references in the definition — the
+        complexity measure that orders trigger statements."""
+        return query_degree(self.definition)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.cols)}) := {self.definition!r}"
+
+
+@dataclass
+class TriggerProgram:
+    """A compiled incremental maintenance program."""
+
+    query_name: str
+    top_view: str
+    views: dict[str, ViewInfo]
+    triggers: dict[str, Trigger]
+    #: relations of the original query, with their column names
+    base_relations: dict[str, tuple[str, ...]]
+
+    def describe(self) -> str:
+        """Human-readable dump, in the style of the paper's examples."""
+        lines = [f"-- program for {self.query_name} (top view {self.top_view})"]
+        lines.append("-- materialized views:")
+        for v in sorted(self.views.values(), key=lambda v: -v.degree):
+            lines.append(f"--   {v!r}")
+        for trig in self.triggers.values():
+            lines.append(repr(trig))
+        return "\n".join(lines)
+
+    def view_count(self) -> int:
+        return len(self.views)
+
+    def statement_count(self) -> int:
+        return sum(len(t.statements) for t in self.triggers.values())

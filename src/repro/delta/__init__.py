@@ -1,0 +1,35 @@
+"""Delta processing (paper Section 3).
+
+* :mod:`repro.delta.rules` — the delta derivation rules of Section 3.1.
+* :mod:`repro.delta.simplify` — polynomial normalization used to keep
+  derived deltas in sum-of-products form and eliminate zero terms.
+* :mod:`repro.delta.domain` — the domain-extraction algorithm (Fig. 1)
+  and the revised assignment delta rule of Section 3.2.2, plus the
+  incremental-vs-reevaluate decision of Section 3.2.3.
+"""
+
+from repro.delta.rules import derive_delta
+from repro.delta.simplify import (
+    flatten,
+    is_statically_zero,
+    simplify,
+    to_polynomial,
+)
+from repro.delta.domain import (
+    domain_binds_correlated_var,
+    extract_domain,
+    restrict_domain,
+    revised_assign_delta,
+)
+
+__all__ = [
+    "derive_delta",
+    "flatten",
+    "is_statically_zero",
+    "simplify",
+    "to_polynomial",
+    "domain_binds_correlated_var",
+    "extract_domain",
+    "restrict_domain",
+    "revised_assign_delta",
+]

@@ -1,0 +1,286 @@
+"""Domain extraction (paper Section 3.2.2, Figure 1).
+
+A *domain expression* binds a set of variables with the sole purpose of
+restricting downstream iteration; all its tuples have multiplicity 1.
+``extract_domain(ΔQ)`` computes, from a delta expression, the domain of
+output tuples that the update can possibly affect.  Prepending that
+domain to the recompute-twice delta of an assignment or Exists confines
+the work to affected tuples only — this is what makes queries with
+nested aggregates incrementally maintainable for batch updates.
+
+The algorithm (mirroring Fig. 1):
+
+* union      → intersect the operand domains (keep common factors; a
+  weaker domain is a *larger* one, so intersection stays correct for
+  both branches);
+* product    → union the operand domains (join their factor sets);
+* ``Sum``    → recurse, then restrict the domain schema to the group-by
+  columns, wrapping in ``Exists(Sum(...))`` when projection is needed;
+* ``Assign`` over a relational subquery → recurse into the subquery;
+* relation leaves → ``Exists(rel)`` when the relation has low
+  cardinality (update batches always do), else ``1``;
+* other leaves (comparisons, values, value assignments) → kept as
+  additional domain restrictions.
+
+After extraction the domain is *closed*: interpreted factors whose free
+variables are not bound by the relational factors are dropped, since a
+domain expression must be evaluable on its own.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    Assign,
+    Cmp,
+    Const,
+    DeltaRel,
+    Exists,
+    Expr,
+    Join,
+    Rel,
+    Sum,
+    Union,
+    ValueF,
+    is_expr,
+)
+from repro.query.schema import free_vars, has_relations, out_cols
+
+_ONE = Const(1)
+
+
+def _factors(dom: Expr) -> list[Expr]:
+    """A domain expression as a list of join factors (1 → no factors)."""
+    if dom == _ONE:
+        return []
+    if isinstance(dom, Join):
+        return list(dom.parts)
+    return [dom]
+
+
+def _of_factors(factors: list[Expr]) -> Expr:
+    if not factors:
+        return _ONE
+    if len(factors) == 1:
+        return factors[0]
+    return Join(tuple(factors))
+
+
+def _inter_domains(a: Expr, b: Expr) -> Expr:
+    """Common factors of two domains (see module docstring: weaker =
+    larger = safe for both union branches)."""
+    fb = _factors(b)
+    common = [f for f in _factors(a) if f in fb]
+    return _of_factors(common)
+
+
+def _union_domains(a: Expr, b: Expr) -> Expr:
+    """Merge two domains into one (dedup by structural equality)."""
+    out = _factors(a)
+    for f in _factors(b):
+        if f not in out:
+            out.append(f)
+    return _of_factors(out)
+
+
+def extract_domain(
+    e: Expr, low_cardinality: frozenset[str] | None = None
+) -> Expr:
+    """The domain-extraction algorithm of Fig. 1.
+
+    ``low_cardinality`` optionally names base relations assumed small
+    enough to serve as domain anchors; delta relations always qualify
+    (update batches are small relative to base tables).
+    """
+    dom = _extract(e, low_cardinality or frozenset())
+    return _close(dom)
+
+
+def _extract(e: Expr, low: frozenset[str]) -> Expr:
+    if isinstance(e, Union):
+        dom = _extract(e.parts[0], low)
+        for p in e.parts[1:]:
+            dom = _inter_domains(dom, _extract(p, low))
+        return dom
+    if isinstance(e, Join):
+        dom = _ONE
+        for p in e.parts:
+            dom = _union_domains(dom, _extract(p, low))
+        return dom
+    if isinstance(e, Sum):
+        dom_child = _extract(e.child, low)
+        if dom_child == _ONE:
+            return _ONE
+        # Equality correlation lifts domain bindings: (B == B2) with B2
+        # bound by the domain also restricts B (Section 3.2.3, "when the
+        # correlation involves equality predicates, extracting the
+        # domain of the inner query might restrict some of the
+        # correlated variables").
+        dom_child = _lift_equalities(dom_child)
+        dom_cols = set(out_cols(dom_child))
+        # The domain may usefully bind group-by columns *and* the
+        # aggregate's correlation variables (free vars reach the
+        # enclosing assignment's context).
+        wanted = set(e.group_by) | free_vars(e)
+        keep_set = dom_cols & wanted
+        if not keep_set:
+            # The extracted domain binds no useful column: it cannot
+            # restrict this aggregate's output.
+            return _ONE
+        if dom_cols == keep_set:
+            return dom_child
+        # Project the domain onto the useful columns it does bind,
+        # wrapping with Exists to preserve multiplicity-1 semantics.
+        keep = tuple(c for c in out_cols(dom_child) if c in keep_set)
+        return Exists(Sum(keep, dom_child))
+    if isinstance(e, Assign):
+        if is_expr(e.child) and has_relations(e.child):
+            return _extract(e.child, low)
+        return e  # value assignment: a legitimate domain restriction
+    if isinstance(e, Exists):
+        return _extract(e.child, low)
+    if isinstance(e, DeltaRel):
+        return Exists(e)  # update batches are always low-cardinality
+    if isinstance(e, Rel):
+        if e.name in low:
+            return Exists(e)
+        return _ONE
+    if isinstance(e, (Cmp, ValueF)):
+        return e
+    if isinstance(e, Const):
+        return _ONE
+    return _ONE
+
+
+def _lift_equalities(dom: Expr) -> Expr:
+    """Turn equality comparisons into bindings inside a domain.
+
+    A factor ``(x == y)`` where exactly one side is already bound by the
+    domain becomes the assignment ``(unbound := bound)``, which *binds*
+    the other column and thereby propagates the restriction to
+    equality-correlated variables.  Applied to fixpoint, so chained
+    equalities lift transitively.
+    """
+    factors = _factors(dom)
+    changed = True
+    while changed:
+        changed = False
+        bound: set[str] = set()
+        for f in factors:
+            bound |= set(out_cols(f))
+        for i, f in enumerate(factors):
+            if not isinstance(f, Cmp) or f.op != "==":
+                continue
+            from repro.query.ast import Col
+
+            lhs_col = f.lhs.name if isinstance(f.lhs, Col) else None
+            rhs_col = f.rhs.name if isinstance(f.rhs, Col) else None
+            if lhs_col and rhs_col:
+                if lhs_col in bound and rhs_col not in bound:
+                    factors[i] = Assign(rhs_col, Col(lhs_col))
+                    changed = True
+                elif rhs_col in bound and lhs_col not in bound:
+                    factors[i] = Assign(lhs_col, Col(rhs_col))
+                    changed = True
+    return _of_factors(factors)
+
+
+def _close(dom: Expr) -> Expr:
+    """Drop interpreted factors whose free variables are unbound.
+
+    A domain expression is evaluated standalone (prepended to a delta),
+    so every comparison/value factor must be satisfiable from columns
+    bound by the relational domain factors to its left.
+    """
+    factors = _factors(dom)
+    relational = [f for f in factors if has_relations(f)]
+    interpreted = [f for f in factors if not has_relations(f)]
+    bound: set[str] = set()
+    for f in relational:
+        bound |= set(out_cols(f))
+    closed = list(relational)
+    for f in interpreted:
+        if free_vars(f) <= bound:
+            closed.append(f)
+            bound |= set(out_cols(f))
+    return _of_factors(closed)
+
+
+def restrict_domain(dom: Expr, cols: tuple[str, ...]) -> Expr:
+    """Project a domain onto (its intersection with) ``cols``.
+
+    Used before prepending a domain to a delta whose output schema must
+    not grow: extra domain columns are summed away under an Exists.
+    Returns ``Const(1)`` when nothing remains.
+    """
+    if dom == _ONE:
+        return _ONE
+    dom_cols = out_cols(dom)
+    keep = tuple(c for c in dom_cols if c in cols)
+    if not keep:
+        return _ONE
+    if keep == dom_cols:
+        if isinstance(dom, Exists):
+            return dom
+        return Exists(Sum(keep, dom))
+    return Exists(Sum(keep, dom))
+
+
+def revised_assign_delta(e: Assign, delta_child: Expr) -> Expr:
+    """The revised delta rule for assignments (Section 3.2.2)::
+
+        Δ(var := Q) = Q_dom ⋈ ((var := Q+ΔQ) − (var := Q))
+
+    ``delta_child`` is ``ΔQ``.  The domain is restricted to ``Q``'s
+    output columns plus its correlation (free) variables: binding a
+    correlated variable is precisely what lets the enclosing query
+    iterate over only the affected outer tuples.
+    """
+    dom = extract_domain(delta_child)
+    dom = restrict_domain(
+        dom, out_cols(e.child) + tuple(sorted(free_vars(e.child)))
+    )
+    new = Assign(e.var, _plus(e.child, delta_child))
+    old = Assign(e.var, e.child)
+    diff = Union((new, Join((Const(-1), old))))
+    if dom == _ONE:
+        return diff
+    return Join((dom, diff))
+
+
+def revised_exists_delta(e: Exists, delta_child: Expr) -> Expr:
+    """Domain-restricted delta for ``Exists`` (Example 3.2)."""
+    dom = extract_domain(delta_child)
+    dom = restrict_domain(dom, out_cols(e.child))
+    new = Exists(_plus(e.child, delta_child))
+    old = Exists(e.child)
+    diff = Union((new, Join((Const(-1), old))))
+    if dom == _ONE:
+        return diff
+    return Join((dom, diff))
+
+
+def domain_binds_correlated_var(dom: Expr, nested: Expr) -> bool:
+    """The incremental-vs-reevaluate decision of Section 3.2.3.
+
+    A nested aggregate is maintained incrementally when the extracted
+    domain binds at least one of its correlation variables (its free
+    variables) — or, for uncorrelated-but-grouped aggregates such as
+    DISTINCT (Example 3.2), at least one output column.
+    """
+    if dom == _ONE:
+        return False
+    dom_cols = set(out_cols(dom))
+    correlated = free_vars(nested)
+    if correlated:
+        return bool(dom_cols & correlated)
+    return bool(dom_cols & set(out_cols(nested)))
+
+
+def _plus(a: Expr, b: Expr) -> Expr:
+    parts: list[Expr] = []
+    for x in (a, b):
+        if isinstance(x, Union):
+            parts.extend(x.parts)
+        else:
+            parts.append(x)
+    return Union(tuple(parts))

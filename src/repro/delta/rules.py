@@ -1,0 +1,146 @@
+"""The delta derivation rules of Section 3.1.
+
+For a batch update ``ΔR`` to relation ``R``::
+
+    Δ(R)            = ΔR                      (the update batch itself)
+    Δ(Q1 + Q2)      = ΔQ1 + ΔQ2
+    Δ(Q1 ⋈ Q2)      = ΔQ1⋈Q2 + Q1⋈ΔQ2 + ΔQ1⋈ΔQ2
+    Δ(Sum[A..](Q))  = Sum[A..](ΔQ)
+    Δ(var := Q)     = (var := Q+ΔQ) − (var := Q)
+    Δ(anything else)= 0
+
+``Exists`` follows the assignment pattern:
+``Δ(Exists(Q)) = Exists(Q+ΔQ) − Exists(Q)``.
+
+The n-ary join rule generalizes the binary one: with the factors whose
+delta is non-zero indexed by ``D``, the delta is the sum over non-empty
+subsets ``S ⊆ D`` of products taking ``ΔQi`` for ``i ∈ S`` and ``Qi``
+otherwise — i.e. the expansion of ``∏(Qi+ΔQi) − ∏Qi``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.query.ast import (
+    Assign,
+    Const,
+    Exists,
+    Expr,
+    Join,
+    Rel,
+    Sum,
+    Union,
+    is_expr,
+)
+from repro.query.ast import DeltaRel
+from repro.delta.simplify import is_statically_zero, simplify
+
+_ZERO = Const(0)
+
+
+def derive_delta(
+    e: Expr,
+    rel_name: str,
+    simplify_result: bool = True,
+    use_domain: bool = False,
+) -> Expr:
+    """Derive ``Δ_rel_name(e)``: the change of ``e`` for a batch update
+    to base relation ``rel_name``.
+
+    The update batch is referenced in the result as
+    ``DeltaRel(rel_name, cols)``; it may contain both insertions
+    (positive multiplicities) and deletions (negative multiplicities).
+
+    With ``use_domain=True``, assignment and Exists deltas are produced
+    in the revised, domain-restricted form of Section 3.2.2 instead of
+    the plain recompute-twice form.
+    """
+    d = _delta(e, rel_name, use_domain)
+    if simplify_result:
+        d = simplify(d)
+    return d
+
+
+def _delta(e: Expr, r: str, use_domain: bool = False) -> Expr:
+    if isinstance(e, Rel):
+        if e.name == r:
+            return DeltaRel(e.name, e.cols)
+        return _ZERO
+    if isinstance(e, Union):
+        parts = [_delta(p, r, use_domain) for p in e.parts]
+        parts = [p for p in parts if not is_statically_zero(p)]
+        if not parts:
+            return _ZERO
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+    if isinstance(e, Join):
+        return _delta_join(e, r, use_domain)
+    if isinstance(e, Sum):
+        d = _delta(e.child, r, use_domain)
+        if is_statically_zero(d):
+            return _ZERO
+        return Sum(e.group_by, d)
+    if isinstance(e, Assign):
+        if not is_expr(e.child):
+            return _ZERO  # assignment over a value term is constant
+        d = _delta(e.child, r, use_domain)
+        if is_statically_zero(d):
+            return _ZERO
+        if use_domain:
+            from repro.delta.domain import revised_assign_delta
+
+            return revised_assign_delta(e, d)
+        new = Assign(e.var, _plus(e.child, d))
+        old = Assign(e.var, e.child)
+        return Union((new, Join((Const(-1), old))))
+    if isinstance(e, Exists):
+        d = _delta(e.child, r, use_domain)
+        if is_statically_zero(d):
+            return _ZERO
+        if use_domain:
+            from repro.delta.domain import revised_exists_delta
+
+            return revised_exists_delta(e, d)
+        new = Exists(_plus(e.child, d))
+        old = Exists(e.child)
+        return Union((new, Join((Const(-1), old))))
+    # Constants, values, comparisons, delta relations: no change.
+    return _ZERO
+
+
+def _plus(a: Expr, b: Expr) -> Expr:
+    if is_statically_zero(a):
+        return b
+    if is_statically_zero(b):
+        return a
+    parts: list[Expr] = []
+    for x in (a, b):
+        if isinstance(x, Union):
+            parts.extend(x.parts)
+        else:
+            parts.append(x)
+    return Union(tuple(parts))
+
+
+def _delta_join(e: Join, r: str, use_domain: bool = False) -> Expr:
+    parts = e.parts
+    deltas = [_delta(p, r, use_domain) for p in parts]
+    delta_positions = [
+        i for i, d in enumerate(deltas) if not is_statically_zero(d)
+    ]
+    if not delta_positions:
+        return _ZERO
+    terms: list[Expr] = []
+    for k in range(1, len(delta_positions) + 1):
+        for subset in combinations(delta_positions, k):
+            chosen = set(subset)
+            factors = tuple(
+                deltas[i] if i in chosen else parts[i]
+                for i in range(len(parts))
+            )
+            terms.append(Join(factors) if len(factors) > 1 else factors[0])
+    if len(terms) == 1:
+        return terms[0]
+    return Union(tuple(terms))

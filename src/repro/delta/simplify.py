@@ -1,0 +1,312 @@
+"""Polynomial normalization and simplification of algebra expressions.
+
+Derived deltas come out of the rules as deeply nested sums of products.
+This module normalizes them: joins and unions are flattened, unions are
+distributed out of joins, constants are folded, statically-zero terms
+are dropped, and delta relations are hoisted to the front of joins
+(deltas are the small operands — evaluating them first is the paper's
+hash-join ordering heuristic, Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    Assign,
+    Cmp,
+    Const,
+    DeltaRel,
+    Exists,
+    Expr,
+    Join,
+    Rel,
+    Sum,
+    Union,
+    ValueF,
+    is_expr,
+)
+from repro.query.schema import free_vars, out_cols
+
+
+def is_statically_zero(e: Expr) -> bool:
+    """Conservative zero test: True only when ``e`` is provably empty.
+
+    Note that ``Assign`` over a query is *never* statically zero: in
+    scalar context ``(var := 0)`` emits the tuple ``(var=0)`` with
+    multiplicity 1 (SQL COUNT semantics).
+    """
+    if isinstance(e, Const):
+        return e.value == 0
+    if isinstance(e, Join):
+        return any(is_statically_zero(p) for p in e.parts)
+    if isinstance(e, Union):
+        return all(is_statically_zero(p) for p in e.parts)
+    if isinstance(e, Sum):
+        return is_statically_zero(e.child)
+    if isinstance(e, Exists):
+        return is_statically_zero(e.child)
+    return False
+
+
+def flatten(e: Expr) -> Expr:
+    """Flatten nested joins and unions (one level of each node kind)."""
+    if isinstance(e, Join):
+        parts: list[Expr] = []
+        for p in e.parts:
+            p = flatten(p)
+            if isinstance(p, Join):
+                parts.extend(p.parts)
+            else:
+                parts.append(p)
+        if len(parts) == 1:
+            return parts[0]
+        return Join(tuple(parts))
+    if isinstance(e, Union):
+        parts = []
+        for p in e.parts:
+            p = flatten(p)
+            if isinstance(p, Union):
+                parts.extend(p.parts)
+            else:
+                parts.append(p)
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+    if isinstance(e, Sum):
+        return Sum(e.group_by, flatten(e.child))
+    if isinstance(e, Exists):
+        return Exists(flatten(e.child))
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, flatten(e.child))
+    return e
+
+
+def _distribute(e: Expr) -> Expr:
+    """Distribute unions out of joins: ``A*(B+C) -> A*B + A*C``.
+
+    Join order is preserved within each distributed term, keeping the
+    left-to-right information flow intact.
+    """
+    if isinstance(e, Join):
+        parts = [_distribute(p) for p in e.parts]
+        terms: list[list[Expr]] = [[]]
+        for p in parts:
+            if isinstance(p, Union):
+                terms = [t + [up] for t in terms for up in p.parts]
+            elif isinstance(p, Join):
+                terms = [t + list(p.parts) for t in terms]
+            else:
+                terms = [t + [p] for t in terms]
+        built = [
+            t[0] if len(t) == 1 else Join(tuple(t)) for t in terms
+        ]
+        if len(built) == 1:
+            return built[0]
+        return Union(tuple(built))
+    if isinstance(e, Union):
+        parts = []
+        for p in e.parts:
+            p = _distribute(p)
+            if isinstance(p, Union):
+                parts.extend(p.parts)
+            else:
+                parts.append(p)
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+    if isinstance(e, Sum):
+        child = _distribute(e.child)
+        if isinstance(child, Union):
+            # Sum is linear: push it through the union.
+            return Union(tuple(Sum(e.group_by, p) for p in child.parts))
+        return Sum(e.group_by, child)
+    if isinstance(e, Exists):
+        return Exists(_distribute(e.child))
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, _distribute(e.child))
+    return e
+
+
+def _fold_join_constants(e: Expr) -> Expr:
+    """Multiply out constant factors inside a join; drop unit constants."""
+    if isinstance(e, Join):
+        parts = [_fold_join_constants(p) for p in e.parts]
+        const_val = 1
+        rest: list[Expr] = []
+        for p in parts:
+            if isinstance(p, Const):
+                const_val *= p.value
+            else:
+                rest.append(p)
+        if const_val == 0:
+            return Const(0)
+        if const_val != 1:
+            rest.insert(0, Const(const_val))
+        if not rest:
+            return Const(const_val)
+        if len(rest) == 1:
+            return rest[0]
+        return Join(tuple(rest))
+    if isinstance(e, Union):
+        return Union(tuple(_fold_join_constants(p) for p in e.parts))
+    if isinstance(e, Sum):
+        return Sum(e.group_by, _fold_join_constants(e.child))
+    if isinstance(e, Exists):
+        return Exists(_fold_join_constants(e.child))
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, _fold_join_constants(e.child))
+    return e
+
+
+def _drop_zero_terms(e: Expr) -> Expr:
+    """Remove statically-zero terms from unions / collapse zero joins."""
+    if isinstance(e, Union):
+        parts = [_drop_zero_terms(p) for p in e.parts]
+        parts = [p for p in parts if not is_statically_zero(p)]
+        if not parts:
+            return Const(0)
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+    if isinstance(e, Join):
+        parts = [_drop_zero_terms(p) for p in e.parts]
+        if any(is_statically_zero(p) for p in parts):
+            return Const(0)
+        if len(parts) == 1:
+            return parts[0]
+        return Join(tuple(parts))
+    if isinstance(e, Sum):
+        child = _drop_zero_terms(e.child)
+        if is_statically_zero(child):
+            return Const(0)
+        return Sum(e.group_by, child)
+    if isinstance(e, Exists):
+        child = _drop_zero_terms(e.child)
+        if is_statically_zero(child):
+            return Const(0)
+        return Exists(child)
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, _drop_zero_terms(e.child))
+    return e
+
+
+def _collapse_nested_sums(e: Expr) -> Expr:
+    """``Sum[g](Sum[h](e)) -> Sum[g](e)`` when ``g ⊆ h``, and
+    ``Sum[g](e) -> e`` when ``e`` is already keyed exactly by ``g``."""
+    if isinstance(e, Sum):
+        child = _collapse_nested_sums(e.child)
+        if isinstance(child, Sum) and set(e.group_by) <= set(child.group_by):
+            return Sum(e.group_by, child.child)
+        if isinstance(child, (Rel, DeltaRel)) and child.cols == e.group_by:
+            return child  # projection onto the exact key is the identity
+        return Sum(e.group_by, child)
+    if isinstance(e, Union):
+        return Union(tuple(_collapse_nested_sums(p) for p in e.parts))
+    if isinstance(e, Join):
+        return Join(tuple(_collapse_nested_sums(p) for p in e.parts))
+    if isinstance(e, Exists):
+        return Exists(_collapse_nested_sums(e.child))
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, _collapse_nested_sums(e.child))
+    return e
+
+
+def _is_delta_domain(e: Expr) -> bool:
+    """True for self-contained delta-only factors — domain expressions.
+
+    A domain expression (Section 3.2.2) references only delta relations
+    and has no free variables, so it commutes to the front of a join:
+    evaluated first, it *binds* its output columns and restricts the
+    iteration domain of every later factor (the whole point of domain
+    extraction — without this hoist, a preceding view scan would drive
+    the iteration and the domain would merely filter).
+    """
+    from repro.query.schema import base_relations, delta_relations
+
+    return (
+        not isinstance(e, DeltaRel)
+        and bool(delta_relations(e))
+        and not base_relations(e)
+        and not free_vars(e)
+    )
+
+
+def _hoist_deltas(e: Expr) -> Expr:
+    """Move delta-relation factors to the front of joins.
+
+    Deltas are the small operands; evaluating them first minimizes hash
+    lookups (the term-commuting discussion of Section 3.2.1).  Delta
+    relations (and closed delta-only domain expressions) have no free
+    variables, so hoisting them never breaks the left-to-right binding
+    discipline of the remaining factors.
+    """
+    if isinstance(e, Join):
+        parts = [_hoist_deltas(p) for p in e.parts]
+        front = [p for p in parts if isinstance(p, DeltaRel)]
+        domains = [p for p in parts if _is_delta_domain(p)]
+        back = [
+            p
+            for p in parts
+            if not isinstance(p, DeltaRel) and not _is_delta_domain(p)
+        ]
+        ordered = front + domains + back
+        if len(ordered) == 1:
+            return ordered[0]
+        return Join(tuple(ordered))
+    if isinstance(e, Union):
+        return Union(tuple(_hoist_deltas(p) for p in e.parts))
+    if isinstance(e, Sum):
+        return Sum(e.group_by, _hoist_deltas(e.child))
+    if isinstance(e, Exists):
+        return Exists(_hoist_deltas(e.child))
+    if isinstance(e, Assign) and is_expr(e.child):
+        return Assign(e.var, _hoist_deltas(e.child))
+    return e
+
+
+def simplify(e: Expr, hoist: bool = True) -> Expr:
+    """Normalize to simplified sum-of-products form (fixpoint)."""
+    prev = None
+    current = e
+    for _ in range(20):  # fixpoint with a safety bound
+        if current == prev:
+            break
+        prev = current
+        current = flatten(current)
+        current = _distribute(current)
+        current = _fold_join_constants(current)
+        current = _drop_zero_terms(current)
+        current = _collapse_nested_sums(current)
+    if hoist:
+        current = _hoist_deltas(current)
+    return current
+
+
+def to_polynomial(e: Expr) -> list[list[Expr]]:
+    """Decompose a simplified expression into sum-of-products form.
+
+    Returns a list of terms; each term is the ordered list of join
+    factors.  ``Const(0)`` decomposes to no terms.
+    """
+    e = simplify(e)
+    if is_statically_zero(e):
+        return []
+    terms = e.parts if isinstance(e, Union) else (e,)
+    out: list[list[Expr]] = []
+    for t in terms:
+        if isinstance(t, Join):
+            out.append(list(t.parts))
+        else:
+            out.append([t])
+    return out
+
+
+def from_polynomial(terms: list[list[Expr]]) -> Expr:
+    """Inverse of :func:`to_polynomial`."""
+    if not terms:
+        return Const(0)
+    built = [
+        t[0] if len(t) == 1 else Join(tuple(t)) for t in terms
+    ]
+    if len(built) == 1:
+        return built[0]
+    return Union(tuple(built))

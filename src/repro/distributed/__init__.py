@@ -1,0 +1,62 @@
+"""Distributed view maintenance (paper Section 4).
+
+The pipeline mirrors Figure 2: a local trigger program is *annotated*
+with location tags given partitioning information, *optimized* (push
+and simplification rules of Figs. 3–4, single transformer form,
+location-aware CSE/DCE), grouped into statement *blocks* fused by the
+Appendix C.3 algorithm, *planned* into jobs and stages, and finally
+executed on a simulated synchronous cluster.
+"""
+
+from repro.distributed.tags import Dist, Local, Random, Replicated, Tag
+from repro.distributed.program import DistributedProgram, DistStatement
+from repro.distributed.annotate import annotate_program, default_partitioning
+from repro.distributed.optimize import optimize_program
+from repro.distributed.blocks import Block, fuse_blocks, build_blocks
+from repro.distributed.planner import plan_jobs, JobPlan
+from repro.distributed.cluster import ClusterMetrics, CostModel, SimulatedCluster
+from repro.distributed.checkpoint import (
+    CheckpointPolicy,
+    FailureInjector,
+    FaultTolerantCluster,
+    RecoveryEvent,
+)
+from repro.distributed.compile import compile_distributed
+from repro.distributed.partitioning import (
+    PartitioningAdvisor,
+    PartitioningCandidate,
+    PartitioningCost,
+    candidate_partitionings,
+    estimate_partitioning_cost,
+)
+
+__all__ = [
+    "Dist",
+    "Local",
+    "Random",
+    "Replicated",
+    "Tag",
+    "DistributedProgram",
+    "DistStatement",
+    "annotate_program",
+    "default_partitioning",
+    "optimize_program",
+    "Block",
+    "build_blocks",
+    "fuse_blocks",
+    "plan_jobs",
+    "JobPlan",
+    "ClusterMetrics",
+    "CostModel",
+    "SimulatedCluster",
+    "CheckpointPolicy",
+    "FailureInjector",
+    "FaultTolerantCluster",
+    "RecoveryEvent",
+    "compile_distributed",
+    "PartitioningAdvisor",
+    "PartitioningCandidate",
+    "PartitioningCost",
+    "candidate_partitionings",
+    "estimate_partitioning_cost",
+]

@@ -1,0 +1,625 @@
+"""The well-formedness annotator (paper Section 4.2).
+
+Given partitioning information for every materialized view, the
+annotator walks each statement's expression bottom-up, assigns location
+tags, and inserts ``Repart`` / ``Scatter`` / ``Gather`` transformers
+wherever an operator's operands are placed incompatibly — joins need
+co-partitioning on shared keys, unions need a common location, and the
+statement's RHS must end up where its target view lives.  The result is
+*well-formed* but deliberately unoptimized (Example 4.1); the optimizer
+then minimizes communication rounds.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Statement, TriggerProgram
+from repro.distributed.program import DistStatement, DistTrigger, DistributedProgram
+from repro.distributed.tags import (
+    ANY,
+    Dist,
+    LOCAL,
+    RANDOM,
+    REPLICATED,
+    Local,
+    Random,
+    Replicated,
+    Tag,
+    is_distributed,
+)
+from repro.query.ast import (
+    Assign,
+    DeltaRel,
+    Exists,
+    Expr,
+    Gather,
+    Join,
+    Rel,
+    Repart,
+    Scatter,
+    Sum,
+    Union,
+    is_expr,
+)
+from repro.query.schema import free_vars, out_cols, substitute
+
+
+def default_partitioning(
+    program: TriggerProgram,
+    key_hints: dict[str, tuple[str, ...]] | None = None,
+) -> dict[str, Tag]:
+    """The paper's partitioning heuristic (Section 6.2).
+
+    Views are partitioned on the primary key of a base table appearing
+    in their schema; with several candidates, the one with the highest
+    (assumed) cardinality wins — ``key_hints`` lists candidate key
+    columns per relation in decreasing cardinality order.  Views whose
+    schema contains no such key are small top-level aggregates and stay
+    on the driver.
+    """
+    hints = key_hints or {}
+    ranked: list[str] = []
+    for cols in hints.values():
+        for c in cols:
+            if c not in ranked:
+                ranked.append(c)
+    spec: dict[str, Tag] = {}
+    for info in program.views.values():
+        chosen = None
+        for key in ranked:
+            match = _matching_key_column(key, info.cols)
+            if match is not None:
+                chosen = match
+                break
+        if chosen is None:
+            spec[info.name] = LOCAL
+        else:
+            spec[info.name] = Dist((chosen,))
+    return spec
+
+
+def _matching_key_column(key: str, cols: tuple[str, ...]) -> str | None:
+    """Find the view column carrying hint ``key``.
+
+    Self-joins rename key columns by appending a numeric suffix
+    (``pkey`` -> ``pkey2``); such a renamed occurrence is still the
+    same base-table primary key, so the heuristic partitions on it.
+    """
+    if key in cols:
+        return key
+    for c in cols:
+        if c.startswith(key) and c[len(key):].isdigit():
+            return c
+    return None
+
+
+def annotate_program(
+    program: TriggerProgram,
+    partitioning: dict[str, Tag],
+    delta_tag: Tag = LOCAL,
+) -> DistributedProgram:
+    """Annotate a local program into a well-formed distributed one.
+
+    ``delta_tag`` is where raw update batches arrive — ``Local`` on the
+    driver by default (Fig. 5's LOCAL DELTA statements); the cluster
+    can also model worker-side ingestion (Section 6.2's experiment
+    setup) at execution time.
+    """
+    triggers: dict[str, DistTrigger] = {}
+    partitioning = dict(partitioning)
+    for rel_name, trig in program.triggers.items():
+        dtrig = DistTrigger(trig.relation, trig.rel_cols)
+        # Batch-scoped temporaries (pre-aggregations) live where their
+        # statement computes them; their tags are registered in the
+        # shared partitioning map (names are trigger-unique).
+        batch_tags: dict[str, Tag] = {}
+        for stmt in trig.statements:
+            ann = _Annotator(partitioning, batch_tags, delta_tag)
+            expr, tag = ann.annotate(stmt.expr)
+            if stmt.scope == "batch":
+                # The temporary adopts the location its RHS naturally
+                # produces — Random is acceptable here (per-worker
+                # partial pre-aggregates); gathering a pre-aggregate to
+                # the driver only to re-scatter it would be pure waste.
+                target_tag = tag if tag is not ANY else LOCAL
+                batch_tags[stmt.target] = target_tag
+                partitioning[stmt.target] = target_tag
+            else:
+                target_tag = partitioning.get(stmt.target, LOCAL)
+                expr = _coerce(expr, tag, target_tag)
+            dtrig.statements.append(
+                DistStatement(
+                    stmt.target,
+                    stmt.op,
+                    stmt.target_cols,
+                    expr,
+                    stmt.scope,
+                    target_tag,
+                    "dist",  # recomputed by statement_mode below
+                )
+            )
+        triggers[rel_name] = dtrig
+    dprog = DistributedProgram(
+        program, partitioning, triggers, delta_tag=delta_tag
+    )
+    for dtrig in triggers.values():
+        for stmt in dtrig.statements:
+            stmt.mode = statement_mode(stmt, partitioning)
+    return dprog
+
+
+def statement_mode(stmt: DistStatement, partitioning: dict[str, Tag]) -> str:
+    """Execution mode (Section 4.3.2).
+
+    Location transformers are always initiated by the driver, so
+    transformer-rooted statements are local.  A computation statement
+    is distributed exactly when its target or any referenced view lives
+    on the workers; otherwise the driver runs it alone.
+    """
+    if isinstance(stmt.expr, (Repart, Scatter, Gather)):
+        return "local"
+    if is_distributed(stmt.target_tag):
+        return "dist"
+    refs: set[str] = set()
+    _collect_ref_names(stmt.expr, refs)
+    for name in refs:
+        if is_distributed(partitioning.get(name, LOCAL)):
+            return "dist"
+    return "local"
+
+
+def _collect_ref_names(e: Expr, acc: set[str]) -> None:
+    if isinstance(e, (Rel, DeltaRel)):
+        acc.add(e.name)
+    from repro.query.ast import children
+
+    for c in children(e):
+        _collect_ref_names(c, acc)
+
+
+def _collect_refs_with_positions(e: Expr) -> list[tuple[str, str, Expr]]:
+    """Every Rel/DeltaRel node in the expression (deduplicated)."""
+    out: list[tuple[str, str, Expr]] = []
+    seen: set[Expr] = set()
+
+    def visit(x: Expr) -> None:
+        if isinstance(x, Rel):
+            if x not in seen:
+                seen.add(x)
+                out.append(("rel", x.name, x))
+            return
+        if isinstance(x, DeltaRel):
+            if x not in seen:
+                seen.add(x)
+                out.append(("delta", x.name, x))
+            return
+        from repro.query.ast import children
+
+        for c in children(x):
+            visit(c)
+
+    visit(e)
+    return out
+
+
+def _equality_renames(e: Expr) -> dict[str, str]:
+    """Column identifications a nested expression establishes.
+
+    ``(B == B2)`` comparisons and ``(B := B2)`` value assignments tie
+    an inner column to a correlation variable; the map sends each side
+    to the other so partition keys can be translated outward.
+    """
+    from repro.query.ast import Cmp, Col, children
+
+    out: dict[str, str] = {}
+
+    def visit(x: Expr) -> None:
+        if isinstance(x, Cmp) and x.op == "==":
+            if isinstance(x.lhs, Col) and isinstance(x.rhs, Col):
+                out[x.lhs.name] = x.rhs.name
+                out[x.rhs.name] = x.lhs.name
+        if isinstance(x, Assign) and isinstance(x.child, Col):
+            out[x.child.name] = x.var
+            out[x.var] = x.child.name
+        for c in children(x):
+            visit(c)
+
+    visit(e)
+    return out
+
+
+class _Annotator:
+    """Bottom-up tagging of one statement expression."""
+
+    def __init__(
+        self,
+        partitioning: dict[str, Tag],
+        batch_tags: dict[str, Tag],
+        delta_tag: Tag,
+    ):
+        self.partitioning = partitioning
+        self.batch_tags = batch_tags
+        self.delta_tag = delta_tag
+
+    # ------------------------------------------------------------------
+    def annotate(self, e: Expr) -> tuple[Expr, Tag]:
+        if isinstance(e, Rel):
+            return e, self.partitioning.get(e.name, LOCAL)
+        if isinstance(e, DeltaRel):
+            return e, self.batch_tags.get(e.name, self.delta_tag)
+        if isinstance(e, Join):
+            return self._annotate_join(e)
+        if isinstance(e, Union):
+            return self._annotate_union(e)
+        if isinstance(e, Sum):
+            child, tag = self.annotate(e.child)
+            new = Sum(e.group_by, child)
+            if isinstance(tag, Dist):
+                # Partial aggregates keep their partitioning only when
+                # the partition key survives the projection.
+                if set(tag.keys) <= set(e.group_by):
+                    return new, tag
+                return new, RANDOM
+            return new, tag
+        if isinstance(e, Exists):
+            return self._annotate_nested(e)
+        if isinstance(e, Assign) and is_expr(e.child):
+            return self._annotate_nested(e)
+        # Interpreted terms are location independent.
+        return e, ANY
+
+    # ------------------------------------------------------------------
+    def _annotate_nested(self, e: Expr) -> tuple[Expr, Tag]:
+        """Place a nested aggregate or domain expression (Q17's plan).
+
+        Correlated subexpressions must evaluate *whole* wherever the
+        outer tuple lives — transformers can never split them.  Inner
+        views partitioned on a column that the child's equality
+        predicates tie to a correlation variable stay in place (the
+        nested lookup is then worker-local); every other inner
+        reference is replicated, which is always correct and cheap for
+        the delta-derived operands it applies to in practice.
+        """
+        child = e.child
+        refs = _collect_refs_with_positions(child)
+        tags = {
+            name: self._ref_tag(kind, name)
+            for kind, name, _ in refs
+        }
+        if not refs:
+            return e, ANY
+        if all(isinstance(t, Local) for t in tags.values()):
+            return e, LOCAL
+
+        iface = set(free_vars(e)) | set(out_cols(e))
+        rename = _equality_renames(child)
+
+        def translate(keys: tuple[str, ...]) -> tuple[str, ...] | None:
+            out = []
+            for k in keys:
+                if k in iface:
+                    out.append(k)
+                elif k in rename and rename[k] in iface:
+                    out.append(rename[k])
+                else:
+                    return None
+            return tuple(out)
+
+        pivot_keys: tuple[str, ...] | None = None
+        for _, name, _ in refs:
+            tag = tags[name]
+            if isinstance(tag, Dist):
+                t = translate(tag.keys)
+                if t is not None:
+                    pivot_keys = t
+                    break
+
+        # Reverse rename (outer -> inner) lets a reference be
+        # repartitioned onto the pivot expressed in its *own* column
+        # naming.  Co-partitioning is required for correctness whenever
+        # the nested expression drives emission (domain expressions,
+        # Exists deltas): a replicated operand would make every worker
+        # emit tuples for keys it does not own, and the partitioned
+        # ``+=`` target would then count them once per worker.
+        reverse = {v: k for k, v in rename.items()}
+
+        def keys_in_node(node) -> tuple[str, ...] | None:
+            if pivot_keys is None:
+                return None
+            cols = set(node.cols)
+            out = []
+            for k in pivot_keys:
+                if k in cols:
+                    out.append(k)
+                elif reverse.get(k) in cols:
+                    out.append(reverse[k])
+                else:
+                    return None
+            return tuple(out)
+
+        replacements: dict[Expr, Expr] = {}
+        any_distributed = False
+        for kind, name, node in refs:
+            tag = tags[name]
+            local_keys = keys_in_node(node)
+            if isinstance(tag, Dist):
+                any_distributed = True
+                if (
+                    pivot_keys is not None
+                    and translate(tag.keys) == pivot_keys
+                ):
+                    continue  # co-partitioned with the pivot: stays put
+                replacements[node] = Repart(node, local_keys or ())
+            elif isinstance(tag, Random):
+                any_distributed = True
+                replacements[node] = Repart(node, local_keys or ())
+            elif isinstance(tag, Local):
+                replacements[node] = Scatter(node, local_keys or ())
+            # Replicated and ANY references stay as they are.
+        new_child = substitute(child, replacements)
+        new_e = (
+            Exists(new_child)
+            if isinstance(e, Exists)
+            else Assign(e.var, new_child)
+        )
+        if pivot_keys is not None:
+            return new_e, Dist(pivot_keys)
+        if any_distributed or replacements:
+            return new_e, REPLICATED
+        return new_e, LOCAL
+
+    def _ref_tag(self, kind: str, name: str) -> Tag:
+        if kind == "rel":
+            return self.partitioning.get(name, LOCAL)
+        return self.batch_tags.get(name, self.delta_tag)
+
+    # ------------------------------------------------------------------
+    def _annotate_join(self, e: Join) -> tuple[Expr, Tag]:
+        parts: list[Expr] = []
+        acc_tag: Tag = ANY
+        acc_cols: set[str] = set()
+        for p in e.parts:
+            ap, tag = self.annotate(p)
+            # Key decisions below use *output* columns only: an operand
+            # can never be hash-partitioned on one of its free
+            # (correlation) variables — those are bound by earlier
+            # operands, not carried in its materialized contents.
+            p_out = set(out_cols(ap))
+            if (
+                isinstance(tag, Local)
+                and free_vars(ap)
+                and is_distributed(acc_tag)
+            ):
+                # A correlated subexpression cannot be moved standalone
+                # (its free variables have no values outside the outer
+                # tuple).  Replicate its interior references instead so
+                # it evaluates whole on every worker.
+                ap = self._replicate_interior(ap)
+                tag = REPLICATED
+            if not parts:
+                parts.append(ap)
+                acc_tag = tag
+                acc_cols = p_out
+                continue
+            new_left, new_right, new_tag = _combine_join(
+                _of_parts(parts), acc_tag, acc_cols, ap, tag, p_out,
+                replicate_interior=self._replicate_interior,
+            )
+            parts = (
+                list(new_left.parts)
+                if isinstance(new_left, Join)
+                else [new_left]
+            )
+            parts.append(new_right)
+            acc_tag = new_tag
+            acc_cols |= p_out
+        return _of_parts(parts), acc_tag
+
+    def _replicate_interior(self, e: Expr) -> Expr:
+        """Replicate every materialized reference inside ``e``."""
+        refs = _collect_refs_with_positions(e)
+        replacements: dict[Expr, Expr] = {}
+        for kind, name, node in refs:
+            tag = self._ref_tag(kind, name)
+            if isinstance(tag, Local):
+                replacements[node] = Scatter(node, ())
+            elif isinstance(tag, (Dist, Random)):
+                replacements[node] = Repart(node, ())
+        if not replacements:
+            return e
+        return substitute(e, replacements)
+
+    def _annotate_union(self, e: Union) -> tuple[Expr, Tag]:
+        annotated = [self.annotate(p) for p in e.parts]
+        tags = [t for _, t in annotated if t is not ANY]
+        if not tags:
+            return Union(tuple(p for p, _ in annotated)), ANY
+        # Bring every part to the first concrete tag.
+        target = tags[0]
+        if isinstance(target, Random):
+            target = LOCAL
+        parts = [
+            _coerce(p, t, target) for p, t in annotated
+        ]
+        return Union(tuple(parts)), target
+
+
+def _of_parts(parts: list[Expr]) -> Expr:
+    if len(parts) == 1:
+        return parts[0]
+    return Join(tuple(parts))
+
+
+# ----------------------------------------------------------------------
+# Tag combination for joins
+# ----------------------------------------------------------------------
+
+
+def _combine_join(
+    left: Expr,
+    lt: Tag,
+    lcols: set[str],
+    right: Expr,
+    rt: Tag,
+    rcols: set[str],
+    replicate_interior=None,
+) -> tuple[Expr, Expr, Tag]:
+    """Make two join operands location compatible.
+
+    Returns possibly-wrapped operands and the result tag.  The
+    well-formed constructor is cost-blind (Section 4.2): it fixes
+    incompatibilities with the most direct transformer and leaves cost
+    reduction to the optimizer.
+
+    A Dist-pinned *nested* operand (Assign/Exists whose interior reads
+    a partitioned view through a correlation) requires the driving side
+    to be co-partitioned on the pivot keys: a nested aggregate does not
+    gate emission (scalar context emits X = 0 too), so a worker
+    evaluating a foreign key against its own partition would produce a
+    wrong-but-nonzero contribution.  When co-partitioning is impossible
+    the nested interior is replicated via ``replicate_interior`` and
+    the whole join degrades to Replicated.
+    """
+    common = lcols & rcols
+    nested_right = isinstance(right, (Assign, Exists))
+
+    if rt is ANY:
+        return left, right, lt
+    if lt is ANY:
+        return left, right, rt
+
+    if isinstance(lt, Local) and isinstance(rt, Local):
+        return left, right, LOCAL
+
+    if isinstance(lt, Replicated) and isinstance(rt, Replicated):
+        return left, right, REPLICATED
+    if isinstance(lt, Replicated) and isinstance(rt, Dist):
+        if nested_right:
+            # A replicated driver would evaluate foreign keys against
+            # local partitions; replicate the nested interior instead.
+            return left, replicate_interior(right), REPLICATED
+        return left, right, rt
+    if isinstance(lt, Dist) and isinstance(rt, Replicated):
+        return left, right, lt
+
+    if isinstance(lt, Local) and is_distributed(rt):
+        # Ship the local operand to the workers.
+        if isinstance(rt, Dist) and set(rt.keys) <= lcols:
+            return Scatter(left, rt.keys), right, rt
+        if isinstance(rt, (Random,)):
+            right = Repart(right, _pick_keys(common, rcols))
+            rt = Dist(_pick_keys(common, rcols))
+            return _combine_join(
+                left, lt, lcols, right, rt, rcols, replicate_interior
+            )
+        if nested_right and isinstance(rt, Dist):
+            # Cannot co-partition the local driver on the pivot keys.
+            return (
+                Scatter(left, ()),
+                replicate_interior(right),
+                REPLICATED,
+            )
+        # Broadcast the local side (keys=() replicates).
+        return Scatter(left, ()), right, rt if isinstance(rt, Dist) else rt
+
+    if is_distributed(lt) and isinstance(rt, Local):
+        if isinstance(lt, Dist) and set(lt.keys) <= rcols:
+            return left, Scatter(right, lt.keys), lt
+        if isinstance(lt, Random):
+            keys = _pick_keys(common, lcols)
+            left = Repart(left, keys)
+            lt = Dist(keys)
+            return _combine_join(
+                left, lt, lcols, right, rt, rcols, replicate_interior
+            )
+        return left, Scatter(right, ()), lt
+
+    if isinstance(lt, Random):
+        # Repartition the random operand directly onto the other
+        # operand's keys when possible (Q17: "shuffles the result on
+        # partkey"), otherwise onto a shared column.
+        if isinstance(rt, Dist) and set(rt.keys) <= lcols:
+            keys = rt.keys
+        else:
+            keys = _pick_keys(common, lcols)
+        return _combine_join(
+            Repart(left, keys), Dist(keys), lcols, right, rt, rcols,
+            replicate_interior,
+        )
+    if isinstance(rt, Random):
+        if isinstance(lt, Dist) and set(lt.keys) <= rcols:
+            keys = lt.keys
+        else:
+            keys = _pick_keys(common, rcols)
+        return _combine_join(
+            left, lt, lcols, Repart(right, keys), Dist(keys), rcols,
+            replicate_interior,
+        )
+
+    assert isinstance(lt, Dist) and isinstance(rt, Dist)
+    if lt == rt:
+        return left, right, lt
+    if nested_right:
+        # The nested operand is pinned to its pivot partitioning; the
+        # driving side must be co-partitioned (it cannot be replicated:
+        # nested aggregates do not gate emission).
+        if set(rt.keys) <= lcols:
+            return Repart(left, rt.keys), right, rt
+        return (
+            Repart(left, ()),
+            replicate_interior(right),
+            REPLICATED,
+        )
+    # Incompatible partitionings.  Delta-derived operands are small, so
+    # replicating them beats reshuffling a whole materialized view (the
+    # paper's Q3 replicates pre-aggregated CUSTOMER deltas).
+    from repro.query.schema import delta_relations
+
+    left_is_delta = bool(delta_relations(left))
+    right_is_delta = bool(delta_relations(right))
+    if right_is_delta and not left_is_delta:
+        return left, Repart(right, ()), lt
+    if left_is_delta and not right_is_delta:
+        return Repart(left, ()), right, rt
+    # Repartition one operand (Example 4.1 wraps the left one; the
+    # optimizer may later flip the choice).
+    if set(rt.keys) <= lcols:
+        return Repart(left, rt.keys), right, rt
+    if set(lt.keys) <= rcols:
+        return left, Repart(right, lt.keys), lt
+    if common:
+        keys = _pick_keys(common, common)
+        return Repart(left, keys), Repart(right, keys), Dist(keys)
+    # Disjoint schemas (cartesian with a small side): replicate right.
+    return left, Repart(right, ()), lt
+
+
+def _pick_keys(common: set[str], fallback: set[str]) -> tuple[str, ...]:
+    pool = common or fallback
+    return (sorted(pool)[0],) if pool else ()
+
+
+# ----------------------------------------------------------------------
+# Root coercion
+# ----------------------------------------------------------------------
+
+
+def _coerce(expr: Expr, tag: Tag, target: Tag) -> Expr:
+    """Wrap ``expr`` so its result lands where ``target`` requires."""
+    if tag is ANY or tag == target:
+        return expr
+    if isinstance(target, Local):
+        if is_distributed(tag):
+            return Gather(expr)
+        return expr
+    if isinstance(target, Dist):
+        if isinstance(tag, Local):
+            return Scatter(expr, target.keys)
+        if isinstance(tag, (Random, Replicated)):
+            return Repart(expr, target.keys)
+        if isinstance(tag, Dist):
+            return Repart(expr, target.keys)
+    if isinstance(target, Replicated):
+        if isinstance(tag, Local):
+            return Scatter(expr, ())
+        return Repart(expr, ())
+    raise ValueError(f"cannot coerce {tag!r} to {target!r}")

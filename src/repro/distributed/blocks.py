@@ -1,0 +1,113 @@
+"""Statement blocks and the block fusion algorithm (paper §4.3.2, App. C.3).
+
+Distributed statements are expensive to launch (closure serialization,
+shipping, per-worker completion waits), so consecutive distributed
+statements are packed into *blocks* executed as one unit; local blocks
+group the network operations the driver can batch together.  Data-flow
+dependencies constrain reordering: two statements commute when neither
+reads the other's written map; the fusion algorithm repeatedly merges
+the head block with every later same-mode block that commutes with all
+blocks in between (the exact recursion of Appendix C.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.program import DistStatement
+from repro.query.ast import DeltaRel, Expr, Rel, children
+
+
+@dataclass
+class Block:
+    """A sequence of same-mode statements executed as one unit."""
+
+    mode: str  # 'local' or 'dist'
+    statements: list[DistStatement] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        body = "; ".join(s.target for s in self.statements)
+        return f"Block({self.mode}: {body})"
+
+
+def _rhs_maps(stmt: DistStatement) -> set[str]:
+    acc: set[str] = set()
+
+    def visit(e: Expr) -> None:
+        if isinstance(e, (Rel, DeltaRel)):
+            acc.add(e.name)
+        for c in children(e):
+            visit(c)
+
+    visit(stmt.expr)
+    return acc
+
+
+def statements_commute(s1: DistStatement, s2: DistStatement) -> bool:
+    """The commutativity check of Appendix C.3, plus a write-write
+    hazard for replacement statements (``:=`` does not commute with
+    any other write to the same map; ``+=``s to the same map do)."""
+    if s1.lhs_map in _rhs_cache(s2) or s2.lhs_map in _rhs_cache(s1):
+        return False
+    if s1.lhs_map == s2.lhs_map and (s1.op == ":=" or s2.op == ":="):
+        return False
+    return True
+
+
+# DistStatement gets lightweight accessors used by the algorithm.
+def _lhs_map(self) -> str:
+    return self.target
+
+
+DistStatement.lhs_map = property(_lhs_map)
+
+
+def _rhs_cache(stmt: DistStatement) -> set[str]:
+    # Cached on the statement itself: id()-keyed global caches corrupt
+    # across object lifetimes, and statements are immutable once the
+    # block phase starts.
+    cached = getattr(stmt, "_rhs_maps_cache", None)
+    if cached is None:
+        cached = _rhs_maps(stmt)
+        stmt._rhs_maps_cache = cached
+    return cached
+
+
+def blocks_commute(b1: Block, b2: Block) -> bool:
+    return all(
+        statements_commute(lhs, rhs)
+        for lhs in b1.statements
+        for rhs in b2.statements
+    )
+
+
+def build_blocks(statements: list[DistStatement]) -> list[Block]:
+    """Promote each statement into its own block (the starting point of
+    the fusion algorithm)."""
+    return [Block(s.mode, [s]) for s in statements]
+
+
+def _merge_into_head(
+    head: Block, tail: list[Block]
+) -> tuple[Block, list[Block]]:
+    """Fold every later block that shares the head's mode and commutes
+    with all blocks left between them into the head (App. C.3
+    ``mergeIntoHead``)."""
+    rest: list[Block] = []
+    for b in tail:
+        if head.mode == b.mode and all(blocks_commute(r, b) for r in rest):
+            head = Block(head.mode, head.statements + b.statements)
+        else:
+            rest.append(b)
+    return head, rest
+
+
+def fuse_blocks(blocks: list[Block]) -> list[Block]:
+    """The recursive ``merge`` of Appendix C.3."""
+    if not blocks:
+        return []
+    head, tail = blocks[0], blocks[1:]
+    head2, tail2 = _merge_into_head(head, tail)
+    if len(head2.statements) == len(head.statements):
+        return [head] + fuse_blocks(tail)
+    return fuse_blocks([head2] + tail2)

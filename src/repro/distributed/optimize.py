@@ -1,0 +1,439 @@
+"""Distributed program optimization (paper Section 4.3).
+
+Intra-statement optimization minimizes communication rounds: the
+bidirectional push rules of Figure 3 move transformers through joins,
+unions, Sums, and assignments, while the simplification rules of
+Figure 4 cancel adjacent transformers.  The optimizer explores pushes
+by trial and error, always keeping the expression with the fewest
+transformers (ties broken by preferring to reshuffle delta-derived
+operands and by avoiding Gathers — Section 4.3.1's heuristics).
+
+Inter-statement optimization (Section 4.3.2) converts the program into
+*single transformer form* — every statement carries at most one
+transformer, applied to one materialized reference — then runs
+location-aware common subexpression and dead code elimination to drop
+redundant network transfers.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.program import DistStatement, DistTrigger, DistributedProgram
+from repro.distributed.tags import Dist, LOCAL, Tag, is_distributed
+from repro.query.ast import (
+    Assign,
+    DeltaRel,
+    Expr,
+    Gather,
+    Join,
+    Rel,
+    Repart,
+    Scatter,
+    Sum,
+    Union,
+    children,
+    is_expr,
+    rebuild,
+)
+from repro.query.schema import delta_relations, out_cols
+
+_TRANSFORMERS = (Repart, Scatter, Gather)
+
+
+# ----------------------------------------------------------------------
+# Cost metric and heuristics (Section 4.3.1)
+# ----------------------------------------------------------------------
+
+
+def transformer_count(e: Expr) -> int:
+    n = 1 if isinstance(e, _TRANSFORMERS) else 0
+    return n + sum(transformer_count(c) for c in children(e))
+
+
+def _gather_count(e: Expr) -> int:
+    n = 1 if isinstance(e, Gather) else 0
+    return n + sum(_gather_count(c) for c in children(e))
+
+
+def _shuffled_view_weight(e: Expr) -> int:
+    """Heuristic tie-breaker: count transformers applied to whole
+    materialized views (weight 1) vs. delta-derived operands (weight 0)
+    — deltas are small, so reshuffling them is preferred."""
+    w = 0
+    if isinstance(e, _TRANSFORMERS):
+        w += 0 if delta_relations(e.child if not isinstance(e, Gather) else e.child) else 1
+    return w + sum(_shuffled_view_weight(c) for c in children(e))
+
+
+def _cost(e: Expr) -> tuple[int, int, int]:
+    return (transformer_count(e), _gather_count(e), _shuffled_view_weight(e))
+
+
+# ----------------------------------------------------------------------
+# Figure 4: simplification rules
+# ----------------------------------------------------------------------
+
+
+def simplify_transformers(
+    e: Expr,
+    partitioning: dict[str, Tag],
+    raw_delta_names: frozenset[str] = frozenset(),
+    delta_tag: Tag | None = None,
+) -> Expr:
+    """Apply the Figure 4 rules bottom-up until fixpoint.
+
+    ``raw_delta_names``/``delta_tag`` resolve the tag of base-relation
+    delta references: ``ΔR`` lives in the delta namespace, so its
+    location is the ingestion tag, *not* ``partitioning[R]`` (which is
+    the materialized view R).
+    """
+    prev = None
+    while e != prev:
+        prev = e
+        e = _simplify_once(e, partitioning, raw_delta_names, delta_tag)
+    return e
+
+
+def _ref_tag(
+    child: Expr,
+    part: dict[str, Tag],
+    raw_delta_names: frozenset[str],
+    delta_tag: Tag | None,
+) -> Tag | None:
+    if isinstance(child, DeltaRel) and child.name in raw_delta_names:
+        return delta_tag
+    return part.get(child.name)
+
+
+def _simplify_once(
+    e: Expr,
+    part: dict[str, Tag],
+    raw_delta_names: frozenset[str],
+    delta_tag: Tag | None,
+) -> Expr:
+    kids = children(e)
+    if kids:
+        e = rebuild(
+            e,
+            tuple(
+                _simplify_once(c, part, raw_delta_names, delta_tag)
+                for c in kids
+            ),
+        )
+
+    if isinstance(e, Repart):
+        child = e.child
+        # Repart_P(Q^Dist(P)) => Q
+        if isinstance(child, (Rel, DeltaRel)):
+            tag = _ref_tag(child, part, raw_delta_names, delta_tag)
+            if isinstance(tag, Dist) and tag.keys == e.keys:
+                return child
+        # Repart_P1 ∘ Repart_P2 => Repart_P1
+        if isinstance(child, Repart):
+            return Repart(child.child, e.keys)
+        # Repart_P1 ∘ Scatter_P2 => Scatter_P1
+        if isinstance(child, Scatter):
+            return Scatter(child.child, e.keys)
+    if isinstance(e, Gather):
+        child = e.child
+        # Gather(Q^Local) => Q
+        if isinstance(child, (Rel, DeltaRel)) and isinstance(
+            _ref_tag(child, part, raw_delta_names, delta_tag), type(LOCAL)
+        ):
+            return child
+        # Gather ∘ Repart / Gather ∘ Scatter => Gather (or the local Q)
+        if isinstance(child, Repart):
+            return Gather(child.child)
+        if isinstance(child, Scatter):
+            # Scatter moved a local result out; gathering it back is
+            # the identity on the local contents.
+            return child.child
+    if isinstance(e, Scatter):
+        child = e.child
+        # Scatter_P ∘ Gather => Repart_P
+        if isinstance(child, Gather):
+            return Repart(child.child, e.keys)
+    return e
+
+
+# ----------------------------------------------------------------------
+# Figure 3: push rules + trial-and-error search
+# ----------------------------------------------------------------------
+
+
+def _push_down_once(e: Expr) -> list[Expr]:
+    """All expressions obtainable by pushing one transformer one level
+    down (the bidirectional rules of Figure 3, applied downward)."""
+    out: list[Expr] = []
+    from repro.query.schema import free_vars as _fv
+
+    # Never push a transformer into a correlated subexpression: it
+    # could not be evaluated (and thus moved) standalone.
+    if isinstance(e, (Repart, Scatter)) and not _fv(e.child):
+        keys = e.keys
+        ctor = type(e)
+        child = e.child
+        if isinstance(child, Join):
+            # Only operands carrying the partition keys can absorb the
+            # transformer; interpreted factors are location independent.
+            parts = list(child.parts)
+            pushed = []
+            ok = True
+            for p in parts:
+                if not out_cols(p):
+                    pushed.append(p)  # interpreted: replicate freely
+                elif set(keys) <= set(out_cols(p)) or not keys:
+                    pushed.append(ctor(p, keys))
+                else:
+                    ok = False
+                    break
+            if ok:
+                out.append(Join(tuple(pushed)))
+        elif isinstance(child, Union):
+            out.append(
+                Union(tuple(ctor(p, keys) for p in child.parts))
+            )
+        elif isinstance(child, Sum):
+            if set(keys) <= set(out_cols(child.child)):
+                out.append(Sum(child.group_by, ctor(child.child, keys)))
+        elif isinstance(child, Assign) and is_expr(child.child):
+            out.append(Assign(child.var, ctor(child.child, keys)))
+    if isinstance(e, Gather):
+        child = e.child
+        if isinstance(child, Union):
+            out.append(Union(tuple(Gather(p) for p in child.parts)))
+        elif isinstance(child, Assign) and is_expr(child.child):
+            out.append(Assign(child.var, Gather(child.child)))
+        # Gather does not push through joins or Sums: gathering join
+        # operands changes where the join runs, and gathering under a
+        # Sum would merge partial aggregates too early only sometimes —
+        # the conservative rule set keeps correctness trivial.
+    # Recurse: push transformers deeper in subtrees.
+    kids = children(e)
+    for i, c in enumerate(kids):
+        for pushed_c in _push_down_once(c):
+            out.append(
+                rebuild(e, kids[:i] + (pushed_c,) + kids[i + 1 :])
+            )
+    return out
+
+
+def optimize_expr(
+    e: Expr,
+    partitioning: dict[str, Tag],
+    budget: int = 200,
+    raw_delta_names: frozenset[str] = frozenset(),
+    delta_tag: Tag | None = None,
+) -> Expr:
+    """Trial-and-error minimization of one statement's communication.
+
+    Starting from the well-formed expression, repeatedly explores
+    one-step pushes followed by simplification, keeping the cheapest
+    expression found.  ``budget`` bounds the number of explored
+    candidates (the search space is tiny for real statements)."""
+    best = simplify_transformers(e, partitioning, raw_delta_names, delta_tag)
+    best_cost = _cost(best)
+    frontier = [best]
+    seen = {best}
+    explored = 0
+    while frontier and explored < budget:
+        current = frontier.pop()
+        for candidate in _push_down_once(current):
+            candidate = simplify_transformers(
+                candidate, partitioning, raw_delta_names, delta_tag
+            )
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            explored += 1
+            cost = _cost(candidate)
+            # Pushing may raise cost; such candidates are kept in the
+            # frontier (the backtracking of Section 4.3.1) but never
+            # accepted as the result unless later simplification pays
+            # off.
+            if cost <= best_cost:
+                frontier.append(candidate)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+    return best
+
+
+# ----------------------------------------------------------------------
+# Single transformer form + CSE + DCE (Section 4.3.2)
+# ----------------------------------------------------------------------
+
+
+def to_single_transformer_form(
+    trig: DistTrigger, partitioning: dict[str, Tag]
+) -> None:
+    """Normalize: every statement carries at most one transformer, and
+    that transformer wraps a materialized reference."""
+    counter = [0]
+    new_statements: list[DistStatement] = []
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"{prefix}_x{counter[0]}_{trig.relation}"
+
+    def extract(e: Expr, stmt: DistStatement) -> Expr:
+        kids = children(e)
+        if kids:
+            e = rebuild(e, tuple(extract(c, stmt) for c in kids))
+        if isinstance(e, _TRANSFORMERS):
+            inner = e.child
+            # 1) materialize the transformed contents if complex
+            if not isinstance(inner, (Rel, DeltaRel)):
+                mat = fresh("mat")
+                mat_cols = out_cols(inner)
+                mat_tag = _tag_under_transformer(e, partitioning, "in")
+                partitioning[mat] = mat_tag
+                new_statements.append(
+                    DistStatement(
+                        mat, ":=", mat_cols, inner, "batch", mat_tag,
+                        "dist" if is_distributed(mat_tag) else "local",
+                    )
+                )
+                # Batch-scoped transients live in the delta namespace,
+                # so references to them are DeltaRel nodes.
+                inner = DeltaRel(mat, mat_cols)
+            # 2) extract the transformer itself
+            moved = fresh("move")
+            moved_cols = out_cols(inner)
+            out_tag = _tag_under_transformer(e, partitioning, "out")
+            wrapped = rebuild(e, (inner,))
+            new_statements.append(
+                DistStatement(
+                    moved, ":=", moved_cols, wrapped, "batch", out_tag,
+                    "local",  # the driver initiates every transformer
+                )
+            )
+            partitioning[moved] = out_tag
+            return DeltaRel(moved, moved_cols)
+        return e
+
+    out: list[DistStatement] = []
+    for stmt in trig.statements:
+        new_statements.clear()
+        if isinstance(stmt.expr, _TRANSFORMERS) and isinstance(
+            children(stmt.expr)[0], (Rel, DeltaRel)
+        ):
+            out.append(stmt)  # already in single transformer form
+            continue
+        new_expr = extract(stmt.expr, stmt)
+        out.extend(new_statements)
+        out.append(
+            DistStatement(
+                stmt.target, stmt.op, stmt.target_cols, new_expr,
+                stmt.scope, stmt.target_tag, stmt.mode,
+            )
+        )
+    trig.statements = out
+
+
+def eliminate_common_transfers(trig: DistTrigger) -> None:
+    """CSE + DCE over batch-scoped statements.
+
+    Statements computing a structurally identical RHS at the same
+    location are merged; transients never read afterwards are dropped —
+    together they remove the redundant network transfers of Fig. 5.
+    """
+    # CSE: rhs -> canonical target
+    canonical: dict[tuple, str] = {}
+    rename: dict[str, str] = {}
+    kept: list[DistStatement] = []
+    for stmt in trig.statements:
+        expr = _rename_refs(stmt.expr, rename)
+        stmt = DistStatement(
+            stmt.target, stmt.op, stmt.target_cols, expr, stmt.scope,
+            stmt.target_tag, stmt.mode,
+        )
+        if stmt.scope == "batch":
+            key = (repr(expr), repr(stmt.target_tag), stmt.op)
+            if key in canonical:
+                rename[stmt.target] = canonical[key]
+                continue
+            canonical[key] = stmt.target
+        kept.append(stmt)
+
+    # DCE: drop batch transients that are never read.
+    read: set[str] = set()
+    for stmt in kept:
+        _collect_refs(stmt.expr, read)
+    kept = [
+        s for s in kept if s.scope != "batch" or s.target in read
+    ]
+    trig.statements = kept
+
+
+def _rename_refs(e: Expr, rename: dict[str, str]) -> Expr:
+    if isinstance(e, Rel) and e.name in rename:
+        return Rel(rename[e.name], e.cols)
+    if isinstance(e, DeltaRel) and e.name in rename:
+        return DeltaRel(rename[e.name], e.cols)
+    kids = children(e)
+    if not kids:
+        return e
+    return rebuild(e, tuple(_rename_refs(c, rename) for c in kids))
+
+
+def _collect_refs(e: Expr, acc: set[str]) -> None:
+    if isinstance(e, (Rel, DeltaRel)):
+        acc.add(e.name)
+    for c in children(e):
+        _collect_refs(c, acc)
+
+
+def _tag_under_transformer(
+    t: Expr, partitioning: dict[str, Tag], side: str
+) -> Tag:
+    from repro.distributed.tags import RANDOM, REPLICATED
+
+    if side == "out":
+        if isinstance(t, Gather):
+            return LOCAL
+        keys = t.keys
+        if keys == ():
+            return REPLICATED
+        return Dist(keys)
+    # side == "in": where the transformed contents is materialized
+    if isinstance(t, Scatter):
+        return LOCAL
+    return RANDOM  # Repart/Gather inputs live on the workers
+
+
+# ----------------------------------------------------------------------
+# Whole-program driver
+# ----------------------------------------------------------------------
+
+
+def optimize_program(
+    dprog: DistributedProgram,
+    level: int = 3,
+) -> DistributedProgram:
+    """Optimization levels match the ablation of Figure 13:
+
+    * 0 — naive well-formed program: single transformer form only
+      (normalization is mandatory — the executor moves data through
+      standalone transformer statements), no block fusion;
+    * 1 — + simplification rules (Fig. 4) and push search (Fig. 3);
+    * 2 — + block fusion (Appendix C.3);
+    * 3 — + CSE and DCE on network transfers.
+    """
+    from repro.distributed.annotate import statement_mode
+
+    raw_delta_names = frozenset(dprog.local_program.base_relations)
+    for trig in dprog.triggers.values():
+        if level >= 1:
+            for stmt in trig.statements:
+                stmt.expr = optimize_expr(
+                    stmt.expr,
+                    dprog.partitioning,
+                    raw_delta_names=raw_delta_names,
+                    delta_tag=dprog.delta_tag,
+                )
+        to_single_transformer_form(trig, dprog.partitioning)
+        if level >= 3:
+            eliminate_common_transfers(trig)
+        for stmt in trig.statements:
+            stmt.mode = statement_mode(stmt, dprog.partitioning)
+    dprog.fuse_enabled = level >= 2
+    return dprog

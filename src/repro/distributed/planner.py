@@ -1,0 +1,80 @@
+"""Job and stage planning (paper §6.2, Table 3).
+
+After block fusion, a trigger's block list alternates between local
+(driver) blocks and distributed blocks.  The planner maps that list to
+the synchronous platform's execution units:
+
+* every distributed block is one *stage* (a map/reduce-like phase run
+  on every worker), plus one stage for every shuffle a local block
+  initiates between distributed work (Repart statements);
+* a *job* is a maximal run of stages the driver launches before it must
+  synchronously collect or re-shuffle distributed results to decide the
+  next round — i.e. a new job starts at each local block that consumes
+  distributed output (Gather/Repart) and is followed by more
+  distributed work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.blocks import Block
+from repro.query.ast import Gather, Repart, Scatter
+from repro.query.ast import children as ast_children
+
+
+@dataclass
+class JobPlan:
+    """Planned execution of one trigger: jobs, each a list of stages."""
+
+    jobs: list[list[Block]] = field(default_factory=list)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_stages(self) -> int:
+        return sum(len(j) for j in self.jobs)
+
+
+def _block_has(block: Block, kinds) -> bool:
+    def visit(e) -> bool:
+        if isinstance(e, kinds):
+            return True
+        return any(visit(c) for c in ast_children(e))
+
+    return any(visit(s.expr) for s in block.statements)
+
+
+def plan_jobs(blocks: list[Block]) -> JobPlan:
+    """Group fused blocks into jobs and stages."""
+    plan = JobPlan()
+    current_job: list[Block] = []
+    seen_dist_in_job = False
+    for block in blocks:
+        if block.mode == "dist":
+            current_job.append(block)
+            seen_dist_in_job = True
+            continue
+        # Local block: transformers consuming distributed output force
+        # a synchronization point.
+        consumes_dist = _block_has(block, (Gather, Repart))
+        initiates_shuffle = _block_has(block, (Repart,))
+        if consumes_dist and seen_dist_in_job:
+            if initiates_shuffle:
+                # A shuffle between distributed phases adds a stage but
+                # stays within the driver's running job.
+                current_job.append(block)
+            else:
+                # The driver collected results; the job ends here.
+                plan.jobs.append(current_job)
+                current_job = []
+                seen_dist_in_job = False
+        # Pure-local blocks (delta prep, scatters) carry no stage.
+    if current_job:
+        plan.jobs.append(current_job)
+    if not plan.jobs:
+        # Even a purely local trigger costs the driver one no-op round.
+        plan.jobs.append([])
+    return plan

@@ -1,0 +1,80 @@
+"""Location tags (paper Section 4.2).
+
+* :class:`Local` — the result lives on the driver node.
+* :class:`Dist` — the result is hash-partitioned among all workers by a
+  tuple of key columns.
+* :class:`Replicated` — every worker holds a full copy (the paper's
+  partitioning functions may map a tuple to a *set* of nodes; full
+  replication is the case used for small broadcast operands).
+* :class:`Random` — distributed with no usable partitioning invariant
+  (e.g. partial aggregates grouped on non-partition columns); joins on
+  Random operands are disallowed and force a repartition.
+
+Interpreted terms (constants, values, comparisons, value assignments)
+are location independent; :data:`ANY` marks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TyUnion
+
+
+@dataclass(frozen=True)
+class Local:
+    def __repr__(self) -> str:
+        return "Local"
+
+
+@dataclass(frozen=True)
+class Dist:
+    keys: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"Dist[{', '.join(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class Replicated:
+    def __repr__(self) -> str:
+        return "Replicated"
+
+
+@dataclass(frozen=True)
+class Random:
+    def __repr__(self) -> str:
+        return "Random"
+
+
+@dataclass(frozen=True)
+class _Any:
+    """Location-independent (interpreted relations)."""
+
+    def __repr__(self) -> str:
+        return "Any"
+
+
+Tag = TyUnion[Local, Dist, Replicated, Random, _Any]
+
+LOCAL = Local()
+REPLICATED = Replicated()
+RANDOM = Random()
+ANY = _Any()
+
+
+def is_distributed(tag: Tag) -> bool:
+    return isinstance(tag, (Dist, Replicated, Random))
+
+
+def partition_of(tuple_key: tuple, n_workers: int) -> int:
+    """The hash partitioning function shared by every Dist view.
+
+    Python's builtin ``hash`` is salted per-process for strings, which
+    would make runs unrepeatable; a small FNV-1a keeps partition
+    assignment deterministic.
+    """
+    h = 0xCBF29CE484222325
+    for v in tuple_key:
+        for b in repr(v).encode():
+            h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h % n_workers

@@ -1,0 +1,14 @@
+"""Reference evaluation of algebra expressions.
+
+This package implements the paper's model of computation (Section
+3.2.1): expressions are operator trees evaluated left to right, bottom
+up, with information about bound variables flowing rightward through
+joins.  The evaluator is the semantic ground truth — every execution
+engine (recursive IVM, classical IVM, re-evaluation, distributed) is
+tested for equivalence against it.
+"""
+
+from repro.eval.db import Database
+from repro.eval.evaluator import Evaluator, evaluate
+
+__all__ = ["Database", "Evaluator", "evaluate"]

@@ -1,0 +1,13 @@
+"""Local execution of compiled maintenance programs (paper Section 5).
+
+:class:`RecursiveIVMEngine` interprets a
+:class:`~repro.compiler.TriggerProgram` in either *batch* mode (one
+trigger invocation per update batch, over pre-aggregated columnar
+batches) or *single-tuple* mode (one trigger invocation per tuple with
+inlined tuple fields — the paper's specialized tuple-at-a-time path).
+"""
+
+from repro.exec.engine import RecursiveIVMEngine
+from repro.exec.specialized import SpecializedIVMEngine
+
+__all__ = ["RecursiveIVMEngine", "SpecializedIVMEngine"]

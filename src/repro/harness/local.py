@@ -1,0 +1,175 @@
+"""Single-node throughput experiments (paper Section 6.1).
+
+Runners for:
+
+* Figure 7 / Figure 12 — normalized throughput of batched recursive IVM
+  across batch sizes, with single-tuple execution as the baseline;
+* Figure 8 — strategy comparison (re-evaluation vs classical IVM vs
+  recursive IVM) on one query across batch sizes;
+* Table 1 — the full strategy x batch-size x query throughput matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.setup import prepare_stream, run_engine
+from repro.workloads import QuerySpec
+
+#: the batch sizes of the paper's single-node sweep
+PAPER_BATCH_SIZES = (1, 10, 100, 1_000, 10_000, 100_000)
+
+
+@dataclass
+class LocalResult:
+    """One (query, strategy, batch size) throughput measurement."""
+
+    query: str
+    strategy: str
+    batch_size: int | None  # None = single-tuple specialized execution
+    throughput: float
+    virtual_throughput: float
+    n_tuples: int
+    elapsed_s: float
+
+    @property
+    def batch_label(self) -> str:
+        return "Single" if self.batch_size is None else str(self.batch_size)
+
+
+def measure_throughput(
+    spec: QuerySpec,
+    strategy: str,
+    batch_size: int | None,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    warm_fraction: float = 0.0,
+) -> LocalResult:
+    """Measure one strategy at one batch size.
+
+    ``batch_size=None`` requests the single-tuple specialized engine;
+    the stream is still chunked (into size-100 delivery units) but each
+    tuple fires its own trigger, matching Section 3.3.
+    ``warm_fraction`` pre-loads that share of the updatable tables
+    (the late-stream regime; see ``prepare_stream``).
+    """
+    prepared = prepare_stream(
+        spec, batch_size if batch_size is not None else 100,
+        workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches, warm_fraction=warm_fraction,
+    )
+    outcome = run_engine(prepared, strategy)
+    return LocalResult(
+        query=spec.name,
+        strategy=strategy,
+        batch_size=batch_size,
+        throughput=outcome.throughput,
+        virtual_throughput=outcome.virtual_throughput,
+        n_tuples=outcome.n_tuples,
+        elapsed_s=outcome.elapsed_s,
+    )
+
+
+def batch_size_sweep(
+    spec: QuerySpec,
+    batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES,
+    strategy: str = "rivm-batch",
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    include_single: bool = True,
+    max_batches: int | None = None,
+    warm_fraction: float = 0.0,
+) -> list[LocalResult]:
+    """Throughput of one strategy across batch sizes (one Fig. 7 bar
+    group).  The single-tuple baseline is measured with the
+    ``rivm-single`` engine when ``include_single``."""
+    results: list[LocalResult] = []
+    if include_single:
+        results.append(
+            measure_throughput(
+                spec, "rivm-single", None, workload=workload, sf=sf,
+                seed=seed, max_batches=max_batches,
+                warm_fraction=warm_fraction,
+            )
+        )
+    for bs in batch_sizes:
+        results.append(
+            measure_throughput(
+                spec, strategy, bs, workload=workload, sf=sf, seed=seed,
+                max_batches=max_batches, warm_fraction=warm_fraction,
+            )
+        )
+    return results
+
+
+def normalized_sweep(
+    spec: QuerySpec,
+    batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    use_virtual: bool = True,
+    max_batches: int | None = None,
+) -> dict[int, float]:
+    """Figure 7 / Figure 12 data for one query: batched throughput
+    normalized to the single-tuple baseline (baseline = 1.0).
+
+    ``use_virtual`` normalizes by virtual instructions instead of wall
+    time; virtual ratios are deterministic and noise-free, wall-clock
+    ratios track them (both are exposed by ``batch_size_sweep``).
+    """
+    results = batch_size_sweep(
+        spec, batch_sizes, workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches,
+    )
+    baseline = results[0]
+    base = (
+        baseline.virtual_throughput if use_virtual else baseline.throughput
+    )
+    out: dict[int, float] = {}
+    for r in results[1:]:
+        value = r.virtual_throughput if use_virtual else r.throughput
+        out[r.batch_size] = value / base if base > 0 else float("inf")
+    return out
+
+
+def strategy_matrix(
+    spec: QuerySpec,
+    batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES,
+    strategies: tuple[str, ...] = ("reeval", "civm", "rivm-batch"),
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    include_single: bool = True,
+    max_batches: int | None = None,
+    warm_fraction: float = 0.0,
+) -> list[LocalResult]:
+    """Figure 8 / one Table 1 row-group: every strategy at every batch
+    size for one query; recursive IVM also gets the Single column.
+
+    Strategy comparisons run warm by default in the Fig. 8 bench: the
+    paper's re-evaluation/classical-IVM costs reflect base tables far
+    larger than one batch, which a cold scaled stream never reaches.
+    """
+    results: list[LocalResult] = []
+    if include_single:
+        results.append(
+            measure_throughput(
+                spec, "rivm-single", None, workload=workload, sf=sf,
+                seed=seed, max_batches=max_batches,
+                warm_fraction=warm_fraction,
+            )
+        )
+    for strategy in strategies:
+        for bs in batch_sizes:
+            results.append(
+                measure_throughput(
+                    spec, strategy, bs, workload=workload, sf=sf,
+                    seed=seed, max_batches=max_batches,
+                    warm_fraction=warm_fraction,
+                )
+            )
+    return results

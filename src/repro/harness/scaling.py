@@ -1,0 +1,314 @@
+"""Distributed scaling experiments on the simulated cluster
+(paper Section 6.2, Figures 9-11 and 13, Table 3).
+
+Latency numbers come from the cluster's calibrated cost model, not wall
+clock: a stage's modeled latency composes per-worker compute (converted
+from executed virtual instructions), a synchronization term that grows
+with the worker count, and shuffle time from byte-accounted transfers
+(see ``repro.distributed.cluster``).  Scaled-down worker counts and
+batch sizes preserve the curve shapes because the three terms keep
+their paper-calibrated ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed import (
+    CostModel,
+    SimulatedCluster,
+    compile_distributed,
+)
+from repro.eval import Database, Evaluator
+from repro.harness.setup import prepare_stream
+from repro.workloads import QuerySpec
+
+
+def paper_scale_cost_model(
+    seconds_per_instruction: float = 1.0e-5,
+) -> CostModel:
+    """A cost model for strong-scaling benches at scaled batch sizes.
+
+    The paper's strong-scaling batches (50M-400M tuples) give each
+    worker seconds of compute, so adding workers visibly cuts latency
+    until synchronization flattens the curve.  Scaled benches process
+    10^3-tuple batches, whose real compute is microseconds — pure sync
+    territory.  Raising the modeled seconds-per-virtual-instruction
+    restores the paper's compute/sync ratio at bench batch sizes; every
+    other constant keeps its default, so the sync and shuffle terms are
+    untouched and the crossover point is the modeled quantity.
+    """
+    return CostModel(seconds_per_instruction=seconds_per_instruction)
+
+
+@dataclass
+class ScalingPoint:
+    """One (workers, batch size) measurement of a scaling sweep."""
+
+    query: str
+    n_workers: int
+    batch_size: int
+    n_batches: int
+    n_tuples: int
+    median_latency_s: float
+    throughput_tuples_per_s: float
+    shuffled_bytes: int
+    jobs: int
+    stages: int
+
+
+def _run_cluster(
+    spec: QuerySpec,
+    n_workers: int,
+    batch_size: int,
+    workload: str,
+    sf: float,
+    seed: int,
+    max_batches: int | None,
+    opt_level: int = 3,
+    cost_model: CostModel | None = None,
+) -> ScalingPoint:
+    prepared = prepare_stream(
+        spec, batch_size, workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches,
+    )
+    dprog = compile_distributed(
+        spec.query,
+        name=spec.name,
+        key_hints=spec.key_hints,
+        opt_level=opt_level,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(
+        dprog, n_workers=n_workers, cost_model=cost_model, seed=seed
+    )
+    _preload_static(cluster, prepared, dprog)
+
+    for relation, batch in prepared.batches:
+        cluster.on_batch(relation, batch)
+
+    metrics = cluster.metrics
+    return ScalingPoint(
+        query=spec.name,
+        n_workers=n_workers,
+        batch_size=batch_size,
+        n_batches=metrics.batches,
+        n_tuples=prepared.n_tuples,
+        median_latency_s=metrics.median_latency_s,
+        throughput_tuples_per_s=metrics.throughput_tuples_per_s(
+            prepared.n_tuples
+        ),
+        shuffled_bytes=metrics.shuffled_bytes,
+        jobs=metrics.jobs,
+        stages=metrics.stages,
+    )
+
+
+def _preload_static(cluster, prepared, dprog) -> None:
+    """Load static dimension tables into the cluster's placed views.
+
+    Every materialized view whose definition touches only static
+    relations is computed once from the static database and installed
+    according to its location tag, mirroring the engines'
+    ``initialize``.
+    """
+    static = prepared.fresh_static()
+    evaluator = Evaluator(static)
+    for info in dprog.local_program.views.values():
+        contents = evaluator.evaluate(info.definition)
+        if contents.is_zero():
+            continue
+        tag = dprog.partitioning.get(info.name)
+        _install_view(cluster, info, contents, tag)
+
+
+def _install_view(cluster, info, contents, tag) -> None:
+    from repro.distributed.tags import Dist, Replicated
+
+    if isinstance(tag, Dist):
+        parts = cluster._partition(contents, list(info.cols), tag.keys)
+        for w, part in enumerate(parts):
+            cluster.workers[w].set_view(info.name, part)
+    elif isinstance(tag, Replicated):
+        for w in cluster.workers:
+            w.set_view(info.name, contents)
+    else:
+        cluster.driver.set_view(info.name, contents)
+
+
+def weak_scaling(
+    spec: QuerySpec,
+    workers: tuple[int, ...] = (2, 4, 8, 16, 32),
+    tuples_per_worker: int = 100,
+    workload: str = "tpch",
+    sf: float = 0.002,
+    seed: int = 42,
+    max_batches: int | None = 4,
+    cost_model: CostModel | None = None,
+) -> list[ScalingPoint]:
+    """Figure 9: each worker receives a fixed batch share, so the total
+    batch grows with the worker count."""
+    return [
+        _run_cluster(
+            spec, n, n * tuples_per_worker, workload, sf, seed, max_batches,
+            cost_model=cost_model,
+        )
+        for n in workers
+    ]
+
+
+def strong_scaling(
+    spec: QuerySpec,
+    workers: tuple[int, ...] = (2, 4, 8, 16, 32),
+    batch_sizes: tuple[int, ...] = (500, 1_000, 2_000, 4_000),
+    workload: str = "tpch",
+    sf: float = 0.002,
+    seed: int = 42,
+    max_batches: int | None = 3,
+    cost_model: CostModel | None = None,
+) -> dict[int, list[ScalingPoint]]:
+    """Figures 10-11: constant batch sizes, varying worker counts.
+
+    Returns ``{batch_size: [point per worker count]}`` — one latency
+    series per batch size, as plotted in the paper.
+    """
+    return {
+        bs: [
+            _run_cluster(
+                spec, n, bs, workload, sf, seed, max_batches,
+                cost_model=cost_model,
+            )
+            for n in workers
+        ]
+        for bs in batch_sizes
+    }
+
+
+def reeval_scaling(
+    spec: QuerySpec,
+    workers: tuple[int, ...] = (2, 4, 8, 16, 32),
+    batch_size: int = 4_000,
+    workload: str = "tpch",
+    sf: float = 0.002,
+    seed: int = 42,
+    max_batches: int | None = 3,
+    cost_model: CostModel | None = None,
+) -> list[ScalingPoint]:
+    """The Spark SQL re-evaluation comparator of Figures 10a/10c/10d.
+
+    Spark SQL recomputes the query over the full (distributed) base
+    tables on every batch; we model it as a distributed program whose
+    single trigger statement re-evaluates the whole query, so its
+    per-batch compute grows with the accumulated database — exactly the
+    cost structure the paper compares against.
+    """
+    from repro.baselines.distributed_reeval import (
+        compile_distributed_reeval,
+    )
+
+    out: list[ScalingPoint] = []
+    for n in workers:
+        prepared = prepare_stream(
+            spec, batch_size, workload=workload, sf=sf, seed=seed,
+            max_batches=max_batches,
+        )
+        dprog = compile_distributed_reeval(
+            spec.query, name=spec.name, key_hints=spec.key_hints,
+            updatable=spec.updatable,
+        )
+        cluster = SimulatedCluster(
+            dprog, n_workers=n, cost_model=cost_model, seed=seed
+        )
+        _preload_static(cluster, prepared, dprog)
+        for relation, batch in prepared.batches:
+            cluster.on_batch(relation, batch)
+        metrics = cluster.metrics
+        out.append(
+            ScalingPoint(
+                query=f"{spec.name}-sparksql",
+                n_workers=n,
+                batch_size=batch_size,
+                n_batches=metrics.batches,
+                n_tuples=prepared.n_tuples,
+                median_latency_s=metrics.median_latency_s,
+                throughput_tuples_per_s=metrics.throughput_tuples_per_s(
+                    prepared.n_tuples
+                ),
+                shuffled_bytes=metrics.shuffled_bytes,
+                jobs=metrics.jobs,
+                stages=metrics.stages,
+            )
+        )
+    return out
+
+
+def optimization_ablation(
+    spec: QuerySpec,
+    workers: tuple[int, ...] = (4, 8, 16, 32),
+    batch_size: int = 2_000,
+    workload: str = "tpch",
+    sf: float = 0.002,
+    seed: int = 42,
+    max_batches: int | None = 3,
+) -> dict[str, list[ScalingPoint]]:
+    """Figure 13: distributed Q3 latency at optimization levels O0-O3.
+
+    * O0 — naive well-formed program (single transformer form only);
+    * O1 — + transformer push/simplification rules (Figs. 3-4);
+    * O2 — + block fusion (Appendix C.3);
+    * O3 — + location-aware CSE and DCE.
+    """
+    labels = {0: "O0-naive", 1: "O1-simplify", 2: "O2-fusion", 3: "O3-cse-dce"}
+    out: dict[str, list[ScalingPoint]] = {}
+    for level, label in labels.items():
+        out[label] = [
+            _run_cluster(
+                spec, n, batch_size, workload, sf, seed, max_batches,
+                opt_level=level,
+            )
+            for n in workers
+        ]
+    return out
+
+
+@dataclass
+class QueryComplexity:
+    """Table 3 row: jobs and stages to process one update batch."""
+
+    query: str
+    jobs: int
+    stages: int
+    per_trigger: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def jobs_stages_table(
+    specs: dict[str, QuerySpec],
+) -> list[QueryComplexity]:
+    """Table 3: per-query job/stage counts under the default
+    partitioning heuristic.  The paper reports the counts for
+    processing one batch touching every streamed relation; we report
+    the sum across triggers plus the per-trigger breakdown."""
+    from repro.distributed.planner import plan_jobs
+
+    rows: list[QueryComplexity] = []
+    for name in sorted(specs, key=_query_sort_key):
+        spec = specs[name]
+        dprog = compile_distributed(
+            spec.query, name=spec.name, key_hints=spec.key_hints,
+            updatable=spec.updatable,
+        )
+        per_trigger: dict[str, tuple[int, int]] = {}
+        jobs = 0
+        stages = 0
+        for rel_name, trig in dprog.triggers.items():
+            plan = plan_jobs(trig.blocks)
+            per_trigger[rel_name] = (plan.n_jobs, plan.n_stages)
+            jobs = max(jobs, plan.n_jobs)
+            stages = max(stages, plan.n_stages)
+        rows.append(QueryComplexity(name, jobs, stages, per_trigger))
+    return rows
+
+
+def _query_sort_key(name: str):
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (int(digits) if digits else 0, name)

@@ -1,0 +1,205 @@
+"""Shared experiment setup: streams, engines, and timed runs.
+
+Every experiment follows the paper's protocol (Section 6): generate a
+database, pre-load the static dimension tables, synthesize the update
+stream by round-robin interleaving, chunk it into batches of the chosen
+size *outside the measured window*, and then time only the per-batch
+maintenance work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines import ClassicalIVMEngine, ReevalEngine
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database
+from repro.exec import RecursiveIVMEngine, SpecializedIVMEngine
+from repro.metrics import CacheSimulator, Counters
+from repro.ring import GMR
+from repro.workloads import (
+    QuerySpec,
+    generate_micro,
+    generate_tpcds,
+    generate_tpch,
+    stream_batches,
+)
+
+#: every maintenance strategy the evaluation compares.  ``rivm-*`` are
+#: the paper's generated engines; ``reeval`` / ``civm`` substitute for
+#: the PostgreSQL baselines (DESIGN.md §1).
+STRATEGIES = (
+    "rivm-single",
+    "rivm-batch",
+    "rivm-specialized",
+    "reeval",
+    "civm",
+)
+
+
+@dataclass
+class PreparedStream:
+    """A ready-to-run experiment input.
+
+    ``static`` holds the pre-loaded dimension tables; ``batches`` is the
+    chunked update stream (formed up front, as in the paper);
+    ``n_tuples`` counts only streamed tuples — the throughput
+    denominator.
+    """
+
+    spec: QuerySpec
+    static: Database
+    batches: list[tuple[str, GMR]]
+    n_tuples: int
+    batch_size: int
+
+    def fresh_static(self) -> Database:
+        """An independent copy of the static database (engines mutate
+        their initialization input)."""
+        return self.static.copy()
+
+
+def prepare_stream(
+    spec: QuerySpec,
+    batch_size: int,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    warm_fraction: float = 0.0,
+) -> PreparedStream:
+    """Generate data and chunk the update stream for one experiment.
+
+    ``warm_fraction`` moves that share of every *updatable* table into
+    the static preload: engines then initialize from a populated store
+    and the stream delivers only the remainder.  This reproduces the
+    late-stream regime of the paper's long runs (large materialized
+    state, small relative updates) without paying for the whole stream.
+    """
+    if workload == "tpch":
+        tables = generate_tpch(sf=sf, seed=seed)
+    elif workload == "tpcds":
+        tables = generate_tpcds(sf=sf, seed=seed)
+    elif workload == "micro":
+        tables = generate_micro(sf=sf, seed=seed)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+
+    static = Database()
+    streamed: dict[str, list[tuple]] = {}
+    for name, rows in tables.items():
+        if name not in spec.updatable:
+            static.insert_rows(name, rows)
+        elif warm_fraction > 0.0:
+            split = int(len(rows) * warm_fraction)
+            static.insert_rows(name, rows[:split])
+            streamed[name] = rows[split:]
+        else:
+            streamed[name] = rows
+
+    batches = []
+    n_tuples = 0
+    for relation, batch in stream_batches(
+        streamed, batch_size, relations=spec.updatable
+    ):
+        batches.append((relation, batch))
+        n_tuples += sum(abs(m) for m in batch.data.values())
+        if max_batches is not None and len(batches) >= max_batches:
+            break
+    return PreparedStream(spec, static, batches, n_tuples, batch_size)
+
+
+def make_engine(
+    spec: QuerySpec,
+    strategy: str,
+    counters: Counters | None = None,
+    cache_sim: CacheSimulator | None = None,
+):
+    """Construct a maintenance engine for one strategy.
+
+    * ``rivm-single`` — recursive IVM specialized for tuple-at-a-time
+      processing (no batch materialization, inlined parameters);
+    * ``rivm-batch`` — recursive IVM with batch pre-aggregation;
+    * ``rivm-specialized`` — batched recursive IVM over record pools
+      with automatic index selection (Section 5);
+    * ``reeval`` — full re-evaluation per batch (PostgreSQL re-eval
+      substitute);
+    * ``civm`` — classical first-order IVM against full base tables
+      (PostgreSQL IVM substitute).
+    """
+    if strategy == "rivm-single":
+        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+        return RecursiveIVMEngine(program, mode="single", counters=counters)
+    if strategy == "rivm-batch":
+        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+        program = apply_batch_preaggregation(program)
+        return RecursiveIVMEngine(program, mode="batch", counters=counters)
+    if strategy == "rivm-specialized":
+        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+        program = apply_batch_preaggregation(program)
+        return SpecializedIVMEngine(
+            program, mode="batch", counters=counters, cache_sim=cache_sim
+        )
+    if strategy == "reeval":
+        return ReevalEngine(spec.query, counters=counters)
+    if strategy == "civm":
+        return ClassicalIVMEngine(spec.query, counters=counters)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+@dataclass
+class RunOutcome:
+    """One timed engine run over a prepared stream."""
+
+    strategy: str
+    elapsed_s: float
+    n_tuples: int
+    virtual_instructions: int
+    result: GMR = field(repr=False, default_factory=GMR)
+
+    @property
+    def throughput(self) -> float:
+        """Streamed tuples per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.n_tuples / self.elapsed_s
+
+    @property
+    def virtual_throughput(self) -> float:
+        """Tuples per virtual instruction (deterministic counterpart of
+        ``throughput`` — used by tests and for noise-free ratios)."""
+        if self.virtual_instructions <= 0:
+            return float("inf")
+        return self.n_tuples / self.virtual_instructions
+
+
+def run_engine(
+    prepared: PreparedStream,
+    strategy: str,
+    cache_sim: CacheSimulator | None = None,
+) -> RunOutcome:
+    """Time one engine over the prepared stream.
+
+    Initialization (loading static tables into the engine's views) is
+    excluded from the measured window, matching the paper's "not
+    counting loading of streams into memory" protocol.
+    """
+    counters = Counters()
+    engine = make_engine(
+        prepared.spec, strategy, counters=counters, cache_sim=cache_sim
+    )
+    engine.initialize(prepared.fresh_static())
+
+    start = time.perf_counter()
+    for relation, batch in prepared.batches:
+        engine.on_batch(relation, batch)
+    elapsed = time.perf_counter() - start
+
+    return RunOutcome(
+        strategy=strategy,
+        elapsed_s=elapsed,
+        n_tuples=prepared.n_tuples,
+        virtual_instructions=counters.virtual_instructions(),
+        result=engine.result(),
+    )

@@ -1,0 +1,13 @@
+"""Instrumentation: operation counters and the data-cache simulator.
+
+Real hardware counters (Table 2 of the paper) are substituted by
+*virtual instructions* — the tuple visits, lookups, and emissions the
+engines perform — plus a two-level set-associative LRU cache simulator
+driven by the storage layer's record-access trace.  See DESIGN.md §1
+for why the substitution preserves the phenomena under study.
+"""
+
+from repro.metrics.counters import Counters
+from repro.metrics.cachesim import CacheLevel, CacheSimulator
+
+__all__ = ["Counters", "CacheLevel", "CacheSimulator"]

@@ -1,0 +1,75 @@
+"""Operation counters — the "virtual instruction" substitute for perf.
+
+Every engine accumulates counts of the primitive operations it
+performs.  ``virtual_instructions`` is a weighted sum used wherever the
+paper reports retired instructions; the weights are arbitrary but fixed,
+so ratios between strategies (the quantity the paper analyzes) are
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Accumulated operation counts for one engine run."""
+
+    tuples_scanned: int = 0
+    index_lookups: int = 0
+    tuples_emitted: int = 0
+    statements_executed: int = 0
+    triggers_fired: int = 0
+    batches_materialized: int = 0
+    bytes_shuffled: int = 0
+
+    #: weights for the virtual-instruction aggregate
+    _W_SCAN = 4
+    _W_LOOKUP = 8
+    _W_EMIT = 6
+    _W_STMT = 30
+    _W_TRIGGER = 60
+    _W_BATCH = 40
+
+    def virtual_instructions(self) -> int:
+        """Weighted operation total — the stand-in for retired
+        instructions in Table 2."""
+        return (
+            self.tuples_scanned * self._W_SCAN
+            + self.index_lookups * self._W_LOOKUP
+            + self.tuples_emitted * self._W_EMIT
+            + self.statements_executed * self._W_STMT
+            + self.triggers_fired * self._W_TRIGGER
+            + self.batches_materialized * self._W_BATCH
+        )
+
+    def merge(self, other: "Counters") -> None:
+        self.tuples_scanned += other.tuples_scanned
+        self.index_lookups += other.index_lookups
+        self.tuples_emitted += other.tuples_emitted
+        self.statements_executed += other.statements_executed
+        self.triggers_fired += other.triggers_fired
+        self.batches_materialized += other.batches_materialized
+        self.bytes_shuffled += other.bytes_shuffled
+
+    def reset(self) -> None:
+        self.tuples_scanned = 0
+        self.index_lookups = 0
+        self.tuples_emitted = 0
+        self.statements_executed = 0
+        self.triggers_fired = 0
+        self.batches_materialized = 0
+        self.bytes_shuffled = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "tuples_scanned": self.tuples_scanned,
+            "index_lookups": self.index_lookups,
+            "tuples_emitted": self.tuples_emitted,
+            "statements_executed": self.statements_executed,
+            "triggers_fired": self.triggers_fired,
+            "batches_materialized": self.batches_materialized,
+            "bytes_shuffled": self.bytes_shuffled,
+            "virtual_instructions": self.virtual_instructions(),
+        }

@@ -1,0 +1,97 @@
+"""The query algebra of the paper (Section 3.1 / Appendix A).
+
+Queries over generalized multiset relations are algebraic formulas built
+from base relations, bag union, natural join, multiplicity-preserving
+projection (``Sum``), constants, interpreted value terms, comparisons,
+and (generalized) variable assignments.  ``Exists`` is first-class here
+for convenience; semantically it is sugar for
+``Sum[sch(Q)]((X := Q) * (X != 0))``.
+"""
+
+from repro.query.ast import (
+    Arith,
+    Assign,
+    Cmp,
+    Col,
+    Const,
+    DeltaRel,
+    Exists,
+    Expr,
+    Func,
+    Join,
+    Lit,
+    Rel,
+    Sum,
+    Union,
+    ValueF,
+    ValueTerm,
+    register_function,
+)
+from repro.query.builder import (
+    assign,
+    cmp,
+    col,
+    const,
+    delta,
+    exists,
+    join,
+    lit,
+    neg,
+    rel,
+    sum_over,
+    union,
+    value,
+)
+from repro.query.schema import (
+    base_relations,
+    delta_relations,
+    free_vars,
+    out_cols,
+    query_degree,
+    rename_columns,
+    substitute,
+)
+from repro.query.sqlfront import SqlError, parse_sql, sql_to_spec
+
+__all__ = [
+    "Arith",
+    "Assign",
+    "Cmp",
+    "Col",
+    "Const",
+    "DeltaRel",
+    "Exists",
+    "Expr",
+    "Func",
+    "Join",
+    "Lit",
+    "Rel",
+    "Sum",
+    "Union",
+    "ValueF",
+    "ValueTerm",
+    "register_function",
+    "assign",
+    "cmp",
+    "col",
+    "const",
+    "delta",
+    "exists",
+    "join",
+    "lit",
+    "neg",
+    "rel",
+    "sum_over",
+    "union",
+    "value",
+    "base_relations",
+    "delta_relations",
+    "free_vars",
+    "out_cols",
+    "query_degree",
+    "rename_columns",
+    "substitute",
+    "SqlError",
+    "parse_sql",
+    "sql_to_spec",
+]

@@ -1,0 +1,393 @@
+"""AST node definitions for the query algebra.
+
+All nodes are immutable (frozen dataclasses), so structural equality and
+hashing come for free — the compiler relies on both for common
+subexpression elimination across the materialized-view hierarchy.
+
+Two small term languages coexist:
+
+* :class:`ValueTerm` — scalar arithmetic over bound columns and
+  literals, used inside comparisons, interpreted values, and plain
+  variable assignments.
+* :class:`Expr` — the relational algebra itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union as TyUnion
+
+# ----------------------------------------------------------------------
+# Scalar value terms
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Col:
+    """A reference to a (bound) column."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal constant."""
+
+    value: TyUnion[int, float, str]
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Arith:
+    """Binary arithmetic over value terms: ``+ - * /``."""
+
+    op: str
+    lhs: "ValueTerm"
+    rhs: "ValueTerm"
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+#: Registry of named scalar functions usable in :class:`Func` terms.
+#: Functions are registered by name so that AST nodes stay hashable and
+#: structurally comparable.
+_FUNCTION_REGISTRY: dict[str, Callable] = {}
+
+
+def register_function(name: str, fn: Callable) -> None:
+    """Register a named scalar function for use in :class:`Func` terms."""
+    _FUNCTION_REGISTRY[name] = fn
+
+
+def lookup_function(name: str) -> Callable:
+    try:
+        return _FUNCTION_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"scalar function {name!r} is not registered") from None
+
+
+@dataclass(frozen=True)
+class Func:
+    """Application of a registered scalar function to value terms."""
+
+    name: str
+    args: tuple["ValueTerm", ...]
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+ValueTerm = TyUnion[Col, Lit, Arith, Func]
+
+
+def term_cols(term: ValueTerm) -> frozenset[str]:
+    """Columns referenced by a value term (all must be bound to evaluate)."""
+    if isinstance(term, Col):
+        return frozenset((term.name,))
+    if isinstance(term, Lit):
+        return frozenset()
+    if isinstance(term, Arith):
+        return term_cols(term.lhs) | term_cols(term.rhs)
+    if isinstance(term, Func):
+        out: frozenset[str] = frozenset()
+        for a in term.args:
+            out |= term_cols(a)
+        return out
+    raise TypeError(f"not a value term: {term!r}")
+
+
+def eval_term(term: ValueTerm, env: dict[str, object]):
+    """Evaluate a value term under an environment of bound columns."""
+    if isinstance(term, Col):
+        return env[term.name]
+    if isinstance(term, Lit):
+        return term.value
+    if isinstance(term, Arith):
+        a = eval_term(term.lhs, env)
+        b = eval_term(term.rhs, env)
+        if term.op == "+":
+            return a + b
+        if term.op == "-":
+            return a - b
+        if term.op == "*":
+            return a * b
+        if term.op == "/":
+            return a / b
+        raise ValueError(f"unknown arithmetic op {term.op!r}")
+    if isinstance(term, Func):
+        fn = lookup_function(term.name)
+        return fn(*(eval_term(a, env) for a in term.args))
+    raise TypeError(f"not a value term: {term!r}")
+
+
+def rename_term(term: ValueTerm, mapping: dict[str, str]) -> ValueTerm:
+    """Rename column references in a value term."""
+    if isinstance(term, Col):
+        return Col(mapping.get(term.name, term.name))
+    if isinstance(term, Lit):
+        return term
+    if isinstance(term, Arith):
+        return Arith(term.op, rename_term(term.lhs, mapping), rename_term(term.rhs, mapping))
+    if isinstance(term, Func):
+        return Func(term.name, tuple(rename_term(a, mapping) for a in term.args))
+    raise TypeError(f"not a value term: {term!r}")
+
+
+# ----------------------------------------------------------------------
+# Relational expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rel:
+    """A base relation or materialized-view reference.
+
+    ``cols`` names the output columns *as used in this query*; workload
+    definitions rename physical attributes into query-local variables.
+    """
+
+    name: str
+    cols: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.cols)})"
+
+
+@dataclass(frozen=True)
+class DeltaRel:
+    """A batch of updates to a base relation.
+
+    Insertions carry positive and deletions negative multiplicities; a
+    single batch may mix both (footnote 3 of the paper).
+    """
+
+    name: str
+    cols: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"d{self.name}({', '.join(self.cols)})"
+
+
+@dataclass(frozen=True)
+class Union:
+    """N-ary bag union; all parts share one output schema (as a set)."""
+
+    parts: tuple["Expr", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Join:
+    """N-ary natural join.
+
+    Order matters operationally (not semantically): information about
+    bound variables flows left to right, per the paper's model of
+    computation (Section 3.2.1).
+    """
+
+    parts: tuple["Expr", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Sum:
+    """Multiplicity-preserving projection onto ``group_by`` columns."""
+
+    group_by: tuple[str, ...]
+    child: "Expr"
+
+    def __repr__(self) -> str:
+        return f"Sum[{', '.join(self.group_by)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant: a singleton relation mapping () to the constant."""
+
+    value: TyUnion[int, float]
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ValueF:
+    """An interpreted value used as a multiplicity factor.
+
+    Joining with ``ValueF(t)`` multiplies multiplicities by the value of
+    ``t`` under the current bindings (the paper's *value* construct).
+    """
+
+    term: ValueTerm
+
+    def __repr__(self) -> str:
+        return f"[{self.term!r}]"
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """A comparison: an interpreted 0/1-multiplicity relation."""
+
+    op: str  # one of < <= > >= == !=
+    lhs: ValueTerm
+    rhs: ValueTerm
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Generalized variable assignment ``(var := child)``.
+
+    With a :class:`ValueTerm` child this is the classical singleton
+    assignment.  With an :class:`Expr` child it implements nested
+    aggregates: tuples of the child with non-zero multiplicity are
+    extended by column ``var`` holding that multiplicity, each with
+    output multiplicity 1.  In *scalar context* (no unbound output
+    columns) the aggregate value is emitted even when it is 0, matching
+    SQL COUNT semantics; the delta rule uses the same convention on both
+    of its terms, so deltas remain consistent.
+    """
+
+    var: str
+    child: TyUnion["Expr", ValueTerm]
+
+    def __repr__(self) -> str:
+        return f"({self.var} := {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Set every non-zero multiplicity of the child to 1.
+
+    Sugar for ``Sum[sch(Q)]((X := Q) * (X != 0))``; kept first-class
+    because domain extraction (Fig. 1) builds domain expressions out of
+    it directly.
+    """
+
+    child: "Expr"
+
+    def __repr__(self) -> str:
+        return f"Exists({self.child!r})"
+
+
+# ----------------------------------------------------------------------
+# Location transformers (paper Section 4.2)
+# ----------------------------------------------------------------------
+# The only mechanism for exchanging data among nodes.  Semantically
+# every transformer is the identity on its child's contents — it only
+# moves data — so the reference evaluator treats all three as
+# pass-throughs, which is what makes local/distributed equivalence
+# testable.
+
+
+@dataclass(frozen=True)
+class Repart:
+    """Re-partition a distributed result by ``keys``.
+
+    ``keys == ()`` means broadcast: every worker receives a full copy
+    (the replication used e.g. for small pre-aggregated deltas).
+    """
+
+    child: "Expr"
+    keys: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"Repart[{', '.join(self.keys)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Scatter:
+    """Partition a driver-local result among the workers by ``keys``.
+
+    ``keys == ()`` replicates the local result to every worker.
+    """
+
+    child: "Expr"
+    keys: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"Scatter[{', '.join(self.keys)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Gather:
+    """Aggregate a distributed result on the driver node."""
+
+    child: "Expr"
+
+    def __repr__(self) -> str:
+        return f"Gather({self.child!r})"
+
+
+Expr = TyUnion[
+    Rel, DeltaRel, Union, Join, Sum, Const, ValueF, Cmp, Assign, Exists,
+    Repart, Scatter, Gather,
+]
+
+LOCATION_TRANSFORMERS = (Repart, Scatter, Gather)
+
+#: Node types whose contents are interpreted (never materialized); they
+#: are location-independent in distributed programs (Section 4.2).
+INTERPRETED_TYPES = (Const, ValueF, Cmp)
+
+
+def is_expr(x: object) -> bool:
+    return isinstance(
+        x,
+        (
+            Rel, DeltaRel, Union, Join, Sum, Const, ValueF, Cmp, Assign,
+            Exists, Repart, Scatter, Gather,
+        ),
+    )
+
+
+def children(e: Expr) -> tuple[Expr, ...]:
+    """Relational children of a node (value terms are not included)."""
+    if isinstance(e, (Union, Join)):
+        return e.parts
+    if isinstance(e, (Sum, Exists, Repart, Scatter, Gather)):
+        return (e.child,)
+    if isinstance(e, Assign) and is_expr(e.child):
+        return (e.child,)
+    return ()
+
+
+def rebuild(e: Expr, new_children: tuple[Expr, ...]) -> Expr:
+    """Reconstruct a node with replaced relational children."""
+    if isinstance(e, Union):
+        return Union(new_children)
+    if isinstance(e, Join):
+        return Join(new_children)
+    if isinstance(e, Sum):
+        (c,) = new_children
+        return Sum(e.group_by, c)
+    if isinstance(e, Exists):
+        (c,) = new_children
+        return Exists(c)
+    if isinstance(e, Repart):
+        (c,) = new_children
+        return Repart(c, e.keys)
+    if isinstance(e, Scatter):
+        (c,) = new_children
+        return Scatter(c, e.keys)
+    if isinstance(e, Gather):
+        (c,) = new_children
+        return Gather(c)
+    if isinstance(e, Assign) and is_expr(e.child):
+        (c,) = new_children
+        return Assign(e.var, c)
+    if new_children:
+        raise ValueError(f"node {e!r} takes no children")
+    return e

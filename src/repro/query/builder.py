@@ -1,0 +1,138 @@
+"""Ergonomic constructors for building algebra expressions.
+
+The workload definitions (TPC-H / TPC-DS queries) are written with these
+helpers; they accept bare strings/numbers where the AST wants ``Col`` /
+``Lit`` nodes and flatten nested joins/unions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union as TyUnion
+
+from repro.query.ast import (
+    Arith,
+    Assign,
+    Cmp,
+    Col,
+    Const,
+    DeltaRel,
+    Exists,
+    Expr,
+    Join,
+    Lit,
+    Rel,
+    Sum,
+    Union,
+    ValueF,
+    ValueTerm,
+    is_expr,
+)
+
+TermLike = TyUnion[ValueTerm, str, int, float]
+
+
+def _as_term(x: TermLike) -> ValueTerm:
+    """Coerce a string to a column reference and a number to a literal."""
+    if isinstance(x, (Col, Lit, Arith)):
+        return x
+    if isinstance(x, str):
+        return Col(x)
+    if isinstance(x, (int, float)):
+        return Lit(x)
+    # Func instances and other terms pass through unchanged.
+    return x
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(v) -> Lit:
+    return Lit(v)
+
+
+def rel(name: str, *cols: str) -> Rel:
+    return Rel(name, tuple(cols))
+
+
+def delta(name: str, *cols: str) -> DeltaRel:
+    return DeltaRel(name, tuple(cols))
+
+
+def const(v) -> Const:
+    return Const(v)
+
+
+def value(term: TermLike) -> ValueF:
+    return ValueF(_as_term(term))
+
+
+def cmp(lhs: TermLike, op: str, rhs: TermLike) -> Cmp:
+    return Cmp(op, _as_term(lhs), _as_term(rhs))
+
+
+def join(*parts: Expr) -> Expr:
+    """N-ary join; flattens nested joins and drops Const(1) units."""
+    flat: list[Expr] = []
+    for p in parts:
+        if isinstance(p, Join):
+            flat.extend(p.parts)
+        elif isinstance(p, Const) and p.value == 1:
+            continue
+        else:
+            flat.append(p)
+    if not flat:
+        return Const(1)
+    if len(flat) == 1:
+        return flat[0]
+    return Join(tuple(flat))
+
+
+def union(*parts: Expr) -> Expr:
+    """N-ary union; flattens nested unions."""
+    flat: list[Expr] = []
+    for p in parts:
+        if isinstance(p, Union):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return Const(0)
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def neg(e: Expr) -> Expr:
+    """``-Q`` is sugar for ``(-1) * Q`` (Section 3.1)."""
+    return join(Const(-1), e)
+
+
+def sum_over(group_by: Iterable[str], e: Expr) -> Sum:
+    return Sum(tuple(group_by), e)
+
+
+def assign(var: str, child: TyUnion[Expr, TermLike]) -> Assign:
+    if is_expr(child):
+        return Assign(var, child)
+    return Assign(var, _as_term(child))
+
+
+def exists(e: Expr) -> Exists:
+    return Exists(e)
+
+
+def mul(lhs: TermLike, rhs: TermLike) -> Arith:
+    return Arith("*", _as_term(lhs), _as_term(rhs))
+
+
+def add(lhs: TermLike, rhs: TermLike) -> Arith:
+    return Arith("+", _as_term(lhs), _as_term(rhs))
+
+
+def sub(lhs: TermLike, rhs: TermLike) -> Arith:
+    return Arith("-", _as_term(lhs), _as_term(rhs))
+
+
+def div(lhs: TermLike, rhs: TermLike) -> Arith:
+    return Arith("/", _as_term(lhs), _as_term(rhs))

@@ -1,0 +1,206 @@
+"""Schema and variable analysis over the query algebra.
+
+Two notions matter throughout the system:
+
+* ``out_cols(e)`` — the output columns an expression produces (ordered,
+  first appearance wins).  This is the paper's ``sch(e)``.
+* ``free_vars(e)`` — columns an expression *requires* to be bound before
+  it can be evaluated (correlation variables of nested aggregates,
+  comparison operands not bound inside the expression, ...).
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    Assign,
+    Cmp,
+    Col,
+    Const,
+    DeltaRel,
+    Exists,
+    Expr,
+    Gather,
+    Join,
+    Rel,
+    Repart,
+    Scatter,
+    Sum,
+    Union,
+    ValueF,
+    children,
+    is_expr,
+    rename_term,
+    term_cols,
+)
+
+
+def _ordered_union(*seqs: tuple[str, ...]) -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for seq in seqs:
+        for c in seq:
+            seen.setdefault(c, None)
+    return tuple(seen)
+
+
+def out_cols(e: Expr) -> tuple[str, ...]:
+    """The output schema of an expression (``sch(e)`` in the paper)."""
+    if isinstance(e, (Rel, DeltaRel)):
+        return e.cols
+    if isinstance(e, Union):
+        # All parts must agree as sets; order comes from the first part.
+        first = out_cols(e.parts[0])
+        for p in e.parts[1:]:
+            if set(out_cols(p)) != set(first):
+                raise ValueError(
+                    f"union parts have different schemas: "
+                    f"{first} vs {out_cols(p)} in {e!r}"
+                )
+        return first
+    if isinstance(e, Join):
+        return _ordered_union(*(out_cols(p) for p in e.parts))
+    if isinstance(e, Sum):
+        return e.group_by
+    if isinstance(e, (Const, ValueF, Cmp)):
+        return ()
+    if isinstance(e, Assign):
+        if is_expr(e.child):
+            return _ordered_union(out_cols(e.child), (e.var,))
+        return (e.var,)
+    if isinstance(e, Exists):
+        return out_cols(e.child)
+    if isinstance(e, (Repart, Scatter, Gather)):
+        return out_cols(e.child)
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def free_vars(e: Expr) -> frozenset[str]:
+    """Columns that must be bound by the evaluation context.
+
+    Information flows left to right through joins: a column produced by
+    an earlier join operand satisfies the requirement of a later one.
+    """
+    if isinstance(e, (Rel, DeltaRel, Const)):
+        return frozenset()
+    if isinstance(e, Union):
+        out: frozenset[str] = frozenset()
+        for p in e.parts:
+            out |= free_vars(p)
+        return out
+    if isinstance(e, Join):
+        bound: set[str] = set()
+        free: set[str] = set()
+        for p in e.parts:
+            free |= free_vars(p) - bound
+            bound |= set(out_cols(p))
+        return frozenset(free)
+    if isinstance(e, Sum):
+        return free_vars(e.child)
+    if isinstance(e, ValueF):
+        return term_cols(e.term)
+    if isinstance(e, Cmp):
+        return term_cols(e.lhs) | term_cols(e.rhs)
+    if isinstance(e, Assign):
+        if is_expr(e.child):
+            return free_vars(e.child)
+        return term_cols(e.child)
+    if isinstance(e, Exists):
+        return free_vars(e.child)
+    if isinstance(e, (Repart, Scatter, Gather)):
+        return free_vars(e.child)
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def base_relations(e: Expr) -> frozenset[str]:
+    """Names of base relations referenced anywhere in the expression."""
+    if isinstance(e, Rel):
+        return frozenset((e.name,))
+    out: frozenset[str] = frozenset()
+    for c in children(e):
+        out |= base_relations(c)
+    return out
+
+
+def delta_relations(e: Expr) -> frozenset[str]:
+    """Names of delta (batch update) relations referenced anywhere."""
+    if isinstance(e, DeltaRel):
+        return frozenset((e.name,))
+    out: frozenset[str] = frozenset()
+    for c in children(e):
+        out |= delta_relations(c)
+    return out
+
+
+def has_relations(e: Expr) -> bool:
+    """True when the expression references any base or delta relation.
+
+    This is the ``A.hasRelations`` test of the domain-extraction
+    algorithm (Fig. 1): assignments over pure value terms need no
+    domain, assignments over relational subqueries do.
+    """
+    if isinstance(e, (Rel, DeltaRel)):
+        return True
+    return any(has_relations(c) for c in children(e))
+
+
+def query_degree(e: Expr) -> int:
+    """The *degree* of a query (Section 3.2): number of base-relation
+    references, which bounds how many delta derivations are needed
+    before an expression becomes update-independent."""
+    if isinstance(e, Rel):
+        return 1
+    return sum(query_degree(c) for c in children(e))
+
+
+def rename_columns(e: Expr, mapping: dict[str, str]) -> Expr:
+    """Consistently rename columns throughout an expression."""
+
+    def m(c: str) -> str:
+        return mapping.get(c, c)
+
+    if isinstance(e, Rel):
+        return Rel(e.name, tuple(m(c) for c in e.cols))
+    if isinstance(e, DeltaRel):
+        return DeltaRel(e.name, tuple(m(c) for c in e.cols))
+    if isinstance(e, Union):
+        return Union(tuple(rename_columns(p, mapping) for p in e.parts))
+    if isinstance(e, Join):
+        return Join(tuple(rename_columns(p, mapping) for p in e.parts))
+    if isinstance(e, Sum):
+        return Sum(
+            tuple(m(c) for c in e.group_by), rename_columns(e.child, mapping)
+        )
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, ValueF):
+        return ValueF(rename_term(e.term, mapping))
+    if isinstance(e, Cmp):
+        return Cmp(e.op, rename_term(e.lhs, mapping), rename_term(e.rhs, mapping))
+    if isinstance(e, Assign):
+        if is_expr(e.child):
+            return Assign(m(e.var), rename_columns(e.child, mapping))
+        return Assign(m(e.var), rename_term(e.child, mapping))
+    if isinstance(e, Exists):
+        return Exists(rename_columns(e.child, mapping))
+    if isinstance(e, Repart):
+        return Repart(
+            rename_columns(e.child, mapping), tuple(m(c) for c in e.keys)
+        )
+    if isinstance(e, Scatter):
+        return Scatter(
+            rename_columns(e.child, mapping), tuple(m(c) for c in e.keys)
+        )
+    if isinstance(e, Gather):
+        return Gather(rename_columns(e.child, mapping))
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def substitute(e: Expr, replacements: dict[Expr, Expr]) -> Expr:
+    """Replace subexpressions (by structural equality), bottom-up."""
+    kids = children(e)
+    if kids:
+        new_kids = tuple(substitute(c, replacements) for c in kids)
+        if new_kids != kids:
+            from repro.query.ast import rebuild
+
+            e = rebuild(e, new_kids)
+    return replacements.get(e, e)

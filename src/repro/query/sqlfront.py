@@ -1,0 +1,553 @@
+"""A SQL frontend for the query algebra.
+
+The paper's system takes SQL in and emits maintenance code; the
+workload queries in this repository are hand-written algebra, and this
+module closes the loop for the supported SQL subset:
+
+    SELECT [DISTINCT] <columns and/or COUNT(*) / SUM(expr)>
+    FROM   <table [alias]> [, <table [alias]>]*
+    [WHERE <conjunction of predicates>]
+    [GROUP BY <columns>]
+
+Predicates are comparisons between arithmetic expressions over columns
+and integer literals, comparisons against scalar subqueries (nested
+aggregates, possibly correlated — Example 3.1), and
+``EXISTS (subquery)``.
+
+Lowering follows the paper's modeling (§3.1/Appendix A):
+
+* equality predicates between base columns become *natural join*
+  columns (the two occurrences are renamed to one shared name);
+* a scalar subquery becomes a generalized variable assignment
+  ``(var := Q)`` joined with the enclosing comparison;
+* ``EXISTS (Q)`` becomes ``(var := Q) ⋈ (var ≠ 0)``;
+* ``COUNT(*)`` is the bare multiplicity; ``SUM(e)`` joins an
+  interpreted value term ``[e]``;
+* ``DISTINCT`` wraps the result in ``Exists``.
+
+Usage::
+
+    catalog = {"R": ("a", "b"), "S": ("b", "c")}
+    query = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE R.a < "
+        "(SELECT COUNT(*) FROM S WHERE S.b = R.b)",
+        catalog,
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.query.ast import (
+    Arith,
+    Assign,
+    Cmp,
+    Col,
+    Exists,
+    Expr,
+    Join,
+    Lit,
+    Rel,
+    Sum,
+    ValueF,
+)
+
+__all__ = ["parse_sql", "SqlError", "sql_to_spec"]
+
+
+class SqlError(ValueError):
+    """Raised for syntax errors and unresolvable references."""
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\.|\*|\+|-|/)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "AND",
+    "EXISTS", "COUNT", "SUM", "AS",
+}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'kw' | 'name' | 'num' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    out: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SqlError(f"cannot tokenize at {sql[pos:pos+10]!r}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        text = m.group()
+        if m.lastgroup == "name":
+            upper = text.upper()
+            if upper in _KEYWORDS:
+                out.append(_Token("kw", upper, m.start()))
+            else:
+                out.append(_Token("name", text, m.start()))
+        elif m.lastgroup == "num":
+            out.append(_Token("num", text, m.start()))
+        else:
+            out.append(_Token("op", text, m.start()))
+    out.append(_Token("eof", "", len(sql)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Parse tree (pre-lowering)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ColRef:
+    qualifier: str | None
+    column: str
+
+
+@dataclass
+class _Num:
+    value: float
+
+
+@dataclass
+class _Bin:
+    op: str
+    lhs: object
+    rhs: object
+
+
+@dataclass
+class _CmpPred:
+    op: str
+    lhs: object  # arith or _Select
+    rhs: object
+
+
+@dataclass
+class _ExistsPred:
+    subquery: "_Select"
+
+
+@dataclass
+class _Select:
+    distinct: bool
+    columns: list[_ColRef]
+    aggregates: list[tuple]  # ('count',) | ('sum', arith)
+    tables: list[tuple[str, str]]  # (table, alias)
+    predicates: list[object]
+    group_by: list[_ColRef]
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- primitives ----------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        t = self.tokens[self.i]
+        self.i += 1
+        return t
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        t = self.peek()
+        if t.kind == kind and (text is None or t.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        t = self.accept(kind, text)
+        if t is None:
+            got = self.peek()
+            want = text or kind
+            raise SqlError(f"expected {want!r}, got {got.text!r} at {got.pos}")
+        return t
+
+    # -- grammar ---------------------------------------------------------
+    def parse_select(self) -> _Select:
+        self.expect("kw", "SELECT")
+        distinct = self.accept("kw", "DISTINCT") is not None
+
+        columns: list[_ColRef] = []
+        aggregates: list[tuple] = []
+        while True:
+            if self.accept("kw", "COUNT"):
+                self.expect("op", "(")
+                self.expect("op", "*")
+                self.expect("op", ")")
+                aggregates.append(("count",))
+            elif self.accept("kw", "SUM"):
+                self.expect("op", "(")
+                aggregates.append(("sum", self.parse_arith()))
+                self.expect("op", ")")
+            else:
+                columns.append(self.parse_colref())
+            if not self.accept("op", ","):
+                break
+
+        self.expect("kw", "FROM")
+        tables: list[tuple[str, str]] = []
+        while True:
+            name = self.expect("name").text
+            alias = name
+            self.accept("kw", "AS")
+            alias_tok = self.accept("name")
+            if alias_tok is not None:
+                alias = alias_tok.text
+            tables.append((name, alias))
+            if not self.accept("op", ","):
+                break
+
+        predicates: list[object] = []
+        if self.accept("kw", "WHERE"):
+            predicates.append(self.parse_predicate())
+            while self.accept("kw", "AND"):
+                predicates.append(self.parse_predicate())
+
+        group_by: list[_ColRef] = []
+        if self.accept("kw", "GROUP"):
+            self.expect("kw", "BY")
+            group_by.append(self.parse_colref())
+            while self.accept("op", ","):
+                group_by.append(self.parse_colref())
+
+        return _Select(distinct, columns, aggregates, tables, predicates, group_by)
+
+    def parse_colref(self) -> _ColRef:
+        first = self.expect("name").text
+        if self.accept("op", "."):
+            col = self.expect("name").text
+            return _ColRef(first, col)
+        return _ColRef(None, first)
+
+    def parse_predicate(self) -> object:
+        if self.accept("kw", "EXISTS"):
+            self.expect("op", "(")
+            sub = self.parse_select()
+            self.expect("op", ")")
+            return _ExistsPred(sub)
+        lhs = self.parse_operand()
+        op_tok = self.expect("op")
+        op = {"=": "==", "<>": "!="}.get(op_tok.text, op_tok.text)
+        if op not in ("<", "<=", ">", ">=", "==", "!="):
+            raise SqlError(f"{op_tok.text!r} is not a comparison operator")
+        rhs = self.parse_operand()
+        return _CmpPred(op, lhs, rhs)
+
+    def parse_operand(self) -> object:
+        """An arithmetic expression or a parenthesized scalar subquery."""
+        if self.peek().kind == "op" and self.peek().text == "(":
+            # Lookahead: '(' SELECT ... means a scalar subquery.
+            if self.tokens[self.i + 1].kind == "kw" and (
+                self.tokens[self.i + 1].text == "SELECT"
+            ):
+                self.expect("op", "(")
+                sub = self.parse_select()
+                self.expect("op", ")")
+                return sub
+        return self.parse_arith()
+
+    def parse_arith(self) -> object:
+        node = self.parse_term()
+        while True:
+            t = self.peek()
+            if t.kind == "op" and t.text in ("+", "-"):
+                self.next()
+                node = _Bin(t.text, node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self) -> object:
+        node = self.parse_factor()
+        while True:
+            t = self.peek()
+            if t.kind == "op" and t.text in ("*", "/"):
+                self.next()
+                node = _Bin(t.text, node, self.parse_factor())
+            else:
+                return node
+
+    def parse_factor(self) -> object:
+        if self.accept("op", "("):
+            node = self.parse_arith()
+            self.expect("op", ")")
+            return node
+        t = self.peek()
+        if t.kind == "num":
+            self.next()
+            v = float(t.text)
+            return _Num(int(v) if v.is_integer() else v)
+        return self.parse_colref()
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict[tuple, tuple] = {}
+
+    def find(self, x: tuple) -> tuple:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: tuple, b: tuple) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Keep the earlier-created root for stable naming.
+            self.parent[rb] = ra
+
+
+@dataclass
+class _Scope:
+    """Column resolution for one SELECT's FROM tables."""
+
+    #: (alias, column) -> canonical algebra column name
+    names: dict[tuple[str, str], str]
+    #: bare column -> list of (alias, column) owning it
+    bare: dict[str, list[tuple[str, str]]]
+    parent: "_Scope | None" = None
+
+    def resolve(self, ref: _ColRef) -> str:
+        if ref.qualifier is not None:
+            key = (ref.qualifier, ref.column)
+            if key in self.names:
+                return self.names[key]
+            if self.parent is not None:
+                return self.parent.resolve(ref)
+            raise SqlError(f"unknown column {ref.qualifier}.{ref.column}")
+        owners = self.bare.get(ref.column, [])
+        if len(owners) == 1:
+            return self.names[owners[0]]
+        if len(owners) > 1:
+            raise SqlError(f"ambiguous column {ref.column!r}")
+        if self.parent is not None:
+            return self.parent.resolve(ref)
+        raise SqlError(f"unknown column {ref.column!r}")
+
+    def resolve_local(self, ref: _ColRef) -> tuple[str, str] | None:
+        """The (alias, column) occurrence if the ref binds in *this*
+        scope (not a correlated outer reference)."""
+        if ref.qualifier is not None:
+            key = (ref.qualifier, ref.column)
+            return key if key in self.names else None
+        owners = self.bare.get(ref.column, [])
+        return owners[0] if len(owners) == 1 else None
+
+
+class _Lowerer:
+    def __init__(self, catalog: dict[str, tuple[str, ...]]):
+        self.catalog = catalog
+        self.var_counter = 0
+
+    def fresh_var(self) -> str:
+        self.var_counter += 1
+        return f"sq{self.var_counter}"
+
+    # ------------------------------------------------------------------
+    def lower_select(
+        self, sel: _Select, outer: _Scope | None = None
+    ) -> Expr:
+        if not sel.tables:
+            raise SqlError("FROM clause is required")
+
+        # 1. Equality predicates between two local base columns turn
+        #    into natural-join columns via union-find.
+        uf = _UnionFind()
+        occurrences: list[tuple[str, str]] = []  # (alias, column) in order
+        for table, alias in sel.tables:
+            if table not in self.catalog:
+                raise SqlError(f"unknown table {table!r}")
+            for col in self.catalog[table]:
+                occurrences.append((alias, col))
+        occ_set = set(occurrences)
+        if len(occ_set) != len(occurrences):
+            raise SqlError("duplicate table alias in FROM")
+        for occ in occurrences:
+            uf.find(occ)
+
+        pre_scope = self._make_scope(sel, {}, outer)
+        residual: list[object] = []
+        for pred in sel.predicates:
+            if (
+                isinstance(pred, _CmpPred)
+                and pred.op == "=="
+                and isinstance(pred.lhs, _ColRef)
+                and isinstance(pred.rhs, _ColRef)
+            ):
+                a = pre_scope.resolve_local(pred.lhs)
+                b = pre_scope.resolve_local(pred.rhs)
+                if a is not None and b is not None and a[0] != b[0]:
+                    uf.union(a, b)
+                    continue
+            residual.append(pred)
+
+        # 2. Canonical names: the first occurrence of each class.
+        order = {occ: i for i, occ in enumerate(occurrences)}
+        names: dict[tuple[str, str], str] = {}
+        for occ in occurrences:
+            root = uf.find(occ)
+            canonical = min(
+                (o for o in occurrences if uf.find(o) == root),
+                key=order.__getitem__,
+            )
+            names[occ] = f"{canonical[0]}_{canonical[1]}"
+
+        scope = self._make_scope(sel, names, outer)
+
+        # 3. FROM: relations over canonical column names.
+        factors: list[Expr] = []
+        for table, alias in sel.tables:
+            cols = tuple(names[(alias, c)] for c in self.catalog[table])
+            if len(set(cols)) != len(cols):
+                raise SqlError(
+                    f"self-equality within table {table!r} is unsupported"
+                )
+            factors.append(Rel(table, cols))
+
+        # 4. Residual predicates.
+        for pred in residual:
+            factors.extend(self._lower_predicate(pred, scope))
+
+        # 5. SELECT list.
+        group_cols = tuple(
+            scope.resolve(ref) for ref in (sel.group_by or sel.columns)
+        )
+        for ref in sel.columns:
+            if scope.resolve(ref) not in group_cols:
+                raise SqlError(
+                    f"column {ref.column!r} must appear in GROUP BY"
+                )
+
+        for agg in sel.aggregates:
+            if agg[0] == "sum":
+                factors.append(ValueF(self._lower_arith(agg[1], scope)))
+
+        body: Expr = factors[0] if len(factors) == 1 else Join(tuple(factors))
+        result: Expr = Sum(group_cols, body)
+        if sel.distinct:
+            result = Exists(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _make_scope(
+        self,
+        sel: _Select,
+        names: dict[tuple[str, str], str],
+        outer: _Scope | None,
+    ) -> _Scope:
+        full_names: dict[tuple[str, str], str] = {}
+        bare: dict[str, list[tuple[str, str]]] = {}
+        for table, alias in sel.tables:
+            for col in self.catalog[table]:
+                occ = (alias, col)
+                full_names[occ] = names.get(occ, f"{alias}_{col}")
+                bare.setdefault(col, []).append(occ)
+        return _Scope(full_names, bare, outer)
+
+    def _lower_predicate(self, pred: object, scope: _Scope) -> list[Expr]:
+        if isinstance(pred, _ExistsPred):
+            sub = self.lower_select(pred.subquery, outer=scope)
+            var = self.fresh_var()
+            return [Assign(var, sub), Cmp("!=", Col(var), Lit(0))]
+        assert isinstance(pred, _CmpPred)
+        factors: list[Expr] = []
+        lhs = self._lower_operand(pred.lhs, scope, factors)
+        rhs = self._lower_operand(pred.rhs, scope, factors)
+        factors.append(Cmp(pred.op, lhs, rhs))
+        return factors
+
+    def _lower_operand(self, node: object, scope: _Scope, factors: list[Expr]):
+        if isinstance(node, _Select):
+            sub = self.lower_select(node, outer=scope)
+            var = self.fresh_var()
+            factors.append(Assign(var, sub))
+            return Col(var)
+        return self._lower_arith(node, scope)
+
+    def _lower_arith(self, node: object, scope: _Scope):
+        if isinstance(node, _Num):
+            return Lit(node.value)
+        if isinstance(node, _ColRef):
+            return Col(scope.resolve(node))
+        if isinstance(node, _Bin):
+            return Arith(
+                node.op,
+                self._lower_arith(node.lhs, scope),
+                self._lower_arith(node.rhs, scope),
+            )
+        raise SqlError(f"unsupported expression {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def parse_sql(sql: str, catalog: dict[str, tuple[str, ...]]) -> Expr:
+    """Parse a SQL string into a query-algebra expression.
+
+    ``catalog`` maps table names to their column names; columns in the
+    produced algebra are named ``<alias>_<column>`` (with natural-join
+    classes collapsing to the first-mentioned occurrence).
+    """
+    parser = _Parser(_tokenize(sql))
+    sel = parser.parse_select()
+    parser.expect("eof")
+    return _Lowerer(catalog).lower_select(sel)
+
+
+def sql_to_spec(
+    name: str,
+    sql: str,
+    catalog: dict[str, tuple[str, ...]],
+    updatable: frozenset[str] | None = None,
+    key_hints: dict[str, tuple[str, ...]] | None = None,
+):
+    """Parse SQL straight into a benchmarkable :class:`QuerySpec`."""
+    from repro.query.schema import base_relations
+    from repro.workloads.spec import QuerySpec
+
+    query = parse_sql(sql, catalog)
+    if updatable is None:
+        updatable = frozenset(base_relations(query))
+    return QuerySpec(
+        name=name,
+        query=query,
+        updatable=updatable,
+        key_hints=key_hints or {},
+        notes=f"parsed from SQL: {sql.strip()}",
+    )

@@ -1,0 +1,15 @@
+"""Generalized multiset relations (GMRs): the ring data model.
+
+A GMR is a finite map from tuples to non-zero multiplicities.  The
+multiplicity generalizes the classical bag count to arbitrary numeric
+aggregate values (SUM, COUNT, ...), so *updating* an aggregate means
+changing a multiplicity instead of deleting and re-inserting tuples.
+
+GMRs form a commutative ring-like structure under bag union (``+``, adds
+multiplicities) and natural join (``*``, multiplies multiplicities),
+which is what makes delta processing compositional.
+"""
+
+from repro.ring.gmr import GMR, ZERO, gmr_of_pairs, singleton
+
+__all__ = ["GMR", "ZERO", "gmr_of_pairs", "singleton"]

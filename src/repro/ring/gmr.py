@@ -1,0 +1,215 @@
+"""The generalized multiset relation (GMR).
+
+Tuples are plain Python tuples; the column names that give them meaning
+live in the query AST (:mod:`repro.query`).  A GMR never stores a tuple
+with multiplicity zero — zero means absence, which is what lets ``+``
+express both insertion (positive multiplicity) and deletion (negative
+multiplicity) of tuples uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+Multiplicity = float | int
+Tuple_ = tuple
+
+_EPS = 1e-9
+
+
+def _is_zero(m: Multiplicity) -> bool:
+    """Return True when a multiplicity should be treated as absent.
+
+    Integer arithmetic is exact; float aggregates accumulate rounding
+    error, so we clamp tiny residues to zero to keep GMRs canonical.
+    """
+    if isinstance(m, int):
+        return m == 0
+    return abs(m) < _EPS
+
+
+class GMR:
+    """A finite map from tuples to non-zero multiplicities.
+
+    The class is deliberately thin: delta processing manipulates GMRs in
+    tight loops, so every operation bottoms out in plain dict operations.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Mapping[Tuple_, Multiplicity] | None = None):
+        if data is None:
+            self.data: dict[Tuple_, Multiplicity] = {}
+        else:
+            self.data = {t: m for t, m in data.items() if not _is_zero(m)}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Tuple_, Multiplicity]]) -> "GMR":
+        """Build a GMR by accumulating (tuple, multiplicity) pairs."""
+        out: dict[Tuple_, Multiplicity] = {}
+        for t, m in pairs:
+            out[t] = out.get(t, 0) + m
+        return cls({t: m for t, m in out.items() if not _is_zero(m)})
+
+    @classmethod
+    def unsafe(cls, data: dict[Tuple_, Multiplicity]) -> "GMR":
+        """Wrap an already-canonical dict without copying.
+
+        Callers guarantee no zero multiplicities are present.  Used on
+        hot paths where the dict was just built by a canonicalizing loop.
+        """
+        g = cls.__new__(cls)
+        g.data = data
+        return g
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self.data)
+
+    def items(self):
+        return self.data.items()
+
+    def get(self, t: Tuple_, default: Multiplicity = 0) -> Multiplicity:
+        return self.data.get(t, default)
+
+    def __contains__(self, t: Tuple_) -> bool:
+        return t in self.data
+
+    def is_zero(self) -> bool:
+        return not self.data
+
+    def total(self) -> Multiplicity:
+        """Sum of all multiplicities (the full aggregate of the GMR)."""
+        return sum(self.data.values())
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GMR") -> "GMR":
+        """Bag union: add multiplicities, dropping tuples that cancel."""
+        if not self.data:
+            return GMR(dict(other.data))
+        if not other.data:
+            return GMR(dict(self.data))
+        out = dict(self.data)
+        for t, m in other.data.items():
+            nm = out.get(t, 0) + m
+            if _is_zero(nm):
+                out.pop(t, None)
+            else:
+                out[t] = nm
+        return GMR.unsafe(out)
+
+    def __neg__(self) -> "GMR":
+        return GMR.unsafe({t: -m for t, m in self.data.items()})
+
+    def __sub__(self, other: "GMR") -> "GMR":
+        return self + (-other)
+
+    def scale(self, c: Multiplicity) -> "GMR":
+        """Multiply every multiplicity by a constant (join with Const(c))."""
+        if _is_zero(c):
+            return GMR()
+        return GMR.unsafe({t: m * c for t, m in self.data.items()})
+
+    def add_inplace(self, other: "GMR") -> None:
+        """Destructive bag union; the mutation primitive behind ``+=``."""
+        data = self.data
+        for t, m in other.data.items():
+            nm = data.get(t, 0) + m
+            if _is_zero(nm):
+                data.pop(t, None)
+            else:
+                data[t] = nm
+
+    def add_tuple(self, t: Tuple_, m: Multiplicity) -> None:
+        """Accumulate one (tuple, multiplicity) pair in place."""
+        nm = self.data.get(t, 0) + m
+        if _is_zero(nm):
+            self.data.pop(t, None)
+        else:
+            self.data[t] = nm
+
+    # ------------------------------------------------------------------
+    # Structural operations used by the evaluator
+    # ------------------------------------------------------------------
+    def project(self, positions: Sequence[int]) -> "GMR":
+        """Multiplicity-preserving projection onto tuple positions.
+
+        This is the ``Sum`` operator once group-by columns have been
+        resolved to positions: multiplicities of tuples that collide
+        after projection are summed.
+        """
+        out: dict[Tuple_, Multiplicity] = {}
+        for t, m in self.data.items():
+            key = tuple(t[i] for i in positions)
+            nm = out.get(key, 0) + m
+            if _is_zero(nm):
+                out.pop(key, None)
+            else:
+                out[key] = nm
+        return GMR.unsafe(out)
+
+    def filter(self, pred: Callable[[Tuple_], bool]) -> "GMR":
+        return GMR.unsafe({t: m for t, m in self.data.items() if pred(t)})
+
+    def map_tuples(self, fn: Callable[[Tuple_], Tuple_]) -> "GMR":
+        """Re-key every tuple, accumulating multiplicities on collision."""
+        out: dict[Tuple_, Multiplicity] = {}
+        for t, m in self.data.items():
+            key = fn(t)
+            nm = out.get(key, 0) + m
+            if _is_zero(nm):
+                out.pop(key, None)
+            else:
+                out[key] = nm
+        return GMR.unsafe(out)
+
+    def exists(self) -> "GMR":
+        """Set every non-zero multiplicity to 1 (the Exists operator)."""
+        return GMR.unsafe({t: 1 for t in self.data})
+
+    # ------------------------------------------------------------------
+    # Equality / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GMR):
+            return NotImplemented
+        if self.data.keys() != other.data.keys():
+            return False
+        return all(
+            _is_zero(m - other.data[t]) for t, m in self.data.items()
+        )
+
+    def __hash__(self):  # pragma: no cover - GMRs are not hashable
+        raise TypeError("GMR objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        if len(self.data) > 8:
+            head = dict(list(self.data.items())[:8])
+            return f"GMR({head} ... {len(self.data)} tuples)"
+        return f"GMR({self.data})"
+
+
+#: The additive identity — an empty relation.
+ZERO = GMR()
+
+
+def singleton(t: Tuple_, m: Multiplicity = 1) -> GMR:
+    """A one-tuple GMR; ``singleton((), c)`` is the constant ``c``."""
+    if _is_zero(m):
+        return GMR()
+    return GMR.unsafe({t: m})
+
+
+def gmr_of_pairs(pairs: Iterable[tuple[Tuple_, Multiplicity]]) -> GMR:
+    """Convenience alias of :meth:`GMR.from_pairs`."""
+    return GMR.from_pairs(pairs)

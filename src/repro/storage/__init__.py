@@ -1,0 +1,18 @@
+"""Specialized data structures for materialized views (paper §5.2).
+
+* :class:`RecordPool` — the multi-indexed in-memory record pool of
+  Figure 6: one pool per materialized view, with a free list for slot
+  reuse, a unique hash index for point lookups, and any number of
+  non-unique hash indexes for slice operations.
+* :class:`ColumnarBatch` — the column-oriented layout used for input
+  batches and for serialization in distributed mode (§5.2.2), with
+  row/column transformers.
+* :func:`build_storage` — automatic index selection from the compiler's
+  access-pattern analysis (§5.2.1).
+"""
+
+from repro.storage.pool import RecordPool
+from repro.storage.columnar import ColumnarBatch
+from repro.storage.specialize import build_storage
+
+__all__ = ["RecordPool", "ColumnarBatch", "build_storage"]

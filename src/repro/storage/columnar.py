@@ -1,0 +1,142 @@
+"""Column-oriented batch storage (paper §5.2.2).
+
+Input batches and serialized view contents use a columnar layout: one
+Python list per column plus one for multiplicities.  Filtering a simple
+static predicate touches a single column, and (de)serialization for the
+simulated network is a contiguous per-column copy — the two effects the
+paper exploits.  Transformers convert between this layout and the
+row-oriented :class:`~repro.ring.GMR` / :class:`RecordPool` formats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.ring import GMR
+
+
+class ColumnarBatch:
+    """A batch of (tuple, multiplicity) pairs stored column-wise."""
+
+    def __init__(self, cols: tuple[str, ...]):
+        self.cols = cols
+        self.columns: list[list] = [[] for _ in cols]
+        self.multiplicities: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Construction / conversion (the row<->column transformers)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gmr(cls, gmr, cols: tuple[str, ...]) -> "ColumnarBatch":
+        """Row-to-column transformer."""
+        batch = cls(cols)
+        columns = batch.columns
+        mults = batch.multiplicities
+        for t, m in gmr.items():
+            for i, v in enumerate(t):
+                columns[i].append(v)
+            mults.append(m)
+        return batch
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[tuple], cols: tuple[str, ...]
+    ) -> "ColumnarBatch":
+        batch = cls(cols)
+        for row in rows:
+            batch.append(row, 1)
+        return batch
+
+    def to_gmr(self) -> GMR:
+        """Column-to-row transformer (accumulates duplicate keys)."""
+        out = GMR()
+        columns = self.columns
+        for i, m in enumerate(self.multiplicities):
+            out.add_tuple(tuple(col[i] for col in columns), m)
+        return out
+
+    def append(self, row: tuple, multiplicity: float) -> None:
+        for i, v in enumerate(row):
+            self.columns[i].append(v)
+        self.multiplicities.append(multiplicity)
+
+    # ------------------------------------------------------------------
+    # Columnar operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.multiplicities)
+
+    def column(self, name: str) -> list:
+        return self.columns[self.cols.index(name)]
+
+    def rows(self) -> Iterator[tuple[tuple, float]]:
+        columns = self.columns
+        for i, m in enumerate(self.multiplicities):
+            yield tuple(col[i] for col in columns), m
+
+    def filter_column(
+        self, name: str, predicate: Callable[[object], bool]
+    ) -> "ColumnarBatch":
+        """Filter by a single-column predicate — the cache-friendly
+        static-condition scan of §5.2.2."""
+        idx = self.cols.index(name)
+        keep = [
+            i for i, v in enumerate(self.columns[idx]) if predicate(v)
+        ]
+        return self._take(keep, self.cols)
+
+    def project(self, keep_cols: tuple[str, ...]) -> "ColumnarBatch":
+        """Keep only ``keep_cols`` (duplicates NOT merged; use
+        :meth:`aggregate` to also collapse equal keys)."""
+        out = ColumnarBatch(keep_cols)
+        for c in keep_cols:
+            out.columns[out.cols.index(c)] = list(self.column(c))
+        out.multiplicities = list(self.multiplicities)
+        return out
+
+    def aggregate(self, keep_cols: tuple[str, ...]) -> "ColumnarBatch":
+        """Project and pre-aggregate: the batch preprocessing of §3.3."""
+        positions = [self.cols.index(c) for c in keep_cols]
+        acc: dict[tuple, float] = {}
+        columns = self.columns
+        for i, m in enumerate(self.multiplicities):
+            key = tuple(columns[p][i] for p in positions)
+            acc[key] = acc.get(key, 0) + m
+        out = ColumnarBatch(keep_cols)
+        for key, m in acc.items():
+            if m != 0:
+                out.append(key, m)
+        return out
+
+    def _take(self, indices: list[int], cols: tuple[str, ...]) -> "ColumnarBatch":
+        out = ColumnarBatch(cols)
+        for ci, c in enumerate(cols):
+            src = self.column(c)
+            out.columns[ci] = [src[i] for i in indices]
+        out.multiplicities = [self.multiplicities[i] for i in indices]
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization accounting (for the simulated network)
+    # ------------------------------------------------------------------
+    def serialized_bytes(self) -> int:
+        """Estimated wire size: 8 bytes per numeric cell, actual length
+        for strings, plus the multiplicity column."""
+        total = 8 * len(self.multiplicities)
+        for col in self.columns:
+            for v in col:
+                total += len(v) if isinstance(v, str) else 8
+        return total
+
+    def __repr__(self) -> str:
+        return f"ColumnarBatch(cols={self.cols}, n={len(self)})"
+
+
+def estimate_gmr_bytes(gmr, cols: tuple[str, ...] | None = None) -> int:
+    """Wire-size estimate of a GMR without materializing a batch."""
+    total = 0
+    for t, _ in gmr.items():
+        total += 8  # multiplicity
+        for v in t:
+            total += len(v) if isinstance(v, str) else 8
+    return total

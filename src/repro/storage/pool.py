@@ -1,0 +1,266 @@
+"""The multi-indexed record pool of Figure 6.
+
+One pool stores the contents of one materialized view: records of a
+fixed format (key fields = the view's schema, one value field = the
+tuple multiplicity).  Slots freed by deletions are recycled through a
+free list.  A unique hash index over the full key serves ``get`` /
+``update`` / ``delete``; non-unique hash indexes over column subsets
+serve ``slice`` operations, with per-slot membership kept consistent on
+every mutation (the paper's index back-references).
+
+Each slot has a stable *virtual address* so a cache simulator can
+replay the pool's access trace; pass a ``tracer`` callable taking
+``(address, record_bytes)``.
+
+The pool intentionally exposes the same read interface as
+:class:`~repro.ring.GMR` (``items``, ``get``, ``__len__``,
+``add_inplace``, ``add_tuple``, ``is_zero``, ``data``) so execution
+engines can swap pools in wherever a GMR is expected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.ring.gmr import _is_zero
+
+Tracer = Callable[[int, int], None]
+
+#: Spacing between consecutive pools in the synthetic address space,
+#: large enough that pools never overlap.
+_POOL_ADDRESS_STRIDE = 1 << 32
+
+
+class RecordPool:
+    """A record pool with a unique index and optional slice indexes."""
+
+    _next_base_address = _POOL_ADDRESS_STRIDE
+
+    def __init__(
+        self,
+        cols: tuple[str, ...],
+        slice_indexes: tuple[tuple[str, ...], ...] = (),
+        tracer: Tracer | None = None,
+    ):
+        self.cols = cols
+        self.tracer = tracer
+        self.record_bytes = 8 * (len(cols) + 1)  # 8-byte fields + value
+
+        # Slot-parallel storage.
+        self._keys: list[tuple | None] = []
+        self._values: list[float] = []
+        self._free: list[int] = []
+        self._live = 0
+
+        # Unique hash index: full key -> slot.
+        self._unique: dict[tuple, int] = {}
+
+        # Non-unique hash indexes: one per column subset.
+        self._slice_cols: list[tuple[str, ...]] = []
+        self._slice_positions: list[tuple[int, ...]] = []
+        self._slices: list[dict[tuple, set[int]]] = []
+        for sc in slice_indexes:
+            self.add_slice_index(sc)
+
+        self.base_address = RecordPool._next_base_address
+        RecordPool._next_base_address += _POOL_ADDRESS_STRIDE
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def add_slice_index(self, cols: tuple[str, ...]) -> int:
+        """Create a non-unique hash index over ``cols``; returns its id."""
+        positions = tuple(self.cols.index(c) for c in cols)
+        index: dict[tuple, set[int]] = {}
+        for slot, key in enumerate(self._keys):
+            if key is not None:
+                subkey = tuple(key[p] for p in positions)
+                index.setdefault(subkey, set()).add(slot)
+        self._slice_cols.append(cols)
+        self._slice_positions.append(positions)
+        self._slices.append(index)
+        return len(self._slices) - 1
+
+    def slice_index_for(self, cols: frozenset[str]) -> int | None:
+        """Find an index whose column set equals ``cols``."""
+        for i, sc in enumerate(self._slice_cols):
+            if frozenset(sc) == cols:
+                return i
+        return None
+
+    @property
+    def slice_index_columns(self) -> list[tuple[str, ...]]:
+        return list(self._slice_cols)
+
+    # ------------------------------------------------------------------
+    # Address bookkeeping / trace
+    # ------------------------------------------------------------------
+    def _touch(self, slot: int) -> None:
+        if self.tracer is not None:
+            self.tracer(
+                self.base_address + slot * self.record_bytes,
+                self.record_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def upsert(self, key: tuple, delta: float) -> None:
+        """Add ``delta`` to the multiplicity of ``key``.
+
+        Inserts the record when absent; deletes it when the
+        multiplicity cancels to zero (GMRs never store zeros).
+        """
+        slot = self._unique.get(key)
+        if slot is not None:
+            self._touch(slot)
+            new = self._values[slot] + delta
+            if _is_zero(new):
+                self._delete_slot(key, slot)
+            else:
+                self._values[slot] = new
+            return
+        if _is_zero(delta):
+            return
+        slot = self._allocate(key, delta)
+        self._touch(slot)
+
+    def delete(self, key: tuple) -> bool:
+        """Remove a record outright; returns False when absent."""
+        slot = self._unique.get(key)
+        if slot is None:
+            return False
+        self._touch(slot)
+        self._delete_slot(key, slot)
+        return True
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._values.clear()
+        self._free.clear()
+        self._live = 0
+        self._unique.clear()
+        for index in self._slices:
+            index.clear()
+
+    def _allocate(self, key: tuple, value: float) -> int:
+        if self._free:
+            slot = self._free.pop()
+            self._keys[slot] = key
+            self._values[slot] = value
+        else:
+            slot = len(self._keys)
+            self._keys.append(key)
+            self._values.append(value)
+        self._unique[key] = slot
+        for positions, index in zip(self._slice_positions, self._slices):
+            subkey = tuple(key[p] for p in positions)
+            index.setdefault(subkey, set()).add(slot)
+        self._live += 1
+        return slot
+
+    def _delete_slot(self, key: tuple, slot: int) -> None:
+        del self._unique[key]
+        for positions, index in zip(self._slice_positions, self._slices):
+            subkey = tuple(key[p] for p in positions)
+            bucket = index.get(subkey)
+            if bucket is not None:
+                bucket.discard(slot)
+                if not bucket:
+                    del index[subkey]
+        self._keys[slot] = None
+        self._free.append(slot)
+        self._live -= 1
+
+    # ------------------------------------------------------------------
+    # Reads (GMR-compatible surface)
+    # ------------------------------------------------------------------
+    def get(self, key: tuple, default: float = 0) -> float:
+        slot = self._unique.get(key)
+        if slot is None:
+            return default
+        self._touch(slot)
+        return self._values[slot]
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._unique
+
+    def __len__(self) -> int:
+        return self._live
+
+    def is_zero(self) -> bool:
+        return self._live == 0
+
+    def items(self) -> Iterator[tuple[tuple, float]]:
+        """Scan every live record (a ``foreach``)."""
+        keys = self._keys
+        values = self._values
+        for slot, key in enumerate(keys):
+            if key is not None:
+                self._touch(slot)
+                yield key, values[slot]
+
+    def slice(self, index_id: int, subkey: tuple) -> Iterator[tuple[tuple, float]]:
+        """Iterate records matching ``subkey`` through a slice index."""
+        bucket = self._slices[index_id].get(subkey)
+        if not bucket:
+            return
+        keys = self._keys
+        values = self._values
+        for slot in list(bucket):
+            self._touch(slot)
+            yield keys[slot], values[slot]
+
+    @property
+    def data(self) -> dict[tuple, float]:
+        """A dict snapshot (GMR compatibility; O(n))."""
+        return {
+            k: self._values[s] for k, s in self._unique.items()
+        }
+
+    def project(self, positions):
+        """GMR-compatible multiplicity-preserving projection."""
+        from repro.ring import GMR
+
+        out = GMR()
+        for key, value in self.items():
+            out.add_tuple(tuple(key[i] for i in positions), value)
+        return out
+
+    def exists(self):
+        """GMR-compatible Exists: every live record at multiplicity 1."""
+        from repro.ring import GMR
+
+        return GMR.unsafe({k: 1 for k, _ in self.items()})
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def add_inplace(self, other) -> None:
+        """Merge a GMR (or anything with ``items()``) into the pool."""
+        for key, delta in other.items():
+            self.upsert(key, delta)
+
+    def add_tuple(self, key: tuple, delta: float) -> None:
+        self.upsert(key, delta)
+
+    def replace_contents(self, other) -> None:
+        self.clear()
+        self.add_inplace(other)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def capacity(self) -> int:
+        """Allocated slots, live or free (the pool's memory footprint)."""
+        return len(self._keys)
+
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordPool(cols={self.cols}, live={self._live}, "
+            f"capacity={self.capacity()}, "
+            f"slice_indexes={self._slice_cols})"
+        )

@@ -1,0 +1,154 @@
+"""Seeded synthetic data generation.
+
+All generators are deterministic given (scale factor, seed), produce
+referentially consistent foreign keys, and keep the value domains the
+queries' predicates were designed against (see schema.py).  Monetary
+values are kept integral to avoid float-noise in equality tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.schema import (
+    TPCDS_BASE_CARDINALITIES,
+    TPCDS_TABLES,
+    TPCH_BASE_CARDINALITIES,
+    TPCH_TABLES,
+)
+
+#: One simulated calendar: ~7 years of day numbers.
+DATE_MIN, DATE_MAX = 0, 2554
+
+
+def _count(base: int, sf: float, floor: int = 1) -> int:
+    return max(floor, int(base * sf))
+
+
+def generate_tpch(
+    sf: float = 0.001, seed: int = 42
+) -> dict[str, list[tuple]]:
+    """Generate a TPC-H-style database at the given scale factor."""
+    rng = random.Random(seed)
+    n = {t: _count(c, sf) for t, c in TPCH_BASE_CARDINALITIES.items()}
+    n["NATION"] = min(25, max(5, n["NATION"]))
+    n["REGION"] = 5
+
+    tables: dict[str, list[tuple]] = {t: [] for t in TPCH_TABLES}
+
+    tables["REGION"] = [(r,) for r in range(n["REGION"])]
+    tables["NATION"] = [
+        (k, rng.randrange(n["REGION"])) for k in range(n["NATION"])
+    ]
+    tables["SUPPLIER"] = [
+        (k, rng.randrange(n["NATION"]), rng.randint(-999, 9999))
+        for k in range(n["SUPPLIER"])
+    ]
+    tables["CUSTOMER"] = [
+        (
+            k,
+            rng.randrange(n["NATION"]),
+            rng.randrange(5),          # mktsegment
+            rng.randint(-999, 9999),   # acctbal
+            rng.randint(10, 34),       # phone country code
+        )
+        for k in range(n["CUSTOMER"])
+    ]
+    tables["PART"] = [
+        (
+            k,
+            rng.randrange(25),   # brand
+            rng.randrange(50),   # type
+            rng.randint(1, 50),  # size
+            rng.randrange(40),   # container
+        )
+        for k in range(n["PART"])
+    ]
+    # At tiny scale factors the unique (part, supplier) key space can be
+    # smaller than the target cardinality; cap to keep generation finite.
+    n["PARTSUPP"] = min(n["PARTSUPP"], n["PART"] * n["SUPPLIER"])
+    seen_ps = set()
+    while len(tables["PARTSUPP"]) < n["PARTSUPP"]:
+        key = (rng.randrange(n["PART"]), rng.randrange(n["SUPPLIER"]))
+        if key in seen_ps:
+            continue
+        seen_ps.add(key)
+        tables["PARTSUPP"].append(
+            key + (rng.randint(1, 9999), rng.randint(1, 1000))
+        )
+    tables["ORDERS"] = [
+        (
+            k,
+            rng.randrange(n["CUSTOMER"]),
+            rng.randint(DATE_MIN, DATE_MAX),
+            rng.randrange(5),  # orderpriority
+            rng.randrange(2),  # shippriority
+        )
+        for k in range(n["ORDERS"])
+    ]
+    lineitem = []
+    for i in range(n["LINEITEM"]):
+        okey = rng.randrange(n["ORDERS"])
+        qty = rng.randint(1, 50)
+        price_per_unit = rng.randint(900, 2100)
+        lineitem.append(
+            (
+                okey,
+                rng.randrange(n["PART"]),
+                rng.randrange(n["SUPPLIER"]),
+                qty,
+                qty * price_per_unit,          # extendedprice
+                rng.randint(0, 10),            # discount in percent
+                rng.randint(DATE_MIN, DATE_MAX),
+                rng.randrange(3),              # returnflag
+                rng.randrange(2),              # linestatus
+                rng.randrange(7),              # shipmode
+            )
+        )
+    tables["LINEITEM"] = lineitem
+    return tables
+
+
+def generate_tpcds(
+    sf: float = 0.001, seed: int = 7
+) -> dict[str, list[tuple]]:
+    """Generate a TPC-DS-style star-schema database."""
+    rng = random.Random(seed)
+    n = {t: _count(c, sf) for t, c in TPCDS_BASE_CARDINALITIES.items()}
+    n["STORE"] = max(2, n["STORE"])
+    n["DATE_DIM"] = max(30, n["DATE_DIM"])
+
+    tables: dict[str, list[tuple]] = {t: [] for t in TPCDS_TABLES}
+    tables["DATE_DIM"] = [
+        (k, 1998 + (k // 365) % 7, 1 + (k // 30) % 12, 1 + k % 28)
+        for k in range(n["DATE_DIM"])
+    ]
+    tables["ITEM"] = [
+        (k, rng.randrange(100), rng.randrange(10), rng.randrange(40))
+        for k in range(n["ITEM"])
+    ]
+    tables["STORE"] = [
+        (k, rng.randrange(30), rng.randrange(10))
+        for k in range(n["STORE"])
+    ]
+    tables["CUSTOMER_D"] = [
+        (k, rng.randrange(20)) for k in range(n["CUSTOMER_D"])
+    ]
+    tables["HOUSEHOLD"] = [
+        (k, rng.randint(0, 9), rng.randint(0, 4))
+        for k in range(n["HOUSEHOLD"])
+    ]
+    tables["STORE_SALES"] = [
+        (
+            rng.randrange(n["DATE_DIM"]),
+            rng.randrange(n["ITEM"]),
+            rng.randrange(n["STORE"]),
+            rng.randrange(n["CUSTOMER_D"]),
+            rng.randrange(n["HOUSEHOLD"]),
+            rng.randint(1, 100),       # quantity
+            rng.randint(1, 20000),     # price (cents)
+            rng.randint(-5000, 5000),  # profit
+        )
+        for _ in range(n["STORE_SALES"])
+    ]
+    return tables

@@ -1,0 +1,93 @@
+"""Table schemas for the synthetic TPC-H / TPC-DS-style workloads.
+
+Column names double as the query-algebra variable names, so shared join
+keys carry the same name in every table that references them (``okey``
+joins LINEITEM with ORDERS, and so on).  Dates are day numbers, and
+categorical attributes are small integers; both preserve the filter
+selectivities and active-domain sizes that drive the paper's
+pre-aggregation effects without modeling string formatting.
+"""
+
+from __future__ import annotations
+
+#: TPC-H-style schema: table -> ordered column names.
+TPCH_TABLES: dict[str, tuple[str, ...]] = {
+    # orderkey, partkey, suppkey, quantity, extendedprice, discount,
+    # shipdate, returnflag, linestatus, shipmode
+    "LINEITEM": (
+        "okey", "pkey", "skey", "qty", "eprice", "disc",
+        "sdate", "rflag", "lstatus", "smode",
+    ),
+    # orderkey, custkey, orderdate, orderpriority, shippriority
+    "ORDERS": ("okey", "ckey", "odate", "opri", "spri"),
+    # custkey, nationkey, mktsegment, acctbal, phone (country code)
+    "CUSTOMER": ("ckey", "nkey", "mkt", "acctbal", "phone"),
+    # partkey, brand, type, size, container
+    "PART": ("pkey", "brand", "ptype", "psize", "container"),
+    # suppkey, nationkey (supplier side), acctbal
+    "SUPPLIER": ("skey", "snkey", "sacctbal"),
+    # partkey, suppkey, availqty, supplycost
+    "PARTSUPP": ("pkey", "skey", "availqty", "scost"),
+    # nationkey, regionkey
+    "NATION": ("nkey", "rkey"),
+    # regionkey
+    "REGION": ("rkey",),
+}
+
+#: Proportional base cardinalities at scale factor 1.0 (tuples).
+TPCH_BASE_CARDINALITIES: dict[str, int] = {
+    "LINEITEM": 6_000_000,
+    "ORDERS": 1_500_000,
+    "PARTSUPP": 800_000,
+    "PART": 200_000,
+    "CUSTOMER": 150_000,
+    "SUPPLIER": 10_000,
+    "NATION": 25,
+    "REGION": 5,
+}
+
+#: TPC-DS-style star schema.
+TPCDS_TABLES: dict[str, tuple[str, ...]] = {
+    # sold_date, item, store, customer, hdemo, quantity, price, profit
+    "STORE_SALES": (
+        "dkey", "ikey", "stkey", "cdkey", "hdkey",
+        "ss_qty", "ss_price", "ss_profit",
+    ),
+    # date surrogate key, year, month-of-year, day-of-month
+    "DATE_DIM": ("dkey", "d_year", "d_moy", "d_dom"),
+    # item surrogate key, brand, category, manager
+    "ITEM": ("ikey", "i_brand", "i_category", "i_manager"),
+    # store surrogate key, county, state
+    "STORE": ("stkey", "st_county", "st_state"),
+    # customer surrogate key, demographics band
+    "CUSTOMER_D": ("cdkey", "cd_band"),
+    # household demographics: dependents count, vehicle count
+    "HOUSEHOLD": ("hdkey", "hd_dep", "hd_vehicle"),
+}
+
+TPCDS_BASE_CARDINALITIES: dict[str, int] = {
+    "STORE_SALES": 2_880_000,
+    "DATE_DIM": 73_000,
+    "ITEM": 18_000,
+    "STORE": 12,
+    "CUSTOMER_D": 100_000,
+    "HOUSEHOLD": 7_200,
+}
+
+#: Key columns per relation in decreasing cardinality order — the input
+#: to the partitioning heuristic of Section 6.2.
+TPCH_KEY_HINTS: dict[str, tuple[str, ...]] = {
+    "LINEITEM": ("okey", "pkey", "ckey", "skey"),
+    "ORDERS": ("okey", "ckey"),
+    "PARTSUPP": ("pkey", "skey"),
+    "PART": ("pkey",),
+    "CUSTOMER": ("ckey",),
+    "SUPPLIER": ("skey",),
+}
+
+TPCDS_KEY_HINTS: dict[str, tuple[str, ...]] = {
+    "STORE_SALES": ("cdkey", "ikey", "dkey"),
+    "CUSTOMER_D": ("cdkey",),
+    "ITEM": ("ikey",),
+    "DATE_DIM": ("dkey",),
+}

@@ -1,0 +1,29 @@
+"""Query specification metadata shared by both workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.ast import Expr
+
+
+@dataclass
+class QuerySpec:
+    """One benchmark query: its algebra, metadata, and streaming setup.
+
+    ``notes`` records how the query was adapted from the original SQL
+    (single aggregate, integer-coded categories, substitutions for
+    MIN/MAX or OUTER JOIN); DESIGN.md §1 explains why the adaptations
+    preserve the structural properties the paper's evaluation studies.
+    """
+
+    name: str
+    query: Expr
+    #: relations that receive update streams (others are static)
+    updatable: frozenset[str]
+    #: per-relation key columns, decreasing cardinality (Section 6.2)
+    key_hints: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    notes: str = ""
+
+    def __repr__(self) -> str:
+        return f"QuerySpec({self.name})"

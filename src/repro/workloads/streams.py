@@ -1,0 +1,128 @@
+"""Stream synthesis (paper Section 6, "Query and Data Workload").
+
+Streams are synthesized from a generated database by interleaving
+insertions to the base relations in round-robin fashion; a larger table
+keeps emitting after smaller ones are exhausted, so relative arrival
+rates track relative cardinalities.  The interleaved tuple stream is
+then chunked into per-relation batches of the requested size (the
+paper forms input batches up front, outside the measured window).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.eval import Database
+from repro.ring import GMR
+
+
+def load_database(tables: dict[str, list[tuple]]) -> Database:
+    """Load a generated dataset directly into a Database (no stream)."""
+    db = Database()
+    for name, rows in tables.items():
+        db.insert_rows(name, rows)
+    return db
+
+
+def interleave(tables: dict[str, list[tuple]]) -> Iterator[tuple[str, tuple]]:
+    """Round-robin interleaving of insertions across relations."""
+    iters = {name: iter(rows) for name, rows in tables.items() if rows}
+    order = sorted(iters)
+    while iters:
+        exhausted = []
+        for name in order:
+            it = iters.get(name)
+            if it is None:
+                continue
+            row = next(it, None)
+            if row is None:
+                exhausted.append(name)
+            else:
+                yield name, row
+        for name in exhausted:
+            del iters[name]
+
+
+def stream_batches(
+    tables: dict[str, list[tuple]],
+    batch_size: int,
+    relations: frozenset[str] | None = None,
+) -> Iterator[tuple[str, GMR]]:
+    """Chunk the interleaved stream into per-relation update batches.
+
+    ``relations`` restricts which tables are streamed (others can be
+    pre-loaded as static dimension tables); batches mix no relations,
+    matching the per-relation trigger interface.
+    """
+    buffers: dict[str, GMR] = {}
+    counts: dict[str, int] = {}
+    for name, row in interleave(tables):
+        if relations is not None and name not in relations:
+            continue
+        buf = buffers.get(name)
+        if buf is None:
+            buf = buffers[name] = GMR()
+            counts[name] = 0
+        buf.add_tuple(tuple(row), 1)
+        counts[name] += 1
+        if counts[name] >= batch_size:
+            yield name, buf
+            del buffers[name]
+            del counts[name]
+    for name in sorted(buffers):
+        if not buffers[name].is_zero():
+            yield name, buffers[name]
+
+
+def stream_batches_with_deletions(
+    tables: dict[str, list[tuple]],
+    batch_size: int,
+    relations: frozenset[str] | None = None,
+    delete_fraction: float = 0.2,
+    seed: int = 0,
+) -> Iterator[tuple[str, GMR]]:
+    """Mixed insert/delete stream (footnote 3: "ΔR can contain both
+    insertions and deletions").
+
+    Roughly ``delete_fraction`` of the events are deletions of tuples
+    inserted earlier in the same stream, chosen uniformly from the live
+    set; a batch can therefore net out to fewer — or negative —
+    multiplicities per tuple, exercising the engines' full generality.
+    """
+    import random
+
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError("delete_fraction must be in [0, 1)")
+    rng = random.Random(seed)
+    live: dict[str, list[tuple]] = {}
+    buffers: dict[str, GMR] = {}
+    counts: dict[str, int] = {}
+
+    def emit(name: str, t: tuple, m: int) -> Iterator[tuple[str, GMR]]:
+        buf = buffers.get(name)
+        if buf is None:
+            buf = buffers[name] = GMR()
+            counts[name] = 0
+        buf.add_tuple(t, m)
+        counts[name] += 1
+        if counts[name] >= batch_size:
+            out = buffers.pop(name)
+            del counts[name]
+            if not out.is_zero():
+                yield name, out
+
+    for name, row in interleave(tables):
+        if relations is not None and name not in relations:
+            continue
+        rows = live.setdefault(name, [])
+        if rows and rng.random() < delete_fraction:
+            victim_idx = rng.randrange(len(rows))
+            victim = rows[victim_idx]
+            rows[victim_idx] = rows[-1]
+            rows.pop()
+            yield from emit(name, victim, -1)
+        rows.append(tuple(row))
+        yield from emit(name, tuple(row), +1)
+    for name in sorted(buffers):
+        if not buffers[name].is_zero():
+            yield name, buffers[name]

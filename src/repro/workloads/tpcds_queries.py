@@ -1,0 +1,253 @@
+"""Streaming-adapted TPC-DS queries (the paper's 13-query subset).
+
+The subset from [23] used by the paper — Q3, Q7, Q19, Q27, Q34, Q42,
+Q43, Q46, Q52, Q55, Q68, Q73, Q79 — consists of star-schema
+aggregations: STORE_SALES joined with dimension tables under dimension
+filters.  The queries below keep each query's dimension set, filter
+selectivity, and group-by domain; categorical values are integer-coded
+and one aggregate stands in for multi-aggregate outputs.
+"""
+
+from __future__ import annotations
+
+from repro.query import assign, cmp, exists, join, rel, sum_over, value
+from repro.query.builder import mul
+from repro.workloads.schema import TPCDS_KEY_HINTS, TPCDS_TABLES
+from repro.workloads.spec import QuerySpec
+
+
+def _rel(name: str):
+    return rel(name, *TPCDS_TABLES[name])
+
+
+STORE_SALES = _rel("STORE_SALES")
+DATE_DIM = _rel("DATE_DIM")
+ITEM = _rel("ITEM")
+STORE = _rel("STORE")
+CUSTOMER_D = _rel("CUSTOMER_D")
+HOUSEHOLD = _rel("HOUSEHOLD")
+
+#: the common measure: quantity-weighted sales price
+SALES = value(mul("ss_qty", "ss_price"))
+
+TPCDS_QUERIES: dict[str, QuerySpec] = {}
+
+
+def _add(name, query, updatable, notes):
+    TPCDS_QUERIES[name] = QuerySpec(
+        name=name,
+        query=query,
+        updatable=frozenset(updatable),
+        key_hints=TPCDS_KEY_HINTS,
+        notes=notes,
+    )
+
+
+# Q3: brand sales by year for one manager's items in one month.
+_add(
+    "Q3",
+    sum_over(
+        ["d_year", "i_brand"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_moy", "==", 11),
+            ITEM, cmp("i_manager", "==", 1), SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "sales ⋈ date ⋈ item with manager/month filters, grouped by "
+    "(year, brand) — the original shape.",
+)
+
+# Q7: average quantities for one demographic band.
+_add(
+    "Q7",
+    sum_over(
+        ["ikey"],
+        join(
+            STORE_SALES, CUSTOMER_D, cmp("cd_band", "==", 3),
+            DATE_DIM, cmp("d_year", "==", 2000), ITEM, SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Demographic-filtered item aggregate; the 4 AVG aggregates are "
+    "reduced to one SUM.",
+)
+
+# Q19: brand revenue for one month, store/customer locality filter.
+_add(
+    "Q19",
+    sum_over(
+        ["i_brand"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_moy", "==", 2),
+            cmp("d_year", "==", 1999), ITEM, cmp("i_manager", "<", 10),
+            STORE, cmp("st_state", "!=", 5), SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "The zip-code mismatch locality filter becomes a state filter.",
+)
+
+# Q27: aggregates by item and state for one demographic.
+_add(
+    "Q27",
+    sum_over(
+        ["ikey", "st_state"],
+        join(
+            STORE_SALES, CUSTOMER_D, cmp("cd_band", "==", 7),
+            DATE_DIM, cmp("d_year", "==", 2001), STORE, ITEM, SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Four-dimension star join grouped by (item, state).",
+)
+
+# Q34: households with many items in a county band (EXISTS flavor).
+_SS2 = rel("STORE_SALES", "dkey2", "ikey2", "stkey2", "cdkey2",
+           "hdkey2", "ss_qty2", "ss_price2", "ss_profit2")
+_add(
+    "Q34",
+    sum_over(
+        ["cdkey"],
+        join(
+            STORE_SALES, STORE, cmp("st_county", "<", 8),
+            HOUSEHOLD, cmp("hd_dep", ">=", 2),
+            assign(
+                "B",
+                sum_over([], join(
+                    _SS2, cmp("cdkey", "==", "cdkey2"), value("ss_qty2"),
+                )),
+            ),
+            cmp("B", ">", 15),
+        ),
+    ),
+    ["STORE_SALES"],
+    "The buy-count-between-15-and-20 HAVING becomes an equality-"
+    "correlated nested SUM threshold per customer.",
+)
+
+# Q42: category sales for one year/month.
+_add(
+    "Q42",
+    sum_over(
+        ["i_category"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_moy", "==", 12),
+            cmp("d_year", "==", 1998), ITEM, SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Category aggregate over sales ⋈ date ⋈ item.",
+)
+
+# Q43: store sales by day-of-week → day-of-month here.
+_add(
+    "Q43",
+    sum_over(
+        ["stkey", "d_dom"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_year", "==", 2000),
+            STORE, SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Day-of-week pivot becomes a (store, day) group-by.",
+)
+
+# Q46: customers buying in specific demographic/store conditions.
+_add(
+    "Q46",
+    sum_over(
+        ["cdkey"],
+        join(
+            STORE_SALES, HOUSEHOLD, cmp("hd_vehicle", ">=", 2),
+            STORE, cmp("st_county", "<", 15),
+            DATE_DIM, cmp("d_dom", "<=", 7),
+            value("ss_profit"),
+        ),
+    ),
+    ["STORE_SALES"],
+    "Profit by customer under household/store/date filters; the "
+    "city-mismatch condition is dropped.",
+)
+
+# Q52: brand revenue, one month of one year (like Q42 by brand).
+_add(
+    "Q52",
+    sum_over(
+        ["i_brand"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_moy", "==", 11),
+            cmp("d_year", "==", 2000), ITEM, SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Brand revenue for one month.",
+)
+
+# Q55: brand revenue for one manager.
+_add(
+    "Q55",
+    sum_over(
+        ["i_brand"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_moy", "==", 11),
+            ITEM, cmp("i_manager", "==", 28), SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Brand revenue for one manager's items.",
+)
+
+# Q68: customer purchases with household and date filters.
+_add(
+    "Q68",
+    sum_over(
+        ["cdkey", "stkey"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_dom", "<=", 2),
+            STORE, cmp("st_county", "<", 4),
+            HOUSEHOLD, cmp("hd_dep", "==", 4),
+            SALES,
+        ),
+    ),
+    ["STORE_SALES"],
+    "Customer/store purchase totals under tight dimension filters.",
+)
+
+# Q73: households with medium buy counts (like Q34, tighter).
+_add(
+    "Q73",
+    sum_over(
+        ["cdkey"],
+        join(
+            STORE_SALES, STORE, cmp("st_county", "<", 5),
+            HOUSEHOLD, cmp("hd_vehicle", ">", 0),
+            assign(
+                "B",
+                sum_over([], join(
+                    _SS2, cmp("cdkey", "==", "cdkey2"),
+                )),
+            ),
+            cmp("B", ">", 1),
+            cmp("B", "<", 5),
+        ),
+    ),
+    ["STORE_SALES"],
+    "Buy-count band via an equality-correlated nested COUNT.",
+)
+
+# Q79: customer profit per store for large-dependency households.
+_add(
+    "Q79",
+    sum_over(
+        ["cdkey", "stkey"],
+        join(
+            STORE_SALES, DATE_DIM, cmp("d_dom", "<=", 10),
+            STORE, HOUSEHOLD, cmp("hd_dep", ">=", 6),
+            value("ss_profit"),
+        ),
+    ),
+    ["STORE_SALES"],
+    "Profit by (customer, store) for high-dependency households.",
+)

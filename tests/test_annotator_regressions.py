@@ -1,0 +1,140 @@
+"""Regression tests for distributed-annotation correctness bugs.
+
+Both bugs were found by the all-queries distributed sweep
+(test_distributed_workloads.py); these tests pin the specific
+mechanisms so they cannot silently return.
+"""
+
+import pytest
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.distributed import SimulatedCluster, compile_distributed
+from repro.distributed.annotate import (
+    _matching_key_column,
+    annotate_program,
+    default_partitioning,
+)
+from repro.distributed.tags import Dist, RANDOM
+from repro.eval import evaluate
+from repro.harness.scaling import _preload_static
+from repro.harness.setup import prepare_stream
+from repro.query.ast import Repart, Scatter, children
+from repro.query.schema import out_cols
+from repro.workloads import TPCH_QUERIES
+
+
+# ----------------------------------------------------------------------
+# Bug 1: partitioning heuristic was blind to renamed key columns
+# (Q17's Q17_V3(pkey2, qty2) stayed Local, so the correlated assign was
+# shipped by a free variable — "Scatter[pkey] of a (S,) relation").
+# ----------------------------------------------------------------------
+
+
+def test_matching_key_column_exact():
+    assert _matching_key_column("pkey", ("pkey", "qty")) == "pkey"
+
+
+def test_matching_key_column_renamed_suffix():
+    assert _matching_key_column("pkey", ("pkey2", "qty")) == "pkey2"
+    assert _matching_key_column("ckey", ("ckey12",)) == "ckey12"
+
+
+def test_matching_key_column_rejects_lookalikes():
+    assert _matching_key_column("pkey", ("pkeyx", "qty")) is None
+    assert _matching_key_column("key", ()) is None
+
+
+def test_q17_self_join_views_are_partitioned():
+    spec = TPCH_QUERIES["Q17"]
+    program = compile_query(spec.query, "Q17", updatable=spec.updatable)
+    part = default_partitioning(program, spec.key_hints)
+    renamed_views = [
+        info.name
+        for info in program.views.values()
+        if any(c.startswith("pkey") and c != "pkey" for c in info.cols)
+        and not any(c == "pkey" for c in info.cols)
+    ]
+    assert renamed_views, "expected self-join views with renamed pkey"
+    for name in renamed_views:
+        assert isinstance(part[name], Dist), f"{name} not partitioned"
+
+
+def _all_transformers(program, part):
+    dprog = annotate_program(program, part, delta_tag=RANDOM)
+    out = []
+
+    def visit(e):
+        if isinstance(e, (Scatter, Repart)):
+            out.append(e)
+        for c in children(e):
+            visit(c)
+
+    for trig in dprog.triggers.values():
+        for s in trig.statements:
+            visit(s.expr)
+    return out
+
+
+@pytest.mark.parametrize("name", ["Q17", "Q16", "Q20", "Q21", "Q22"])
+def test_no_transformer_partitions_on_missing_column(name):
+    """A transformer's keys must be columns of the contents it moves."""
+    spec = TPCH_QUERIES[name]
+    program = apply_batch_preaggregation(
+        compile_query(spec.query, name, updatable=spec.updatable)
+    )
+    part = default_partitioning(program, spec.key_hints)
+    for t in _all_transformers(program, part):
+        assert set(t.keys) <= set(out_cols(t.child)), (
+            f"{name}: {type(t).__name__}{t.keys} over {out_cols(t.child)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Bug 2: nested aggregates do not gate emission, so a worker that does
+# not own a key must never evaluate it against its local partition
+# (Q16's X == 0 condition emitted on every worker, multiplying the
+# result by the worker count).
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_workers", [2, 3, 5])
+def test_q16_not_exists_counts_once(n_workers):
+    """The NOT EXISTS-style condition must contribute exactly once per
+    qualifying tuple, independent of worker count."""
+    spec = TPCH_QUERIES["Q16"]
+    prepared = prepare_stream(spec, 40, sf=0.0003, max_batches=4)
+    dprog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(dprog, n_workers=n_workers)
+    _preload_static(cluster, prepared, dprog)
+    reference = prepared.fresh_static()
+    for relation, batch in prepared.batches:
+        cluster.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert cluster.result() == evaluate(spec.query, reference)
+
+
+def test_m3_distinct_counts_once():
+    """Exists-based DISTINCT must not multiply by the worker count."""
+    from repro.workloads import MICRO_QUERIES
+
+    spec = MICRO_QUERIES["M3"]
+    prepared = prepare_stream(
+        spec, 30, workload="micro", sf=0.03, max_batches=4
+    )
+    dprog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(dprog, n_workers=4)
+    _preload_static(cluster, prepared, dprog)
+    reference = prepared.fresh_static()
+    for relation, batch in prepared.batches:
+        cluster.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    result = cluster.result()
+    assert result == evaluate(spec.query, reference)
+    # DISTINCT semantics: every multiplicity is exactly one.
+    assert all(m == 1 for m in result.data.values())

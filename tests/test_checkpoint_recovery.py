@@ -1,0 +1,136 @@
+"""Fault tolerance: checkpointing, failure injection, and recovery."""
+
+import pytest
+
+from repro.distributed import (
+    CheckpointPolicy,
+    FailureInjector,
+    FaultTolerantCluster,
+    SimulatedCluster,
+    compile_distributed,
+)
+from repro.eval import evaluate
+from repro.harness.scaling import _preload_static
+from repro.harness.setup import prepare_stream
+from repro.workloads import TPCH_QUERIES
+
+
+def _setup(name="Q3", n_workers=3, policy=None, injector=None, batches=8):
+    spec = TPCH_QUERIES[name]
+    prepared = prepare_stream(spec, 30, sf=0.0003, max_batches=batches)
+    dprog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    ft = FaultTolerantCluster(
+        dprog, n_workers=n_workers, policy=policy, injector=injector
+    )
+    _preload_static(ft.cluster, prepared, dprog)
+    return spec, prepared, ft
+
+
+def _run(spec, prepared, ft):
+    reference = prepared.fresh_static()
+    for relation, batch in prepared.batches:
+        ft.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    return evaluate(spec.query, reference)
+
+
+def test_failure_free_run_matches_reference():
+    spec, prepared, ft = _setup(policy=CheckpointPolicy(interval=3))
+    expected = _run(spec, prepared, ft)
+    assert ft.result() == expected
+    assert not ft.recoveries
+
+
+def test_checkpoints_taken_at_interval():
+    spec, prepared, ft = _setup(policy=CheckpointPolicy(interval=2), batches=8)
+    _run(spec, prepared, ft)
+    assert len(ft.checkpoint_latencies_s) == 4
+    assert all(lat > 0 for lat in ft.checkpoint_latencies_s)
+
+
+def test_checkpointing_disabled():
+    spec, prepared, ft = _setup(policy=CheckpointPolicy(interval=None))
+    _run(spec, prepared, ft)
+    assert ft.checkpoint_latencies_s == []
+
+
+@pytest.mark.parametrize("fail_at", [1, 4, 6])
+def test_recovery_restores_correct_state(fail_at):
+    """A worker failure mid-stream must not corrupt the view."""
+    spec, prepared, ft = _setup(
+        policy=CheckpointPolicy(interval=3),
+        injector=FailureInjector(failures={fail_at: 1}),
+    )
+    expected = _run(spec, prepared, ft)
+    assert ft.result() == expected
+    assert len(ft.recoveries) == 1
+    event = ft.recoveries[0]
+    assert event.batch_index == fail_at
+    assert event.failed_worker == 1
+
+
+def test_recovery_without_checkpoint_replays_from_start():
+    spec, prepared, ft = _setup(
+        policy=CheckpointPolicy(interval=None),
+        injector=FailureInjector(failures={5: 0}),
+    )
+    expected = _run(spec, prepared, ft)
+    assert ft.result() == expected
+    event = ft.recoveries[0]
+    assert event.restored_from == -1
+    assert event.replayed_batches == 5
+
+
+def test_frequent_checkpoints_shorten_recovery():
+    """The §4 trade-off: tighter intervals cost per-batch latency but
+    bound replay work."""
+
+    def recovery_with_interval(interval):
+        spec, prepared, ft = _setup(
+            policy=CheckpointPolicy(interval=interval),
+            injector=FailureInjector(failures={7: 2}),
+        )
+        _run(spec, prepared, ft)
+        return ft.recoveries[0]
+
+    tight = recovery_with_interval(2)
+    loose = recovery_with_interval(None)
+    assert tight.replayed_batches < loose.replayed_batches
+
+
+def test_checkpoint_latency_visible_in_metrics():
+    """Checkpoint cost extends the batch latency (the paper's
+    'detrimental effects on the latency of processing')."""
+    spec, prepared, ft_cp = _setup(policy=CheckpointPolicy(interval=1))
+    _run(spec, prepared, ft_cp)
+
+    spec2, prepared2, ft_no = _setup(policy=CheckpointPolicy(interval=None))
+    _run(spec2, prepared2, ft_no)
+
+    assert (
+        ft_cp.metrics.total_latency_s > ft_no.metrics.total_latency_s
+    )
+
+
+def test_batches_metric_counts_logical_stream_once():
+    """Replayed batches do not inflate the batch count."""
+    spec, prepared, ft = _setup(
+        policy=CheckpointPolicy(interval=3),
+        injector=FailureInjector(failures={5: 0}),
+    )
+    _run(spec, prepared, ft)
+    assert ft.metrics.batches == len(prepared.batches)
+
+
+def test_multiple_failures():
+    spec, prepared, ft = _setup(
+        policy=CheckpointPolicy(interval=2),
+        injector=FailureInjector(failures={2: 0, 6: 1}),
+        batches=8,
+    )
+    expected = _run(spec, prepared, ft)
+    assert ft.result() == expected
+    assert len(ft.recoveries) == 2

@@ -1,0 +1,97 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_queries(capsys):
+    assert main(["list-queries"]) == 0
+    out = capsys.readouterr().out
+    assert "Q3" in out
+    assert "tpcds" in out
+    assert "M2" in out
+
+
+def test_compile_workload_query(capsys):
+    assert main(["compile", "Q6"]) == 0
+    out = capsys.readouterr().out
+    assert "ON UPDATE LINEITEM" in out
+    assert "materialized views" in out
+
+
+def test_compile_with_preagg(capsys):
+    assert main(["compile", "Q6", "--preagg"]) == 0
+    out = capsys.readouterr().out
+    assert "_PRE" in out
+
+
+def test_compile_adhoc_sql(capsys):
+    rc = main(
+        ["compile", "--sql", "SELECT COUNT(*) FROM R, S WHERE R.b = S.b"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ON UPDATE R" in out
+    assert "ON UPDATE S" in out
+
+
+def test_run_reports_throughput(capsys):
+    rc = main(
+        [
+            "run", "Q6", "--batch-size", "50", "--sf", "0.0002",
+            "--max-batches", "4",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "tuples/s" in out
+    assert "rivm-batch" in out
+
+
+def test_run_single_tuple_mode(capsys):
+    rc = main(
+        [
+            "run", "Q6", "--strategy", "rivm-single", "--batch-size", "0",
+            "--sf", "0.0002", "--max-batches", "3",
+        ]
+    )
+    assert rc == 0
+    assert "Single" in capsys.readouterr().out
+
+
+def test_distributed_plan(capsys):
+    assert main(["distributed", "Q3"]) == 0
+    out = capsys.readouterr().out
+    assert "BLOCK" in out
+    assert "distributed program" in out
+
+
+def test_distributed_sweep(capsys):
+    rc = main(
+        [
+            "distributed", "Q6", "--workers", "2,4",
+            "--tuples-per-worker", "30", "--sf", "0.0005",
+            "--max-batches", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+
+
+def test_advise(capsys):
+    assert main(["advise", "Q3"]) == 0
+    out = capsys.readouterr().out
+    assert "default" in out
+    assert "driver-only" in out
+
+
+def test_unknown_query_exits():
+    with pytest.raises(SystemExit):
+        main(["compile", "NOPE"])
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

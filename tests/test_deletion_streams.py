@@ -1,0 +1,161 @@
+"""Mixed insert/delete streams (footnote 3 of the paper) and the
+engines' behaviour under them."""
+
+import pytest
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database, evaluate
+from repro.exec import RecursiveIVMEngine, SpecializedIVMEngine
+from repro.workloads import MICRO_QUERIES, TPCH_QUERIES, generate_micro, generate_tpch
+from repro.workloads.streams import stream_batches_with_deletions
+
+
+def test_deletion_stream_contains_negative_multiplicities():
+    tables = generate_micro(sf=0.05, seed=3)
+    saw_negative = False
+    for _, batch in stream_batches_with_deletions(
+        tables, 20, delete_fraction=0.4, seed=3
+    ):
+        if any(m < 0 for m in batch.data.values()):
+            saw_negative = True
+            break
+    assert saw_negative
+
+
+def test_deletion_stream_never_deletes_missing_tuples():
+    """Deletions only target previously inserted tuples, so the running
+    multiset never goes negative overall."""
+    from repro.ring import GMR
+
+    tables = generate_micro(sf=0.05, seed=5)
+    state: dict[str, GMR] = {}
+    for name, batch in stream_batches_with_deletions(
+        tables, 15, delete_fraction=0.4, seed=5
+    ):
+        acc = state.setdefault(name, GMR())
+        acc.add_inplace(batch)
+        assert all(m > 0 for m in acc.data.values()), name
+
+
+def test_zero_delete_fraction_matches_insert_only_totals():
+    from repro.workloads.streams import stream_batches
+
+    tables = generate_micro(sf=0.05, seed=7)
+    plain = sum(
+        sum(b.data.values()) for _, b in stream_batches(tables, 25)
+    )
+    mixed = sum(
+        sum(b.data.values())
+        for _, b in stream_batches_with_deletions(
+            tables, 25, delete_fraction=0.0
+        )
+    )
+    assert plain == mixed
+
+
+def test_rejects_bad_fraction():
+    tables = generate_micro(sf=0.02)
+    with pytest.raises(ValueError):
+        list(stream_batches_with_deletions(tables, 10, delete_fraction=1.0))
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "M3"])
+def test_micro_maintenance_under_deletions(name):
+    spec = MICRO_QUERIES[name]
+    tables = generate_micro(sf=0.05, seed=13)
+    program = apply_batch_preaggregation(
+        compile_query(spec.query, spec.name, updatable=spec.updatable)
+    )
+    engine = RecursiveIVMEngine(program, mode="batch")
+
+    static = Database()
+    for tname, rows in tables.items():
+        if tname not in spec.updatable:
+            static.insert_rows(tname, rows)
+    engine.initialize(static.copy())
+    reference = static.copy()
+
+    for relation, batch in stream_batches_with_deletions(
+        tables, 25, relations=spec.updatable, delete_fraction=0.3, seed=13
+    ):
+        engine.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert engine.result() == evaluate(spec.query, reference), name
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q6", "Q17"])
+def test_tpch_maintenance_under_deletions(name):
+    spec = TPCH_QUERIES[name]
+    tables = generate_tpch(sf=0.0001, seed=17)
+    program = apply_batch_preaggregation(
+        compile_query(spec.query, spec.name, updatable=spec.updatable)
+    )
+    engine = RecursiveIVMEngine(program, mode="batch")
+
+    static = Database()
+    for tname, rows in tables.items():
+        if tname not in spec.updatable:
+            static.insert_rows(tname, rows)
+    engine.initialize(static.copy())
+    reference = static.copy()
+
+    for relation, batch in stream_batches_with_deletions(
+        tables, 20, relations=spec.updatable, delete_fraction=0.25, seed=17
+    ):
+        engine.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert engine.result() == evaluate(spec.query, reference), name
+
+
+def test_specialized_engine_under_deletions():
+    """Record pools must reclaim slots for cancelled records."""
+    spec = TPCH_QUERIES["Q6"]
+    tables = generate_tpch(sf=0.0001, seed=19)
+    program = apply_batch_preaggregation(
+        compile_query(spec.query, spec.name, updatable=spec.updatable)
+    )
+    engine = SpecializedIVMEngine(program, mode="batch")
+    engine.initialize(Database())
+    reference = Database()
+
+    for relation, batch in stream_batches_with_deletions(
+        tables, 20, relations=spec.updatable, delete_fraction=0.3, seed=19
+    ):
+        engine.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert engine.result() == evaluate(spec.query, reference)
+
+
+def test_distributed_cluster_under_deletions():
+    from repro.distributed import SimulatedCluster, compile_distributed
+
+    spec = TPCH_QUERIES["Q3"]
+    tables = generate_tpch(sf=0.0002, seed=23)
+    dprog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(dprog, n_workers=3)
+    reference = Database()
+    static = Database()
+    for tname, rows in tables.items():
+        if tname not in spec.updatable:
+            static.insert_rows(tname, rows)
+            reference.insert_rows(tname, rows)
+    from repro.harness.scaling import _install_view
+    from repro.eval import Evaluator
+
+    evaluator = Evaluator(static)
+    for info in dprog.local_program.views.values():
+        contents = evaluator.evaluate(info.definition)
+        if not contents.is_zero():
+            _install_view(
+                cluster, info, contents, dprog.partitioning.get(info.name)
+            )
+
+    for relation, batch in stream_batches_with_deletions(
+        tables, 30, relations=spec.updatable, delete_fraction=0.25, seed=23
+    ):
+        cluster.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert cluster.result() == evaluate(spec.query, reference)

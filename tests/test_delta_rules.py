@@ -1,0 +1,252 @@
+"""Delta derivation correctness: Q(D+ΔD) = Q(D) + ΔQ(D, ΔD).
+
+The fundamental soundness property of incremental view maintenance is
+checked by evaluating queries before and after an update batch and
+comparing with the evaluated delta.
+"""
+
+import random
+
+import pytest
+
+from repro.delta import derive_delta
+from repro.delta.simplify import is_statically_zero
+from repro.eval import Database, evaluate
+from repro.query import (
+    assign,
+    cmp,
+    const,
+    delta as delta_rel,
+    exists,
+    join,
+    rel,
+    sum_over,
+    union,
+    value,
+)
+from repro.query.builder import mul
+from repro.query.schema import delta_relations
+from repro.ring import GMR
+
+
+def check_delta_correct(q, db, updates):
+    """Assert Q(D + ΔD) == Q(D) + ΔQ(D, ΔD) for one update batch."""
+    before = evaluate(q, db)
+    for name, batch in updates.items():
+        db.set_delta(name, batch)
+    total_delta = GMR()
+    for name in updates:
+        dq = derive_delta(q, name)
+        if not is_statically_zero(dq):
+            total_delta.add_inplace(evaluate(dq, db))
+    # Apply updates and recompute from scratch.
+    for name, batch in updates.items():
+        db.apply_update(name, batch)
+    db.clear_deltas()
+    after = evaluate(q, db)
+    assert before + total_delta == after, (
+        f"incremental result diverged for {q!r}:\n"
+        f"  before+delta = {(before + total_delta)!r}\n"
+        f"  recomputed   = {after!r}"
+    )
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.insert_rows("R", [(1, 10), (2, 10), (3, 20), (4, 30)])
+    d.insert_rows("S", [(10, "x"), (10, "y"), (20, "z"), (30, "w")])
+    d.insert_rows("T", [("x", 5), ("y", 6), ("z", 7)])
+    return d
+
+
+def test_delta_of_rel_is_delta_rel():
+    d = derive_delta(rel("R", "A", "B"), "R")
+    assert d == delta_rel("R", "A", "B")
+
+
+def test_delta_of_unrelated_rel_is_zero():
+    d = derive_delta(rel("S", "B", "C"), "R")
+    assert is_statically_zero(d)
+
+
+def test_delta_of_const_and_cmp_zero():
+    assert is_statically_zero(derive_delta(const(5), "R"))
+    assert is_statically_zero(derive_delta(cmp("A", "<", 1), "R"))
+    assert is_statically_zero(derive_delta(value("A"), "R"))
+    assert is_statically_zero(derive_delta(assign("X", "A"), "R"))
+
+
+def test_delta_join_has_three_terms_for_self_join():
+    q = join(rel("R", "A", "B"), rel("R", "B", "C"))
+    d = derive_delta(q, "R", simplify_result=False)
+    # ΔR⋈R + R⋈ΔR + ΔR⋈ΔR
+    from repro.query.ast import Union as U
+
+    assert isinstance(d, U)
+    assert len(d.parts) == 3
+
+
+def test_delta_join_single_occurrence_single_term(db):
+    q = join(rel("R", "A", "B"), rel("S", "B", "C"))
+    d = derive_delta(q, "R")
+    assert delta_relations(d) == frozenset({"R"})
+    # No R (base) reference should remain: Δ(R⋈S) = ΔR⋈S only.
+    from repro.query.schema import base_relations
+
+    assert base_relations(d) == frozenset({"S"})
+
+
+def test_delta_correct_single_insert(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+    check_delta_correct(q, db, {"R": GMR({(9, 10): 1})})
+
+
+def test_delta_correct_deletion(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+    check_delta_correct(q, db, {"R": GMR({(1, 10): -1})})
+
+
+def test_delta_correct_mixed_batch(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+    check_delta_correct(q, db, {"R": GMR({(1, 10): -1, (7, 20): 2, (8, 40): 1})})
+
+
+def test_delta_correct_update_to_inner_relation(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+    check_delta_correct(q, db, {"S": GMR({(10, "q"): 1, (20, "z"): -1})})
+
+
+def test_delta_correct_three_way_join(db):
+    q = sum_over(
+        ["B"], join(rel("R", "A", "B"), rel("S", "B", "C"), rel("T", "C", "D"))
+    )
+    for name, batch in [
+        ("R", GMR({(5, 10): 1})),
+        ("S", GMR({(30, "x"): 1})),
+        ("T", GMR({("z", 9): 1, ("x", 5): -1})),
+    ]:
+        check_delta_correct(q, db.copy(), {name: batch})
+
+
+def test_delta_correct_self_join(db):
+    q = sum_over([], join(rel("R", "A", "B"), rel("R", "B", "C")))
+    db2 = Database()
+    db2.insert_rows("R", [(1, 2), (2, 3), (3, 1)])
+    check_delta_correct(q, db2, {"R": GMR({(2, 1): 1, (1, 2): -1})})
+
+
+def test_delta_correct_with_filter(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), cmp("A", ">", 1)))
+    check_delta_correct(q, db, {"R": GMR({(0, 10): 1, (9, 20): 1})})
+
+
+def test_delta_correct_with_value(db):
+    q = sum_over(["B"], join(rel("R", "A", "B"), value(mul("A", 2))))
+    check_delta_correct(q, db, {"R": GMR({(5, 10): 1, (1, 10): -1})})
+
+
+def test_delta_correct_union_query(db):
+    q = union(
+        sum_over(["B"], rel("R", "A", "B")),
+        sum_over(["B"], rel("S", "B", "C")),
+    )
+    check_delta_correct(q, db, {"R": GMR({(5, 10): 1})})
+    check_delta_correct(q, db, {"S": GMR({(10, "n"): 1})})
+
+
+def test_delta_correct_nested_aggregate_example_3_1(db):
+    """COUNT(*) FROM R WHERE R.A < (COUNT(*) FROM S WHERE R.B=S.B)."""
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    q = sum_over(
+        [], join(rel("R", "A", "B"), assign("X", qn), cmp("A", "<", "X"))
+    )
+    check_delta_correct(q, db.copy(), {"R": GMR({(1, 20): 1})})
+    check_delta_correct(q, db.copy(), {"S": GMR({(20, "k"): 1, (10, "x"): -1})})
+
+
+def test_delta_correct_distinct_example_3_2(db):
+    """SELECT DISTINCT A FROM R WHERE B > 3."""
+    q = exists(sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3))))
+    check_delta_correct(q, db.copy(), {"R": GMR({(1, 50): 1})})
+    check_delta_correct(q, db.copy(), {"R": GMR({(1, 10): -1})})
+    check_delta_correct(q, db.copy(), {"R": GMR({(99, 2): 1})})  # filtered out
+
+
+def test_delta_correct_uncorrelated_nested_example_3_3(db):
+    """COUNT(*) FROM R WHERE R.A < (COUNT(*) FROM S) AND R.B=10."""
+    qn = sum_over([], rel("S", "B2", "C"))
+    q = sum_over(
+        [],
+        join(rel("R", "A", "B"), cmp("B", "==", 10), assign("X", qn),
+             cmp("A", "<", "X")),
+    )
+    check_delta_correct(q, db.copy(), {"S": GMR({(70, "u"): 1})})
+    check_delta_correct(q, db.copy(), {"R": GMR({(0, 10): 1})})
+
+
+def test_delta_correct_exists_condition(db):
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    q = sum_over(
+        [], join(rel("R", "A", "B"), assign("X", qn), cmp("X", "!=", 0))
+    )
+    check_delta_correct(q, db.copy(), {"R": GMR({(9, 40): 1})})  # no S match
+    check_delta_correct(q, db.copy(), {"S": GMR({(30, "v"): 1})})
+
+
+def test_delta_second_order_is_update_independent(db):
+    """Second-order delta of a 2-way join references no base tables."""
+    from repro.query.schema import base_relations
+
+    q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+    d1 = derive_delta(q, "R")
+    d2 = derive_delta(d1, "S")
+    assert base_relations(d2) == frozenset()
+
+
+def _random_database(rng):
+    db = Database()
+    for _ in range(rng.randint(0, 12)):
+        db.get_view("R").add_tuple(
+            (rng.randint(0, 4), rng.randint(0, 3)), rng.choice([1, 1, 2, -1])
+        )
+    for _ in range(rng.randint(0, 12)):
+        db.get_view("S").add_tuple(
+            (rng.randint(0, 3), rng.randint(0, 3)), rng.choice([1, 1, 2])
+        )
+    return db
+
+
+def _random_batch(rng, arity):
+    g = GMR()
+    for _ in range(rng.randint(1, 6)):
+        t = tuple(rng.randint(0, 4) for _ in range(arity))
+        g.add_tuple(t, rng.choice([1, -1, 2]))
+    return g
+
+
+QUERIES = [
+    sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C"))),
+    sum_over([], join(rel("R", "A", "B"), rel("S", "B", "C"), cmp("A", ">", 1))),
+    exists(sum_over(["A"], rel("R", "A", "B"))),
+    sum_over(
+        [],
+        join(
+            rel("R", "A", "B"),
+            assign("X", sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))),
+            cmp("A", "<", "X"),
+        ),
+    ),
+    union(sum_over(["A"], rel("R", "A", "B")), sum_over(["A"], rel("S", "A", "C"))),
+]
+
+
+@pytest.mark.parametrize("qi", range(len(QUERIES)))
+def test_delta_correct_randomized(qi):
+    q = QUERIES[qi]
+    rng = random.Random(1234 + qi)
+    for trial in range(25):
+        db = _random_database(rng)
+        name = rng.choice(["R", "S"])
+        batch = _random_batch(rng, 2)
+        check_delta_correct(q, db, {name: batch})

@@ -1,0 +1,101 @@
+"""The distributed re-evaluation baseline (Spark SQL comparator)."""
+
+import pytest
+
+from repro.baselines import (
+    compile_distributed_reeval,
+    compile_reeval_program,
+)
+from repro.distributed import SimulatedCluster
+from repro.eval import evaluate
+from repro.harness.scaling import _preload_static
+from repro.harness.setup import prepare_stream
+from repro.workloads import TPCH_QUERIES
+
+
+def test_reeval_program_structure():
+    spec = TPCH_QUERIES["Q3"]
+    program = compile_reeval_program(
+        spec.query, "Q3", updatable=spec.updatable
+    )
+    # One trigger per updatable relation, each: merge batch, re-evaluate.
+    assert set(program.triggers) == set(spec.updatable)
+    for trig in program.triggers.values():
+        assert len(trig.statements) == 2
+        merge, reeval = trig.statements
+        assert merge.op == "+=" and merge.target == trig.relation
+        assert reeval.op == ":=" and reeval.target == program.top_view
+
+
+def test_reeval_program_views_cover_base_relations():
+    spec = TPCH_QUERIES["Q3"]
+    program = compile_reeval_program(
+        spec.query, "Q3", updatable=spec.updatable
+    )
+    for rel_name in program.base_relations:
+        assert rel_name in program.views
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q6", "Q12"])
+def test_distributed_reeval_matches_reference(name):
+    spec = TPCH_QUERIES[name]
+    prepared = prepare_stream(spec, 40, sf=0.0002, max_batches=5)
+    dprog = compile_distributed_reeval(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(dprog, n_workers=3)
+    _preload_static(cluster, prepared, dprog)
+
+    reference = prepared.fresh_static()
+    for relation, batch in prepared.batches:
+        cluster.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    assert cluster.result() == evaluate(spec.query, reference), name
+
+
+def test_distributed_reeval_cost_grows_with_accumulated_state():
+    """Re-evaluation latency rises as the base tables accumulate — the
+    cost structure that separates it from incremental maintenance."""
+    spec = TPCH_QUERIES["Q6"]
+    prepared = prepare_stream(spec, 60, sf=0.001, max_batches=10)
+    dprog = compile_distributed_reeval(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    cluster = SimulatedCluster(dprog, n_workers=2)
+    _preload_static(cluster, prepared, dprog)
+    for relation, batch in prepared.batches:
+        cluster.on_batch(relation, batch)
+    lat = cluster.metrics.latencies_s
+    # Later batches see a larger LINEITEM, so the recompute costs more.
+    assert lat[-1] > lat[0]
+
+
+def test_distributed_reeval_slower_than_incremental():
+    from repro.distributed import compile_distributed
+
+    spec = TPCH_QUERIES["Q3"]
+    prepared = prepare_stream(spec, 100, sf=0.001, max_batches=4)
+
+    reeval_prog = compile_distributed_reeval(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    reeval = SimulatedCluster(reeval_prog, n_workers=4)
+    _preload_static(reeval, prepared, reeval_prog)
+
+    ivm_prog = compile_distributed(
+        spec.query, name=spec.name, key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    ivm = SimulatedCluster(ivm_prog, n_workers=4)
+    _preload_static(ivm, prepared, ivm_prog)
+
+    for relation, batch in prepared.batches:
+        reeval.on_batch(relation, batch)
+        ivm.on_batch(relation, batch)
+
+    assert (
+        reeval.metrics.total_latency_s > ivm.metrics.total_latency_s
+    ), "re-evaluation should cost more than incremental maintenance"

@@ -1,0 +1,288 @@
+"""Domain extraction (Fig. 1) — structure and semantic preservation.
+
+The revised assignment/Exists delta rules prepend the extracted domain;
+they must evaluate to exactly the same GMR as the plain recompute-twice
+rules, on every database and update batch.
+"""
+
+import random
+
+import pytest
+
+from repro.delta import derive_delta
+from repro.delta.domain import (
+    domain_binds_correlated_var,
+    extract_domain,
+    restrict_domain,
+    revised_assign_delta,
+    revised_exists_delta,
+)
+from repro.delta.simplify import is_statically_zero
+from repro.eval import Database, evaluate
+from repro.query import (
+    Assign,
+    Const,
+    Exists,
+    assign,
+    cmp,
+    delta as delta_rel,
+    exists,
+    join,
+    out_cols,
+    rel,
+    sum_over,
+)
+from repro.query.ast import DeltaRel, Join, Sum
+from repro.ring import GMR
+
+ONE = Const(1)
+
+
+# ----------------------------------------------------------------------
+# Structural behaviour of extract_domain
+# ----------------------------------------------------------------------
+
+
+def test_delta_rel_leaf_becomes_exists():
+    d = extract_domain(delta_rel("R", "A", "B"))
+    assert d == Exists(delta_rel("R", "A", "B"))
+
+
+def test_base_rel_leaf_is_one_by_default():
+    assert extract_domain(rel("R", "A", "B")) == ONE
+
+
+def test_base_rel_leaf_with_cardinality_hint():
+    d = extract_domain(rel("R", "A"), low_cardinality=frozenset({"R"}))
+    assert d == Exists(rel("R", "A"))
+
+
+def test_product_unions_domains():
+    e = join(delta_rel("R", "A", "B"), cmp("B", ">", 3))
+    d = extract_domain(e)
+    assert isinstance(d, Join)
+    assert Exists(delta_rel("R", "A", "B")) in d.parts
+    assert cmp("B", ">", 3) in d.parts
+
+
+def test_unbound_comparison_dropped_by_closure():
+    # C is bound by the (big) relation S which contributes no domain, so
+    # the comparison cannot be part of a standalone domain expression.
+    e = join(delta_rel("R", "A", "B"), rel("S", "B", "C"), cmp("C", ">", 3))
+    d = extract_domain(e)
+    assert d == Exists(delta_rel("R", "A", "B"))
+
+
+def test_union_intersects_domains():
+    a = join(delta_rel("R", "A", "B"), cmp("B", ">", 3))
+    b = join(delta_rel("R", "A", "B"), cmp("B", "<", 9))
+    from repro.query import union
+
+    d = extract_domain(union(a, b))
+    assert d == Exists(delta_rel("R", "A", "B"))  # only the common factor
+
+
+def test_union_with_disjoint_domains_is_one():
+    from repro.query import union
+
+    a = delta_rel("R", "A", "B")
+    b = delta_rel("S", "B", "C")
+    d = extract_domain(union(a, b))
+    assert d == ONE
+
+
+def test_sum_projects_domain_example_3_2():
+    """Sum[A](ΔR(A,B) ⋈ (B>3)) → Exists(Sum[A](Exists(ΔR) ⋈ (B>3)))."""
+    e = sum_over(["A"], join(delta_rel("R", "A", "B"), cmp("B", ">", 3)))
+    d = extract_domain(e)
+    assert isinstance(d, Exists)
+    assert isinstance(d.child, Sum)
+    assert d.child.group_by == ("A",)
+    assert out_cols(d) == ("A",)
+
+
+def test_sum_with_no_domain_group_by_overlap_is_one():
+    # Domain binds A only; group-by is C: no restriction possible.
+    e = sum_over(["C"], join(delta_rel("R", "A"), rel("S", "A", "C")))
+    assert extract_domain(e) == ONE
+
+
+def test_scalar_sum_domain_is_one():
+    e = sum_over([], delta_rel("R", "A"))
+    assert extract_domain(e) == ONE
+
+
+def test_assign_over_relational_child_recurses():
+    e = assign("X", sum_over(["A"], delta_rel("R", "A", "B")))
+    d = extract_domain(e)
+    assert out_cols(d) == ("A",)
+
+
+def test_assign_over_value_is_domain_factor():
+    e = join(delta_rel("R", "A"), assign("X", "A"))
+    d = extract_domain(e)
+    assert isinstance(d, Join)
+    assert assign("X", "A") in d.parts
+
+
+def test_restrict_domain_projects():
+    dom = Exists(delta_rel("R", "A", "B"))
+    r = restrict_domain(dom, ("A",))
+    assert out_cols(r) == ("A",)
+    assert isinstance(r, Exists)
+
+
+def test_restrict_domain_no_overlap_is_one():
+    dom = Exists(delta_rel("R", "A", "B"))
+    assert restrict_domain(dom, ("Z",)) == ONE
+
+
+def test_restrict_domain_identity():
+    dom = Exists(delta_rel("R", "A"))
+    assert restrict_domain(dom, ("A",)) == dom
+    assert restrict_domain(ONE, ("A",)) == ONE
+
+
+# ----------------------------------------------------------------------
+# The §3.2.3 decision rule
+# ----------------------------------------------------------------------
+
+
+def test_correlated_nested_aggregate_is_incremental():
+    """Q17-style: nested aggregate equality-correlated on B."""
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    dqn = derive_delta(qn, "S", simplify_result=True)
+    # Rewrite under correlation: the delta binds B2; with B==B2 the
+    # domain reaches the correlated variable through the comparison.
+    dom = extract_domain(dqn)
+    # ΔS binds B2; the domain itself binds B2 (not B), but B is
+    # equality-correlated to B2, so the practical rule of §3.2.3 asks
+    # whether the domain binds any equality-correlated column.
+    assert dom != ONE
+
+
+def test_uncorrelated_nested_aggregate_reevaluates():
+    """Example 3.3: nested COUNT(*) FROM S, uncorrelated."""
+    qn = sum_over([], rel("S", "B2", "C"))
+    dqn = derive_delta(qn, "S")
+    dom = extract_domain(dqn)
+    assert dom == ONE
+    assert not domain_binds_correlated_var(dom, qn)
+
+
+def test_distinct_domain_binds_output_column():
+    inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3)))
+    d_inner = derive_delta(inner, "R")
+    dom = extract_domain(d_inner)
+    assert domain_binds_correlated_var(dom, inner)
+
+
+# ----------------------------------------------------------------------
+# Semantic equivalence of revised vs. plain delta rules
+# ----------------------------------------------------------------------
+
+
+def _check_revised_exists_equivalent(inner, rel_name, db, batch):
+    """Plain and domain-restricted Exists deltas must agree."""
+    e = exists(inner)
+    d_inner = derive_delta(inner, rel_name)
+    if is_statically_zero(d_inner):
+        return
+    plain = derive_delta(e, rel_name)
+    revised = revised_exists_delta(e, d_inner)
+    db.set_delta(rel_name, batch)
+    assert evaluate(plain, db) == evaluate(revised, db), (
+        f"revised Exists delta diverged for {e!r} / Δ{rel_name}"
+    )
+    db.clear_deltas()
+
+
+def _check_revised_assign_equivalent(var, inner, context, rel_name, db, batch):
+    """Plain and domain-restricted assignment deltas must agree inside a
+    full query context (the context supplies correlation bindings)."""
+    a = Assign(var, inner)
+    d_inner = derive_delta(inner, rel_name)
+    if is_statically_zero(d_inner):
+        return
+    plain_delta_assign = derive_delta(a, rel_name, simplify_result=False)
+    revised_delta_assign = revised_assign_delta(a, d_inner)
+    db.set_delta(rel_name, batch)
+    g_plain = evaluate(context(plain_delta_assign), db)
+    g_revised = evaluate(context(revised_delta_assign), db)
+    assert g_plain == g_revised
+    db.clear_deltas()
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.insert_rows("R", [(1, 10), (2, 10), (3, 20), (4, 30)])
+    d.insert_rows("S", [(10, "x"), (10, "y"), (20, "z"), (30, "w")])
+    return d
+
+
+def test_revised_exists_distinct_insert(db):
+    inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3)))
+    _check_revised_exists_equivalent(inner, "R", db, GMR({(7, 40): 1}))
+
+
+def test_revised_exists_distinct_delete(db):
+    inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3)))
+    _check_revised_exists_equivalent(inner, "R", db, GMR({(1, 10): -1}))
+
+
+def test_revised_exists_distinct_filtered_update(db):
+    inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3)))
+    _check_revised_exists_equivalent(inner, "R", db, GMR({(9, 1): 1}))
+
+
+def test_revised_assign_correlated(db):
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+
+    def context(d_assign):
+        return sum_over(
+            [], join(rel("R", "A", "B"), d_assign, cmp("A", "<", "X"))
+        )
+
+    _check_revised_assign_equivalent(
+        "X", qn, context, "S", db, GMR({(10, "new"): 1, (20, "z"): -1})
+    )
+
+
+def test_revised_rules_randomized():
+    rng = random.Random(77)
+    inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 2)))
+    for _ in range(30):
+        db = Database()
+        for _ in range(rng.randint(0, 10)):
+            db.get_view("R").add_tuple(
+                (rng.randint(0, 3), rng.randint(0, 5)), rng.choice([1, 2, -1])
+            )
+        batch = GMR()
+        for _ in range(rng.randint(1, 5)):
+            batch.add_tuple(
+                (rng.randint(0, 3), rng.randint(0, 5)), rng.choice([1, -1])
+            )
+        _check_revised_exists_equivalent(inner, "R", db, batch)
+
+
+def test_revised_exists_full_maintenance_cycle():
+    """Maintain DISTINCT through a stream using the revised rule only."""
+    q_inner = sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3)))
+    q = exists(q_inner)
+    db = Database()
+    materialized = GMR()
+    rng = random.Random(5)
+    for step in range(40):
+        t = (rng.randint(0, 5), rng.randint(0, 8))
+        m = rng.choice([1, 1, -1])
+        if m == -1 and db.get_view("R").get(t) <= 0:
+            m = 1
+        batch = GMR({t: m})
+        d_inner = derive_delta(q_inner, "R")
+        revised = revised_exists_delta(q, d_inner)
+        db.set_delta("R", batch)
+        materialized.add_inplace(evaluate(revised, db))
+        db.apply_update("R", batch)
+        db.clear_deltas()
+        assert materialized == evaluate(q, db), f"diverged at step {step}"

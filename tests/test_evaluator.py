@@ -1,0 +1,220 @@
+"""Unit tests for the reference evaluator."""
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.query import (
+    assign,
+    cmp,
+    const,
+    delta,
+    exists,
+    join,
+    rel,
+    sum_over,
+    union,
+    value,
+)
+from repro.query.builder import mul, sub
+from repro.ring import GMR
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.insert_rows("R", [(1, 10), (2, 10), (3, 20)])
+    d.insert_rows("S", [(10, "x"), (10, "y"), (20, "z")])
+    d.insert_rows("T", [("x", 5), ("y", 6)])
+    return d
+
+
+def test_eval_rel(db):
+    g = evaluate(rel("R", "A", "B"), db)
+    assert g.get((1, 10)) == 1
+    assert len(g) == 3
+
+
+def test_eval_unknown_rel_is_empty(db):
+    assert evaluate(rel("NOPE", "A"), db).is_zero()
+
+
+def test_eval_rel_with_env_filter(db):
+    g = evaluate(rel("R", "A", "B"), db, env={"B": 10})
+    assert len(g) == 2
+
+
+def test_eval_delta_rel(db):
+    db.set_delta("R", GMR({(9, 10): 1, (1, 10): -1}))
+    g = evaluate(delta("R", "A", "B"), db)
+    assert g.get((9, 10)) == 1
+    assert g.get((1, 10)) == -1
+
+
+def test_eval_const(db):
+    assert evaluate(const(3), db).get(()) == 3
+    assert evaluate(const(0), db).is_zero()
+
+
+def test_eval_value_term(db):
+    assert evaluate(value(mul("A", 2)), db, env={"A": 4}).get(()) == 8
+    assert evaluate(value(sub("A", "A")), db, env={"A": 4}).is_zero()
+
+
+def test_eval_cmp(db):
+    assert evaluate(cmp("A", "<", 5), db, env={"A": 3}).get(()) == 1
+    assert evaluate(cmp("A", ">=", 5), db, env={"A": 3}).is_zero()
+    assert evaluate(cmp("A", "!=", 3), db, env={"A": 3}).is_zero()
+    assert evaluate(cmp("A", "==", 3), db, env={"A": 3}).get(()) == 1
+
+
+def test_eval_join_two_way(db):
+    q = join(rel("R", "A", "B"), rel("S", "B", "C"))
+    g = evaluate(q, db)
+    # B=10 pairs: (1,10)x{x,y}, (2,10)x{x,y}; B=20: (3,20)x{z}.
+    assert len(g) == 5
+    assert g.get((1, 10, "x")) == 1
+
+
+def test_eval_join_multiplicities_multiply(db):
+    db.set_view("U", GMR({(10,): 2}))
+    db.set_view("V", GMR({(10,): 3}))
+    q = join(rel("U", "B"), rel("V", "B"))
+    assert evaluate(q, db).get((10,)) == 6
+
+
+def test_eval_join_with_filter(db):
+    q = join(rel("R", "A", "B"), cmp("A", ">", 1))
+    assert len(evaluate(q, db)) == 2
+
+
+def test_eval_join_value_scales_multiplicity(db):
+    q = sum_over([], join(rel("R", "A", "B"), value("A")))
+    # SUM(A) over R = 1 + 2 + 3.
+    assert evaluate(q, db).get(()) == 6
+
+
+def test_eval_example_2_1(db):
+    """The running example: count of R ⋈ S ⋈ T grouped by B."""
+    q = sum_over(
+        ["B"], join(rel("R", "A", "B"), rel("S", "B", "C"), rel("T", "C", "D"))
+    )
+    g = evaluate(q, db)
+    assert g == GMR({(10,): 4})
+
+
+def test_eval_sum_group_by(db):
+    q = sum_over(["B"], rel("R", "A", "B"))
+    g = evaluate(q, db)
+    assert g.get((10,)) == 2
+    assert g.get((20,)) == 1
+
+
+def test_eval_sum_scalar(db):
+    q = sum_over([], rel("R", "A", "B"))
+    assert evaluate(q, db).get(()) == 3
+
+
+def test_eval_sum_group_by_bound_from_env(db):
+    q = sum_over(["Z"], rel("R", "A", "B"))
+    g = evaluate(q, db, env={"Z": 99})
+    assert g.get((99,)) == 3
+
+
+def test_eval_sum_unbound_group_by_raises(db):
+    q = sum_over(["Z"], rel("R", "A", "B"))
+    with pytest.raises(ValueError):
+        evaluate(q, db)
+
+
+def test_eval_union(db):
+    q = union(rel("R", "A", "B"), rel("R", "A", "B"))
+    g = evaluate(q, db)
+    assert g.get((1, 10)) == 2
+
+
+def test_eval_union_reorders_columns(db):
+    db.insert_rows("R2", [(10, 1)])
+    q = union(rel("R", "A", "B"), rel("R2", "B", "A"))
+    g = evaluate(q, db)
+    assert g.get((1, 10)) == 2  # (A=1,B=10) from both parts
+
+
+def test_eval_union_cancellation(db):
+    from repro.query import neg
+
+    q = union(rel("R", "A", "B"), neg(rel("R", "A", "B")))
+    assert evaluate(q, db).is_zero()
+
+
+def test_eval_assign_value(db):
+    q = assign("X", 7)
+    assert evaluate(q, db).get((7,)) == 1
+
+
+def test_eval_assign_value_conflicting_binding(db):
+    q = assign("X", 7)
+    assert evaluate(q, db, env={"X": 8}).is_zero()
+    assert evaluate(q, db, env={"X": 7}).get((7,)) == 1
+
+
+def test_eval_assign_scalar_query_counts_zero(db):
+    """Scalar-context aggregates emit 0 (SQL COUNT semantics)."""
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    q = assign("X", qn)
+    g = evaluate(q, db, env={"B": 999})  # no S tuples match
+    assert g.get((0,)) == 1
+
+
+def test_eval_nested_aggregate_example_3_1(db):
+    """COUNT(*) FROM R WHERE R.A < (COUNT(*) FROM S WHERE R.B=S.B)."""
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    q = sum_over([], join(rel("R", "A", "B"), assign("X", qn), cmp("A", "<", "X")))
+    # (1,10): X=2, 1<2 ok; (2,10): X=2, no; (3,20): X=1, no.
+    assert evaluate(q, db).get(()) == 1
+
+
+def test_eval_exists_distinct(db):
+    """SELECT DISTINCT A FROM R WHERE B > 3 (Example 3.2)."""
+    q = exists(sum_over(["A"], join(rel("R", "A", "B"), cmp("B", ">", 3))))
+    g = evaluate(q, db)
+    assert g == GMR({(1,): 1, (2,): 1, (3,): 1})
+
+
+def test_eval_exists_as_condition(db):
+    """EXISTS-style condition via (X := Qn) ⋈ (X != 0)."""
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    q = sum_over(
+        [], join(rel("R", "A", "B"), assign("X", qn), cmp("X", "!=", 0))
+    )
+    assert evaluate(q, db).get(()) == 3  # every R tuple has a matching S
+
+
+def test_eval_assign_nonscalar_query(db):
+    """Assign over a grouped subquery extends tuples by the aggregate."""
+    q = assign("X", sum_over(["B"], rel("R", "A", "B")))
+    g = evaluate(q, db)
+    assert g.get((10, 2)) == 1
+    assert g.get((20, 1)) == 1
+
+
+def test_eval_join_uncorrelated_subquery_memoized(db):
+    """An uncorrelated nested aggregate joins as a cartesian factor."""
+    qn = sum_over([], rel("S", "B2", "C"))  # = 3, uncorrelated
+    q = sum_over([], join(rel("R", "A", "B"), assign("X", qn), cmp("A", "<", "X")))
+    # X=3 for all: A in {1,2} qualify.
+    assert evaluate(q, db).get(()) == 2
+
+
+def test_eval_negative_multiplicities_flow_through_join(db):
+    db.set_delta("R", GMR({(1, 10): -1}))
+    q = sum_over(["B"], join(delta("R", "A", "B"), rel("S", "B", "C")))
+    assert evaluate(q, db).get((10,)) == -2
+
+
+def test_eval_join_respects_shared_column_consistency(db):
+    # Self-join through a shared column must not cross-pair tuples.
+    q = join(rel("R", "A", "B"), rel("R", "A", "B2"))
+    g = evaluate(q, db)
+    # Every R tuple matches only itself on A.
+    assert all(t[1] == t[2] for t in g)
+    assert len(g) == 3

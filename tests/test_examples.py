@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example asserts its own correctness internally (maintained views
+are checked against re-evaluation), so a zero exit code is a real
+end-to-end test of the public API.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sql_frontend.py",
+    "clickstream_monitoring.py",
+    "batch_size_tuning.py",
+    "distributed_scaleout.py",
+    "fault_tolerant_pipeline.py",
+]
+
+
+def _run(script: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = _run(script, timeout=240)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_fraud_detection_example_runs():
+    """The domain-extraction showcase deliberately runs the expensive
+    recompute-twice variant, so it gets a generous timeout."""
+    proc = _run("fraud_detection.py", timeout=420)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "domain extraction speedup" in proc.stdout

@@ -1,0 +1,80 @@
+"""Partitioning-strategy exploration (the Section 6.2 future-work hook)."""
+
+import pytest
+
+from repro.compiler import compile_query
+from repro.distributed import (
+    PartitioningAdvisor,
+    SimulatedCluster,
+    candidate_partitionings,
+    estimate_partitioning_cost,
+)
+from repro.eval import evaluate
+from repro.harness.scaling import _preload_static
+from repro.harness.setup import prepare_stream
+from repro.workloads import TPCH_QUERIES
+
+
+def _program(name="Q3"):
+    spec = TPCH_QUERIES[name]
+    return spec, compile_query(spec.query, name, updatable=spec.updatable)
+
+
+def test_candidates_include_default_and_driver_only():
+    spec, program = _program()
+    names = [c.name for c in candidate_partitionings(program, spec.key_hints)]
+    assert names[0] == "default"
+    assert "driver-only" in names
+    assert len(set(names)) == len(names)
+
+
+def test_every_candidate_compiles():
+    spec, program = _program()
+    for cand in candidate_partitionings(program, spec.key_hints):
+        cost, dprog = estimate_partitioning_cost(program, cand)
+        assert cost.transformers >= 0
+        assert cost.jobs >= 1
+        assert dprog.triggers
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q6", "Q12"])
+def test_every_candidate_is_correct_on_cluster(name):
+    """Partitioning is a performance knob, never a correctness one."""
+    spec, program = _program(name)
+    prepared = prepare_stream(spec, 30, sf=0.0002, max_batches=4)
+    for cand in candidate_partitionings(program, spec.key_hints):
+        _, dprog = estimate_partitioning_cost(program, cand)
+        cluster = SimulatedCluster(dprog, n_workers=3)
+        _preload_static(cluster, prepared, dprog)
+        reference = prepared.fresh_static()
+        for relation, batch in prepared.batches:
+            cluster.on_batch(relation, batch)
+            reference.apply_update(relation, batch)
+        assert cluster.result() == evaluate(spec.query, reference), (
+            f"{name} under {cand.name}"
+        )
+
+
+def test_advisor_ranks_default_heuristic_well():
+    """The paper's heuristic should be at or near the top for TPC-H Q3
+    (that is why the paper chose it)."""
+    spec, program = _program("Q3")
+    ranking = PartitioningAdvisor(program, spec.key_hints).rank()
+    names = [c.candidate for c in ranking]
+    assert names.index("default") == 0
+    # Costs are sorted (driver-only pinned last).
+    keys = [c.key for c in ranking[:-1]]
+    assert keys == sorted(keys)
+
+
+def test_advisor_best_returns_compiled_program():
+    spec, program = _program("Q3")
+    cost, dprog = PartitioningAdvisor(program, spec.key_hints).best()
+    assert cost.candidate == "default"
+    assert dprog.triggers
+
+
+def test_driver_only_is_reported_last():
+    spec, program = _program("Q6")
+    ranking = PartitioningAdvisor(program, spec.key_hints).rank()
+    assert ranking[-1].candidate == "driver-only"

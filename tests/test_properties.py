@@ -1,0 +1,409 @@
+"""Property-based tests (hypothesis) for the core data structures and
+the central invariants of the system:
+
+* the GMR ring axioms (the algebraic foundation of §3.1 / Appendix A);
+* delta correctness — ``Q(D+ΔD) = Q(D) + ΔQ(D, ΔD)`` for randomly
+  generated queries, databases, and mixed insert/delete batches;
+* simplification and domain extraction preserve semantics;
+* record pools behave like their model dictionary under arbitrary
+  operation sequences, with indexes staying consistent;
+* columnar/row conversions round-trip;
+* hash partitioning is a disjoint cover.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.delta import derive_delta, extract_domain
+from repro.delta.simplify import simplify
+from repro.distributed.tags import partition_of
+from repro.eval import Database, Evaluator, evaluate
+from repro.query.ast import Exists, Join
+from repro.query.builder import (
+    cmp,
+    delta as delta_ref,
+    join,
+    rel,
+    sum_over,
+    union,
+    value,
+)
+from repro.ring import GMR
+from repro.storage.columnar import ColumnarBatch
+from repro.storage.pool import RecordPool
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: small value domains keep join hit rates high
+small_int = st.integers(min_value=0, max_value=4)
+mult = st.integers(min_value=-3, max_value=3).filter(lambda m: m != 0)
+
+
+def gmr_of_width(width: int, max_size: int = 8):
+    return st.dictionaries(
+        st.tuples(*([small_int] * width)), mult, max_size=max_size
+    ).map(lambda d: GMR(dict(d)))
+
+
+gmr2 = gmr_of_width(2)
+
+
+@st.composite
+def databases(draw):
+    """A database over fixed schemas R(a,b), S(b,c), T(c,d)."""
+    db = Database()
+    db.set_view("R", draw(gmr_of_width(2)))
+    db.set_view("S", draw(gmr_of_width(2)))
+    db.set_view("T", draw(gmr_of_width(2)))
+    return db
+
+
+@st.composite
+def flat_queries(draw):
+    """A random flat query over R(a,b), S(b,c), T(c,d)."""
+    r = rel("R", "a", "b")
+    s = rel("S", "b", "c")
+    t = rel("T", "c", "d")
+    shape = draw(st.sampled_from(["r", "rs", "rst", "union", "filtered"]))
+    if shape == "r":
+        body = r
+        cols = ("a", "b")
+    elif shape == "rs":
+        body = join(r, s)
+        cols = ("a", "b", "c")
+    elif shape == "rst":
+        body = join(r, s, t)
+        cols = ("a", "b", "c", "d")
+    elif shape == "union":
+        body = union(join(r, s), join(rel("R", "a", "b"), rel("S", "b", "c")))
+        cols = ("a", "b", "c")
+    else:
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        bound = draw(small_int)
+        body = join(r, s, cmp("b", op, bound))
+        cols = ("a", "b", "c")
+    group = draw(st.sets(st.sampled_from(cols), max_size=2))
+    group_tuple = tuple(c for c in cols if c in group)
+    return sum_over(group_tuple, body)
+
+
+# ----------------------------------------------------------------------
+# GMR ring axioms
+# ----------------------------------------------------------------------
+
+
+@given(gmr2, gmr2)
+def test_union_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(gmr2, gmr2, gmr2)
+def test_union_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(gmr2)
+def test_zero_is_identity(a):
+    assert a + GMR() == a
+    assert GMR() + a == a
+
+
+@given(gmr2)
+def test_negation_cancels(a):
+    assert (a + (-a)).is_zero()
+    assert a - a == GMR()
+
+
+@given(gmr2, gmr2)
+def test_subtraction_is_negated_union(a, b):
+    assert a - b == a + (-b)
+
+
+@given(gmr2, st.integers(min_value=-3, max_value=3))
+def test_scale_distributes_over_union(a, c):
+    b = GMR({t: m for t, m in list(a.items())[: len(a) // 2]})
+    assert (a + b).scale(c) == a.scale(c) + b.scale(c)
+
+
+@given(gmr2)
+def test_no_zero_multiplicities_stored(a):
+    assert all(m != 0 for m in (a + (-a)).data.values())
+    assert all(m != 0 for m in a.data.values())
+
+
+@given(gmr2)
+def test_exists_is_idempotent(a):
+    assert a.exists().exists() == a.exists()
+    assert all(m == 1 for m in a.exists().data.values())
+
+
+@given(gmr2)
+def test_project_preserves_total(a):
+    assert a.project([0]).total() == a.total()
+    assert a.project([]).total() == a.total()
+
+
+@given(gmr2)
+def test_add_inplace_matches_add(a):
+    b = GMR({t: -m for t, m in a.items()})
+    left = a + b
+    acc = GMR(dict(a.data))
+    acc.add_inplace(b)
+    assert acc == left
+
+
+# ----------------------------------------------------------------------
+# Join/union semantics through the evaluator
+# ----------------------------------------------------------------------
+
+
+@given(databases())
+def test_join_commutes_semantically(db):
+    q1 = sum_over(["a", "b", "c"], join(rel("R", "a", "b"), rel("S", "b", "c")))
+    q2 = sum_over(["a", "b", "c"], join(rel("S", "b", "c"), rel("R", "a", "b")))
+    assert evaluate(q1, db) == evaluate(q2, db)
+
+
+@given(databases())
+def test_join_distributes_over_union(db):
+    r, s, t = rel("R", "a", "b"), rel("S", "b", "c"), rel("T", "c", "d")
+    lhs = sum_over(["b", "c"], join(union(r, r), s))
+    rhs = sum_over(["b", "c"], union(join(r, s), join(r, s)))
+    assert evaluate(lhs, db) == evaluate(rhs, db)
+
+
+@given(databases())
+def test_const_one_is_join_identity(db):
+    from repro.query.builder import const
+
+    q1 = sum_over(["a"], join(rel("R", "a", "b"), const(1)))
+    q2 = sum_over(["a"], rel("R", "a", "b"))
+    assert evaluate(q1, db) == evaluate(q2, db)
+
+
+# ----------------------------------------------------------------------
+# Delta correctness: the central IVM invariant
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(flat_queries(), databases(), gmr_of_width(2))
+def test_delta_rule_is_exact(q, db, batch):
+    """``Q(D + ΔR) == Q(D) + Δ_R Q(D, ΔR)`` with mixed inserts/deletes."""
+    before = evaluate(q, db)
+    d = derive_delta(q, "R")
+    db.set_delta("R", batch)
+    change = evaluate(d, db)
+    db.clear_deltas()
+
+    db.apply_update("R", batch)
+    after = evaluate(q, db)
+    assert after == before + change
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_queries(), databases(), gmr_of_width(2), gmr_of_width(2))
+def test_deltas_compose_across_relations(q, db, batch_r, batch_s):
+    """Applying ΔR then ΔS via deltas equals direct re-evaluation."""
+    result = evaluate(q, db)
+    for name, batch in (("R", batch_r), ("S", batch_s)):
+        d = derive_delta(q, name)
+        db.set_delta(name, batch)
+        result = result + evaluate(d, db)
+        db.clear_deltas()
+        db.apply_update(name, batch)
+    assert result == evaluate(q, db)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flat_queries(), databases())
+def test_simplify_preserves_semantics(q, db):
+    assert evaluate(simplify(q), db) == evaluate(q, db)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flat_queries(), databases(), gmr_of_width(2))
+def test_delta_simplified_equals_unsimplified(q, db, batch):
+    raw = derive_delta(q, "R", simplify_result=False)
+    simp = derive_delta(q, "R", simplify_result=True)
+    db.set_delta("R", batch)
+    assert evaluate(raw, db) == evaluate(simp, db)
+
+
+# ----------------------------------------------------------------------
+# Domain extraction preserves semantics
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), gmr_of_width(2))
+def test_domain_restriction_is_semantics_preserving(db, batch):
+    """Prepending the extracted domain to a delta never changes it:
+    ``Δ ≡ dom(Δ) ⋈ Δ`` (domain tuples have multiplicity one and cover
+    every tuple the delta touches)."""
+    q = sum_over(["a"], join(rel("R", "a", "b"), cmp("b", ">", 1)))
+    d = derive_delta(Exists(q), "R", use_domain=False)
+    dom = extract_domain(derive_delta(q, "R"))
+    db.set_delta("R", batch)
+    plain = evaluate(d, db)
+    restricted = evaluate(Join((dom, d)) if not isinstance(d, Join) else Join((dom,) + d.parts), db)
+    assert plain == restricted
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(), gmr_of_width(2))
+def test_domain_vs_plain_assign_delta_agree(db, batch):
+    """The revised (§3.2.2) and plain assignment delta rules agree."""
+    q = Exists(sum_over(["a"], join(rel("R", "a", "b"), cmp("b", ">", 1))))
+    plain = derive_delta(q, "R", use_domain=False)
+    revised = derive_delta(q, "R", use_domain=True)
+    db.set_delta("R", batch)
+    assert evaluate(plain, db) == evaluate(revised, db)
+
+
+# ----------------------------------------------------------------------
+# Record pools behave like dictionaries, indexes stay consistent
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def pool_ops(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["upsert", "delete", "upsert", "clear"]))
+        key = (draw(small_int), draw(small_int))
+        amount = draw(st.integers(min_value=-2, max_value=2))
+        ops.append((kind, key, amount))
+    return ops
+
+
+@given(pool_ops())
+def test_pool_matches_model_dict(ops):
+    pool = RecordPool(("x", "y"), slice_indexes=(("x",),))
+    model: dict[tuple, float] = {}
+    for kind, key, amount in ops:
+        if kind == "upsert":
+            pool.upsert(key, amount)
+            m = model.get(key, 0) + amount
+            if m == 0:
+                model.pop(key, None)
+            else:
+                model[key] = m
+        elif kind == "delete":
+            pool.delete(key)
+            model.pop(key, None)
+        else:
+            pool.clear()
+            model.clear()
+    assert pool.data == model
+    assert len(pool) == len(model)
+
+
+@given(pool_ops(), small_int)
+def test_pool_slice_matches_filter(ops, probe):
+    pool = RecordPool(("x", "y"), slice_indexes=(("x",),))
+    model: dict[tuple, float] = {}
+    for kind, key, amount in ops:
+        if kind == "upsert":
+            pool.upsert(key, amount)
+            m = model.get(key, 0) + amount
+            if m == 0:
+                model.pop(key, None)
+            else:
+                model[key] = m
+        elif kind == "delete":
+            pool.delete(key)
+            model.pop(key, None)
+        else:
+            pool.clear()
+            model.clear()
+    idx = pool.slice_index_for(frozenset({"x"}))
+    got = dict(pool.slice(idx, (probe,)))
+    want = {k: v for k, v in model.items() if k[0] == probe}
+    assert got == want
+
+
+@given(gmr2)
+def test_pool_replace_contents_roundtrip(g):
+    pool = RecordPool(("x", "y"))
+    pool.upsert((9, 9), 5)  # pre-existing content must vanish
+    pool.replace_contents(g)
+    assert pool.data == g.data
+
+
+# ----------------------------------------------------------------------
+# Columnar layout round-trips
+# ----------------------------------------------------------------------
+
+
+@given(gmr2)
+def test_columnar_roundtrip(g):
+    batch = ColumnarBatch.from_gmr(g, ("x", "y"))
+    assert batch.to_gmr() == g
+    assert len(batch) == len(g)
+
+
+@given(gmr2, small_int)
+def test_columnar_filter_matches_gmr_filter(g, bound):
+    batch = ColumnarBatch.from_gmr(g, ("x", "y"))
+    filtered = batch.filter_column("x", lambda v: v <= bound)
+    expected = g.filter(lambda t: t[0] <= bound)
+    assert filtered.to_gmr() == expected
+
+
+@given(gmr2)
+def test_columnar_aggregate_matches_project(g):
+    batch = ColumnarBatch.from_gmr(g, ("x", "y"))
+    assert batch.aggregate(("x",)).to_gmr() == g.project([0])
+
+
+# ----------------------------------------------------------------------
+# Hash partitioning
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.tuples(small_int, small_int), max_size=30),
+    st.integers(min_value=1, max_value=7),
+)
+def test_partitioning_is_disjoint_cover(keys, n_workers):
+    assignments = [partition_of(k, n_workers) for k in keys]
+    assert all(0 <= w < n_workers for w in assignments)
+    # Determinism: same key, same worker.
+    for k, w in zip(keys, assignments):
+        assert partition_of(k, n_workers) == w
+
+
+# ----------------------------------------------------------------------
+# End-to-end: maintenance equals re-evaluation on random streams
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    flat_queries(),
+    st.lists(
+        st.tuples(st.sampled_from(["R", "S", "T"]), gmr_of_width(2)),
+        max_size=6,
+    ),
+)
+def test_engine_matches_reevaluation_on_random_streams(q, stream):
+    from repro.compiler import apply_batch_preaggregation, compile_query
+    from repro.exec import RecursiveIVMEngine
+
+    program = apply_batch_preaggregation(compile_query(q, "P"))
+    engine = RecursiveIVMEngine(program, mode="batch")
+    reference = Database()
+    for name, batch in stream:
+        if batch.is_zero():
+            continue
+        if name in program.triggers:
+            engine.on_batch(name, batch)
+        # Relations the query never references cannot change the view;
+        # the reference applies them anyway (the query ignores them).
+        reference.apply_update(name, batch)
+    assert engine.result() == evaluate(q, reference)

@@ -1,0 +1,192 @@
+"""Unit tests for the query AST: construction, equality, utilities."""
+
+import pytest
+
+from repro.query import (
+    Arith,
+    Assign,
+    Cmp,
+    Col,
+    Const,
+    Exists,
+    Join,
+    Lit,
+    Rel,
+    Sum,
+    Union,
+    ValueF,
+    assign,
+    cmp,
+    const,
+    delta,
+    exists,
+    join,
+    neg,
+    rel,
+    register_function,
+    sum_over,
+    union,
+    value,
+)
+from repro.query.ast import (
+    children,
+    eval_term,
+    is_expr,
+    rebuild,
+    rename_term,
+    term_cols,
+)
+from repro.query.builder import add, div, mul, sub
+
+
+def test_structural_equality():
+    a = join(rel("R", "A", "B"), rel("S", "B", "C"))
+    b = join(rel("R", "A", "B"), rel("S", "B", "C"))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_structural_inequality_on_order():
+    a = join(rel("R", "A"), rel("S", "A"))
+    b = join(rel("S", "A"), rel("R", "A"))
+    assert a != b  # join order is operational information
+
+
+def test_join_flattens():
+    q = join(rel("R", "A"), join(rel("S", "A"), rel("T", "A")))
+    assert isinstance(q, Join)
+    assert len(q.parts) == 3
+
+
+def test_join_drops_unit_const():
+    q = join(const(1), rel("R", "A"))
+    assert q == rel("R", "A")
+
+
+def test_join_empty_is_one():
+    assert join() == Const(1)
+
+
+def test_union_flattens():
+    q = union(rel("R", "A"), union(rel("S", "A"), rel("T", "A")))
+    assert isinstance(q, Union)
+    assert len(q.parts) == 3
+
+
+def test_union_empty_is_zero():
+    assert union() == Const(0)
+
+
+def test_union_single_passthrough():
+    assert union(rel("R", "A")) == rel("R", "A")
+
+
+def test_neg_is_scale_by_minus_one():
+    q = neg(rel("R", "A"))
+    assert isinstance(q, Join)
+    assert q.parts[0] == Const(-1)
+
+
+def test_builder_coercions():
+    c = cmp("A", "<", 5)
+    assert c.lhs == Col("A")
+    assert c.rhs == Lit(5)
+    a = assign("X", "A")
+    assert a.child == Col("A")
+    v = value(mul("A", 2))
+    assert isinstance(v.term, Arith)
+
+
+def test_delta_builder():
+    d = delta("R", "A", "B")
+    assert d.name == "R"
+    assert d.cols == ("A", "B")
+
+
+def test_term_cols():
+    t = mul(add("A", "B"), sub("C", 1))
+    assert term_cols(t) == frozenset({"A", "B", "C"})
+    assert term_cols(Lit(5)) == frozenset()
+
+
+def test_eval_term_arithmetic():
+    env = {"A": 10, "B": 4}
+    assert eval_term(add("A", "B"), env) == 14
+    assert eval_term(sub("A", "B"), env) == 6
+    assert eval_term(mul("A", "B"), env) == 40
+    assert eval_term(div("A", "B"), env) == 2.5
+
+
+def test_eval_term_unknown_op():
+    with pytest.raises(ValueError):
+        eval_term(Arith("%", Lit(1), Lit(2)), {})
+
+
+def test_registered_function_terms():
+    from repro.query.ast import Func
+
+    register_function("half", lambda x: x // 2)
+    t = Func("half", (Col("A"),))
+    assert eval_term(t, {"A": 9}) == 4
+    assert term_cols(t) == frozenset({"A"})
+    renamed = rename_term(t, {"A": "Z"})
+    assert renamed.args[0] == Col("Z")
+
+
+def test_unregistered_function_raises():
+    from repro.query.ast import Func
+
+    with pytest.raises(KeyError):
+        eval_term(Func("no_such_fn", ()), {})
+
+
+def test_rename_term():
+    t = add("A", mul("B", 3))
+    r = rename_term(t, {"A": "X", "B": "Y"})
+    assert term_cols(r) == frozenset({"X", "Y"})
+
+
+def test_children_and_rebuild_roundtrip():
+    q = sum_over(["B"], join(rel("R", "A", "B"), cmp("A", ">", 1)))
+    kids = children(q)
+    assert len(kids) == 1
+    assert rebuild(q, kids) == q
+
+
+def test_children_of_leaves_empty():
+    assert children(rel("R", "A")) == ()
+    assert children(const(3)) == ()
+    assert children(cmp("A", "<", 1)) == ()
+
+
+def test_children_of_assign_with_query():
+    a = assign("X", sum_over([], rel("S", "B")))
+    assert children(a) == (sum_over([], rel("S", "B")),)
+
+
+def test_children_of_assign_with_value_term():
+    a = assign("X", "A")
+    assert children(a) == ()
+
+
+def test_rebuild_rejects_children_on_leaf():
+    with pytest.raises(ValueError):
+        rebuild(rel("R", "A"), (rel("S", "B"),))
+
+
+def test_is_expr():
+    assert is_expr(rel("R", "A"))
+    assert is_expr(exists(rel("R", "A")))
+    assert not is_expr(Col("A"))
+    assert not is_expr("A")
+
+
+def test_repr_smoke():
+    q = sum_over(
+        ["B"],
+        join(rel("R", "A", "B"), assign("X", sum_over([], rel("S", "B2"))),
+             cmp("A", "<", "X")),
+    )
+    s = repr(q)
+    assert "Sum[B]" in s
+    assert "X :=" in s

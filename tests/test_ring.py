@@ -1,0 +1,146 @@
+"""Unit tests for the GMR ring data model."""
+
+import pytest
+
+from repro.ring import GMR, ZERO, gmr_of_pairs, singleton
+
+
+def test_empty_is_zero():
+    assert GMR().is_zero()
+    assert len(GMR()) == 0
+    assert ZERO.is_zero()
+
+
+def test_construction_drops_zero_multiplicities():
+    g = GMR({(1,): 0, (2,): 3})
+    assert (1,) not in g
+    assert g.get((2,)) == 3
+
+
+def test_from_pairs_accumulates():
+    g = GMR.from_pairs([((1,), 2), ((1,), 3), ((2,), -1)])
+    assert g.get((1,)) == 5
+    assert g.get((2,)) == -1
+
+
+def test_from_pairs_cancellation():
+    g = GMR.from_pairs([((1,), 2), ((1,), -2)])
+    assert g.is_zero()
+
+
+def test_add_merges_multiplicities():
+    a = GMR({(1,): 1, (2,): 2})
+    b = GMR({(2,): 3, (3,): 4})
+    c = a + b
+    assert c.get((1,)) == 1
+    assert c.get((2,)) == 5
+    assert c.get((3,)) == 4
+
+
+def test_add_cancels_to_absence():
+    a = GMR({(1,): 1})
+    b = GMR({(1,): -1})
+    assert (a + b).is_zero()
+
+
+def test_add_identity():
+    a = GMR({(1,): 7})
+    assert a + ZERO == a
+    assert ZERO + a == a
+
+
+def test_neg_and_sub():
+    a = GMR({(1,): 3})
+    assert (-a).get((1,)) == -3
+    assert (a - a).is_zero()
+
+
+def test_scale():
+    a = GMR({(1,): 3, (2,): -1})
+    b = a.scale(2)
+    assert b.get((1,)) == 6
+    assert b.get((2,)) == -2
+    assert a.scale(0).is_zero()
+
+
+def test_add_inplace():
+    a = GMR({(1,): 1})
+    a.add_inplace(GMR({(1,): 2, (2,): 5}))
+    assert a.get((1,)) == 3
+    assert a.get((2,)) == 5
+    a.add_inplace(GMR({(2,): -5}))
+    assert (2,) not in a
+
+
+def test_add_tuple_cancellation():
+    a = GMR()
+    a.add_tuple((1, "x"), 2)
+    a.add_tuple((1, "x"), -2)
+    assert a.is_zero()
+
+
+def test_project_sums_collisions():
+    a = GMR({(1, 10): 2, (2, 10): 3, (1, 20): 1})
+    p = a.project([1])
+    assert p.get((10,)) == 5
+    assert p.get((20,)) == 1
+
+
+def test_project_cancellation():
+    a = GMR({(1, 10): 2, (2, 10): -2})
+    assert a.project([1]).is_zero()
+
+
+def test_filter():
+    a = GMR({(1,): 1, (2,): 2})
+    assert a.filter(lambda t: t[0] > 1) == GMR({(2,): 2})
+
+
+def test_map_tuples():
+    a = GMR({(1,): 1, (2,): 2})
+    m = a.map_tuples(lambda t: (t[0] % 2,))
+    assert m.get((1,)) == 1
+    assert m.get((0,)) == 2
+
+
+def test_exists_flattens_multiplicities():
+    a = GMR({(1,): 5, (2,): -3})
+    e = a.exists()
+    assert e.get((1,)) == 1
+    assert e.get((2,)) == 1
+
+
+def test_total():
+    assert GMR({(1,): 2, (2,): 3}).total() == 5
+
+
+def test_singleton():
+    s = singleton((), 4)
+    assert s.get(()) == 4
+    assert singleton((1,), 0).is_zero()
+
+
+def test_float_epsilon_canonicalization():
+    a = GMR({(1,): 0.1})
+    b = GMR({(1,): -0.1})
+    assert (a + b).is_zero()
+
+
+def test_equality_tolerates_float_noise():
+    a = GMR({(1,): 0.3})
+    b = GMR({(1,): 0.1 + 0.2})
+    assert a == b
+
+
+def test_gmr_unhashable():
+    with pytest.raises(TypeError):
+        hash(GMR())
+
+
+def test_gmr_of_pairs_alias():
+    assert gmr_of_pairs([((1,), 1)]).get((1,)) == 1
+
+
+def test_repr_truncates_large():
+    g = GMR({(i,): 1 for i in range(20)})
+    assert "20 tuples" in repr(g)

@@ -1,0 +1,152 @@
+"""Unit tests for schema and variable analysis."""
+
+import pytest
+
+from repro.query import (
+    assign,
+    base_relations,
+    cmp,
+    const,
+    delta,
+    exists,
+    free_vars,
+    join,
+    out_cols,
+    query_degree,
+    rel,
+    rename_columns,
+    substitute,
+    sum_over,
+    union,
+    value,
+)
+from repro.query.schema import delta_relations, has_relations
+
+
+def test_out_cols_rel():
+    assert out_cols(rel("R", "A", "B")) == ("A", "B")
+
+
+def test_out_cols_join_order_of_first_appearance():
+    q = join(rel("R", "A", "B"), rel("S", "B", "C"))
+    assert out_cols(q) == ("A", "B", "C")
+
+
+def test_out_cols_sum():
+    q = sum_over(["B"], rel("R", "A", "B"))
+    assert out_cols(q) == ("B",)
+
+
+def test_out_cols_interpreted_empty():
+    assert out_cols(const(2)) == ()
+    assert out_cols(cmp("A", "<", 1)) == ()
+    assert out_cols(value("A")) == ()
+
+
+def test_out_cols_assign_value():
+    assert out_cols(assign("X", "A")) == ("X",)
+
+
+def test_out_cols_assign_query_extends_child():
+    q = assign("X", sum_over(["B"], rel("S", "B", "C")))
+    assert out_cols(q) == ("B", "X")
+
+
+def test_out_cols_exists_preserves_child():
+    q = exists(sum_over(["A"], rel("R", "A", "B")))
+    assert out_cols(q) == ("A",)
+
+
+def test_out_cols_union_order_from_first():
+    q = union(rel("R", "A", "B"), rel("S", "B", "A"))
+    assert out_cols(q) == ("A", "B")
+
+
+def test_union_schema_mismatch_raises():
+    q = union(rel("R", "A"), rel("S", "B"))
+    with pytest.raises(ValueError):
+        out_cols(q)
+
+
+def test_free_vars_of_relations_empty():
+    assert free_vars(rel("R", "A", "B")) == frozenset()
+    assert free_vars(delta("R", "A")) == frozenset()
+
+
+def test_free_vars_cmp():
+    assert free_vars(cmp("A", "<", "B")) == frozenset({"A", "B"})
+
+
+def test_free_vars_join_left_to_right_binding():
+    # R binds A; the comparison's A is satisfied, B remains free.
+    q = join(rel("R", "A"), cmp("A", "<", "B"))
+    assert free_vars(q) == frozenset({"B"})
+
+
+def test_free_vars_join_order_matters():
+    # The comparison precedes its binder, so A is (operationally) free.
+    q = join(cmp("A", "<", 5), rel("R", "A"))
+    assert free_vars(q) == frozenset({"A"})
+
+
+def test_free_vars_correlated_subquery():
+    qn = sum_over([], join(rel("S", "B2", "C"), cmp("B", "==", "B2")))
+    assert free_vars(qn) == frozenset({"B"})
+    outer = join(rel("R", "A", "B"), assign("X", qn), cmp("A", "<", "X"))
+    assert free_vars(outer) == frozenset()
+
+
+def test_base_and_delta_relations():
+    q = sum_over(["B"], join(delta("R", "A", "B"), rel("S", "B", "C")))
+    assert base_relations(q) == frozenset({"S"})
+    assert delta_relations(q) == frozenset({"R"})
+
+
+def test_has_relations():
+    assert has_relations(rel("R", "A"))
+    assert has_relations(exists(delta("R", "A")))
+    assert not has_relations(cmp("A", "<", 1))
+    assert not has_relations(assign("X", "A"))
+
+
+def test_query_degree():
+    q = join(rel("R", "A", "B"), rel("S", "B", "C"), rel("T", "C", "D"))
+    assert query_degree(q) == 3
+    assert query_degree(delta("R", "A")) == 0
+    assert query_degree(const(1)) == 0
+
+
+def test_rename_columns_deep():
+    q = sum_over(
+        ["B"],
+        join(rel("R", "A", "B"), cmp("A", "<", 5), assign("X", "A")),
+    )
+    r = rename_columns(q, {"A": "A1", "B": "B1"})
+    assert out_cols(r) == ("B1",)
+    assert "A1" in repr(r)
+    assert "A " not in repr(r)
+
+
+def test_rename_columns_assign_query():
+    q = assign("X", sum_over([], join(rel("S", "B2"), cmp("B", "==", "B2"))))
+    r = rename_columns(q, {"X": "Y", "B": "B0"})
+    assert out_cols(r) == ("Y",)
+    assert free_vars(r) == frozenset({"B0"})
+
+
+def test_substitute_replaces_subtrees():
+    # Note: the join() builder flattens, so nest via Sum to keep the
+    # inner expression as a distinct node.
+    inner = sum_over(["B"], join(rel("S", "B", "C"), rel("T", "C", "D")))
+    q = sum_over(["B"], join(rel("R", "A", "B"), inner))
+    replaced = substitute(q, {inner: rel("M_ST", "B")})
+    assert base_relations(replaced) == frozenset({"R", "M_ST"})
+
+
+def test_substitute_bottom_up():
+    # Substitution applies to children first, then the rebuilt parent.
+    a = rel("R", "A")
+    b = rel("S", "A")
+    q = join(a, b)
+    out = substitute(q, {a: b, join(b, b): rel("M", "A")})
+    assert out == rel("M", "A")

@@ -1,0 +1,282 @@
+"""The SQL frontend: parsing, lowering, errors, and — most important —
+semantic agreement between parsed SQL and hand-written algebra."""
+
+import pytest
+
+from repro.compiler import apply_batch_preaggregation, compile_query
+from repro.eval import Database, evaluate
+from repro.exec import RecursiveIVMEngine
+from repro.query.ast import Assign, Cmp, Exists, Join, Rel, Sum
+from repro.query.builder import cmp, join, rel, sum_over, value
+from repro.query.schema import base_relations, out_cols
+from repro.query.sqlfront import SqlError, parse_sql, sql_to_spec
+from repro.ring import GMR
+
+CATALOG = {
+    "R": ("a", "b"),
+    "S": ("b", "c"),
+    "T": ("c", "d"),
+}
+
+
+def _db():
+    db = Database()
+    db.insert_rows("R", [(i % 4, i % 3) for i in range(12)])
+    db.insert_rows("S", [(i % 3, i % 5) for i in range(10)])
+    db.insert_rows("T", [(i % 5, i) for i in range(8)])
+    return db
+
+
+# ----------------------------------------------------------------------
+# Basic parsing and structure
+# ----------------------------------------------------------------------
+
+
+def test_count_star_single_table():
+    q = parse_sql("SELECT COUNT(*) FROM R", CATALOG)
+    assert isinstance(q, Sum)
+    assert q.group_by == ()
+    assert base_relations(q) == {"R"}
+
+
+def test_group_by_produces_group_columns():
+    q = parse_sql("SELECT b, COUNT(*) FROM R GROUP BY b", CATALOG)
+    assert isinstance(q, Sum)
+    assert out_cols(q) == ("R_b",)
+
+
+def test_natural_join_from_equality_predicate():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R, S WHERE R.b = S.b", CATALOG
+    )
+    rels = [p for p in q.child.parts] if isinstance(q.child, Join) else [q.child]
+    rel_nodes = [p for p in rels if isinstance(p, Rel)]
+    assert len(rel_nodes) == 2
+    # Both relations share the join column name — a natural join, with
+    # no residual comparison factor.
+    cols_r = dict(zip(["R", "S"], [set(r.cols) for r in rel_nodes]))
+    assert cols_r["R"] & cols_r["S"], "no shared join column"
+    assert not any(isinstance(p, Cmp) for p in rels)
+
+
+def test_filter_predicate_stays_as_comparison():
+    q = parse_sql("SELECT COUNT(*) FROM R WHERE R.a > 2", CATALOG)
+    assert any(isinstance(p, Cmp) for p in q.child.parts)
+
+
+def test_aliases():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R x, R y WHERE x.a = y.a", CATALOG
+    )
+    names = {p.name for p in q.child.parts if isinstance(p, Rel)}
+    assert names == {"R"}
+    cols = [p.cols for p in q.child.parts if isinstance(p, Rel)]
+    assert cols[0] != cols[1]  # distinct occurrence columns
+    assert set(cols[0]) & set(cols[1])  # but joined on the x.a class
+
+
+def test_distinct_wraps_in_exists():
+    q = parse_sql("SELECT DISTINCT a FROM R", CATALOG)
+    assert isinstance(q, Exists)
+
+
+def test_scalar_subquery_becomes_assignment():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE R.a < "
+        "(SELECT COUNT(*) FROM S WHERE S.b = R.b)",
+        CATALOG,
+    )
+    kinds = [type(p) for p in q.child.parts]
+    assert Assign in kinds
+    assert Cmp in kinds
+
+
+def test_exists_subquery():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE EXISTS "
+        "(SELECT COUNT(*) FROM S WHERE S.b = R.b)",
+        CATALOG,
+    )
+    assert any(isinstance(p, Assign) for p in q.child.parts)
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT COUNT(*) FROM",               # missing table
+        "SELECT COUNT(*) FROM Unknown",       # unknown table
+        "SELECT COUNT(*) FROM R WHERE",       # dangling WHERE
+        "SELECT nope FROM R",                 # unknown column
+        "SELECT COUNT(*) FROM R WHERE R.a ~ 1",  # bad operator
+        "SELECT b FROM R, S",                 # ambiguous bare column
+        "FROM R",                             # missing SELECT
+        "SELECT COUNT(*) FROM R extra garbage()",
+    ],
+)
+def test_rejects_malformed_sql(sql):
+    with pytest.raises(SqlError):
+        parse_sql(sql, CATALOG)
+
+
+def test_rejects_duplicate_alias():
+    with pytest.raises(SqlError):
+        parse_sql("SELECT COUNT(*) FROM R, R", CATALOG)
+
+
+# ----------------------------------------------------------------------
+# Semantics: parsed SQL agrees with hand-written algebra
+# ----------------------------------------------------------------------
+
+
+def test_count_matches_algebra():
+    db = _db()
+    q_sql = parse_sql("SELECT COUNT(*) FROM R WHERE R.a > 1", CATALOG)
+    q_alg = sum_over(
+        [], join(rel("R", "R_a", "R_b"), cmp("R_a", ">", 1))
+    )
+    assert evaluate(q_sql, db_renamed(db)) == evaluate(q_alg, db_renamed(db))
+
+
+def db_renamed(db):
+    # Column names are positional in GMRs, so any Database works for
+    # both namings; this helper exists for readability.
+    return db
+
+
+def test_join_count_matches_algebra():
+    db = _db()
+    q_sql = parse_sql(
+        "SELECT COUNT(*) FROM R, S WHERE R.b = S.b", CATALOG
+    )
+    q_alg = sum_over(
+        [], join(rel("R", "a", "b"), rel("S", "b", "c"))
+    )
+    assert evaluate(q_sql, db) == evaluate(q_alg, db)
+
+
+def test_sum_aggregate_matches_algebra():
+    db = _db()
+    q_sql = parse_sql(
+        "SELECT b, SUM(a) FROM R GROUP BY b", CATALOG
+    )
+    q_alg = sum_over(["b"], join(rel("R", "a", "b"), value("a")))
+    got = evaluate(q_sql, db)
+    want = evaluate(q_alg, db)
+    assert got.data == want.data  # same keys/values (names differ)
+
+
+def test_arithmetic_in_sum():
+    db = _db()
+    q_sql = parse_sql("SELECT SUM(a * 2 + 1) FROM R", CATALOG)
+    q_alg = parse_sql("SELECT SUM(a) FROM R", CATALOG)
+    total = evaluate(q_sql, db).get(())
+    base = evaluate(q_alg, db).get(())
+    n = evaluate(parse_sql("SELECT COUNT(*) FROM R", CATALOG), db).get(())
+    assert total == 2 * base + n
+
+
+def test_correlated_nested_aggregate_semantics():
+    """The Example 3.1 query: COUNT of R rows whose a is below the
+    per-b count of S rows."""
+    db = _db()
+    q_sql = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE R.a < "
+        "(SELECT COUNT(*) FROM S WHERE S.b = R.b)",
+        CATALOG,
+    )
+    expected = 0
+    s_rows = list(db.get_view("S").items())
+    for (a, b), m in db.get_view("R").items():
+        count = sum(sm for (sb, sc), sm in s_rows if sb == b)
+        if a < count:
+            expected += m
+    assert evaluate(q_sql, db).get(()) == expected
+
+
+def test_distinct_semantics():
+    db = _db()
+    q = parse_sql("SELECT DISTINCT a FROM R WHERE R.b > 0", CATALOG)
+    got = evaluate(q, db)
+    expected = {
+        (a,) for (a, b), m in db.get_view("R").items() if b > 0
+    }
+    assert set(got.data) == expected
+    assert all(m == 1 for m in got.data.values())
+
+
+def test_three_way_join_chain():
+    db = _db()
+    q_sql = parse_sql(
+        "SELECT COUNT(*) FROM R, S, T "
+        "WHERE R.b = S.b AND S.c = T.c",
+        CATALOG,
+    )
+    q_alg = sum_over(
+        [],
+        join(rel("R", "a", "b"), rel("S", "b", "c"), rel("T", "c", "d")),
+    )
+    assert evaluate(q_sql, db) == evaluate(q_alg, db)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: parsed SQL through the IVM pipeline
+# ----------------------------------------------------------------------
+
+
+def test_parsed_query_is_maintainable():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R, S WHERE R.b = S.b AND R.a > 0",
+        CATALOG,
+    )
+    program = apply_batch_preaggregation(compile_query(q, "SQLQ"))
+    engine = RecursiveIVMEngine(program, mode="batch")
+    reference = Database()
+    import random
+
+    rng = random.Random(4)
+    for step in range(8):
+        name = ("R", "S")[step % 2]
+        batch = GMR()
+        for _ in range(20):
+            batch.add_tuple((rng.randint(0, 4), rng.randint(0, 4)), 1)
+        engine.on_batch(name, batch)
+        reference.apply_update(name, batch)
+    assert engine.result() == evaluate(q, reference)
+
+
+def test_parsed_nested_query_is_maintainable():
+    q = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE R.a < "
+        "(SELECT COUNT(*) FROM S WHERE S.b = R.b)",
+        CATALOG,
+    )
+    program = apply_batch_preaggregation(compile_query(q, "SQLN"))
+    engine = RecursiveIVMEngine(program, mode="batch")
+    reference = Database()
+    import random
+
+    rng = random.Random(5)
+    for step in range(6):
+        name = ("R", "S")[step % 2]
+        batch = GMR()
+        for _ in range(15):
+            batch.add_tuple((rng.randint(0, 3), rng.randint(0, 3)), 1)
+        engine.on_batch(name, batch)
+        reference.apply_update(name, batch)
+    assert engine.result() == evaluate(q, reference)
+
+
+def test_sql_to_spec():
+    spec = sql_to_spec(
+        "SQLDEMO",
+        "SELECT COUNT(*) FROM R, S WHERE R.b = S.b",
+        CATALOG,
+    )
+    assert spec.name == "SQLDEMO"
+    assert spec.updatable == frozenset({"R", "S"})
+    assert "parsed from SQL" in spec.notes

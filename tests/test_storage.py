@@ -1,0 +1,193 @@
+"""Unit tests for the storage substrate: pools, indexes, columnar."""
+
+import pytest
+
+from repro.ring import GMR
+from repro.storage import ColumnarBatch, RecordPool
+from repro.storage.columnar import estimate_gmr_bytes
+
+
+# ----------------------------------------------------------------------
+# RecordPool
+# ----------------------------------------------------------------------
+
+
+def test_pool_upsert_and_get():
+    p = RecordPool(("A", "B"))
+    p.upsert((1, 10), 2)
+    assert p.get((1, 10)) == 2
+    assert p.get((9, 9)) == 0
+    assert len(p) == 1
+
+
+def test_pool_upsert_accumulates():
+    p = RecordPool(("A",))
+    p.upsert((1,), 2)
+    p.upsert((1,), 3)
+    assert p.get((1,)) == 5
+    assert len(p) == 1
+
+
+def test_pool_cancellation_deletes_record():
+    p = RecordPool(("A",))
+    p.upsert((1,), 2)
+    p.upsert((1,), -2)
+    assert len(p) == 0
+    assert (1,) not in p
+    assert p.free_slots() == 1
+
+
+def test_pool_zero_insert_is_noop():
+    p = RecordPool(("A",))
+    p.upsert((1,), 0)
+    assert len(p) == 0
+    assert p.capacity() == 0
+
+
+def test_pool_free_list_reuses_slots():
+    p = RecordPool(("A",))
+    p.upsert((1,), 1)
+    p.upsert((2,), 1)
+    p.delete((1,))
+    cap = p.capacity()
+    p.upsert((3,), 1)
+    assert p.capacity() == cap  # slot recycled, no growth
+    assert p.get((3,)) == 1
+
+
+def test_pool_delete_missing_returns_false():
+    p = RecordPool(("A",))
+    assert p.delete((1,)) is False
+
+
+def test_pool_scan_skips_free_slots():
+    p = RecordPool(("A",))
+    for i in range(5):
+        p.upsert((i,), 1)
+    p.delete((2,))
+    assert sorted(k for k, _ in p.items()) == [(0,), (1,), (3,), (4,)]
+
+
+def test_pool_slice_index():
+    p = RecordPool(("A", "B"), slice_indexes=(("B",),))
+    p.upsert((1, 10), 1)
+    p.upsert((2, 10), 2)
+    p.upsert((3, 20), 3)
+    got = sorted(p.slice(0, (10,)))
+    assert got == [((1, 10), 1), ((2, 10), 2)]
+    assert list(p.slice(0, (99,))) == []
+
+
+def test_pool_slice_index_updated_on_delete():
+    p = RecordPool(("A", "B"), slice_indexes=(("B",),))
+    p.upsert((1, 10), 1)
+    p.upsert((2, 10), 1)
+    p.upsert((2, 10), -1)  # cancels → record removed from bucket
+    assert sorted(p.slice(0, (10,))) == [((1, 10), 1)]
+
+
+def test_pool_add_slice_index_backfills():
+    p = RecordPool(("A", "B"))
+    p.upsert((1, 10), 1)
+    p.upsert((2, 20), 1)
+    idx = p.add_slice_index(("B",))
+    assert sorted(p.slice(idx, (20,))) == [((2, 20), 1)]
+
+
+def test_pool_slice_index_lookup_by_colset():
+    p = RecordPool(("A", "B", "C"), slice_indexes=(("B", "C"),))
+    assert p.slice_index_for(frozenset({"B", "C"})) == 0
+    assert p.slice_index_for(frozenset({"A"})) is None
+
+
+def test_pool_gmr_interface_compat():
+    p = RecordPool(("A", "B"))
+    p.add_inplace(GMR({(1, 10): 2, (2, 20): 3}))
+    assert p.data == {(1, 10): 2, (2, 20): 3}
+    assert not p.is_zero()
+    g = p.project([1])
+    assert g.get((10,)) == 2
+    e = p.exists()
+    assert e.get((2, 20)) == 1
+
+
+def test_pool_replace_contents():
+    p = RecordPool(("A",))
+    p.upsert((1,), 1)
+    p.replace_contents(GMR({(5,): 7}))
+    assert p.data == {(5,): 7}
+
+
+def test_pool_tracer_receives_addresses():
+    trace = []
+    p = RecordPool(("A",), tracer=lambda addr, size: trace.append((addr, size)))
+    p.upsert((1,), 1)
+    p.get((1,))
+    assert len(trace) == 2
+    assert trace[0] == trace[1]  # same record → same address
+    assert trace[0][1] == p.record_bytes
+
+
+def test_pool_addresses_disjoint_across_pools():
+    p1 = RecordPool(("A",))
+    p2 = RecordPool(("A",))
+    assert p1.base_address != p2.base_address
+
+
+# ----------------------------------------------------------------------
+# ColumnarBatch
+# ----------------------------------------------------------------------
+
+
+def test_columnar_roundtrip():
+    g = GMR({(1, "x"): 2, (2, "y"): -1})
+    b = ColumnarBatch.from_gmr(g, ("A", "B"))
+    assert len(b) == 2
+    assert b.to_gmr() == g
+
+
+def test_columnar_from_rows():
+    b = ColumnarBatch.from_rows([(1, 2), (1, 2), (3, 4)], ("A", "B"))
+    g = b.to_gmr()
+    assert g.get((1, 2)) == 2
+    assert g.get((3, 4)) == 1
+
+
+def test_columnar_filter_column():
+    b = ColumnarBatch.from_rows([(1, 5), (2, 10), (3, 15)], ("A", "B"))
+    f = b.filter_column("B", lambda v: v > 6)
+    assert f.to_gmr() == GMR({(2, 10): 1, (3, 15): 1})
+
+
+def test_columnar_project_keeps_duplicates():
+    b = ColumnarBatch.from_rows([(1, 5), (2, 5)], ("A", "B"))
+    p = b.project(("B",))
+    assert len(p) == 2  # not merged
+
+
+def test_columnar_aggregate_merges_and_cancels():
+    b = ColumnarBatch(("A", "B"))
+    b.append((1, 5), 1)
+    b.append((2, 5), 1)
+    b.append((3, 6), 1)
+    b.append((3, 6), -1)
+    a = b.aggregate(("B",))
+    assert a.to_gmr() == GMR({(5,): 2})
+
+
+def test_columnar_serialized_bytes():
+    b = ColumnarBatch.from_rows([(1, "abc")], ("A", "B"))
+    # 8 (mult) + 8 (int) + 3 (str)
+    assert b.serialized_bytes() == 19
+
+
+def test_estimate_gmr_bytes():
+    g = GMR({(1, "ab"): 1})
+    assert estimate_gmr_bytes(g) == 18
+
+
+def test_columnar_column_access():
+    b = ColumnarBatch.from_rows([(1, 5), (2, 6)], ("A", "B"))
+    assert b.column("B") == [5, 6]
+    with pytest.raises(ValueError):
+        b.column("Z")
