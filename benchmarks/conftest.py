@@ -35,3 +35,15 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper_experiment(name): maps a bench to a paper table/figure"
     )
+
+
+_BENCH_DIR = __file__.rsplit("/", 1)[0]
+
+
+def pytest_collection_modifyitems(items):
+    # Every paper-figure benchmark is heavyweight: the whole directory
+    # belongs to the slow tier (tier-1 deselects it via pytest.ini).
+    # The hook sees the whole session's items, so scope by path.
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)

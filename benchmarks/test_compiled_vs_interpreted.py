@@ -1,0 +1,98 @@
+"""Compile-once pipelines vs interpreted evaluation (the lowering bench).
+
+Per-batch maintenance latency of the recursive IVM engine on TPC-H
+Q1/Q6/Q17, with statements executed (a) through closure pipelines
+lowered once at engine construction and (b) through the interpreted
+reference evaluator.  Both paths run the identical maintenance program
+over the identical stream; results are asserted equal, and the compiled
+path must be at least as fast per batch.
+
+Measurements land in ``BENCH_compiled.json`` at the repo root so the
+performance trajectory of the lowering layer accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import format_table, prepare_stream, run_engine
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.conftest import LOCAL_SF
+
+QUERIES = ("Q1", "Q6", "Q17")
+BATCH_SIZE = 100
+MAX_BATCHES = 25
+#: best-of-N wall-clock; single-core CI boxes are noisy
+REPETITIONS = 3
+#: the compiled path must be no slower; a small tolerance absorbs
+#: scheduler noise without letting a real regression through
+NOISE_TOLERANCE = 1.10
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_compiled.json"
+
+
+def _best_run(prepared, use_compiled: bool):
+    best = None
+    for _ in range(REPETITIONS):
+        outcome = run_engine(prepared, "rivm-batch", use_compiled=use_compiled)
+        if best is None or outcome.elapsed_s < best.elapsed_s:
+            best = outcome
+    return best
+
+
+@pytest.mark.paper_experiment("compile-once lowering")
+def test_compiled_path_not_slower_than_interpreted():
+    rows = []
+    payload = {
+        "bench": "compiled_vs_interpreted",
+        "unit": "seconds_per_batch",
+        "batch_size": BATCH_SIZE,
+        "sf": LOCAL_SF,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "queries": {},
+    }
+    for name in QUERIES:
+        prepared = prepare_stream(
+            TPCH_QUERIES[name], BATCH_SIZE, sf=LOCAL_SF,
+            max_batches=MAX_BATCHES,
+        )
+        n_batches = max(1, len(prepared.batches))
+        compiled = _best_run(prepared, use_compiled=True)
+        interpreted = _best_run(prepared, use_compiled=False)
+        assert compiled.result == interpreted.result, (
+            f"{name}: lowering changed the maintained view"
+        )
+        compiled_lat = compiled.elapsed_s / n_batches
+        interpreted_lat = interpreted.elapsed_s / n_batches
+        speedup = interpreted_lat / compiled_lat if compiled_lat > 0 else 1.0
+        payload["queries"][name] = {
+            "n_batches": n_batches,
+            "compiled_s_per_batch": compiled_lat,
+            "interpreted_s_per_batch": interpreted_lat,
+            "speedup": speedup,
+        }
+        rows.append(
+            (name, n_batches, f"{interpreted_lat * 1e3:.3f}",
+             f"{compiled_lat * 1e3:.3f}", f"{speedup:.2f}x")
+        )
+        assert compiled_lat <= interpreted_lat * NOISE_TOLERANCE, (
+            f"{name}: compiled path slower than interpreted "
+            f"({compiled_lat * 1e3:.3f} ms vs {interpreted_lat * 1e3:.3f} ms "
+            f"per batch)"
+        )
+
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        format_table(
+            ("query", "batches", "interp ms/batch", "compiled ms/batch",
+             "speedup"),
+            rows,
+            title="compile-once lowering — per-batch latency",
+        )
+    )

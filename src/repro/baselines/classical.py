@@ -13,13 +13,14 @@ from __future__ import annotations
 from repro.delta import derive_delta
 from repro.delta.simplify import is_statically_zero
 from repro.eval import Database, Evaluator
+from repro.exec.backend import ExecutionBackend
 from repro.metrics import Counters
 from repro.query.ast import Expr
 from repro.query.schema import base_relations
 from repro.ring import GMR
 
 
-class ClassicalIVMEngine:
+class ClassicalIVMEngine(ExecutionBackend):
     """First-order IVM: ``M(D+ΔD) = M(D) + ΔQ(D, ΔD)``."""
 
     def __init__(self, query: Expr, counters: Counters | None = None):
@@ -50,5 +51,5 @@ class ClassicalIVMEngine:
             self.db.clear_deltas()
         self.db.apply_update(relation, batch)
 
-    def result(self) -> GMR:
+    def snapshot(self) -> GMR:
         return self._result

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from repro.eval import Database, Evaluator
+from repro.exec.backend import ExecutionBackend
 from repro.metrics import Counters
 from repro.query.ast import Expr
 from repro.ring import GMR
 
 
-class ReevalEngine:
+class ReevalEngine(ExecutionBackend):
     """Maintains a view by full recomputation per batch.
 
     Cost grows with the size of the base tables, so throughput falls as
@@ -36,7 +37,7 @@ class ReevalEngine:
         self._result = self._evaluator.evaluate(self.query)
         self._dirty = False
 
-    def result(self) -> GMR:
+    def snapshot(self) -> GMR:
         if self._dirty:
             self._result = self._evaluator.evaluate(self.query)
             self._dirty = False

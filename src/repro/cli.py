@@ -5,8 +5,9 @@ Commands:
 * ``list-queries`` — the benchmark workloads and their metadata;
 * ``compile`` — show the maintenance program compiled for a workload
   query or an ad-hoc SQL string;
-* ``run`` — stream a generated dataset through an engine and report
-  throughput;
+* ``run`` — stream a generated dataset through an execution backend and
+  report throughput;
+* ``list-backends`` — the registered execution backends;
 * ``distributed`` — compile for the simulated cluster and show the
   blocks/jobs plan (optionally execute a weak-scaling sweep);
 * ``advise`` — rank partitioning strategies for a query.
@@ -75,18 +76,36 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_list_backends(_args) -> int:
+    from repro.exec import available_backends, backend_info
+
+    rows = [
+        (name, backend_info(name).description)
+        for name in available_backends()
+    ]
+    print(format_table(("backend", "description"), rows))
+    return 0
+
+
 def cmd_run(args) -> int:
+    from repro.exec import available_backends
     from repro.harness import measure_throughput
 
+    if args.backend and args.backend not in available_backends():
+        raise SystemExit(
+            f"unknown backend {args.backend!r}; choose one of: "
+            + ", ".join(available_backends())
+        )
     spec = _resolve_spec(args)
     workload = args.workload
     result = measure_throughput(
         spec,
-        args.strategy,
+        args.backend or args.strategy,
         None if args.batch_size == 0 else args.batch_size,
         workload=workload,
         sf=args.sf,
         max_batches=args.max_batches,
+        use_compiled=not args.interpreted,
     )
     print(
         format_table(
@@ -174,6 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-queries", help="list benchmark queries")
 
+    sub.add_parser("list-backends", help="list registered execution backends")
+
     p = sub.add_parser("compile", help="show a compiled maintenance program")
     p.add_argument("query", nargs="?", default="Q3")
     p.add_argument("--sql", help="compile an ad-hoc SQL string instead")
@@ -188,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="rivm-batch",
                    choices=["rivm-single", "rivm-batch", "rivm-specialized",
                             "reeval", "civm"])
+    p.add_argument("--backend", default=None,
+                   help="execution backend (overrides --strategy; "
+                        "see 'list-backends')")
+    p.add_argument("--interpreted", action="store_true",
+                   help="run statements through the interpreted evaluator "
+                        "instead of compile-once pipelines")
     p.add_argument("--batch-size", type=int, default=100,
                    help="0 = single-tuple execution")
     p.add_argument("--workload", default="tpch",
@@ -213,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "list-queries": cmd_list_queries,
+    "list-backends": cmd_list_backends,
     "compile": cmd_compile,
     "run": cmd_run,
     "distributed": cmd_distributed,

@@ -17,6 +17,7 @@ from repro.compiler.ir import (
 from repro.compiler.materializer import compile_query
 from repro.compiler.preagg import apply_batch_preaggregation
 from repro.compiler.access import AccessPattern, analyze_access_patterns
+from repro.compiler.plancache import PlanCache, compile_program
 
 __all__ = [
     "Statement",
@@ -27,4 +28,6 @@ __all__ = [
     "apply_batch_preaggregation",
     "AccessPattern",
     "analyze_access_patterns",
+    "PlanCache",
+    "compile_program",
 ]

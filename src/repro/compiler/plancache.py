@@ -1,0 +1,36 @@
+"""Program-level plan caching: lower every trigger statement once.
+
+The execution engines pay the lowering cost (schema resolution, join
+planning, closure composition — see :mod:`repro.eval.compiled`) at
+construction time by walking their program through :func:`compile_program`;
+the batch loop then runs pure pipeline lookups.  The cache is keyed on
+statement identity — the statement's expression, which is an immutable,
+structurally hashable AST — so statements shared between triggers (or
+between the workers of a simulated cluster) are lowered exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.eval.compiled import PlanCache
+from repro.query.ast import LOCATION_TRANSFORMERS
+
+__all__ = ["PlanCache", "compile_program"]
+
+
+def compile_program(program, cache: PlanCache | None = None) -> PlanCache:
+    """Lower every statement of a compiled maintenance program.
+
+    Accepts anything with a ``triggers`` mapping of objects carrying
+    ``statements`` — both :class:`~repro.compiler.ir.TriggerProgram`
+    and :class:`~repro.distributed.program.DistributedProgram`.
+    Top-level location transformers are skipped: the cluster executes
+    them as data movement, never through an evaluator.
+    """
+    if cache is None:
+        cache = PlanCache()
+    for trigger in program.triggers.values():
+        for stmt in trigger.statements:
+            if isinstance(stmt.expr, LOCATION_TRANSFORMERS):
+                continue
+            cache.lookup(stmt.expr)
+    return cache

@@ -10,6 +10,7 @@ hash-join ordering heuristic, Section 3.2.1).
 
 from __future__ import annotations
 
+from repro.ring import is_zero
 from repro.query.ast import (
     Assign,
     Cmp,
@@ -35,7 +36,7 @@ def is_statically_zero(e: Expr) -> bool:
     multiplicity 1 (SQL COUNT semantics).
     """
     if isinstance(e, Const):
-        return e.value == 0
+        return is_zero(e.value)
     if isinstance(e, Join):
         return any(is_statically_zero(p) for p in e.parts)
     if isinstance(e, Union):
@@ -137,7 +138,7 @@ def _fold_join_constants(e: Expr) -> Expr:
                 const_val *= p.value
             else:
                 rest.append(p)
-        if const_val == 0:
+        if is_zero(const_val):
             return Const(0)
         if const_val != 1:
             rest.insert(0, Const(const_val))

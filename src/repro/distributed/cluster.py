@@ -34,7 +34,9 @@ from repro.distributed.tags import (
     is_distributed,
     partition_of,
 )
-from repro.eval import Database, Evaluator
+from repro.compiler.plancache import compile_program
+from repro.eval import CompiledEvaluator, Database, Evaluator
+from repro.exec.backend import ExecutionBackend
 from repro.metrics import Counters
 from repro.query.ast import DeltaRel, Expr, Gather, Rel, Repart, Scatter
 from repro.ring import GMR
@@ -89,7 +91,7 @@ class ClusterMetrics:
         return tuples / total if total > 0 else 0.0
 
 
-class SimulatedCluster:
+class SimulatedCluster(ExecutionBackend):
     """Executes a :class:`DistributedProgram` batch by batch."""
 
     def __init__(
@@ -99,14 +101,25 @@ class SimulatedCluster:
         cost_model: CostModel | None = None,
         preload_batches: bool = True,
         seed: int = 7,
+        use_compiled: bool = True,
+        counters: Counters | None = None,
     ):
         self.program = program
         self.n_workers = n_workers
         self.cost = cost_model or CostModel()
+        #: cluster-wide totals: every block's per-worker (and driver)
+        #: operation counts are merged here, so harness-level virtual
+        #: throughput works for this backend like for the local engines.
+        self.counters = counters if counters is not None else Counters()
         #: paper §6.2: workers receive their share of the input stream
         #: directly, bypassing the driver; False routes batches through
         #: the driver's Scatter statements instead.
         self.preload_batches = preload_batches
+        self.use_compiled = use_compiled
+        #: statements are lowered once, program-wide; every worker (and
+        #: the driver) runs the same lowered pipelines, so the per-batch
+        #: block loop does no AST interpretation.
+        self.plans = compile_program(program) if use_compiled else None
         self._rng = _random.Random(seed)
 
         self.driver = Database()
@@ -124,6 +137,49 @@ class SimulatedCluster:
             plan = plan_jobs(blocks)
             trig.jobs = plan.jobs
             self._plans[rel_name] = (blocks, plan)
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def initialize(self, base: Database) -> None:
+        """Load a static database into the cluster's placed views.
+
+        Every materialized view is computed once from ``base`` and
+        installed according to its location tag, mirroring the local
+        engines' ``initialize``.
+        """
+        evaluator = Evaluator(base)
+        for info in self.program.local_program.views.values():
+            contents = evaluator.evaluate(info.definition)
+            if contents.is_zero():
+                continue
+            self.install_view(
+                info.name, info.cols, contents,
+                self.program.partitioning.get(info.name),
+            )
+
+    def install_view(
+        self,
+        name: str,
+        cols: tuple[str, ...],
+        contents: GMR,
+        tag: Tag | None,
+    ) -> None:
+        """Install one view's contents according to its location tag."""
+        if isinstance(tag, Dist):
+            parts = self._partition(contents, list(cols), tag.keys)
+            for w, part in enumerate(parts):
+                self.workers[w].set_view(name, part)
+        elif isinstance(tag, Replicated):
+            for wdb in self.workers:
+                wdb.set_view(name, GMR(dict(contents.data)))
+        else:
+            self.driver.set_view(name, contents)
+
+    def _evaluator_for(self, db: Database, counters: Counters):
+        if self.use_compiled:
+            return CompiledEvaluator(db, counters, plans=self.plans)
+        return Evaluator(db, counters)
 
     # ------------------------------------------------------------------
     # Placement helpers
@@ -202,7 +258,7 @@ class SimulatedCluster:
         worker_times = []
         for w, wdb in enumerate(self.workers):
             counters = Counters()
-            evaluator = Evaluator(wdb, counters)
+            evaluator = self._evaluator_for(wdb, counters)
             for stmt in block.statements:
                 value = evaluator.evaluate(stmt.expr)
                 self._store(wdb, stmt, value)
@@ -210,6 +266,7 @@ class SimulatedCluster:
                 counters.virtual_instructions()
                 * self.cost.seconds_per_instruction
             )
+            self.counters.merge(counters)
         compute = max(worker_times) if worker_times else 0.0
         sync = (
             self.cost.stage_overhead_s
@@ -225,6 +282,7 @@ class SimulatedCluster:
         round_bytes = 0
         n_shuffles = 0
         counters = Counters()
+        evaluator = self._evaluator_for(self.driver, counters)
         for stmt in block.statements:
             expr = stmt.expr
             if isinstance(expr, Scatter):
@@ -240,13 +298,13 @@ class SimulatedCluster:
                 round_bytes += moved
                 n_shuffles += 1
             else:
-                evaluator = Evaluator(self.driver, counters)
                 value = evaluator.evaluate(expr)
                 self._store(self.driver, stmt, value)
         latency += (
             counters.virtual_instructions()
             * self.cost.seconds_per_instruction
         )
+        self.counters.merge(counters)
         if n_shuffles:
             latency += self.cost.shuffle_round_s
             per_worker_bytes = round_bytes / max(1, self.n_workers)
@@ -352,7 +410,7 @@ class SimulatedCluster:
             total.add_inplace(wdb.get_view(name))
         return total
 
-    def result(self) -> GMR:
+    def snapshot(self) -> GMR:
         return self.view(self.program.top_view)
 
 

@@ -10,5 +10,21 @@ tested for equivalence against it.
 
 from repro.eval.db import Database
 from repro.eval.evaluator import Evaluator, evaluate
+from repro.eval.compiled import (
+    CompiledEvaluator,
+    CompiledExpr,
+    EvalContext,
+    PlanCache,
+    compile_expr,
+)
 
-__all__ = ["Database", "Evaluator", "evaluate"]
+__all__ = [
+    "Database",
+    "Evaluator",
+    "evaluate",
+    "CompiledEvaluator",
+    "CompiledExpr",
+    "EvalContext",
+    "PlanCache",
+    "compile_expr",
+]

@@ -31,7 +31,7 @@ from repro.query.ast import (
 )
 from repro.query.schema import free_vars, out_cols
 from repro.eval.db import Database
-from repro.ring import GMR
+from repro.ring import GMR, is_zero
 
 _CMP_OPS = {
     "<": lambda a, b: a < b,
@@ -101,10 +101,13 @@ class Evaluator:
         if isinstance(e, Sum):
             return self._eval_sum(e, env)
         if isinstance(e, Const):
-            return GMR.unsafe({(): e.value}) if e.value != 0 else GMR()
+            # Zero checks route through the ring's canonical predicate:
+            # a float residue below the ring epsilon must read as the
+            # empty relation here exactly as it does in GMR arithmetic.
+            return GMR() if is_zero(e.value) else GMR.unsafe({(): e.value})
         if isinstance(e, ValueF):
             v = eval_term(e.term, env)
-            return GMR.unsafe({(): v}) if v != 0 else GMR()
+            return GMR() if is_zero(v) else GMR.unsafe({(): v})
         if isinstance(e, Cmp):
             a = eval_term(e.lhs, env)
             b = eval_term(e.rhs, env)

@@ -1,13 +1,37 @@
 """Local execution of compiled maintenance programs (paper Section 5).
 
-:class:`RecursiveIVMEngine` interprets a
+:class:`RecursiveIVMEngine` runs a
 :class:`~repro.compiler.TriggerProgram` in either *batch* mode (one
 trigger invocation per update batch, over pre-aggregated columnar
 batches) or *single-tuple* mode (one trigger invocation per tuple with
 inlined tuple fields — the paper's specialized tuple-at-a-time path).
+
+Every engine — including the baselines and the simulated cluster —
+implements the :class:`ExecutionBackend` interface
+(``initialize`` / ``on_batch`` / ``snapshot``) and registers itself by
+name; :func:`create_backend` is the single engine-selection entry point
+shared by the CLI, the harness, and the benchmarks.
 """
 
+from repro.exec.backend import (
+    ExecutionBackend,
+    available_backends,
+    backend_info,
+    create_backend,
+    register_backend,
+)
 from repro.exec.engine import RecursiveIVMEngine
 from repro.exec.specialized import SpecializedIVMEngine
 
-__all__ = ["RecursiveIVMEngine", "SpecializedIVMEngine"]
+# Importing the registry module registers the built-in backends.
+import repro.exec.registry  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "ExecutionBackend",
+    "RecursiveIVMEngine",
+    "SpecializedIVMEngine",
+    "available_backends",
+    "backend_info",
+    "create_backend",
+    "register_backend",
+]

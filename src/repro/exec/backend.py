@@ -1,0 +1,100 @@
+"""The unified execution-backend interface and registry.
+
+Every way of running a maintenance workload — the recursive IVM engine,
+the storage-specialized engine, the classical-IVM and re-evaluation
+baselines, the simulated cluster — implements the same three-method
+surface:
+
+* ``initialize(base)`` — populate materialized state from a loaded
+  :class:`~repro.eval.Database` (static dimension tables, warm starts);
+* ``on_batch(relation, batch)`` — process one update batch;
+* ``snapshot()`` — the current contents of the top-level view.
+
+Backends register themselves by name in a process-wide registry, so
+engine selection is one lookup shared by the CLI (``--backend``), the
+harness, the baselines, and the benchmarks; adding a backend touches no
+caller.  See ARCHITECTURE.md for the how-to.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.eval import Database
+from repro.ring import GMR
+
+
+class ExecutionBackend(abc.ABC):
+    """Common surface of every maintenance execution backend."""
+
+    @abc.abstractmethod
+    def initialize(self, base: Database) -> None:
+        """Populate materialized state from a loaded database."""
+
+    @abc.abstractmethod
+    def on_batch(self, relation: str, batch: GMR):
+        """Process one update batch for ``relation``.
+
+        Backends may return a backend-specific measurement (the cluster
+        returns its modeled latency); callers that only maintain views
+        ignore the return value.
+        """
+
+    @abc.abstractmethod
+    def snapshot(self) -> GMR:
+        """Current contents of the top-level materialized view."""
+
+    def result(self) -> GMR:
+        """Alias of :meth:`snapshot` (the engines' historical name)."""
+        return self.snapshot()
+
+
+#: Factory: ``factory(spec, **options) -> ExecutionBackend``.  Factories
+#: accept the shared option set (``counters``, ``cache_sim``,
+#: ``use_compiled``) plus backend-specific keywords, and must tolerate
+#: unused shared options.
+BackendFactory = Callable[..., ExecutionBackend]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    name: str
+    factory: BackendFactory
+    description: str
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, description: str = ""
+) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _REGISTRY[name] = BackendInfo(name, factory, description)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_info(name: str) -> BackendInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def create_backend(name: str, spec, **options) -> ExecutionBackend:
+    """Instantiate a backend for a workload query spec.
+
+    ``spec`` is a :class:`~repro.workloads.QuerySpec`; ``options`` are
+    forwarded to the factory (``counters=``, ``cache_sim=``,
+    ``use_compiled=``, and backend-specific knobs like ``n_workers=``).
+    """
+    return backend_info(name).factory(spec, **options)

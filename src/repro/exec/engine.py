@@ -10,18 +10,25 @@ Two execution modes mirror the paper's Section 3.3 comparison:
   fields are bound directly into the evaluation environment (the
   equivalent of DBToaster inlining trigger parameters), no batch is
   materialized, and one-element loops disappear into point lookups.
+
+By default statements execute through compile-once closure pipelines
+(:mod:`repro.eval.compiled`): every statement is lowered exactly once
+at engine construction, and the batch loop runs the lowered pipelines.
+``use_compiled=False`` falls back to the interpreted reference
+evaluator — the ablation toggle that isolates the lowering win.
 """
 
 from __future__ import annotations
 
-from repro.compiler.ir import Statement, TriggerProgram
-from repro.eval import Database, Evaluator
+from repro.compiler.ir import TriggerProgram
+from repro.compiler.plancache import compile_program
+from repro.eval import CompiledEvaluator, Database, Evaluator
+from repro.exec.backend import ExecutionBackend
 from repro.metrics import Counters
-from repro.query.ast import DeltaRel
 from repro.ring import GMR
 
 
-class RecursiveIVMEngine:
+class RecursiveIVMEngine(ExecutionBackend):
     """Executes a compiled maintenance program over a stream of batches."""
 
     def __init__(
@@ -29,14 +36,23 @@ class RecursiveIVMEngine:
         program: TriggerProgram,
         mode: str = "batch",
         counters: Counters | None = None,
+        use_compiled: bool = True,
     ):
         if mode not in ("batch", "single"):
             raise ValueError(f"unknown mode {mode!r}")
         self.program = program
         self.mode = mode
+        self.use_compiled = use_compiled
         self.counters = counters if counters is not None else Counters()
         self.db = Database()
-        self._evaluator = Evaluator(self.db, self.counters)
+        if use_compiled:
+            self.plans = compile_program(program)
+            self._evaluator = CompiledEvaluator(
+                self.db, self.counters, plans=self.plans
+            )
+        else:
+            self.plans = None
+            self._evaluator = Evaluator(self.db, self.counters)
 
     # ------------------------------------------------------------------
     # Initialization
@@ -68,12 +84,13 @@ class RecursiveIVMEngine:
     def _fire(self, trigger, relation: str, batch: GMR) -> None:
         db = self.db
         counters = self.counters
+        evaluate = self._evaluator.evaluate
         counters.triggers_fired += 1
         db.set_delta(relation, batch)
         batch_names: list[str] = []
         for stmt in trigger.statements:
             counters.statements_executed += 1
-            value = self._evaluator.evaluate(stmt.expr)
+            value = evaluate(stmt.expr)
             if stmt.scope == "batch":
                 counters.batches_materialized += 1
                 db.set_delta(stmt.target, value)
@@ -89,7 +106,7 @@ class RecursiveIVMEngine:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-    def result(self) -> GMR:
+    def snapshot(self) -> GMR:
         """Current contents of the top-level materialized view."""
         return self.db.get_view(self.program.top_view)
 

@@ -1,0 +1,133 @@
+"""Built-in execution-backend registrations.
+
+One factory per maintenance strategy; each builds the compiled program
+it needs and instantiates the engine.  Imports are deferred into the
+factories so that registering the catalog never creates import cycles
+(the cluster backend pulls in the whole distributed compiler).
+
+Shared factory options (all optional):
+
+* ``counters`` — a :class:`~repro.metrics.Counters` to accumulate into;
+* ``cache_sim`` — a cache simulator (specialized backend only);
+* ``use_compiled`` — run statements through compile-once closure
+  pipelines (default) or the interpreted reference evaluator.
+
+Backend-specific options are documented per factory (``n_workers``,
+``cost_model``, ``opt_level``, ``seed`` for ``cluster``).
+"""
+
+from __future__ import annotations
+
+from repro.exec.backend import register_backend
+
+
+def _rivm_single(spec, *, counters=None, use_compiled=True, **_unused):
+    from repro.compiler import compile_query
+    from repro.exec.engine import RecursiveIVMEngine
+
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    return RecursiveIVMEngine(
+        program, mode="single", counters=counters, use_compiled=use_compiled
+    )
+
+
+def _rivm_batch(spec, *, counters=None, use_compiled=True, **_unused):
+    from repro.compiler import apply_batch_preaggregation, compile_query
+    from repro.exec.engine import RecursiveIVMEngine
+
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    program = apply_batch_preaggregation(program)
+    return RecursiveIVMEngine(
+        program, mode="batch", counters=counters, use_compiled=use_compiled
+    )
+
+
+def _rivm_specialized(
+    spec, *, counters=None, cache_sim=None, use_compiled=True, **_unused
+):
+    from repro.compiler import apply_batch_preaggregation, compile_query
+    from repro.exec.specialized import SpecializedIVMEngine
+
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    program = apply_batch_preaggregation(program)
+    return SpecializedIVMEngine(
+        program,
+        mode="batch",
+        counters=counters,
+        cache_sim=cache_sim,
+        use_compiled=use_compiled,
+    )
+
+
+def _reeval(spec, *, counters=None, **_unused):
+    from repro.baselines import ReevalEngine
+
+    return ReevalEngine(spec.query, counters=counters)
+
+
+def _civm(spec, *, counters=None, **_unused):
+    from repro.baselines import ClassicalIVMEngine
+
+    return ClassicalIVMEngine(spec.query, counters=counters)
+
+
+def _cluster(
+    spec,
+    *,
+    counters=None,
+    n_workers: int = 4,
+    cost_model=None,
+    opt_level: int = 3,
+    seed: int = 7,
+    use_compiled: bool = True,
+    **_unused,
+):
+    """The simulated synchronous cluster (``n_workers`` Spark-style
+    workers; latency is modeled, results are exact)."""
+    from repro.distributed import SimulatedCluster, compile_distributed
+
+    dprog = compile_distributed(
+        spec.query,
+        name=spec.name,
+        key_hints=spec.key_hints,
+        updatable=spec.updatable,
+        opt_level=opt_level,
+    )
+    return SimulatedCluster(
+        dprog,
+        n_workers=n_workers,
+        cost_model=cost_model,
+        seed=seed,
+        use_compiled=use_compiled,
+        counters=counters,
+    )
+
+
+def register_builtin_backends() -> None:
+    register_backend(
+        "rivm-single", _rivm_single,
+        "recursive IVM, one trigger per tuple (inlined parameters)",
+    )
+    register_backend(
+        "rivm-batch", _rivm_batch,
+        "recursive IVM with batch pre-aggregation",
+    )
+    register_backend(
+        "rivm-specialized", _rivm_specialized,
+        "batched recursive IVM over record pools with automatic indexes",
+    )
+    register_backend(
+        "reeval", _reeval,
+        "full re-evaluation per batch (PostgreSQL re-eval substitute)",
+    )
+    register_backend(
+        "civm", _civm,
+        "classical first-order IVM against full base tables",
+    )
+    register_backend(
+        "cluster", _cluster,
+        "simulated synchronous cluster (driver + n_workers workers)",
+    )
+
+
+register_builtin_backends()

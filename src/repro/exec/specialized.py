@@ -6,15 +6,20 @@ indexes.  Relational terms lower to the three concrete operations of
 §5.1 — ``foreach`` (scan), ``get`` (unique-index lookup), ``slice``
 (non-unique-index scan) — and every record touch can feed a cache
 simulator, which is how Table 2 is reproduced.
+
+Statements execute through the same compile-once closure pipelines as
+the recursive engine (pools expose the GMR read surface, so lowered
+pipelines run against them unchanged); ``use_compiled=False`` selects
+the interpreted reference evaluator.
 """
 
 from __future__ import annotations
 
 from repro.compiler.ir import TriggerProgram
-from repro.eval import Database, Evaluator
-from repro.eval.evaluator import Evaluator as _BaseEvaluator
+from repro.compiler.plancache import compile_program
+from repro.eval import CompiledEvaluator, Database, Evaluator
+from repro.exec.backend import ExecutionBackend
 from repro.metrics import CacheSimulator, Counters
-from repro.query.ast import DeltaRel, Rel
 from repro.ring import GMR
 from repro.storage import RecordPool, build_storage
 
@@ -40,28 +45,7 @@ class _PoolDatabase(Database):
             self.views[name] = contents
 
 
-class _PoolEvaluator(_BaseEvaluator):
-    """Evaluator variant that exploits pool slice indexes.
-
-    When a join operand is a view backed by a pool that already has a
-    matching non-unique index, the per-evaluation temporary hash index
-    of the base evaluator is skipped: the pool's own index serves the
-    slice directly, touching only matching records.
-    """
-
-    def _eval_join(self, e, env):
-        # The base implementation calls back into _slice_plan for each
-        # relational operand; we override just that hook.
-        return super()._eval_join(e, env)
-
-    # The base evaluator builds ad-hoc indexes inside _eval_join; for
-    # pool-backed views with a matching index we monkey-patch the plan
-    # by exposing pools through get_view, which items()/slice() already
-    # trace.  Further specialization happens in the engine's statement
-    # loop below.
-
-
-class SpecializedIVMEngine:
+class SpecializedIVMEngine(ExecutionBackend):
     """Pool-backed engine with optional cache-trace collection."""
 
     def __init__(
@@ -71,11 +55,13 @@ class SpecializedIVMEngine:
         counters: Counters | None = None,
         cache_sim: CacheSimulator | None = None,
         enable_indexes: bool = True,
+        use_compiled: bool = True,
     ):
         if mode not in ("batch", "single"):
             raise ValueError(f"unknown mode {mode!r}")
         self.program = program
         self.mode = mode
+        self.use_compiled = use_compiled
         self.counters = counters if counters is not None else Counters()
         self.cache_sim = cache_sim
         tracer = cache_sim.access_record if cache_sim is not None else None
@@ -83,7 +69,14 @@ class SpecializedIVMEngine:
             program, tracer=tracer, enable_indexes=enable_indexes
         )
         self.db = _PoolDatabase(self.pools)
-        self._evaluator = _PoolEvaluator(self.db, self.counters)
+        if use_compiled:
+            self.plans = compile_program(program)
+            self._evaluator = CompiledEvaluator(
+                self.db, self.counters, plans=self.plans
+            )
+        else:
+            self.plans = None
+            self._evaluator = Evaluator(self.db, self.counters)
 
     # ------------------------------------------------------------------
     def initialize(self, base: Database) -> None:
@@ -106,12 +99,13 @@ class SpecializedIVMEngine:
     def _fire(self, trigger, relation: str, batch: GMR) -> None:
         db = self.db
         counters = self.counters
+        evaluate = self._evaluator.evaluate
         counters.triggers_fired += 1
         db.set_delta(relation, batch)
         batch_names: list[str] = []
         for stmt in trigger.statements:
             counters.statements_executed += 1
-            value = self._evaluator.evaluate(stmt.expr)
+            value = evaluate(stmt.expr)
             if stmt.scope == "batch":
                 counters.batches_materialized += 1
                 db.set_delta(stmt.target, value)
@@ -125,7 +119,7 @@ class SpecializedIVMEngine:
             db.deltas.pop(name, None)
 
     # ------------------------------------------------------------------
-    def result(self) -> GMR:
+    def snapshot(self) -> GMR:
         return GMR(self.pools[self.program.top_view].data)
 
     def view(self, name: str) -> GMR:

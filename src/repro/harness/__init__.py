@@ -42,6 +42,7 @@ from repro.harness.scaling import (
     weak_scaling,
 )
 from repro.harness.ablation import (
+    compilation_ablation,
     domain_extraction_ablation,
     preaggregation_ablation,
     specialization_ablation,
@@ -65,6 +66,7 @@ __all__ = [
     "strong_scaling",
     "optimization_ablation",
     "jobs_stages_table",
+    "compilation_ablation",
     "domain_extraction_ablation",
     "preaggregation_ablation",
     "specialization_ablation",

@@ -46,6 +46,7 @@ def measure_throughput(
     seed: int = 42,
     max_batches: int | None = None,
     warm_fraction: float = 0.0,
+    use_compiled: bool = True,
 ) -> LocalResult:
     """Measure one strategy at one batch size.
 
@@ -54,13 +55,15 @@ def measure_throughput(
     tuple fires its own trigger, matching Section 3.3.
     ``warm_fraction`` pre-loads that share of the updatable tables
     (the late-stream regime; see ``prepare_stream``).
+    ``use_compiled=False`` selects the interpreted evaluator instead of
+    compile-once pipelines (the lowering ablation).
     """
     prepared = prepare_stream(
         spec, batch_size if batch_size is not None else 100,
         workload=workload, sf=sf, seed=seed,
         max_batches=max_batches, warm_fraction=warm_fraction,
     )
-    outcome = run_engine(prepared, strategy)
+    outcome = run_engine(prepared, strategy, use_compiled=use_compiled)
     return LocalResult(
         query=spec.name,
         strategy=strategy,

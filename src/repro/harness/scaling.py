@@ -19,7 +19,7 @@ from repro.distributed import (
     SimulatedCluster,
     compile_distributed,
 )
-from repro.eval import Database, Evaluator
+from repro.eval import Database
 from repro.harness.setup import prepare_stream
 from repro.workloads import QuerySpec
 
@@ -107,33 +107,17 @@ def _run_cluster(
 def _preload_static(cluster, prepared, dprog) -> None:
     """Load static dimension tables into the cluster's placed views.
 
-    Every materialized view whose definition touches only static
-    relations is computed once from the static database and installed
-    according to its location tag, mirroring the engines'
-    ``initialize``.
+    Kept as a shim: the logic moved into
+    :meth:`~repro.distributed.cluster.SimulatedCluster.initialize`, the
+    backend-interface method every engine shares.
     """
-    static = prepared.fresh_static()
-    evaluator = Evaluator(static)
-    for info in dprog.local_program.views.values():
-        contents = evaluator.evaluate(info.definition)
-        if contents.is_zero():
-            continue
-        tag = dprog.partitioning.get(info.name)
-        _install_view(cluster, info, contents, tag)
+    cluster.initialize(prepared.fresh_static())
 
 
 def _install_view(cluster, info, contents, tag) -> None:
-    from repro.distributed.tags import Dist, Replicated
-
-    if isinstance(tag, Dist):
-        parts = cluster._partition(contents, list(info.cols), tag.keys)
-        for w, part in enumerate(parts):
-            cluster.workers[w].set_view(info.name, part)
-    elif isinstance(tag, Replicated):
-        for w in cluster.workers:
-            w.set_view(info.name, contents)
-    else:
-        cluster.driver.set_view(info.name, contents)
+    """Compatibility shim over
+    :meth:`~repro.distributed.cluster.SimulatedCluster.install_view`."""
+    cluster.install_view(info.name, info.cols, contents, tag)
 
 
 def weak_scaling(

@@ -12,10 +12,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.baselines import ClassicalIVMEngine, ReevalEngine
-from repro.compiler import apply_batch_preaggregation, compile_query
 from repro.eval import Database
-from repro.exec import RecursiveIVMEngine, SpecializedIVMEngine
+from repro.exec import available_backends, create_backend
 from repro.metrics import CacheSimulator, Counters
 from repro.ring import GMR
 from repro.workloads import (
@@ -115,37 +113,28 @@ def make_engine(
     strategy: str,
     counters: Counters | None = None,
     cache_sim: CacheSimulator | None = None,
+    use_compiled: bool = True,
+    **backend_options,
 ):
     """Construct a maintenance engine for one strategy.
 
-    * ``rivm-single`` — recursive IVM specialized for tuple-at-a-time
-      processing (no batch materialization, inlined parameters);
-    * ``rivm-batch`` — recursive IVM with batch pre-aggregation;
-    * ``rivm-specialized`` — batched recursive IVM over record pools
-      with automatic index selection (Section 5);
-    * ``reeval`` — full re-evaluation per batch (PostgreSQL re-eval
-      substitute);
-    * ``civm`` — classical first-order IVM against full base tables
-      (PostgreSQL IVM substitute).
+    A thin wrapper over the execution-backend registry
+    (:func:`repro.exec.create_backend`): every strategy name is a
+    registered backend (see ``repro.exec.registry`` for the catalog),
+    so the CLI, harness, and benchmarks all select engines through one
+    lookup.  ``use_compiled=False`` routes statements through the
+    interpreted reference evaluator instead of compile-once pipelines.
     """
-    if strategy == "rivm-single":
-        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
-        return RecursiveIVMEngine(program, mode="single", counters=counters)
-    if strategy == "rivm-batch":
-        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
-        program = apply_batch_preaggregation(program)
-        return RecursiveIVMEngine(program, mode="batch", counters=counters)
-    if strategy == "rivm-specialized":
-        program = compile_query(spec.query, spec.name, updatable=spec.updatable)
-        program = apply_batch_preaggregation(program)
-        return SpecializedIVMEngine(
-            program, mode="batch", counters=counters, cache_sim=cache_sim
-        )
-    if strategy == "reeval":
-        return ReevalEngine(spec.query, counters=counters)
-    if strategy == "civm":
-        return ClassicalIVMEngine(spec.query, counters=counters)
-    raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy not in available_backends():
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return create_backend(
+        strategy,
+        spec,
+        counters=counters,
+        cache_sim=cache_sim,
+        use_compiled=use_compiled,
+        **backend_options,
+    )
 
 
 @dataclass
@@ -178,6 +167,7 @@ def run_engine(
     prepared: PreparedStream,
     strategy: str,
     cache_sim: CacheSimulator | None = None,
+    use_compiled: bool = True,
 ) -> RunOutcome:
     """Time one engine over the prepared stream.
 
@@ -187,7 +177,8 @@ def run_engine(
     """
     counters = Counters()
     engine = make_engine(
-        prepared.spec, strategy, counters=counters, cache_sim=cache_sim
+        prepared.spec, strategy, counters=counters, cache_sim=cache_sim,
+        use_compiled=use_compiled,
     )
     engine.initialize(prepared.fresh_static())
 

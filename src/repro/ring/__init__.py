@@ -10,6 +10,6 @@ multiplicities) and natural join (``*``, multiplies multiplicities),
 which is what makes delta processing compositional.
 """
 
-from repro.ring.gmr import GMR, ZERO, gmr_of_pairs, singleton
+from repro.ring.gmr import GMR, ZERO, gmr_of_pairs, is_zero, singleton
 
-__all__ = ["GMR", "ZERO", "gmr_of_pairs", "singleton"]
+__all__ = ["GMR", "ZERO", "gmr_of_pairs", "is_zero", "singleton"]

@@ -17,15 +17,23 @@ Tuple_ = tuple
 _EPS = 1e-9
 
 
-def _is_zero(m: Multiplicity) -> bool:
+def is_zero(m: Multiplicity) -> bool:
     """Return True when a multiplicity should be treated as absent.
 
     Integer arithmetic is exact; float aggregates accumulate rounding
     error, so we clamp tiny residues to zero to keep GMRs canonical.
+    This predicate is the single zero test of the whole system: every
+    layer (scalar leaves, ring operations, storage pools) must agree on
+    when a multiplicity vanishes, or canonical forms diverge between
+    engines.
     """
     if isinstance(m, int):
         return m == 0
     return abs(m) < _EPS
+
+
+#: Backwards-compatible alias (storage pools import the old name).
+_is_zero = is_zero
 
 
 class GMR:
@@ -41,7 +49,7 @@ class GMR:
         if data is None:
             self.data: dict[Tuple_, Multiplicity] = {}
         else:
-            self.data = {t: m for t, m in data.items() if not _is_zero(m)}
+            self.data = {t: m for t, m in data.items() if not is_zero(m)}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -52,7 +60,7 @@ class GMR:
         out: dict[Tuple_, Multiplicity] = {}
         for t, m in pairs:
             out[t] = out.get(t, 0) + m
-        return cls({t: m for t, m in out.items() if not _is_zero(m)})
+        return cls({t: m for t, m in out.items() if not is_zero(m)})
 
     @classmethod
     def unsafe(cls, data: dict[Tuple_, Multiplicity]) -> "GMR":
@@ -102,7 +110,7 @@ class GMR:
         out = dict(self.data)
         for t, m in other.data.items():
             nm = out.get(t, 0) + m
-            if _is_zero(nm):
+            if is_zero(nm):
                 out.pop(t, None)
             else:
                 out[t] = nm
@@ -116,7 +124,7 @@ class GMR:
 
     def scale(self, c: Multiplicity) -> "GMR":
         """Multiply every multiplicity by a constant (join with Const(c))."""
-        if _is_zero(c):
+        if is_zero(c):
             return GMR()
         return GMR.unsafe({t: m * c for t, m in self.data.items()})
 
@@ -125,7 +133,7 @@ class GMR:
         data = self.data
         for t, m in other.data.items():
             nm = data.get(t, 0) + m
-            if _is_zero(nm):
+            if is_zero(nm):
                 data.pop(t, None)
             else:
                 data[t] = nm
@@ -133,7 +141,7 @@ class GMR:
     def add_tuple(self, t: Tuple_, m: Multiplicity) -> None:
         """Accumulate one (tuple, multiplicity) pair in place."""
         nm = self.data.get(t, 0) + m
-        if _is_zero(nm):
+        if is_zero(nm):
             self.data.pop(t, None)
         else:
             self.data[t] = nm
@@ -152,7 +160,7 @@ class GMR:
         for t, m in self.data.items():
             key = tuple(t[i] for i in positions)
             nm = out.get(key, 0) + m
-            if _is_zero(nm):
+            if is_zero(nm):
                 out.pop(key, None)
             else:
                 out[key] = nm
@@ -167,7 +175,7 @@ class GMR:
         for t, m in self.data.items():
             key = fn(t)
             nm = out.get(key, 0) + m
-            if _is_zero(nm):
+            if is_zero(nm):
                 out.pop(key, None)
             else:
                 out[key] = nm
@@ -186,7 +194,7 @@ class GMR:
         if self.data.keys() != other.data.keys():
             return False
         return all(
-            _is_zero(m - other.data[t]) for t, m in self.data.items()
+            is_zero(m - other.data[t]) for t, m in self.data.items()
         )
 
     def __hash__(self):  # pragma: no cover - GMRs are not hashable
@@ -205,7 +213,7 @@ ZERO = GMR()
 
 def singleton(t: Tuple_, m: Multiplicity = 1) -> GMR:
     """A one-tuple GMR; ``singleton((), c)`` is the constant ``c``."""
-    if _is_zero(m):
+    if is_zero(m):
         return GMR()
     return GMR.unsafe({t: m})
 

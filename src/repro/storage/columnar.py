@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
-from repro.ring import GMR
+from repro.ring import GMR, is_zero
 
 
 class ColumnarBatch:
@@ -104,7 +104,7 @@ class ColumnarBatch:
             acc[key] = acc.get(key, 0) + m
         out = ColumnarBatch(keep_cols)
         for key, m in acc.items():
-            if m != 0:
+            if not is_zero(m):
                 out.append(key, m)
         return out
 

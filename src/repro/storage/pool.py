@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
-from repro.ring.gmr import _is_zero
+from repro.ring.gmr import is_zero as _is_zero
 
 Tracer = Callable[[int, int], None]
 

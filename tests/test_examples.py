@@ -39,6 +39,7 @@ def test_example_runs(script):
     assert proc.stdout.strip(), f"{script} produced no output"
 
 
+@pytest.mark.slow
 def test_fraud_detection_example_runs():
     """The domain-extraction showcase deliberately runs the expensive
     recompute-twice variant, so it gets a generous timeout."""

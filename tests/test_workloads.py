@@ -168,6 +168,7 @@ def test_tpcds_query_evaluates_on_generated_data(name):
     assert g is not None
 
 
+@pytest.mark.slow
 def test_selective_queries_nonempty_at_moderate_scale():
     """Spot check that filters aren't so tight everything is empty."""
     db = load_database(generate_tpch(sf=0.002, seed=5))
