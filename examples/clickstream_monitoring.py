@@ -10,10 +10,14 @@ low latency:
     WHERE  u.status = 1            -- active users only
     GROUP BY a.campaign
 
-The example compares three maintenance strategies on the same stream —
-full re-evaluation, classical first-order IVM, and recursive IVM with
-batch pre-aggregation — and prints their relative view-refresh costs,
-a miniature of the paper's Figure 8.
+The example hosts the view three times on one :class:`ViewService`
+session — once per maintenance strategy (full re-evaluation, classical
+first-order IVM, recursive IVM with batch pre-aggregation) — so a
+single shared click stream is routed once and every strategy maintains
+its own copy.  A push subscription on the recursive-IVM view receives
+per-batch revenue deltas; per-view virtual-instruction counters give
+the strategies' relative view-refresh costs, a miniature of the
+paper's Figure 8.
 
 Run:  python examples/clickstream_monitoring.py
 """
@@ -23,19 +27,23 @@ from __future__ import annotations
 import random
 import time
 
-from repro.baselines import ClassicalIVMEngine, ReevalEngine
-from repro.compiler import apply_batch_preaggregation, compile_query
 from repro.eval import Database
-from repro.exec import RecursiveIVMEngine
 from repro.metrics import Counters
 from repro.query.builder import cmp, join, rel, sum_over, value
 from repro.ring import GMR
+from repro.service import ViewService
 
 N_USERS = 300
 N_ADS = 60
 N_CAMPAIGNS = 8
 N_BATCHES = 40
 BATCH_SIZE = 100
+
+STRATEGY_BACKENDS = {
+    "re-evaluation": "reeval",
+    "classical IVM": "civm",
+    "recursive IVM": "rivm-batch",
+}
 
 
 def build_query():
@@ -80,17 +88,9 @@ def click_batches(rng: random.Random):
         yield batch
 
 
-def run(engine, batches, counters: Counters) -> tuple[float, int]:
-    start = time.perf_counter()
-    for batch in batches:
-        engine.on_batch("CLICKS", batch)
-    return time.perf_counter() - start, counters.virtual_instructions()
-
-
 def main() -> None:
     query = build_query()
     rng = random.Random(1)
-    dims = dimension_tables(rng)
     batches = list(click_batches(rng))
     total_tuples = N_BATCHES * BATCH_SIZE
 
@@ -98,43 +98,55 @@ def main() -> None:
     print(f"dimensions: {N_USERS} users, {N_ADS} ads, {N_CAMPAIGNS} campaigns")
     print()
 
-    results = {}
-    engines = {}
-
-    for label in ("re-evaluation", "classical IVM", "recursive IVM"):
-        counters = Counters()
-        if label == "re-evaluation":
-            engine = ReevalEngine(query, counters=counters)
-        elif label == "classical IVM":
-            engine = ClassicalIVMEngine(query, counters=counters)
-        else:
-            program = compile_query(
-                query, "REV", updatable=frozenset({"CLICKS"})
-            )
-            program = apply_batch_preaggregation(program)
-            engine = RecursiveIVMEngine(
-                program, mode="batch", counters=counters
-            )
-        engine.initialize(dims.copy())
-        elapsed, vinstr = run(engine, batches, counters)
-        results[label] = (elapsed, vinstr)
-        engines[label] = engine
-        print(
-            f"{label:>15}: {elapsed*1e3:8.1f} ms total, "
-            f"{total_tuples/elapsed:>10.0f} clicks/s, "
-            f"{vinstr:>10} virtual instructions"
+    # One service session: static dimensions pre-loaded, then the same
+    # view definition hosted on three backends side by side.
+    service = ViewService(base=dimension_tables(rng))
+    counters: dict[str, Counters] = {}
+    for label, backend in STRATEGY_BACKENDS.items():
+        counters[label] = Counters()
+        service.create_view(
+            label,
+            query,
+            backend=backend,
+            updatable=frozenset({"CLICKS"}),
+            counters=counters[label],
         )
 
-    # All three strategies maintain the same view.
-    reference = engines["re-evaluation"].result()
-    for label, engine in engines.items():
-        assert engine.result() == reference, f"{label} diverged"
+    # Push subscription: accumulate revenue deltas as they arrive.
+    accumulated = GMR()
+    n_events = 0
 
-    base = results["re-evaluation"][1]
+    def on_delta(event) -> None:
+        nonlocal n_events
+        n_events += 1
+        accumulated.add_inplace(event.delta)
+
+    service.subscribe("recursive IVM", on_delta)
+
+    start = time.perf_counter()
+    for batch in batches:
+        service.on_batch("CLICKS", batch)
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"served {len(service)} views over one stream in "
+        f"{elapsed*1e3:.1f} ms ({total_tuples/elapsed:.0f} clicks/s "
+        "shared-stream)"
+    )
+    print(f"push subscription delivered {n_events} delta events")
     print()
+
+    # All three strategies maintain the same view, and the subscription
+    # deltas accumulate to exactly the served snapshot.
+    reference = service.snapshot("re-evaluation")
+    for label in STRATEGY_BACKENDS:
+        assert service.snapshot(label) == reference, f"{label} diverged"
+    assert accumulated == reference, "subscription deltas diverged"
+
+    base = counters["re-evaluation"].virtual_instructions()
     print("virtual-instruction speedup over re-evaluation:")
-    for label, (_, vinstr) in results.items():
-        print(f"  {label:>15}: {base / vinstr:8.1f}x")
+    for label, c in counters.items():
+        print(f"  {label:>15}: {base / c.virtual_instructions():8.1f}x")
 
     print()
     print("top campaigns by revenue:")

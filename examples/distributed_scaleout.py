@@ -61,7 +61,7 @@ def main() -> None:
             reference.apply_update(relation, batch)
 
         # The distributed result matches a from-scratch evaluation.
-        assert cluster.result() == evaluate(spec.query, reference)
+        assert cluster.snapshot() == evaluate(spec.query, reference)
 
         m = cluster.metrics
         throughput = m.throughput_tuples_per_s(prepared.n_tuples)

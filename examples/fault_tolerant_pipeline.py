@@ -72,7 +72,7 @@ def main() -> None:
             )
         print(f"batch {i:2d} ({relation:>8}): {latency*1e3:7.1f} ms{marker}")
 
-    assert cluster.result() == evaluate(spec.query, reference)
+    assert cluster.snapshot() == evaluate(spec.query, reference)
     print("\nview verified against from-scratch evaluation after recovery")
     print(
         f"checkpoints taken: {len(cluster.checkpoint_latencies_s)}, "

@@ -60,7 +60,7 @@ def main() -> None:
         engine.on_batch(relation, batch)
         reference.apply_update(relation, batch)
 
-        maintained = engine.result()
+        maintained = engine.snapshot()
         recomputed = evaluate(query, reference)
         status = "OK" if maintained == recomputed else "DIVERGED"
         print(
@@ -71,7 +71,7 @@ def main() -> None:
 
     print()
     print("=== final view contents (B -> count) ===")
-    for t, m in sorted(engine.result().items()):
+    for t, m in sorted(engine.snapshot().items()):
         print(f"  B={t[0]}: {m}")
 
     views = engine.memory_footprint()

@@ -68,8 +68,8 @@ def main() -> None:
             )
         engine.on_batch("ORDERS", batch)
         reference.apply_update("ORDERS", batch)
-        over = engine.result().get((), 0)
-        assert engine.result() == evaluate(query, reference)
+        over = engine.snapshot().get((), 0)
+        assert engine.snapshot() == evaluate(query, reference)
         print(f"after batch {step + 1:2d}: {over:3} customers over limit")
 
     print("\nmaintained view verified against re-evaluation at every step")

@@ -6,6 +6,7 @@ Maintenance with Batch Updates" (Nikolic, Dashti, Koch).
 
 The most common entry points are re-exported here:
 
+>>> from repro import ViewService                      # serving API
 >>> from repro import compile_query, RecursiveIVMEngine, parse_sql
 >>> from repro import compile_distributed, SimulatedCluster
 
@@ -25,6 +26,7 @@ from repro.distributed import (
     SimulatedCluster,
     compile_distributed,
 )
+from repro.service import ServiceError, Subscription, ViewDelta, ViewService
 
 __version__ = "1.0.0"
 
@@ -45,5 +47,9 @@ __all__ = [
     "SimulatedCluster",
     "FaultTolerantCluster",
     "PartitioningAdvisor",
+    "ViewService",
+    "ViewDelta",
+    "Subscription",
+    "ServiceError",
     "__version__",
 ]

@@ -7,6 +7,9 @@ Commands:
   query or an ad-hoc SQL string;
 * ``run`` — stream a generated dataset through an execution backend and
   report throughput;
+* ``serve`` — host several views (workload queries and/or ad-hoc SQL,
+  mixed backends) on one :class:`~repro.service.ViewService` over a
+  shared stream and report per-view freshness;
 * ``list-backends`` — the registered execution backends;
 * ``distributed`` — compile for the simulated cluster and show the
   blocks/jobs plan (optionally execute a weak-scaling sweep);
@@ -21,18 +24,34 @@ import sys
 from repro.harness import format_table
 
 
+def _find_workload_query(name: str, prefer: str | None = None):
+    """Look up a workload query by name, trying ``prefer``'s family
+    first so colliding names (Q3 exists in both TPC-H and TPC-DS) bind
+    to the workload the user asked for.  Returns None when unknown."""
+    from repro.workloads import MICRO_QUERIES, TPCDS_QUERIES, TPCH_QUERIES
+
+    families = {
+        "tpch": TPCH_QUERIES, "tpcds": TPCDS_QUERIES, "micro": MICRO_QUERIES,
+    }
+    ordered = [families.pop(prefer)] if prefer in families else []
+    ordered.extend(families.values())
+    for family in ordered:
+        if name in family:
+            return family[name]
+    return None
+
+
 def _resolve_spec(args):
     from repro.query.sqlfront import sql_to_spec
-    from repro.workloads import MICRO_QUERIES, TPCDS_QUERIES, TPCH_QUERIES
 
     if getattr(args, "sql", None):
         catalog = _demo_catalog()
         return sql_to_spec("ADHOC", args.sql, catalog)
     name = args.query
-    for family in (TPCH_QUERIES, TPCDS_QUERIES, MICRO_QUERIES):
-        if name in family:
-            return family[name]
-    raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
+    spec = _find_workload_query(name, prefer=getattr(args, "workload", None))
+    if spec is None:
+        raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
+    return spec
 
 
 def _demo_catalog():
@@ -87,20 +106,43 @@ def cmd_list_backends(_args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    from repro.exec import available_backends
-    from repro.harness import measure_throughput
+def _resolve_backend(args, default: str = "rivm-batch") -> str:
+    """``--backend`` with ``--strategy`` as a deprecated hidden alias."""
+    import warnings
 
-    if args.backend and args.backend not in available_backends():
+    from repro.exec import available_backends
+
+    backend = args.backend
+    if getattr(args, "strategy", None):
+        warnings.warn(
+            "--strategy is deprecated; use --backend instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        print(
+            "warning: --strategy is deprecated; use --backend",
+            file=sys.stderr,
+        )
+        if backend is None:
+            backend = args.strategy
+    backend = backend or default
+    if backend not in available_backends():
         raise SystemExit(
-            f"unknown backend {args.backend!r}; choose one of: "
+            f"unknown backend {backend!r}; choose one of: "
             + ", ".join(available_backends())
         )
+    return backend
+
+
+def cmd_run(args) -> int:
+    from repro.harness import measure_throughput
+
+    backend = _resolve_backend(args)
     spec = _resolve_spec(args)
     workload = args.workload
     result = measure_throughput(
         spec,
-        args.backend or args.strategy,
+        backend,
         None if args.batch_size == 0 else args.batch_size,
         workload=workload,
         sf=args.sf,
@@ -121,6 +163,88 @@ def cmd_run(args) -> int:
                 )
             ],
         )
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.exec import available_backends
+    from repro.harness import ViewDef, measure_service_throughput
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        raise SystemExit("--backends needs at least one backend name")
+    for b in backends:
+        if b not in available_backends():
+            raise SystemExit(
+                f"unknown backend {b!r}; choose from: "
+                + ", ".join(available_backends())
+            )
+
+    defs: list[ViewDef] = []
+
+    def next_backend() -> str:
+        return backends[len(defs) % len(backends)]
+
+    for name in args.views:
+        spec = _find_workload_query(name, prefer=args.workload)
+        if spec is None:
+            raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
+        defs.append(ViewDef(name, spec, next_backend()))
+    for item in args.sql:
+        view_name, sep, sql = item.partition("=")
+        if not sep or not view_name or not sql:
+            raise SystemExit(
+                f"--sql expects NAME=SELECT ..., got {item!r}"
+            )
+        defs.append(ViewDef(view_name, sql, next_backend()))
+    if not defs:
+        raise SystemExit("serve needs at least one view (names or --sql)")
+    seen: set[str] = set()
+    for d in defs:
+        if d.name in seen:
+            raise SystemExit(f"duplicate view name {d.name!r}")
+        seen.add(d.name)
+
+    result = measure_service_throughput(
+        defs,
+        args.batch_size,
+        workload=args.workload,
+        sf=args.sf,
+        max_batches=args.max_batches,
+        catalog=_demo_catalog(),
+    )
+    print(
+        format_table(
+            ("view", "backend", "streams", "batches", "deltas", "tuples"),
+            [
+                (
+                    v.name,
+                    v.backend,
+                    ",".join(v.streamed),
+                    v.batches_applied,
+                    v.deltas_delivered,
+                    v.snapshot_tuples,
+                )
+                for v in result.views
+            ],
+            title=f"serving {len(result.views)} views over one stream",
+        )
+    )
+    for v in result.views:
+        if v.starved:
+            print(
+                f"warning: view {v.name!r} streams "
+                f"{','.join(v.streamed)}, which the {args.workload!r} "
+                "workload never generates — it will stay empty "
+                "(wrong --workload?)",
+                file=sys.stderr,
+            )
+    print(
+        f"\n{result.n_tuples} streamed tuples in {result.n_batches} batches; "
+        f"{round(result.throughput)} tuples/s shared-stream, "
+        f"{round(result.routed_throughput)} tuples/s routed "
+        f"({result.routed_tuples} view-deliveries)"
     )
     return 0
 
@@ -206,17 +330,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="measure one engine over a stream")
     p.add_argument("query", nargs="?", default="Q3")
     p.add_argument("--sql")
-    p.add_argument("--strategy", default="rivm-batch",
-                   choices=["rivm-single", "rivm-batch", "rivm-specialized",
-                            "reeval", "civm"])
     p.add_argument("--backend", default=None,
-                   help="execution backend (overrides --strategy; "
+                   help="execution backend (default rivm-batch; "
                         "see 'list-backends')")
+    # Deprecated alias of --backend; hidden from --help, kept so old
+    # invocations keep working (with a warning).
+    p.add_argument("--strategy", default=None, help=argparse.SUPPRESS)
     p.add_argument("--interpreted", action="store_true",
                    help="run statements through the interpreted evaluator "
                         "instead of compile-once pipelines")
     p.add_argument("--batch-size", type=int, default=100,
                    help="0 = single-tuple execution")
+    p.add_argument("--workload", default="tpch",
+                   choices=["tpch", "tpcds", "micro"])
+    p.add_argument("--sf", type=float, default=0.0005)
+    p.add_argument("--max-batches", type=int, default=None)
+
+    p = sub.add_parser(
+        "serve",
+        help="host several views on one ViewService over a shared stream",
+    )
+    p.add_argument(
+        "views", nargs="*",
+        help="workload query names to serve as views, from the chosen "
+             "--workload (e.g. Q1 Q6 for tpch; M1 M2 for micro)",
+    )
+    p.add_argument(
+        "--sql", action="append", default=[], metavar="NAME=SELECT...",
+        help="add an ad-hoc SQL view over the demo catalog (repeatable; "
+             "R/S/T tables stream under --workload micro)",
+    )
+    p.add_argument(
+        "--backends", default="rivm-batch",
+        help="comma-separated backends assigned to views round-robin",
+    )
+    p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])
     p.add_argument("--sf", type=float, default=0.0005)
@@ -243,6 +391,7 @@ _COMMANDS = {
     "list-backends": cmd_list_backends,
     "compile": cmd_compile,
     "run": cmd_run,
+    "serve": cmd_serve,
     "distributed": cmd_distributed,
     "advise": cmd_advise,
 }

@@ -110,8 +110,20 @@ class FaultTolerantCluster:
     def view(self, name: str) -> GMR:
         return self.cluster.view(name)
 
+    def snapshot(self) -> GMR:
+        return self.cluster.snapshot()
+
     def result(self) -> GMR:
-        return self.cluster.result()
+        """Deprecated alias of :meth:`snapshot` (kept for parity with
+        :meth:`repro.exec.ExecutionBackend.result`)."""
+        import warnings
+
+        warnings.warn(
+            "FaultTolerantCluster.result() is deprecated; call snapshot()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot()
 
     # ------------------------------------------------------------------
     # Batch processing with checkpoints and failures

@@ -19,6 +19,7 @@ caller.  See ARCHITECTURE.md for the how-to.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -46,8 +47,41 @@ class ExecutionBackend(abc.ABC):
     def snapshot(self) -> GMR:
         """Current contents of the top-level materialized view."""
 
+    def last_delta(self) -> GMR:
+        """Change in :meth:`snapshot` since the previous call.
+
+        This is the changefeed hook behind the view service's push
+        subscriptions: callers invoke it once after each ``on_batch``
+        and receive the net effect of everything processed since the
+        last invocation.  The first call returns the full current
+        snapshot (the delta from the empty view), so a fresh changefeed
+        always accumulates to ``snapshot()``.
+
+        The default implementation diffs defensive copies of
+        ``snapshot()`` — correct for every backend, at O(|view|) per
+        call.  Backends that track their own top-level delta may
+        override with a native changefeed.
+        """
+        current = GMR(dict(self.snapshot().data))
+        prev = getattr(self, "_changefeed_prev", None)
+        self._changefeed_prev = current
+        if prev is None:
+            return GMR(dict(current.data))
+        return current - prev
+
     def result(self) -> GMR:
-        """Alias of :meth:`snapshot` (the engines' historical name)."""
+        """Deprecated alias of :meth:`snapshot` (the engines' historical
+        name).
+
+        .. deprecated::
+           Call :meth:`snapshot` instead; ``result()`` will be removed
+           once external callers have migrated.
+        """
+        warnings.warn(
+            "ExecutionBackend.result() is deprecated; call snapshot()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.snapshot()
 
 
@@ -90,11 +124,25 @@ def backend_info(name: str) -> BackendInfo:
         ) from None
 
 
-def create_backend(name: str, spec, **options) -> ExecutionBackend:
-    """Instantiate a backend for a workload query spec.
+def create_backend(
+    name: str,
+    spec,
+    *,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+    view_name: str | None = None,
+    **options,
+) -> ExecutionBackend:
+    """Instantiate a backend for a view definition.
 
-    ``spec`` is a :class:`~repro.workloads.QuerySpec`; ``options`` are
-    forwarded to the factory (``counters=``, ``cache_sim=``,
+    ``spec`` may be a :class:`~repro.workloads.QuerySpec`, a bare query
+    :class:`~repro.query.Expr`, or a SQL string (which requires
+    ``catalog``, mapping table names to column tuples); everything is
+    coerced through :func:`repro.workloads.as_query_spec`, so SQL views
+    and pre-built workload specs share one creation path.  ``options``
+    are forwarded to the factory (``counters=``, ``cache_sim=``,
     ``use_compiled=``, and backend-specific knobs like ``n_workers=``).
     """
+    from repro.workloads.spec import as_query_spec
+
+    spec = as_query_spec(spec, name=view_name, catalog=catalog)
     return backend_info(name).factory(spec, **options)

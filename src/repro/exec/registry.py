@@ -10,7 +10,9 @@ Shared factory options (all optional):
 * ``counters`` — a :class:`~repro.metrics.Counters` to accumulate into;
 * ``cache_sim`` — a cache simulator (specialized backend only);
 * ``use_compiled`` — run statements through compile-once closure
-  pipelines (default) or the interpreted reference evaluator.
+  pipelines (default) or the interpreted reference evaluator;
+* ``use_domain`` — domain-restricted assignment deltas (``rivm-*``
+  backends; default on, off reproduces the recompute-twice ablation).
 
 Backend-specific options are documented per factory (``n_workers``,
 ``cost_model``, ``opt_level``, ``seed`` for ``cluster``).
@@ -21,21 +23,29 @@ from __future__ import annotations
 from repro.exec.backend import register_backend
 
 
-def _rivm_single(spec, *, counters=None, use_compiled=True, **_unused):
+def _rivm_single(
+    spec, *, counters=None, use_compiled=True, use_domain=True, **_unused
+):
     from repro.compiler import compile_query
     from repro.exec.engine import RecursiveIVMEngine
 
-    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    program = compile_query(
+        spec.query, spec.name, updatable=spec.updatable, use_domain=use_domain
+    )
     return RecursiveIVMEngine(
         program, mode="single", counters=counters, use_compiled=use_compiled
     )
 
 
-def _rivm_batch(spec, *, counters=None, use_compiled=True, **_unused):
+def _rivm_batch(
+    spec, *, counters=None, use_compiled=True, use_domain=True, **_unused
+):
     from repro.compiler import apply_batch_preaggregation, compile_query
     from repro.exec.engine import RecursiveIVMEngine
 
-    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    program = compile_query(
+        spec.query, spec.name, updatable=spec.updatable, use_domain=use_domain
+    )
     program = apply_batch_preaggregation(program)
     return RecursiveIVMEngine(
         program, mode="batch", counters=counters, use_compiled=use_compiled
@@ -43,12 +53,15 @@ def _rivm_batch(spec, *, counters=None, use_compiled=True, **_unused):
 
 
 def _rivm_specialized(
-    spec, *, counters=None, cache_sim=None, use_compiled=True, **_unused
+    spec, *, counters=None, cache_sim=None, use_compiled=True,
+    use_domain=True, **_unused
 ):
     from repro.compiler import apply_batch_preaggregation, compile_query
     from repro.exec.specialized import SpecializedIVMEngine
 
-    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    program = compile_query(
+        spec.query, spec.name, updatable=spec.updatable, use_domain=use_domain
+    )
     program = apply_batch_preaggregation(program)
     return SpecializedIVMEngine(
         program,

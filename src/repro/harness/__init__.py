@@ -12,6 +12,9 @@ produces the same rows/series the paper reports:
 * :mod:`repro.harness.ablation` — design-choice ablations beyond the
   paper's figures (domain extraction, batch pre-aggregation, index
   specialization);
+* :mod:`repro.harness.service` — multi-view serving runs (N concurrent
+  views on one :class:`~repro.service.ViewService` over a shared
+  stream);
 * :mod:`repro.harness.report` — plain-text table/series rendering.
 
 The ``benchmarks/`` directory contains one pytest-benchmark target per
@@ -48,6 +51,12 @@ from repro.harness.ablation import (
     specialization_ablation,
 )
 from repro.harness.report import format_series, format_table
+from repro.harness.service import (
+    ServiceResult,
+    ViewDef,
+    ViewStats,
+    measure_service_throughput,
+)
 
 __all__ = [
     "PreparedStream",
@@ -72,4 +81,8 @@ __all__ = [
     "specialization_ablation",
     "format_table",
     "format_series",
+    "ViewDef",
+    "ViewStats",
+    "ServiceResult",
+    "measure_service_throughput",
 ]

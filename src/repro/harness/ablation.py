@@ -60,7 +60,7 @@ def _timed_run(engine, prepared: PreparedStream, counters: Counters):
     for relation, batch in prepared.batches:
         engine.on_batch(relation, batch)
     elapsed = time.perf_counter() - start
-    return counters.virtual_instructions(), elapsed, engine.result()
+    return counters.virtual_instructions(), elapsed, engine.snapshot()
 
 
 def domain_extraction_ablation(

@@ -110,5 +110,5 @@ def _run_specialized(prepared, mode: str, sim: CacheSimulator):
         elapsed_s=elapsed,
         n_tuples=prepared.n_tuples,
         virtual_instructions=counters.virtual_instructions(),
-        result=engine.result(),
+        result=engine.snapshot(),
     )

@@ -1,0 +1,173 @@
+"""Multi-view serving experiments.
+
+The scenario no single-backend runner can express: one
+:class:`~repro.service.ViewService` hosting N concurrent views (mixed
+definitions, mixed backends) over one shared update stream.  The
+runner prepares the stream once from the union of every view's
+streamed relations, attaches a delta-counting subscriber per view, and
+times only the serving loop — the multi-tenant analogue of
+:func:`repro.harness.local.measure_throughput`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.eval import Database
+from repro.query.schema import base_relations
+from repro.ring import GMR
+from repro.service import ViewService
+from repro.workloads import as_query_spec, generate_workload, stream_batches
+
+
+@dataclass
+class ViewDef:
+    """One view to host: name, definition, backend, factory options."""
+
+    name: str
+    source: object  # QuerySpec | Expr | SQL string
+    backend: str = "rivm-batch"
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class ViewStats:
+    """Per-view outcome of one service run."""
+
+    name: str
+    backend: str
+    streamed: tuple[str, ...]
+    batches_applied: int
+    deltas_delivered: int
+    snapshot_tuples: int
+    #: none of the view's streamed relations exist in the generated
+    #: workload — the view can never receive a batch (wrong --workload?)
+    starved: bool = False
+
+
+@dataclass
+class ServiceResult:
+    """One timed multi-view service run."""
+
+    views: list[ViewStats]
+    n_tuples: int  #: streamed tuples (the shared-stream denominator)
+    routed_tuples: int  #: sum of tuples delivered across dependent views
+    n_batches: int
+    elapsed_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Shared-stream tuples per second (each tuple counted once)."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.n_tuples / self.elapsed_s
+
+    @property
+    def routed_throughput(self) -> float:
+        """View-deliveries per second (a tuple routed to three views
+        counts three times) — the service's aggregate maintenance rate."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.routed_tuples / self.elapsed_s
+
+
+def measure_service_throughput(
+    views,
+    batch_size: int,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    use_compiled: bool = True,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+    subscribe: bool = True,
+) -> ServiceResult:
+    """Serve N concurrent views over one shared update stream.
+
+    ``views`` is an iterable of :class:`ViewDef` (or ``(name, source,
+    backend)`` tuples).  The streamed relation set is the union of every
+    view's ``updatable`` relations; each view's spec is widened so that
+    any streamed relation it references gets a trigger (a relation that
+    is static for one view but streamed by another would otherwise leave
+    the first view stale).  Remaining relations are pre-loaded as static
+    dimension tables shared by all views.
+
+    With ``subscribe`` (default) every view gets a delta-counting push
+    subscriber, so the measured window includes changefeed computation —
+    the realistic serving cost.  Stream preparation and view creation
+    happen outside the timed window.
+    """
+    defs = [
+        v if isinstance(v, ViewDef) else ViewDef(v[0], v[1], *v[2:])
+        for v in views
+    ]
+    if not defs:
+        raise ValueError("measure_service_throughput needs at least one view")
+
+    specs = {
+        d.name: as_query_spec(d.source, name=d.name, catalog=catalog)
+        for d in defs
+    }
+    streamed_union = frozenset().union(*(s.updatable for s in specs.values()))
+    for name, spec in specs.items():
+        widened = (base_relations(spec.query) & streamed_union) | spec.updatable
+        if widened != spec.updatable:
+            specs[name] = replace(spec, updatable=frozenset(widened))
+
+    tables = generate_workload(workload, sf=sf, seed=seed)
+    static = Database()
+    streamed_rows: dict[str, list[tuple]] = {}
+    for relation, rows in tables.items():
+        if relation in streamed_union:
+            streamed_rows[relation] = rows
+        else:
+            static.insert_rows(relation, rows)
+
+    batches: list[tuple[str, GMR, int]] = []
+    n_tuples = 0
+    for relation, batch in stream_batches(
+        streamed_rows, batch_size, relations=streamed_union
+    ):
+        size = sum(abs(m) for m in batch.data.values())
+        batches.append((relation, batch, size))
+        n_tuples += size
+        if max_batches is not None and len(batches) >= max_batches:
+            break
+
+    service = ViewService(catalog=catalog, base=static, track_base=False)
+    for d in defs:
+        options = dict(d.options)
+        options.setdefault("use_compiled", use_compiled)
+        service.create_view(d.name, specs[d.name], backend=d.backend, **options)
+    if subscribe:
+        for d in defs:
+            service.subscribe(d.name, lambda event: None)
+
+    routed_tuples = 0
+    start = time.perf_counter()
+    for relation, batch, size in batches:
+        touched = service.on_batch(relation, batch)
+        routed_tuples += len(touched) * size
+    elapsed = time.perf_counter() - start
+
+    fed = {rel for rel, rows in streamed_rows.items() if rows}
+    stats = [
+        ViewStats(
+            name=d.name,
+            backend=d.backend,
+            streamed=tuple(sorted(service.view(d.name).relations)),
+            batches_applied=service.view(d.name).batches_applied,
+            deltas_delivered=service.view(d.name).deltas_delivered,
+            snapshot_tuples=len(service.snapshot(d.name)),
+            starved=not (service.view(d.name).relations & fed),
+        )
+        for d in defs
+    ]
+    return ServiceResult(
+        views=stats,
+        n_tuples=n_tuples,
+        routed_tuples=routed_tuples,
+        n_batches=len(batches),
+        elapsed_s=elapsed,
+    )

@@ -16,13 +16,7 @@ from repro.eval import Database
 from repro.exec import available_backends, create_backend
 from repro.metrics import CacheSimulator, Counters
 from repro.ring import GMR
-from repro.workloads import (
-    QuerySpec,
-    generate_micro,
-    generate_tpcds,
-    generate_tpch,
-    stream_batches,
-)
+from repro.workloads import QuerySpec, generate_workload, stream_batches
 
 #: every maintenance strategy the evaluation compares.  ``rivm-*`` are
 #: the paper's generated engines; ``reeval`` / ``civm`` substitute for
@@ -75,14 +69,7 @@ def prepare_stream(
     late-stream regime of the paper's long runs (large materialized
     state, small relative updates) without paying for the whole stream.
     """
-    if workload == "tpch":
-        tables = generate_tpch(sf=sf, seed=seed)
-    elif workload == "tpcds":
-        tables = generate_tpcds(sf=sf, seed=seed)
-    elif workload == "micro":
-        tables = generate_micro(sf=sf, seed=seed)
-    else:
-        raise ValueError(f"unknown workload {workload!r}")
+    tables = generate_workload(workload, sf=sf, seed=seed)
 
     static = Database()
     streamed: dict[str, list[tuple]] = {}
@@ -171,20 +158,33 @@ def run_engine(
 ) -> RunOutcome:
     """Time one engine over the prepared stream.
 
-    Initialization (loading static tables into the engine's views) is
-    excluded from the measured window, matching the paper's "not
-    counting loading of streams into memory" protocol.
+    The run is hosted in a one-view :class:`~repro.service.ViewService`
+    session (``track_base=False``, no subscribers), so single-backend
+    measurements exercise exactly the serving path that
+    :func:`repro.harness.service.measure_service_throughput` scales to N
+    views.  Initialization (loading static tables into the engine's
+    views) is excluded from the measured window, matching the paper's
+    "not counting loading of streams into memory" protocol.
     """
+    from repro.service import ViewService
+
     counters = Counters()
-    engine = make_engine(
-        prepared.spec, strategy, counters=counters, cache_sim=cache_sim,
+    # create_view copies the base for the engine, so the shared static
+    # database can be handed over directly (track_base=False guarantees
+    # the service never mutates it).
+    service = ViewService(base=prepared.static, track_base=False)
+    service.create_view(
+        prepared.spec.name,
+        prepared.spec,
+        backend=strategy,
+        counters=counters,
+        cache_sim=cache_sim,
         use_compiled=use_compiled,
     )
-    engine.initialize(prepared.fresh_static())
 
     start = time.perf_counter()
     for relation, batch in prepared.batches:
-        engine.on_batch(relation, batch)
+        service.on_batch(relation, batch)
     elapsed = time.perf_counter() - start
 
     return RunOutcome(
@@ -192,5 +192,5 @@ def run_engine(
         elapsed_s=elapsed,
         n_tuples=prepared.n_tuples,
         virtual_instructions=counters.virtual_instructions(),
-        result=engine.result(),
+        result=service.snapshot(prepared.spec.name),
     )

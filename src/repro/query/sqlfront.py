@@ -209,7 +209,18 @@ class _Parser:
                 aggregates.append(("sum", self.parse_arith()))
                 self.expect("op", ")")
             else:
-                columns.append(self.parse_colref())
+                ref = self.parse_colref()
+                nxt = self.peek()
+                if (
+                    ref.qualifier is None
+                    and nxt.kind == "op"
+                    and nxt.text == "("
+                ):
+                    raise SqlError(
+                        f"unsupported function {ref.column!r} at {nxt.pos}; "
+                        "supported aggregates: COUNT(*) and SUM(<arith>)"
+                    )
+                columns.append(ref)
             if not self.accept("op", ","):
                 break
 
@@ -346,17 +357,41 @@ class _Scope:
             key = (ref.qualifier, ref.column)
             if key in self.names:
                 return self.names[key]
+            aliases = sorted({a for a, _ in self.names})
+            if ref.qualifier in aliases:
+                # The alias binds here (shadowing any outer scope), so a
+                # missing column is this table's problem — don't let the
+                # lookup escape to the parent and misdiagnose the alias.
+                cols = sorted(
+                    c for a, c in self.names if a == ref.qualifier
+                )
+                raise SqlError(
+                    f"table {ref.qualifier!r} has no column "
+                    f"{ref.column!r}; its columns: {', '.join(cols)}"
+                )
             if self.parent is not None:
                 return self.parent.resolve(ref)
-            raise SqlError(f"unknown column {ref.qualifier}.{ref.column}")
+            raise SqlError(
+                f"unknown table alias {ref.qualifier!r} in "
+                f"{ref.qualifier}.{ref.column}; FROM aliases in "
+                f"scope: {', '.join(aliases) or '<none>'}"
+            )
         owners = self.bare.get(ref.column, [])
         if len(owners) == 1:
             return self.names[owners[0]]
         if len(owners) > 1:
-            raise SqlError(f"ambiguous column {ref.column!r}")
+            aliases = ", ".join(sorted(a for a, _ in owners))
+            raise SqlError(
+                f"ambiguous column {ref.column!r}: provided by {aliases}; "
+                f"qualify it (e.g. {owners[0][0]}.{ref.column})"
+            )
         if self.parent is not None:
             return self.parent.resolve(ref)
-        raise SqlError(f"unknown column {ref.column!r}")
+        known = sorted(self.bare)
+        raise SqlError(
+            f"unknown column {ref.column!r}; columns in scope: "
+            f"{', '.join(known) or '<none>'}"
+        )
 
     def resolve_local(self, ref: _ColRef) -> tuple[str, str] | None:
         """The (alias, column) occurrence if the ref binds in *this*
@@ -390,7 +425,10 @@ class _Lowerer:
         occurrences: list[tuple[str, str]] = []  # (alias, column) in order
         for table, alias in sel.tables:
             if table not in self.catalog:
-                raise SqlError(f"unknown table {table!r}")
+                known = ", ".join(sorted(self.catalog)) or "<none>"
+                raise SqlError(
+                    f"unknown table {table!r}; catalog tables: {known}"
+                )
             for col in self.catalog[table]:
                 occurrences.append((alias, col))
         occ_set = set(occurrences)

@@ -1,0 +1,25 @@
+"""Multi-view serving: :class:`ViewService` sessions.
+
+The public serving API of the reproduction: one session hosts many
+maintained views (SQL or algebra, each on any registered execution
+backend) over shared base-relation streams, with pull snapshots and
+push-based delta subscriptions.  See :mod:`repro.service.service` for
+the full protocol and ARCHITECTURE.md ("Service layer") for how it sits
+on top of the execution backends.
+"""
+
+from repro.service.service import (
+    ServiceError,
+    Subscription,
+    ViewDelta,
+    ViewHandle,
+    ViewService,
+)
+
+__all__ = [
+    "ServiceError",
+    "Subscription",
+    "ViewDelta",
+    "ViewHandle",
+    "ViewService",
+]

@@ -1,0 +1,338 @@
+"""The multi-view serving session.
+
+A :class:`ViewService` is the system the paper describes from the
+outside: SQL (or algebra) view definitions go in, and as base-relation
+update batches stream through, every registered view stays fresh.  The
+service owns
+
+* one shared **catalog** (table name -> column names) against which SQL
+  view definitions are parsed;
+* one shared **base database** recording the accumulated contents of
+  every streamed relation, so views created mid-stream initialize warm;
+* any number of **views**, each an independently chosen
+  :class:`~repro.exec.ExecutionBackend` maintaining one top-level
+  query;
+* per-view **subscriptions** that receive push-based
+  :class:`ViewDelta` events computed from each backend's changefeed
+  (:meth:`~repro.exec.ExecutionBackend.last_delta`).
+
+Routing is dependency-driven: an incoming batch for relation ``R`` is
+delivered once to every view whose spec streams ``R`` and skipped for
+the rest, so N views over one stream cost only what their maintenance
+actually requires.
+
+Usage::
+
+    svc = ViewService(catalog={"R": ("a", "b"), "S": ("b", "c")})
+    svc.create_view("per_b", "SELECT R.b, COUNT(*) FROM R, S "
+                             "WHERE R.b = S.b GROUP BY R.b")
+    sub = svc.subscribe("per_b", print)
+    svc.on_batch("R", GMR({(1, 10): 1}))
+    svc.snapshot("per_b")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.eval import Database
+from repro.exec import ExecutionBackend, available_backends, create_backend
+from repro.ring import GMR
+from repro.workloads.spec import QuerySpec, as_query_spec
+
+__all__ = [
+    "ServiceError",
+    "Subscription",
+    "ViewDelta",
+    "ViewHandle",
+    "ViewService",
+]
+
+
+class ServiceError(ValueError):
+    """Raised for invalid service operations (duplicate or unknown view
+    names, SQL definitions without a catalog, unknown backends)."""
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """One push notification: the net change of a view after a batch.
+
+    ``relation`` names the base relation whose batch caused the change
+    (``None`` for synthetic events: the initial snapshot of
+    ``subscribe(..., initial=True)``, or a coalesced flush triggered by
+    another subscriber joining); ``seq`` is the service-wide batch
+    sequence number.  Accumulating ``delta`` over a subscription's
+    lifetime reproduces ``snapshot(view)`` exactly.
+    """
+
+    view: str
+    relation: str | None
+    seq: int
+    delta: GMR
+
+
+class Subscription:
+    """A cancellable push-based change subscription on one view."""
+
+    def __init__(self, view: str, callback: Callable[[ViewDelta], None]):
+        self.view = view
+        self.callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop delivery; the subscription is removed lazily."""
+        self.active = False
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return f"Subscription({self.view!r}, {state})"
+
+
+@dataclass
+class ViewHandle:
+    """One registered view: its spec, backend, and delivery stats."""
+
+    name: str
+    spec: QuerySpec
+    backend_name: str
+    backend: ExecutionBackend
+    subscriptions: list[Subscription] = field(default_factory=list)
+    #: batches routed to this view (relation matched ``spec.updatable``)
+    batches_applied: int = 0
+    #: non-empty deltas pushed to at least one subscriber
+    deltas_delivered: int = 0
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """The relations this view streams (its routing key)."""
+        return self.spec.updatable
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewHandle({self.name!r}, backend={self.backend_name!r}, "
+            f"streams={sorted(self.relations)})"
+        )
+
+
+class ViewService:
+    """A session hosting many maintained views over shared base streams.
+
+    ``catalog`` seeds the table catalog for SQL view definitions (more
+    tables can be added with :meth:`register_table`).  ``base`` seeds
+    the shared base database — typically pre-loaded static dimension
+    tables; the service copies it per view at creation, so load static
+    tables *before* creating views.  ``track_base=False`` disables
+    accumulating streamed batches into the shared base database (views
+    created mid-stream then initialize cold); the harness uses it to
+    keep measured windows free of bookkeeping.
+    """
+
+    def __init__(
+        self,
+        catalog: dict[str, tuple[str, ...]] | None = None,
+        base: Database | None = None,
+        track_base: bool = True,
+    ):
+        self.catalog: dict[str, tuple[str, ...]] = {
+            t: tuple(cols) for t, cols in (catalog or {}).items()
+        }
+        self.base = base if base is not None else Database()
+        self.track_base = track_base
+        self._views: dict[str, ViewHandle] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Catalog and base data
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, columns) -> None:
+        """Add (or redefine) a table in the SQL catalog."""
+        self.catalog[name] = tuple(columns)
+
+    def load(self, relation: str, rows) -> None:
+        """Bulk-insert plain tuples into the shared base database.
+
+        Rows loaded before a view is created are part of its warm
+        initialization; rows loaded afterwards are routed to it only if
+        delivered through :meth:`on_batch`, so treat ``load`` as static
+        preloading.
+        """
+        self.base.insert_rows(relation, rows)
+
+    # ------------------------------------------------------------------
+    # View lifecycle
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        source,
+        backend: str = "rivm-batch",
+        *,
+        updatable: frozenset[str] | None = None,
+        key_hints: dict[str, tuple[str, ...]] | None = None,
+        **options,
+    ) -> ViewHandle:
+        """Register a view and start maintaining it.
+
+        ``source`` is a SQL string (parsed against the service catalog),
+        a query-algebra ``Expr``, or a pre-built ``QuerySpec`` — all
+        three share one creation path (:func:`~repro.workloads.as_query_spec`).
+        ``backend`` names any registered execution backend; ``options``
+        are forwarded to its factory (``counters=``, ``n_workers=``,
+        ``use_compiled=``, ...).  The view initializes from the current
+        shared base database, and its changefeed is baselined so
+        subscription deltas describe only changes after creation.
+        """
+        if name in self._views:
+            raise ServiceError(
+                f"view {name!r} already exists; drop_view() it first"
+            )
+        if backend not in available_backends():
+            raise ServiceError(
+                f"unknown backend {backend!r}; registered backends: "
+                + ", ".join(available_backends())
+            )
+        try:
+            spec = as_query_spec(
+                source,
+                name=name,
+                catalog=self.catalog or None,
+                updatable=updatable,
+                key_hints=key_hints,
+            )
+        except TypeError as exc:
+            raise ServiceError(str(exc)) from exc
+        engine = create_backend(backend, spec, **options)
+        engine.initialize(self.base.copy())
+        # Baseline the changefeed: the warm-start contents are delivered
+        # through subscribe(initial=True), not as the first batch delta.
+        engine.last_delta()
+        handle = ViewHandle(name, spec, backend, engine)
+        self._views[name] = handle
+        return handle
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view, cancelling its subscriptions."""
+        handle = self._handle(name)
+        for sub in handle.subscriptions:
+            sub.cancel()
+        del self._views[name]
+
+    def views(self) -> tuple[str, ...]:
+        """Names of the registered views, sorted."""
+        return tuple(sorted(self._views))
+
+    def view(self, name: str) -> ViewHandle:
+        """The handle of a registered view."""
+        return self._handle(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def on_batch(self, relation: str, batch: GMR) -> tuple[str, ...]:
+        """Route one update batch to every dependent view.
+
+        The batch reaches each view whose spec streams ``relation``
+        (others are skipped), subscribers of touched views receive the
+        per-view :class:`ViewDelta`, and — unless ``track_base`` is off —
+        the shared base database absorbs the batch so later
+        ``create_view`` calls initialize warm.  Returns the names of the
+        views that received the batch.
+        """
+        self._seq += 1
+        touched: list[str] = []
+        # Snapshot the view list: a subscriber callback may react by
+        # creating or dropping views mid-batch.
+        for handle in list(self._views.values()):
+            if relation not in handle.relations:
+                continue
+            handle.backend.on_batch(relation, batch)
+            handle.batches_applied += 1
+            touched.append(handle.name)
+            self._publish(handle, relation)
+        if self.track_base:
+            self.base.apply_update(relation, batch)
+        return tuple(touched)
+
+    def _publish(self, handle: ViewHandle, relation: str | None) -> None:
+        """Compute and fan out one changefeed event, if anyone listens.
+
+        When no subscription is active the (O(|view|)) delta is not
+        computed; the backend's changefeed accumulates, so a later
+        subscriber's first event covers everything since the last
+        delivery and accumulation stays exact.
+        """
+        live = [s for s in handle.subscriptions if s.active]
+        if len(live) != len(handle.subscriptions):
+            handle.subscriptions[:] = live
+        if not live:
+            return
+        delta = handle.backend.last_delta()
+        if delta.is_zero():
+            return
+        event = ViewDelta(handle.name, relation, self._seq, delta)
+        handle.deltas_delivered += 1
+        for sub in live:
+            if sub.active:
+                sub.callback(event)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str) -> GMR:
+        """Pull the current contents of a view (a defensive copy)."""
+        return GMR(dict(self._handle(name).backend.snapshot().data))
+
+    def subscribe(
+        self,
+        name: str,
+        callback: Callable[[ViewDelta], None],
+        *,
+        initial: bool = False,
+    ) -> Subscription:
+        """Receive a :class:`ViewDelta` after every batch that changes
+        the view.
+
+        With ``initial=True`` the callback is first invoked with a
+        synthetic event carrying the current snapshot (``relation=None``),
+        so accumulation equals ``snapshot(name)`` even when the view was
+        warm at subscribe time.
+        """
+        handle = self._handle(name)
+        if initial:
+            # Flush coalesced changes owed to existing subscribers, then
+            # re-baseline the changefeed: the snapshot event below covers
+            # everything up to now, so the next per-batch delta must not
+            # include it again.
+            self._publish(handle, None)
+            handle.backend.last_delta()
+        sub = Subscription(handle.name, callback)
+        handle.subscriptions.append(sub)
+        if initial:
+            snap = self.snapshot(name)
+            if not snap.is_zero():
+                callback(ViewDelta(handle.name, None, self._seq, snap))
+        return sub
+
+    # ------------------------------------------------------------------
+    def _handle(self, name: str) -> ViewHandle:
+        try:
+            return self._views[name]
+        except KeyError:
+            known = ", ".join(sorted(self._views)) or "<none>"
+            raise ServiceError(
+                f"unknown view {name!r}; registered views: {known}"
+            ) from None
+
+    def __repr__(self) -> str:
+        views = {
+            h.name: h.backend_name for h in self._views.values()
+        }
+        return f"ViewService(views={views}, seq={self._seq})"

@@ -9,13 +9,13 @@ of insertions chunked into per-relation batches of a chosen size.
 """
 
 from repro.workloads.schema import TPCH_TABLES, TPCDS_TABLES
-from repro.workloads.datagen import generate_tpch, generate_tpcds
+from repro.workloads.datagen import generate_tpch, generate_tpcds, generate_workload
 from repro.workloads.streams import (
     load_database,
     stream_batches,
     stream_batches_with_deletions,
 )
-from repro.workloads.spec import QuerySpec
+from repro.workloads.spec import QuerySpec, as_query_spec
 from repro.workloads.tpch_queries import TPCH_QUERIES
 from repro.workloads.tpcds_queries import TPCDS_QUERIES
 from repro.workloads.micro import (
@@ -31,10 +31,12 @@ __all__ = [
     "generate_tpch",
     "generate_tpcds",
     "generate_micro",
+    "generate_workload",
     "stream_batches",
     "stream_batches_with_deletions",
     "load_database",
     "QuerySpec",
+    "as_query_spec",
     "TPCH_QUERIES",
     "TPCDS_QUERIES",
     "MICRO_QUERIES",

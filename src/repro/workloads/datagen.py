@@ -152,3 +152,19 @@ def generate_tpcds(
         for _ in range(n["STORE_SALES"])
     ]
     return tables
+
+
+def generate_workload(
+    workload: str, sf: float, seed: int = 42
+) -> dict[str, list[tuple]]:
+    """Dispatch on the workload name — the single name->generator
+    mapping shared by the harness runners."""
+    if workload == "tpch":
+        return generate_tpch(sf=sf, seed=seed)
+    if workload == "tpcds":
+        return generate_tpcds(sf=sf, seed=seed)
+    if workload == "micro":
+        from repro.workloads.micro import generate_micro
+
+        return generate_micro(sf=sf, seed=seed)
+    raise ValueError(f"unknown workload {workload!r}")

@@ -37,7 +37,7 @@ def _stream_and_check(spec, tables, engine, batch_size=25):
     ):
         engine.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert engine.result() == evaluate(spec.query, reference)
+    assert engine.snapshot() == evaluate(spec.query, reference)
 
 
 @pytest.mark.parametrize("name", ["Q17", "Q22", "Q11"])

@@ -113,7 +113,7 @@ def test_q16_not_exists_counts_once(n_workers):
     for relation, batch in prepared.batches:
         cluster.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert cluster.result() == evaluate(spec.query, reference)
+    assert cluster.snapshot() == evaluate(spec.query, reference)
 
 
 def test_m3_distinct_counts_once():
@@ -134,7 +134,7 @@ def test_m3_distinct_counts_once():
     for relation, batch in prepared.batches:
         cluster.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    result = cluster.result()
+    result = cluster.snapshot()
     assert result == evaluate(spec.query, reference)
     # DISTINCT semantics: every multiplicity is exactly one.
     assert all(m == 1 for m in result.data.values())

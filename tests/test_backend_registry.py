@@ -65,8 +65,38 @@ def test_every_backend_tracks_reference(name):
         assert backend.snapshot() == evaluate(Q, reference), (
             f"{name} diverged after a batch on {relation}"
         )
-    # snapshot() and the historical result() alias agree.
-    assert backend.result() == backend.snapshot()
+
+
+@pytest.mark.parametrize("name", sorted(available_backends()))
+def test_every_backend_changefeed_accumulates_to_snapshot(name):
+    """The default last_delta() hook: per-batch deltas sum to the
+    snapshot for every registered backend."""
+    backend = create_backend(name, SPEC)
+    accumulated = GMR()
+    for relation, batch in BATCHES:
+        backend.on_batch(relation, batch)
+        accumulated.add_inplace(backend.last_delta())
+        assert accumulated == backend.snapshot(), (
+            f"{name} changefeed diverged after a batch on {relation}"
+        )
+
+
+def test_changefeed_coalesces_between_calls():
+    backend = create_backend("rivm-batch", SPEC)
+    for relation, batch in BATCHES[:2]:
+        backend.on_batch(relation, batch)
+    # One call covers everything since the stream started.
+    assert backend.last_delta() == backend.snapshot()
+    # Nothing new processed -> empty delta.
+    assert backend.last_delta().is_zero()
+
+
+def test_result_is_deprecated_alias_of_snapshot():
+    backend = create_backend("rivm-batch", SPEC)
+    backend.on_batch("R", GMR({(1, 10): 1}))
+    with pytest.warns(DeprecationWarning, match="snapshot"):
+        legacy = backend.result()
+    assert legacy == backend.snapshot()
 
 
 @pytest.mark.parametrize("name", ["rivm-batch", "rivm-specialized", "cluster"])
@@ -104,6 +134,35 @@ def test_cluster_backend_options():
     for relation, batch in BATCHES:
         reference.apply_update(relation, batch)
     assert backend.snapshot() == evaluate(Q, reference)
+
+
+def test_create_backend_from_sql_and_expr():
+    """SQL views and pre-built specs share one creation path."""
+    catalog = {"R": ("A", "B"), "S": ("B", "C")}
+    from_sql = create_backend(
+        "rivm-batch",
+        "SELECT R.B, COUNT(*) FROM R, S WHERE R.B = S.B GROUP BY R.B",
+        catalog=catalog,
+        view_name="per_b",
+    )
+    from_expr = create_backend("civm", Q)
+    reference = Database()
+    for relation, batch in BATCHES:
+        from_sql.on_batch(relation, batch)
+        from_expr.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+    want = evaluate(Q, reference)
+    assert from_expr.snapshot() == want
+    # The SQL lowering names columns <alias>_<column>; the counted
+    # multiset is the same.
+    assert sorted(from_sql.snapshot().data.values()) == sorted(
+        want.data.values()
+    )
+
+
+def test_create_backend_sql_without_catalog_raises():
+    with pytest.raises(TypeError, match="catalog"):
+        create_backend("rivm-batch", "SELECT COUNT(*) FROM R")
 
 
 def test_register_custom_backend():

@@ -40,7 +40,7 @@ def _run(spec, prepared, ft):
 def test_failure_free_run_matches_reference():
     spec, prepared, ft = _setup(policy=CheckpointPolicy(interval=3))
     expected = _run(spec, prepared, ft)
-    assert ft.result() == expected
+    assert ft.snapshot() == expected
     assert not ft.recoveries
 
 
@@ -65,7 +65,7 @@ def test_recovery_restores_correct_state(fail_at):
         injector=FailureInjector(failures={fail_at: 1}),
     )
     expected = _run(spec, prepared, ft)
-    assert ft.result() == expected
+    assert ft.snapshot() == expected
     assert len(ft.recoveries) == 1
     event = ft.recoveries[0]
     assert event.batch_index == fail_at
@@ -78,7 +78,7 @@ def test_recovery_without_checkpoint_replays_from_start():
         injector=FailureInjector(failures={5: 0}),
     )
     expected = _run(spec, prepared, ft)
-    assert ft.result() == expected
+    assert ft.snapshot() == expected
     event = ft.recoveries[0]
     assert event.restored_from == -1
     assert event.replayed_batches == 5
@@ -132,5 +132,5 @@ def test_multiple_failures():
         batches=8,
     )
     expected = _run(spec, prepared, ft)
-    assert ft.result() == expected
+    assert ft.snapshot() == expected
     assert len(ft.recoveries) == 2

@@ -52,12 +52,95 @@ def test_run_reports_throughput(capsys):
 def test_run_single_tuple_mode(capsys):
     rc = main(
         [
-            "run", "Q6", "--strategy", "rivm-single", "--batch-size", "0",
+            "run", "Q6", "--backend", "rivm-single", "--batch-size", "0",
             "--sf", "0.0002", "--max-batches", "3",
         ]
     )
     assert rc == 0
     assert "Single" in capsys.readouterr().out
+
+
+def test_run_strategy_is_deprecated_alias(capsys):
+    with pytest.warns(DeprecationWarning, match="--backend"):
+        rc = main(
+            [
+                "run", "Q6", "--strategy", "reeval", "--batch-size", "50",
+                "--sf", "0.0002", "--max-batches", "2",
+            ]
+        )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "reeval" in captured.out          # the alias still selects
+    assert "deprecated" in captured.err      # and warns loudly
+
+
+def test_run_unknown_backend_exits():
+    with pytest.raises(SystemExit, match="unknown backend"):
+        main(["run", "Q6", "--backend", "warp-drive"])
+
+
+def test_serve_hosts_multiple_views(capsys):
+    rc = main(
+        [
+            "serve", "Q6", "M2",
+            "--sql", "RS=SELECT COUNT(*) FROM R, S WHERE R.b = S.b",
+            "--backends", "rivm-batch,reeval",
+            "--batch-size", "30", "--workload", "micro",
+            "--sf", "0.002", "--max-batches", "8",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "serving 3 views over one stream" in captured.out
+    assert "RS" in captured.out
+    assert "tuples/s routed" in captured.out
+    # Q6 streams LINEITEM, which the micro workload never generates:
+    # the run succeeds but warns that the view is starved.
+    assert "will stay empty" in captured.err
+    assert "'Q6'" in captured.err
+
+
+def test_serve_requires_a_view():
+    with pytest.raises(SystemExit, match="at least one view"):
+        main(["serve"])
+
+
+def test_serve_rejects_malformed_sql_option():
+    with pytest.raises(SystemExit, match="NAME=SELECT"):
+        main(["serve", "--sql", "no-equals-sign"])
+
+
+def test_serve_rejects_unknown_backend():
+    with pytest.raises(SystemExit, match="unknown backend"):
+        main(["serve", "Q6", "--backends", "warp-drive"])
+
+
+def test_serve_rejects_empty_backend_list():
+    with pytest.raises(SystemExit, match="at least one backend"):
+        main(["serve", "Q6", "--backends", ","])
+
+
+def test_serve_rejects_duplicate_view_names():
+    with pytest.raises(SystemExit, match="duplicate view name"):
+        main(["serve", "Q6", "Q6"])
+
+
+def test_serve_prefers_requested_workload_for_colliding_names(capsys):
+    """Q3 exists in both TPC-H and TPC-DS; --workload tpcds must bind
+    the TPC-DS one (whose stream actually feeds it)."""
+    rc = main(
+        [
+            "serve", "Q3", "--workload", "tpcds", "--batch-size", "30",
+            "--sf", "0.0005", "--max-batches", "6",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "STORE_SALES" in out          # TPC-DS relations, not LINEITEM
+    import re
+
+    n_tuples = int(re.search(r"(\d+) streamed tuples", out).group(1))
+    assert n_tuples > 0
 
 
 def test_distributed_plan(capsys):

@@ -80,7 +80,7 @@ def test_micro_maintenance_under_deletions(name):
     ):
         engine.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert engine.result() == evaluate(spec.query, reference), name
+    assert engine.snapshot() == evaluate(spec.query, reference), name
 
 
 @pytest.mark.parametrize("name", ["Q1", "Q3", "Q6", "Q17"])
@@ -104,7 +104,7 @@ def test_tpch_maintenance_under_deletions(name):
     ):
         engine.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert engine.result() == evaluate(spec.query, reference), name
+    assert engine.snapshot() == evaluate(spec.query, reference), name
 
 
 def test_specialized_engine_under_deletions():
@@ -123,7 +123,7 @@ def test_specialized_engine_under_deletions():
     ):
         engine.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert engine.result() == evaluate(spec.query, reference)
+    assert engine.snapshot() == evaluate(spec.query, reference)
 
 
 def test_distributed_cluster_under_deletions():
@@ -158,4 +158,4 @@ def test_distributed_cluster_under_deletions():
     ):
         cluster.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert cluster.result() == evaluate(spec.query, reference)
+    assert cluster.snapshot() == evaluate(spec.query, reference)

@@ -80,7 +80,7 @@ def test_cluster_matches_reference_three_way(n_workers, opt_level):
     for r, batch in _stream(rng, ["R", "S", "T"], 15, 3):
         cluster.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert cluster.result() == evaluate(Q3WAY, db), (
+        assert cluster.snapshot() == evaluate(Q3WAY, db), (
             f"diverged (workers={n_workers}, O{opt_level})"
         )
 
@@ -97,7 +97,7 @@ def test_cluster_matches_reference_ingestion_modes(worker_side):
     for r, batch in _stream(rng, ["R", "S", "T"], 12, 4):
         cluster.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert cluster.result() == evaluate(Q3WAY, db)
+        assert cluster.snapshot() == evaluate(Q3WAY, db)
 
 
 def test_cluster_matches_reference_scalar_aggregate():
@@ -108,7 +108,7 @@ def test_cluster_matches_reference_scalar_aggregate():
     for r, batch in _stream(rng, ["R"], 10, 5):
         cluster.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert cluster.result() == evaluate(Q_AGG, db)
+        assert cluster.snapshot() == evaluate(Q_AGG, db)
 
 
 def test_cluster_matches_reference_nested_aggregate():
@@ -120,7 +120,7 @@ def test_cluster_matches_reference_nested_aggregate():
     for r, batch in _stream(rng, ["R", "S"], 12, 3):
         cluster.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert cluster.result() == evaluate(Q_NESTED, db)
+        assert cluster.snapshot() == evaluate(Q_NESTED, db)
 
 
 def test_all_views_consistent_after_stream():

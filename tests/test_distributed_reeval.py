@@ -51,7 +51,7 @@ def test_distributed_reeval_matches_reference(name):
     for relation, batch in prepared.batches:
         cluster.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert cluster.result() == evaluate(spec.query, reference), name
+    assert cluster.snapshot() == evaluate(spec.query, reference), name
 
 
 def test_distributed_reeval_cost_grows_with_accumulated_state():

@@ -30,7 +30,7 @@ def _run(spec, workload, n_workers=3, opt_level=3, sf=0.0003, batches=4):
     for relation, batch in prepared.batches:
         cluster.on_batch(relation, batch)
         reference.apply_update(relation, batch)
-    assert cluster.result() == evaluate(spec.query, reference), spec.name
+    assert cluster.snapshot() == evaluate(spec.query, reference), spec.name
 
 
 @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))

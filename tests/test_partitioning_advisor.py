@@ -50,7 +50,7 @@ def test_every_candidate_is_correct_on_cluster(name):
         for relation, batch in prepared.batches:
             cluster.on_batch(relation, batch)
             reference.apply_update(relation, batch)
-        assert cluster.result() == evaluate(spec.query, reference), (
+        assert cluster.snapshot() == evaluate(spec.query, reference), (
             f"{name} under {cand.name}"
         )
 

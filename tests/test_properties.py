@@ -406,4 +406,4 @@ def test_engine_matches_reevaluation_on_random_streams(q, stream):
         # Relations the query never references cannot change the view;
         # the reference applies them anyway (the query ignores them).
         reference.apply_update(name, batch)
-    assert engine.result() == evaluate(q, reference)
+    assert engine.snapshot() == evaluate(q, reference)

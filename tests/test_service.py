@@ -1,0 +1,421 @@
+"""The multi-view serving API: ViewService sessions.
+
+The core invariant (the acceptance bar of the service layer): a
+service hosting several views — mixed SQL and workload-style specs, on
+mixed backends — over one shared insert+delete stream must, for every
+view, deliver subscription deltas whose accumulation equals
+``snapshot(view)``, which in turn matches both a single-backend
+reference run and re-evaluation over the accumulated base data.
+"""
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.exec import available_backends, create_backend
+from repro.harness import ViewDef, measure_service_throughput
+from repro.query.builder import join, rel, sum_over
+from repro.ring import GMR
+from repro.service import ServiceError, ViewDelta, ViewService
+from repro.workloads import QuerySpec, as_query_spec
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+#: one shared stream over three relations, with deletions (negative
+#: multiplicities) interleaved with insertions
+STREAM = [
+    ("R", {(1, 10): 1, (2, 20): 1, (3, 10): 1}),
+    ("S", {(10, 5): 1, (20, 6): 2}),
+    ("T", {(1, 4): 1, (2, 9): 1}),
+    ("R", {(1, 10): -1, (4, 20): 1}),
+    ("S", {(20, 6): -1, (10, 7): 1}),
+    ("T", {(2, 9): -1, (4, 9): 1}),
+    ("R", {(3, 10): -1, (2, 20): -1}),
+]
+
+SQL_PER_B = (
+    "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+)
+EXPR_CNT_A = sum_over(["a"], rel("R", "a", "b"))
+SPEC_BY_D = QuerySpec(
+    name="by_d",
+    query=sum_over(["d"], join(rel("T", "a", "d"), rel("R", "a", "b"))),
+    updatable=frozenset({"R", "T"}),
+)
+
+
+def _stream(service: ViewService):
+    for relation, data in STREAM:
+        service.on_batch(relation, GMR(dict(data)))
+
+
+def _reference_db() -> Database:
+    db = Database()
+    for relation, data in STREAM:
+        db.apply_update(relation, GMR(dict(data)))
+    return db
+
+
+def _accumulating_subscriber(service, name):
+    acc = GMR()
+    service.subscribe(name, lambda event: acc.add_inplace(event.delta))
+    return acc
+
+
+def _single_backend_reference(backend_name, spec) -> GMR:
+    """The same view maintained alone, outside any service."""
+    engine = create_backend(backend_name, spec)
+    for relation, data in STREAM:
+        if relation in spec.updatable:
+            engine.on_batch(relation, GMR(dict(data)))
+    return engine.snapshot()
+
+
+# ----------------------------------------------------------------------
+# The acceptance invariant
+# ----------------------------------------------------------------------
+
+
+def test_mixed_views_mixed_backends_over_one_stream():
+    """≥3 views (SQL + algebra + workload-style spec) on different
+    backends: accumulated deltas == snapshot == single-backend run."""
+    service = ViewService(catalog=CATALOG)
+    views = {
+        "per_b": (SQL_PER_B, "rivm-batch"),
+        "cnt_a": (EXPR_CNT_A, "reeval"),
+        "by_d": (SPEC_BY_D, "rivm-specialized"),
+    }
+    accs = {}
+    for name, (source, backend) in views.items():
+        service.create_view(name, source, backend=backend)
+        accs[name] = _accumulating_subscriber(service, name)
+
+    _stream(service)
+
+    reference = _reference_db()
+    for name, (source, backend) in views.items():
+        handle = service.view(name)
+        snap = service.snapshot(name)
+        assert accs[name] == snap, f"{name}: deltas diverged from snapshot"
+        assert snap == _single_backend_reference(backend, handle.spec), (
+            f"{name}: service run diverged from single-backend run"
+        )
+        assert snap == evaluate(handle.spec.query, reference), (
+            f"{name}: diverged from re-evaluation"
+        )
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_service_invariant_on_every_backend(backend):
+    """Each registered backend hosts the three-view session: deltas
+    accumulate to the snapshot and match the single-backend run."""
+    service = ViewService(catalog=CATALOG)
+    for name, source in (
+        ("per_b", SQL_PER_B),
+        ("cnt_a", EXPR_CNT_A),
+        ("by_d", SPEC_BY_D),
+    ):
+        service.create_view(name, source, backend=backend)
+    accs = {n: _accumulating_subscriber(service, n) for n in service.views()}
+
+    _stream(service)
+
+    reference = _reference_db()
+    for name in service.views():
+        handle = service.view(name)
+        snap = service.snapshot(name)
+        assert accs[name] == snap, f"{backend}/{name}: deltas diverged"
+        assert snap == _single_backend_reference(backend, handle.spec)
+        assert snap == evaluate(handle.spec.query, reference)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+def test_batches_route_only_to_dependent_views():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)  # streams R only
+    service.create_view("by_d", SPEC_BY_D)    # streams R and T
+    assert service.on_batch("R", GMR({(1, 10): 1})) == ("cnt_a", "by_d")
+    assert service.on_batch("T", GMR({(1, 4): 1})) == ("by_d",)
+    assert service.on_batch("S", GMR({(10, 5): 1})) == ()
+    assert service.view("cnt_a").batches_applied == 1
+    assert service.view("by_d").batches_applied == 2
+
+
+def test_static_relations_are_not_routed():
+    """A view may pin a referenced relation as static; batches for it
+    skip the view instead of raising (no trigger exists)."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view(
+        "by_d", SPEC_BY_D.query, updatable=frozenset({"T"})
+    )
+    assert service.on_batch("R", GMR({(1, 10): 1})) == ()
+    assert service.view("by_d").batches_applied == 0
+
+
+# ----------------------------------------------------------------------
+# Warm starts and the shared base database
+# ----------------------------------------------------------------------
+
+
+def test_late_view_initializes_from_accumulated_base():
+    service = ViewService(catalog=CATALOG)
+    service.on_batch("R", GMR({(1, 10): 1, (2, 20): 1}))
+    service.create_view("cnt_a", EXPR_CNT_A)
+    assert service.snapshot("cnt_a") == GMR({(1,): 1, (2,): 1})
+
+
+def test_track_base_off_keeps_base_cold():
+    service = ViewService(catalog=CATALOG, track_base=False)
+    service.on_batch("R", GMR({(1, 10): 1}))
+    service.create_view("cnt_a", EXPR_CNT_A)
+    assert service.snapshot("cnt_a").is_zero()
+
+
+def test_preloaded_static_tables_warm_views():
+    service = ViewService(catalog=CATALOG)
+    service.load("R", [(1, 10), (2, 20)])
+    service.load("T", [(1, 4)])
+    service.create_view("by_d", SPEC_BY_D)
+    assert service.snapshot("by_d") == GMR({(4,): 1})
+
+
+def test_subscribe_initial_does_not_double_count_unobserved_batches():
+    """Batches processed while nobody listened are covered by the
+    initial-snapshot event, not replayed in the next per-batch delta."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    service.on_batch("R", GMR({(1, 10): 1}))  # no subscribers yet
+
+    acc = GMR()
+    service.subscribe(
+        "cnt_a", lambda event: acc.add_inplace(event.delta), initial=True
+    )
+    assert acc == service.snapshot("cnt_a")
+    service.on_batch("R", GMR({(2, 20): 1}))
+    assert acc == service.snapshot("cnt_a")
+
+
+def test_subscribe_initial_flushes_pending_to_existing_subscribers():
+    """A joining initial=True subscriber re-baselines the changefeed;
+    deltas owed to an earlier subscriber are flushed first, not lost."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    early = GMR()
+    sub = service.subscribe("cnt_a", lambda ev: early.add_inplace(ev.delta))
+    service.on_batch("R", GMR({(1, 10): 1}))
+    sub.cancel()
+    service.on_batch("R", GMR({(2, 20): 1}))  # coalesces, sub cancelled
+    rejoined = GMR(dict(early.data))
+    service.subscribe("cnt_a", lambda ev: rejoined.add_inplace(ev.delta))
+
+    late = GMR()
+    service.subscribe(
+        "cnt_a", lambda ev: late.add_inplace(ev.delta), initial=True
+    )
+    service.on_batch("R", GMR({(3, 30): 1}))
+    snap = service.snapshot("cnt_a")
+    assert late == snap
+    assert rejoined == snap
+
+
+def test_subscribe_initial_seeds_warm_accumulator():
+    service = ViewService(catalog=CATALOG)
+    service.load("R", [(1, 10), (2, 20)])
+    service.create_view("cnt_a", EXPR_CNT_A)
+
+    acc = GMR()
+    events = []
+
+    def on_delta(event: ViewDelta):
+        events.append(event)
+        acc.add_inplace(event.delta)
+
+    service.subscribe("cnt_a", on_delta, initial=True)
+    assert events and events[0].relation is None  # the snapshot event
+    service.on_batch("R", GMR({(1, 10): 1, (5, 30): 1}))
+    assert acc == service.snapshot("cnt_a")
+
+
+# ----------------------------------------------------------------------
+# Subscriptions
+# ----------------------------------------------------------------------
+
+
+def test_cancelled_subscription_stops_delivery():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    events = []
+    sub = service.subscribe("cnt_a", events.append)
+    service.on_batch("R", GMR({(1, 10): 1}))
+    sub.cancel()
+    service.on_batch("R", GMR({(2, 20): 1}))
+    assert len(events) == 1
+
+
+def test_changefeed_coalesces_while_nobody_listens():
+    """Deltas are not computed without subscribers, but a late
+    subscriber's first event covers everything missed."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    service.on_batch("R", GMR({(1, 10): 1}))
+    service.on_batch("R", GMR({(2, 20): 1}))
+    acc = _accumulating_subscriber(service, "cnt_a")
+    service.on_batch("R", GMR({(2, 20): 1, (1, 10): -1}))
+    assert acc == service.snapshot("cnt_a")
+
+
+def test_zero_deltas_are_not_delivered():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("per_b", SQL_PER_B, backend="rivm-batch")
+    events = []
+    service.subscribe("per_b", events.append)
+    # R rows with no matching S rows leave the aggregate unchanged.
+    service.on_batch("R", GMR({(1, 10): 1}))
+    assert events == []
+    assert service.view("per_b").deltas_delivered == 0
+
+
+def test_multiple_subscribers_share_one_delta():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    seen_a, seen_b = [], []
+    service.subscribe("cnt_a", seen_a.append)
+    service.subscribe("cnt_a", seen_b.append)
+    service.on_batch("R", GMR({(1, 10): 1}))
+    assert len(seen_a) == len(seen_b) == 1
+    assert seen_a[0] is seen_b[0]
+    assert service.view("cnt_a").deltas_delivered == 1
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and errors
+# ----------------------------------------------------------------------
+
+
+def test_drop_view_removes_and_cancels():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    sub = service.subscribe("cnt_a", lambda e: None)
+    service.drop_view("cnt_a")
+    assert "cnt_a" not in service
+    assert not sub.active
+    service.on_batch("R", GMR({(1, 10): 1}))  # routes nowhere, no error
+    with pytest.raises(ServiceError, match="unknown view"):
+        service.snapshot("cnt_a")
+
+
+def test_subscriber_may_drop_views_mid_batch():
+    """A callback reacting to a delta can mutate the view set without
+    corrupting the routing loop or skipping the base update."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    service.create_view("by_d", SPEC_BY_D)
+
+    def reaper(event):
+        if "by_d" in service:
+            service.drop_view("by_d")
+
+    service.subscribe("cnt_a", reaper)
+    service.on_batch("R", GMR({(1, 10): 1}))
+    assert "by_d" not in service
+    assert service.base.get_view("R") == GMR({(1, 10): 1})
+
+
+def test_duplicate_view_name_raises():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("cnt_a", EXPR_CNT_A)
+    with pytest.raises(ServiceError, match="already exists"):
+        service.create_view("cnt_a", EXPR_CNT_A)
+
+
+def test_unknown_backend_raises_with_choices():
+    service = ViewService(catalog=CATALOG)
+    with pytest.raises(ServiceError, match="rivm-batch"):
+        service.create_view("v", EXPR_CNT_A, backend="warp-drive")
+
+
+def test_sql_view_without_catalog_raises():
+    service = ViewService()
+    with pytest.raises(ServiceError, match="catalog"):
+        service.create_view("v", "SELECT COUNT(*) FROM R")
+
+
+def test_register_table_extends_catalog():
+    service = ViewService()
+    service.register_table("R", ("a", "b"))
+    service.create_view("v", "SELECT COUNT(*) FROM R")
+    service.on_batch("R", GMR({(1, 2): 1}))
+    assert service.snapshot("v") == GMR({(): 1})
+
+
+# ----------------------------------------------------------------------
+# as_query_spec: the shared creation path
+# ----------------------------------------------------------------------
+
+
+def test_as_query_spec_passthrough_and_rename():
+    spec = as_query_spec(SPEC_BY_D)
+    assert spec is SPEC_BY_D
+    renamed = as_query_spec(SPEC_BY_D, name="other")
+    assert renamed.name == "other"
+    assert renamed.query is SPEC_BY_D.query
+
+
+def test_as_query_spec_from_expr_defaults_updatable():
+    spec = as_query_spec(EXPR_CNT_A, name="v")
+    assert spec.updatable == frozenset({"R"})
+
+
+def test_as_query_spec_rejects_garbage():
+    with pytest.raises(TypeError, match="QuerySpec"):
+        as_query_spec(42)
+
+
+# ----------------------------------------------------------------------
+# The multi-view harness runner
+# ----------------------------------------------------------------------
+
+
+def test_measure_service_throughput_micro():
+    from repro.workloads import MICRO_QUERIES
+
+    result = measure_service_throughput(
+        [
+            ViewDef("m1", MICRO_QUERIES["M1"]),
+            ViewDef("cnt", EXPR_CNT_A, "reeval"),
+        ],
+        batch_size=20,
+        workload="micro",
+        sf=0.002,
+        max_batches=10,
+    )
+    assert len(result.views) == 2
+    assert result.n_tuples > 0
+    assert result.routed_tuples >= result.n_tuples
+    assert result.throughput > 0
+    by_name = {v.name: v for v in result.views}
+    assert by_name["cnt"].streamed == ("R",)
+    assert by_name["cnt"].batches_applied > 0
+
+
+def test_measure_service_throughput_widens_shared_static_relations():
+    """A relation streamed by one view must get triggers in every view
+    that references it, even if that view declared it static."""
+    narrow = QuerySpec(
+        name="narrow",
+        query=SPEC_BY_D.query,
+        updatable=frozenset({"T"}),  # references R but pins it static
+    )
+    result = measure_service_throughput(
+        [ViewDef("narrow", narrow), ViewDef("cnt", EXPR_CNT_A)],
+        batch_size=20,
+        workload="micro",
+        sf=0.002,
+        max_batches=10,
+    )
+    by_name = {v.name: v for v in result.views}
+    # cnt streams R, so narrow was widened to stream R too.
+    assert by_name["narrow"].streamed == ("R", "T")

@@ -50,7 +50,7 @@ def test_specialized_engine_matches_reference(query, rels):
     for r, batch in stream:
         engine.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert engine.result() == evaluate(query, db)
+        assert engine.snapshot() == evaluate(query, db)
 
 
 def test_specialized_single_mode_matches_reference():
@@ -62,7 +62,7 @@ def test_specialized_single_mode_matches_reference():
     for r, batch in stream:
         engine.on_batch(r, batch)
         db.apply_update(r, batch)
-        assert engine.result() == evaluate(Q3WAY, db)
+        assert engine.snapshot() == evaluate(Q3WAY, db)
 
 
 def test_specialized_engine_emits_cache_trace():
@@ -111,4 +111,4 @@ def test_initialize_from_snapshot_pools():
     program = compile_query(Q3WAY, "warm2")
     engine = SpecializedIVMEngine(program)
     engine.initialize(db)
-    assert engine.result() == evaluate(Q3WAY, db)
+    assert engine.snapshot() == evaluate(Q3WAY, db)

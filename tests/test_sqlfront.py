@@ -129,6 +129,80 @@ def test_rejects_duplicate_alias():
 
 
 # ----------------------------------------------------------------------
+# Error messages are actionable: they name the bad reference AND what
+# the catalog/scope actually offers.
+# ----------------------------------------------------------------------
+
+
+def test_unknown_table_error_lists_catalog():
+    with pytest.raises(SqlError, match=r"unknown table 'NOPE'.*R, S, T"):
+        parse_sql("SELECT COUNT(*) FROM NOPE", CATALOG)
+
+
+def test_unknown_column_error_lists_table_columns():
+    with pytest.raises(
+        SqlError, match=r"table 'R' has no column 'z'.*its columns: a, b"
+    ):
+        parse_sql("SELECT COUNT(*) FROM R WHERE R.z > 1", CATALOG)
+
+
+def test_unknown_table_alias_error_lists_from_aliases():
+    with pytest.raises(
+        SqlError, match=r"unknown table alias 'x' in x\.a.*aliases in scope: R"
+    ):
+        parse_sql("SELECT COUNT(*) FROM R WHERE x.a > 1", CATALOG)
+
+
+def test_inner_scope_column_typo_blames_the_inner_table():
+    """A misspelled column on a valid subquery alias must not escape to
+    the outer scope and be misreported as an unknown alias."""
+    with pytest.raises(
+        SqlError, match=r"table 'S2' has no column 'bb'.*its columns: b, c"
+    ):
+        parse_sql(
+            "SELECT COUNT(*) FROM R WHERE R.a < "
+            "(SELECT COUNT(*) FROM S S2 WHERE S2.bb = R.b)",
+            CATALOG,
+        )
+
+
+def test_unknown_bare_column_error_lists_scope():
+    with pytest.raises(
+        SqlError, match=r"unknown column 'z'; columns in scope: a, b"
+    ):
+        parse_sql("SELECT z, COUNT(*) FROM R GROUP BY z", CATALOG)
+
+
+def test_ambiguous_column_error_suggests_qualifier():
+    with pytest.raises(
+        SqlError, match=r"ambiguous column 'b'.*provided by R, S.*qualify"
+    ):
+        parse_sql("SELECT COUNT(*) FROM R, S WHERE b > 1", CATALOG)
+
+
+def test_unsupported_function_error_names_supported_aggregates():
+    with pytest.raises(
+        SqlError, match=r"unsupported function 'MAX'.*COUNT\(\*\) and SUM"
+    ):
+        parse_sql("SELECT MAX(a) FROM R", CATALOG)
+
+
+def test_non_comparison_operator_is_rejected():
+    with pytest.raises(SqlError, match="not a comparison operator"):
+        parse_sql("SELECT COUNT(*) FROM R WHERE R.a , 1", CATALOG)
+
+
+def test_incomplete_predicate_reports_expectation():
+    with pytest.raises(SqlError, match="expected"):
+        parse_sql("SELECT COUNT(*) FROM R WHERE R.a + 1", CATALOG)
+
+
+def test_tokenizer_error_shows_offending_text():
+    with pytest.raises(SqlError, match="cannot tokenize"):
+        parse_sql("SELECT COUNT(*) FROM R WHERE R.a > 'str'", CATALOG)
+
+
+# ----------------------------------------------------------------------
 # Semantics: parsed SQL agrees with hand-written algebra
 # ----------------------------------------------------------------------
 
@@ -246,7 +320,7 @@ def test_parsed_query_is_maintainable():
             batch.add_tuple((rng.randint(0, 4), rng.randint(0, 4)), 1)
         engine.on_batch(name, batch)
         reference.apply_update(name, batch)
-    assert engine.result() == evaluate(q, reference)
+    assert engine.snapshot() == evaluate(q, reference)
 
 
 def test_parsed_nested_query_is_maintainable():
@@ -268,7 +342,7 @@ def test_parsed_nested_query_is_maintainable():
             batch.add_tuple((rng.randint(0, 3), rng.randint(0, 3)), 1)
         engine.on_batch(name, batch)
         reference.apply_update(name, batch)
-    assert engine.result() == evaluate(q, reference)
+    assert engine.snapshot() == evaluate(q, reference)
 
 
 def test_sql_to_spec():

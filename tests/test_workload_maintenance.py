@@ -52,10 +52,10 @@ def _run_maintenance(spec, tables, batch_size=25, mode="batch"):
         engine.on_batch(relation, batch)
         base.apply_update(relation, batch)
         if check_every:
-            assert engine.result() == evaluate(spec.query, base), (
+            assert engine.snapshot() == evaluate(spec.query, base), (
                 f"{spec.name} diverged mid-stream"
             )
-    assert engine.result() == evaluate(spec.query, base), (
+    assert engine.snapshot() == evaluate(spec.query, base), (
         f"{spec.name} diverged at end of stream"
     )
 
