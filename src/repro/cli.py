@@ -140,6 +140,9 @@ def cmd_run(args) -> int:
     backend = _resolve_backend(args)
     spec = _resolve_spec(args)
     workload = args.workload
+    backend_options = {}
+    if args.workers is not None:
+        backend_options["n_workers"] = args.workers
     result = measure_throughput(
         spec,
         backend,
@@ -148,6 +151,7 @@ def cmd_run(args) -> int:
         sf=args.sf,
         max_batches=args.max_batches,
         use_compiled=not args.interpreted,
+        **backend_options,
     )
     print(
         format_table(
@@ -182,6 +186,9 @@ def cmd_serve(args) -> int:
             )
 
     defs: list[ViewDef] = []
+    view_options = (
+        {"n_workers": args.workers} if args.workers is not None else {}
+    )
 
     def next_backend() -> str:
         return backends[len(defs) % len(backends)]
@@ -190,14 +197,14 @@ def cmd_serve(args) -> int:
         spec = _find_workload_query(name, prefer=args.workload)
         if spec is None:
             raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
-        defs.append(ViewDef(name, spec, next_backend()))
+        defs.append(ViewDef(name, spec, next_backend(), dict(view_options)))
     for item in args.sql:
         view_name, sep, sql = item.partition("=")
         if not sep or not view_name or not sql:
             raise SystemExit(
                 f"--sql expects NAME=SELECT ..., got {item!r}"
             )
-        defs.append(ViewDef(view_name, sql, next_backend()))
+        defs.append(ViewDef(view_name, sql, next_backend(), dict(view_options)))
     if not defs:
         raise SystemExit("serve needs at least one view (names or --sql)")
     seen: set[str] = set()
@@ -339,6 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interpreted", action="store_true",
                    help="run statements through the interpreted evaluator "
                         "instead of compile-once pipelines")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for the cluster/multiproc backends")
     p.add_argument("--batch-size", type=int, default=100,
                    help="0 = single-tuple execution")
     p.add_argument("--workload", default="tpch",
@@ -364,6 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backends", default="rivm-batch",
         help="comma-separated backends assigned to views round-robin",
     )
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for cluster/multiproc-backed views")
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])

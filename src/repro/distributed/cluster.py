@@ -23,8 +23,17 @@ import random as _random
 from dataclasses import dataclass, field
 
 from repro.distributed.blocks import Block, build_blocks, fuse_blocks
+from repro.distributed.partitioning import (
+    hash_partition,
+    round_robin_partition,
+)
 from repro.distributed.planner import JobPlan, plan_jobs
-from repro.distributed.program import DistStatement, DistributedProgram
+from repro.distributed.program import (
+    DistStatement,
+    DistributedProgram,
+    apply_store,
+    ref_cols as _ref_cols,
+)
 from repro.distributed.tags import (
     Dist,
     Local,
@@ -32,7 +41,6 @@ from repro.distributed.tags import (
     Random,
     Tag,
     is_distributed,
-    partition_of,
 )
 from repro.compiler.plancache import compile_program
 from repro.eval import CompiledEvaluator, Database, Evaluator
@@ -188,16 +196,7 @@ class SimulatedCluster(ExecutionBackend):
         return self.program.partitioning.get(name, Local())
 
     def _partition(self, contents: GMR, cols, keys) -> list[GMR]:
-        parts = [GMR() for _ in range(self.n_workers)]
-        if not keys:
-            for w in range(self.n_workers):
-                parts[w] = GMR(dict(contents.data))
-            return parts
-        positions = [cols.index(k) for k in keys]
-        for t, m in contents.items():
-            w = partition_of(tuple(t[p] for p in positions), self.n_workers)
-            parts[w].add_tuple(t, m)
-        return parts
+        return hash_partition(contents, cols, keys, self.n_workers)
 
     # ------------------------------------------------------------------
     # Batch processing
@@ -233,12 +232,7 @@ class SimulatedCluster(ExecutionBackend):
         return latency
 
     def _random_partition(self, batch: GMR) -> list[GMR]:
-        parts = [GMR() for _ in range(self.n_workers)]
-        i = 0
-        for t, m in batch.items():
-            parts[i % self.n_workers].add_tuple(t, m)
-            i += 1
-        return parts
+        return round_robin_partition(batch, self.n_workers)
 
     def _clear_batch(self, relation: str, trig) -> None:
         self.driver.clear_deltas()
@@ -383,12 +377,7 @@ class SimulatedCluster(ExecutionBackend):
     # Stores
     # ------------------------------------------------------------------
     def _store(self, db: Database, stmt: DistStatement, value: GMR) -> None:
-        if stmt.scope == "batch":
-            db.set_delta(stmt.target, value)
-        elif stmt.op == "+=":
-            db.get_view(stmt.target).add_inplace(value)
-        else:
-            db.set_view(stmt.target, GMR(dict(value.data)))
+        apply_store(db, stmt.target, stmt.op, stmt.scope, value)
 
     def _store_at_worker(
         self, wdb: Database, stmt: DistStatement, part: GMR
@@ -414,7 +403,3 @@ class SimulatedCluster(ExecutionBackend):
         return self.view(self.program.top_view)
 
 
-def _ref_cols(e: Expr) -> tuple[str, ...]:
-    if isinstance(e, (Rel, DeltaRel)):
-        return e.cols
-    raise TypeError(f"not a reference: {e!r}")

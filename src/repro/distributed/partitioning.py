@@ -14,6 +14,12 @@ exposes that future-work hook:
   a strategy;
 * :class:`PartitioningAdvisor` — ranks candidates by static cost, with
   an optional measured pass on the simulated cluster.
+
+It also holds the *data* half of partitioning —
+:func:`hash_partition` / :func:`round_robin_partition` — shared by
+every executor that physically splits GMRs among workers (the
+simulated cluster and the process-parallel coordinator), so the two
+backends can never drift apart on placement.
 """
 
 from __future__ import annotations
@@ -26,7 +32,44 @@ from repro.distributed.blocks import build_blocks, fuse_blocks
 from repro.distributed.optimize import optimize_program, transformer_count
 from repro.distributed.planner import plan_jobs
 from repro.distributed.program import DistributedProgram
-from repro.distributed.tags import Dist, LOCAL, RANDOM, REPLICATED, Tag
+from repro.distributed.tags import (
+    Dist,
+    LOCAL,
+    RANDOM,
+    REPLICATED,
+    Tag,
+    partition_of,
+)
+from repro.ring import GMR
+
+
+def hash_partition(
+    contents: GMR, cols: list, keys, n_workers: int
+) -> list[GMR]:
+    """Split ``contents`` among ``n_workers`` by hashing ``keys``.
+
+    ``keys == ()`` means replicate: every worker receives a full copy
+    (broadcast semantics, used for small pre-aggregated deltas).
+    """
+    parts = [GMR() for _ in range(n_workers)]
+    if not keys:
+        for w in range(n_workers):
+            parts[w] = GMR(dict(contents.data))
+        return parts
+    positions = [cols.index(k) for k in keys]
+    for t, m in contents.items():
+        w = partition_of(tuple(t[p] for p in positions), n_workers)
+        parts[w].add_tuple(t, m)
+    return parts
+
+
+def round_robin_partition(batch: GMR, n_workers: int) -> list[GMR]:
+    """Split a batch evenly with no partitioning invariant (the
+    Random-tagged worker-side ingestion of update streams)."""
+    parts = [GMR() for _ in range(n_workers)]
+    for i, (t, m) in enumerate(batch.items()):
+        parts[i % n_workers].add_tuple(t, m)
+    return parts
 
 
 @dataclass

@@ -7,6 +7,33 @@ from dataclasses import dataclass, field
 from repro.compiler.ir import TriggerProgram
 from repro.distributed.tags import Tag
 from repro.query.ast import Expr
+from repro.ring import GMR
+
+
+def ref_cols(e: Expr) -> tuple[str, ...]:
+    """Column names of a Rel/DeltaRel reference (the only operands a
+    location transformer may have — single transformer form)."""
+    from repro.query.ast import DeltaRel, Rel
+
+    if isinstance(e, (Rel, DeltaRel)):
+        return e.cols
+    raise TypeError(f"not a reference: {e!r}")
+
+
+def apply_store(db, target: str, op: str, scope: str, value: GMR) -> None:
+    """Install one statement's result under the shared store semantics.
+
+    Used by every executor of distributed statements (simulated-cluster
+    driver and workers, multiproc coordinator and workers): batch-scoped
+    results land in the delta namespace, ``+=`` merges into the view,
+    ``:=`` replaces its contents with a defensive copy.
+    """
+    if scope == "batch":
+        db.set_delta(target, value)
+    elif op == "+=":
+        db.get_view(target).add_inplace(value)
+    else:
+        db.set_view(target, GMR(dict(value.data)))
 
 
 @dataclass

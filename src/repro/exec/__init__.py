@@ -14,6 +14,7 @@ shared by the CLI, the harness, and the benchmarks.
 """
 
 from repro.exec.backend import (
+    BackendError,
     ExecutionBackend,
     available_backends,
     backend_info,
@@ -27,6 +28,7 @@ from repro.exec.specialized import SpecializedIVMEngine
 import repro.exec.registry  # noqa: F401  (side-effect import)
 
 __all__ = [
+    "BackendError",
     "ExecutionBackend",
     "RecursiveIVMEngine",
     "SpecializedIVMEngine",

@@ -27,6 +27,17 @@ from repro.eval import Database
 from repro.ring import GMR
 
 
+class BackendError(RuntimeError):
+    """An execution backend failed irrecoverably.
+
+    Raised by backends whose execution substrate can fail independently
+    of the maintenance logic — e.g. the process-parallel backend when a
+    worker process dies mid-batch or stops answering.  Callers that host
+    backends (the view service, the harness) can catch this to fail one
+    view without taking down the session.
+    """
+
+
 class ExecutionBackend(abc.ABC):
     """Common surface of every maintenance execution backend."""
 
@@ -83,6 +94,36 @@ class ExecutionBackend(abc.ABC):
             stacklevel=2,
         )
         return self.snapshot()
+
+
+class NativeChangefeed:
+    """Mixin for engines that track their top-level delta natively.
+
+    The recursive engines compute the top-level view's change inside
+    their triggers anyway; this mixin accumulates it so
+    :meth:`last_delta` costs O(|delta|) instead of the base class's
+    snapshot diffing.  The engine calls :meth:`_feed_merge` when a
+    trigger statement ``+=``s into the top view, and
+    :meth:`_feed_replace` (with the view's *current* contents, before
+    the write) when a statement ``:=``-re-evaluates it — the same
+    convention covers warm ``initialize`` loads.
+    """
+
+    def _init_changefeed(self) -> None:
+        self._delta_acc = GMR()
+
+    def _feed_merge(self, value: GMR) -> None:
+        self._delta_acc.add_inplace(value)
+
+    def _feed_replace(self, value: GMR, current: GMR) -> None:
+        self._delta_acc.add_inplace(value - current)
+
+    def last_delta(self) -> GMR:
+        """Native changefeed: the top-level delta the triggers already
+        computed, returned in O(|delta|) — no snapshot diffing."""
+        delta = self._delta_acc
+        self._delta_acc = GMR()
+        return delta
 
 
 #: Factory: ``factory(spec, **options) -> ExecutionBackend``.  Factories

@@ -23,12 +23,12 @@ from __future__ import annotations
 from repro.compiler.ir import TriggerProgram
 from repro.compiler.plancache import compile_program
 from repro.eval import CompiledEvaluator, Database, Evaluator
-from repro.exec.backend import ExecutionBackend
+from repro.exec.backend import ExecutionBackend, NativeChangefeed
 from repro.metrics import Counters
 from repro.ring import GMR
 
 
-class RecursiveIVMEngine(ExecutionBackend):
+class RecursiveIVMEngine(NativeChangefeed, ExecutionBackend):
     """Executes a compiled maintenance program over a stream of batches."""
 
     def __init__(
@@ -53,6 +53,7 @@ class RecursiveIVMEngine(ExecutionBackend):
         else:
             self.plans = None
             self._evaluator = Evaluator(self.db, self.counters)
+        self._init_changefeed()
 
     # ------------------------------------------------------------------
     # Initialization
@@ -64,8 +65,12 @@ class RecursiveIVMEngine(ExecutionBackend):
         warm-starting from a snapshot.
         """
         evaluator = Evaluator(base)
+        top = self.program.top_view
         for info in self.program.views.values():
-            self.db.set_view(info.name, evaluator.evaluate(info.definition))
+            contents = evaluator.evaluate(info.definition)
+            if info.name == top:
+                self._feed_replace(contents, self.db.get_view(top))
+            self.db.set_view(info.name, contents)
 
     # ------------------------------------------------------------------
     # Update processing
@@ -85,6 +90,7 @@ class RecursiveIVMEngine(ExecutionBackend):
         db = self.db
         counters = self.counters
         evaluate = self._evaluator.evaluate
+        top = self.program.top_view
         counters.triggers_fired += 1
         db.set_delta(relation, batch)
         batch_names: list[str] = []
@@ -96,8 +102,12 @@ class RecursiveIVMEngine(ExecutionBackend):
                 db.set_delta(stmt.target, value)
                 batch_names.append(stmt.target)
             elif stmt.op == "+=":
+                if stmt.target == top:
+                    self._feed_merge(value)
                 db.get_view(stmt.target).add_inplace(value)
             else:  # ':=' re-evaluation
+                if stmt.target == top:
+                    self._feed_replace(value, db.get_view(top))
                 db.set_view(stmt.target, value)
         db.deltas.pop(relation, None)
         for name in batch_names:

@@ -15,7 +15,9 @@ Shared factory options (all optional):
   backends; default on, off reproduces the recompute-twice ablation).
 
 Backend-specific options are documented per factory (``n_workers``,
-``cost_model``, ``opt_level``, ``seed`` for ``cluster``).
+``cost_model``, ``opt_level``, ``seed`` for ``cluster``; ``n_workers``,
+``opt_level``, ``reply_timeout_s``, ``start_method`` for
+``multiproc``).
 """
 
 from __future__ import annotations
@@ -116,6 +118,33 @@ def _cluster(
     )
 
 
+def _multiproc(
+    spec,
+    *,
+    counters=None,
+    n_workers: int = 2,
+    opt_level: int = 3,
+    use_compiled: bool = True,
+    reply_timeout_s: float = 120.0,
+    start_method: str | None = None,
+    **_unused,
+):
+    """Real process-parallel execution: the coordinator partitions the
+    database across ``n_workers`` OS processes, each running locally
+    rebuilt compiled pipelines over its hash partition."""
+    from repro.parallel import MultiprocBackend
+
+    return MultiprocBackend(
+        spec,
+        n_workers=n_workers,
+        opt_level=opt_level,
+        use_compiled=use_compiled,
+        counters=counters,
+        reply_timeout_s=reply_timeout_s,
+        start_method=start_method,
+    )
+
+
 def register_builtin_backends() -> None:
     register_backend(
         "rivm-single", _rivm_single,
@@ -140,6 +169,11 @@ def register_builtin_backends() -> None:
     register_backend(
         "cluster", _cluster,
         "simulated synchronous cluster (driver + n_workers workers)",
+    )
+    register_backend(
+        "multiproc", _multiproc,
+        "process-parallel cluster: n_workers OS processes over "
+        "hash-partitioned databases",
     )
 
 

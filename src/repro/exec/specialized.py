@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.compiler.ir import TriggerProgram
 from repro.compiler.plancache import compile_program
 from repro.eval import CompiledEvaluator, Database, Evaluator
-from repro.exec.backend import ExecutionBackend
+from repro.exec.backend import ExecutionBackend, NativeChangefeed
 from repro.metrics import CacheSimulator, Counters
 from repro.ring import GMR
 from repro.storage import RecordPool, build_storage
@@ -45,7 +45,7 @@ class _PoolDatabase(Database):
             self.views[name] = contents
 
 
-class SpecializedIVMEngine(ExecutionBackend):
+class SpecializedIVMEngine(NativeChangefeed, ExecutionBackend):
     """Pool-backed engine with optional cache-trace collection."""
 
     def __init__(
@@ -77,14 +77,17 @@ class SpecializedIVMEngine(ExecutionBackend):
         else:
             self.plans = None
             self._evaluator = Evaluator(self.db, self.counters)
+        self._init_changefeed()
 
     # ------------------------------------------------------------------
     def initialize(self, base: Database) -> None:
         evaluator = Evaluator(base)
+        top = self.program.top_view
         for info in self.program.views.values():
-            self.pools[info.name].replace_contents(
-                evaluator.evaluate(info.definition)
-            )
+            contents = evaluator.evaluate(info.definition)
+            if info.name == top:
+                self._feed_replace(contents, GMR(self.pools[top].data))
+            self.pools[info.name].replace_contents(contents)
 
     def on_batch(self, relation: str, batch: GMR) -> None:
         trigger = self.program.triggers.get(relation)
@@ -100,6 +103,7 @@ class SpecializedIVMEngine(ExecutionBackend):
         db = self.db
         counters = self.counters
         evaluate = self._evaluator.evaluate
+        top = self.program.top_view
         counters.triggers_fired += 1
         db.set_delta(relation, batch)
         batch_names: list[str] = []
@@ -111,8 +115,12 @@ class SpecializedIVMEngine(ExecutionBackend):
                 db.set_delta(stmt.target, value)
                 batch_names.append(stmt.target)
             elif stmt.op == "+=":
+                if stmt.target == top:
+                    self._feed_merge(value)
                 self.pools[stmt.target].add_inplace(value)
             else:
+                if stmt.target == top:
+                    self._feed_replace(value, GMR(self.pools[top].data))
                 self.pools[stmt.target].replace_contents(value)
         db.deltas.pop(relation, None)
         for name in batch_names:

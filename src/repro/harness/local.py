@@ -47,6 +47,7 @@ def measure_throughput(
     max_batches: int | None = None,
     warm_fraction: float = 0.0,
     use_compiled: bool = True,
+    **backend_options,
 ) -> LocalResult:
     """Measure one strategy at one batch size.
 
@@ -57,13 +58,17 @@ def measure_throughput(
     (the late-stream regime; see ``prepare_stream``).
     ``use_compiled=False`` selects the interpreted evaluator instead of
     compile-once pipelines (the lowering ablation).
+    ``backend_options`` reach the backend factory unchanged
+    (``n_workers=`` for the cluster/multiproc backends).
     """
     prepared = prepare_stream(
         spec, batch_size if batch_size is not None else 100,
         workload=workload, sf=sf, seed=seed,
         max_batches=max_batches, warm_fraction=warm_fraction,
     )
-    outcome = run_engine(prepared, strategy, use_compiled=use_compiled)
+    outcome = run_engine(
+        prepared, strategy, use_compiled=use_compiled, **backend_options
+    )
     return LocalResult(
         query=spec.name,
         strategy=strategy,

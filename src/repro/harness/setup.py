@@ -155,6 +155,7 @@ def run_engine(
     strategy: str,
     cache_sim: CacheSimulator | None = None,
     use_compiled: bool = True,
+    **backend_options,
 ) -> RunOutcome:
     """Time one engine over the prepared stream.
 
@@ -165,6 +166,8 @@ def run_engine(
     views.  Initialization (loading static tables into the engine's
     views) is excluded from the measured window, matching the paper's
     "not counting loading of streams into memory" protocol.
+    ``backend_options`` are forwarded to the backend factory
+    (``n_workers=`` for the cluster and multiproc backends, etc.).
     """
     from repro.service import ViewService
 
@@ -180,6 +183,7 @@ def run_engine(
         counters=counters,
         cache_sim=cache_sim,
         use_compiled=use_compiled,
+        **backend_options,
     )
 
     start = time.perf_counter()

@@ -1,0 +1,21 @@
+"""Process-parallel execution: real multiprocessing workers.
+
+The scale-out backend the ROADMAP promised: a coordinator process
+partitions base relations with the distributed compiler's hash/
+co-partitioning tags, spawns N OS worker processes that each rebuild
+the compiled pipelines locally from a picklable
+:class:`~repro.parallel.protocol.WorkerTask`, routes every update
+batch's blocks to the workers, and merges worker snapshots.  Registered
+in the backend registry as ``multiproc``;
+:class:`~repro.distributed.SimulatedCluster` is its semantic oracle.
+"""
+
+from repro.parallel.coordinator import MultiprocBackend, WorkerHandle
+from repro.parallel.protocol import WorkerTask, program_fingerprint
+
+__all__ = [
+    "MultiprocBackend",
+    "WorkerHandle",
+    "WorkerTask",
+    "program_fingerprint",
+]

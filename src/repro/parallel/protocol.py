@@ -1,0 +1,76 @@
+"""The coordinator/worker wire protocol of the process-parallel backend.
+
+Everything that crosses a pipe is a plain picklable value: query specs,
+GMRs, and small command tuples.  Compiled closure pipelines never
+travel — each worker rebuilds them locally from the
+:class:`WorkerTask` it receives at startup (see ARCHITECTURE.md,
+"Process-parallel backend").
+
+Commands (coordinator -> worker).  Only ``block``, ``read``, ``view``,
+``sync``, and ``stop`` answer with exactly one reply; the pure writes
+(``install``, ``delta``, ``store``, ``clear``) are silent, which is
+what lets the coordinator pipeline a batch of commands and drain
+replies only at data dependencies:
+
+``("install", name, gmr)``
+    Install one partition of a materialized view (initialization).
+``("delta", relation, gmr)``
+    Stage this worker's share of an update batch.
+``("block", relation, block_index)``
+    Execute one distributed block of ``relation``'s trigger against the
+    worker's partitions; the reply carries the worker's per-block
+    operation counters.
+``("read", name, is_delta)``
+    Return the worker's partition of a view or staged delta (the data
+    half of a Repart/Gather).
+``("store", target, op, scope, gmr)``
+    Install moved contents under statement-store semantics (the data
+    half of a Scatter/Repart).
+``("view", name)``
+    Return the worker's partition of a materialized view (snapshots).
+``("clear",)``
+    Drop staged deltas at the end of a batch.
+``("stop",)``
+    Acknowledge and exit the worker loop.
+
+Replies are ``("ok", payload)`` or ``("err", formatted_traceback)``;
+the coordinator converts ``err`` replies — and silence past a deadline
+— into :class:`~repro.exec.BackendError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.workloads.spec import QuerySpec
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything a worker needs to rebuild its execution state.
+
+    The task is the *only* startup payload: the worker re-runs the
+    distributed compiler on ``spec`` (deterministic, so every process
+    derives the identical block structure) and lowers its own compiled
+    pipelines.  ``fingerprint`` is the coordinator's program digest; a
+    worker that compiles a different program refuses to serve rather
+    than silently diverge.
+    """
+
+    spec: QuerySpec
+    opt_level: int
+    n_workers: int
+    index: int
+    use_compiled: bool
+    fingerprint: str
+
+
+def program_fingerprint(program) -> str:
+    """Digest of a distributed program's full structure.
+
+    ``describe()`` covers partitioning tags, trigger statements, and
+    fused block boundaries — everything the coordinator and the workers
+    must agree on for block indices to mean the same thing everywhere.
+    """
+    return hashlib.sha256(program.describe().encode()).hexdigest()

@@ -1,0 +1,202 @@
+"""The process-parallel backend: real workers, simulated-cluster oracle.
+
+The `multiproc` backend executes the same DistributedProgram as
+SimulatedCluster, so the cluster is its semantic oracle: any stream —
+including one mixing insertions and deletions — must leave both with
+identical snapshots.  The suite also covers the failure contract
+(worker death raises BackendError instead of hanging), lifecycle, and
+composition with the ViewService.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.exec import BackendError, create_backend
+from repro.query import join, rel, sum_over
+from repro.ring import GMR
+from repro.service import ViewService
+from repro.workloads import MICRO_QUERIES
+from repro.workloads.spec import QuerySpec
+
+Q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+
+SPEC = QuerySpec(
+    name="mp_q",
+    query=Q,
+    updatable=frozenset({"R", "S"}),
+    key_hints={"R": ("A",), "S": ("B",)},
+)
+
+
+def _mixed_stream(spec: QuerySpec, seed: int = 7, n_batches: int = 8):
+    """A deterministic insert+delete stream over the spec's relations."""
+    import random
+
+    rng = random.Random(seed)
+    rels = sorted(spec.updatable)
+    batches = []
+    for i in range(n_batches):
+        relation = rels[i % len(rels)]
+        pairs = [
+            ((rng.randrange(6), rng.randrange(6)), 1)
+            for _ in range(10)
+        ]
+        # Mix deletions in after the stream has built some state.
+        if i >= len(rels):
+            pairs.extend(
+                ((rng.randrange(6), rng.randrange(6)), -1) for _ in range(4)
+            )
+        batch = GMR.from_pairs(pairs)
+        if not batch.is_zero():
+            batches.append((relation, batch))
+    return batches
+
+
+@pytest.mark.parametrize("workload", ["M1", "M2", "M3"])
+def test_differential_against_simulated_cluster(workload):
+    """Same insert+delete stream -> identical snapshots, batch by batch."""
+    spec = MICRO_QUERIES[workload]
+    oracle = create_backend("cluster", spec, n_workers=3)
+    backend = create_backend("multiproc", spec, n_workers=3)
+    try:
+        for relation, batch in _mixed_stream(spec):
+            oracle.on_batch(relation, batch)
+            backend.on_batch(relation, batch)
+            assert backend.snapshot() == oracle.snapshot(), (
+                f"{workload} diverged from the simulated cluster after a "
+                f"batch on {relation}"
+            )
+    finally:
+        backend.close()
+
+
+def test_tracks_reference_with_deletions():
+    backend = create_backend("multiproc", SPEC, n_workers=2)
+    try:
+        reference = Database()
+        for relation, batch in _mixed_stream(SPEC):
+            backend.on_batch(relation, batch)
+            reference.apply_update(relation, batch)
+            assert backend.snapshot() == evaluate(Q, reference)
+    finally:
+        backend.close()
+
+
+def test_worker_count_and_metrics():
+    backend = create_backend("multiproc", SPEC, n_workers=3)
+    try:
+        assert backend.n_workers == 3
+        assert len(backend._handles) == 3
+        for relation, batch in _mixed_stream(SPEC, n_batches=4):
+            backend.on_batch(relation, batch)
+        m = backend.metrics
+        assert m.batches == len(m.wall_s) == len(m.scaleout_s) > 0
+        assert all(s <= w + 1e-9 for s, w in zip(m.scaleout_s, m.wall_s))
+        assert m.balance() >= 1.0
+    finally:
+        backend.close()
+
+
+def test_initialize_installs_partitions():
+    base = Database()
+    base.insert_rows("R", [(1, 10), (2, 20), (3, 10)])
+    base.insert_rows("S", [(10, 5), (20, 6)])
+    backend = create_backend("multiproc", SPEC, n_workers=2)
+    try:
+        backend.initialize(base)
+        assert backend.snapshot() == evaluate(Q, base)
+        batch = GMR({(5, 20): 1, (1, 10): -1})
+        backend.on_batch("R", batch)
+        base.apply_update("R", batch)
+        assert backend.snapshot() == evaluate(Q, base)
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Failure contract
+# ----------------------------------------------------------------------
+def test_worker_crash_raises_backend_error_not_hang():
+    """A worker dying mid-stream surfaces as a clear BackendError."""
+    backend = create_backend(
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0
+    )
+    try:
+        backend.on_batch("R", GMR({(1, 10): 1}))
+        victim = backend._handles[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5.0)
+        with pytest.raises(BackendError, match="worker 0"):
+            # The batch may fail at send (broken pipe) or at the reply
+            # wait (liveness poll); both must diagnose the dead worker.
+            for _ in range(3):
+                backend.on_batch("S", GMR({(10, 5): 1}))
+    finally:
+        backend.close()
+
+
+def test_failed_backend_refuses_further_use():
+    backend = create_backend(
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0
+    )
+    try:
+        os.kill(backend._handles[1].process.pid, signal.SIGKILL)
+        backend._handles[1].process.join(5.0)
+        with pytest.raises(BackendError):
+            for _ in range(3):
+                backend.on_batch("R", GMR({(1, 10): 1}))
+        with pytest.raises(BackendError, match="already failed"):
+            backend.on_batch("R", GMR({(2, 20): 1}))
+    finally:
+        backend.close()
+
+
+def test_close_then_use_raises():
+    backend = create_backend("multiproc", SPEC, n_workers=2)
+    backend.on_batch("R", GMR({(1, 10): 1}))
+    backend.close()
+    backend.close()  # idempotent
+    with pytest.raises(BackendError, match="closed"):
+        backend.on_batch("R", GMR({(2, 20): 1}))
+    for h in backend._handles:
+        h.process.join(5.0)
+        assert not h.process.is_alive()
+
+
+def test_context_manager_stops_workers():
+    with create_backend("multiproc", SPEC, n_workers=2) as backend:
+        backend.on_batch("R", GMR({(1, 10): 1}))
+        handles = backend._handles
+    for h in handles:
+        h.process.join(5.0)
+        assert not h.process.is_alive()
+
+
+def test_unknown_relation_raises_keyerror():
+    with create_backend("multiproc", SPEC, n_workers=2) as backend:
+        with pytest.raises(KeyError, match="NOPE"):
+            backend.on_batch("NOPE", GMR({(1,): 1}))
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+def test_multiproc_view_in_service():
+    """The backend composes with ViewService sessions + changefeeds."""
+    service = ViewService(catalog={"R": ("A", "B"), "S": ("B", "C")})
+    service.create_view("par", SPEC, backend="multiproc", n_workers=2)
+    service.create_view("ref", SPEC, backend="rivm-batch")
+    acc = GMR()
+    service.subscribe("par", lambda event: acc.add_inplace(event.delta))
+    try:
+        for relation, batch in _mixed_stream(SPEC, n_batches=6):
+            service.on_batch(relation, batch)
+            assert service.snapshot("par") == service.snapshot("ref")
+        assert acc == service.snapshot("par")
+    finally:
+        service.view("par").backend.close()

@@ -1,0 +1,105 @@
+"""Native changefeeds: last_delta() without snapshot materialization.
+
+The recursive engines compute the top-level delta inside their triggers
+anyway; ``last_delta()`` must surface exactly that accumulation —
+O(|delta|) per call — instead of the base-class default that diffs two
+full snapshot copies (O(|view|) per batch).  The hot-path test poisons
+``snapshot()`` outright: a native changefeed never needs it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.exec import create_backend
+from repro.ring import GMR
+from repro.workloads import MICRO_QUERIES
+
+NATIVE_BACKENDS = ("rivm-single", "rivm-batch", "rivm-specialized")
+
+
+def _stream(spec, seed=3, n_batches=6):
+    rng = random.Random(seed)
+    rels = sorted(spec.updatable)
+    out = []
+    for i in range(n_batches):
+        pairs = [
+            ((rng.randrange(5), rng.randrange(5)), rng.choice((1, 1, -1)))
+            for _ in range(8)
+        ]
+        batch = GMR.from_pairs(pairs)
+        if not batch.is_zero():
+            out.append((rels[i % len(rels)], batch))
+    return out
+
+
+@pytest.mark.parametrize("backend_name", NATIVE_BACKENDS)
+@pytest.mark.parametrize("query", ["M1", "M2", "M3", "M4"])
+def test_native_delta_accumulates_to_view(backend_name, query):
+    """Per-batch native deltas sum to the maintained view — including
+    M4, whose top view is maintained by ':=' re-evaluation."""
+    spec = MICRO_QUERIES[query]
+    backend = create_backend(backend_name, spec)
+    reference = Database()
+    acc = GMR()
+    for relation, batch in _stream(spec):
+        backend.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+        acc.add_inplace(backend.last_delta())
+        assert acc == evaluate(spec.query, reference)
+    assert acc == backend.snapshot()
+
+
+@pytest.mark.parametrize("backend_name", NATIVE_BACKENDS)
+def test_no_snapshot_materialization_on_hot_path(backend_name, monkeypatch):
+    """The changefeed must not touch snapshot() or the base-class
+    snapshot-diff state: poison snapshot and stream through."""
+    spec = MICRO_QUERIES["M1"]
+    backend = create_backend(backend_name, spec)
+
+    def poisoned():
+        raise AssertionError(
+            "last_delta() materialized a full snapshot on the hot path"
+        )
+
+    monkeypatch.setattr(backend, "snapshot", poisoned)
+    reference = Database()
+    acc = GMR()
+    for relation, batch in _stream(spec):
+        backend.on_batch(relation, batch)
+        reference.apply_update(relation, batch)
+        acc.add_inplace(backend.last_delta())
+    assert acc == evaluate(spec.query, reference)
+    # The base-class fallback stashes a full snapshot copy per call
+    # under _changefeed_prev; a native feed never creates it.
+    assert not hasattr(backend, "_changefeed_prev")
+
+
+@pytest.mark.parametrize("backend_name", NATIVE_BACKENDS)
+def test_changefeed_coalesces_and_empties(backend_name):
+    spec = MICRO_QUERIES["M1"]
+    backend = create_backend(backend_name, spec)
+    for relation, batch in _stream(spec, n_batches=4):
+        backend.on_batch(relation, batch)
+    # One call covers everything since the stream started...
+    assert backend.last_delta() == backend.snapshot()
+    # ...and nothing new processed means an empty delta.
+    assert backend.last_delta().is_zero()
+
+
+@pytest.mark.parametrize("backend_name", NATIVE_BACKENDS)
+def test_initialize_feeds_the_changefeed(backend_name):
+    """Warm starts flow through the changefeed as the initial delta."""
+    spec = MICRO_QUERIES["M1"]
+    base = Database()
+    base.insert_rows("R", [(1, 2), (2, 3)])
+    base.insert_rows("S", [(2, 4)])
+    base.insert_rows("T", [(4, 9)])
+    backend = create_backend(backend_name, spec)
+    backend.initialize(base)
+    assert backend.last_delta() == backend.snapshot() == evaluate(
+        spec.query, base
+    )

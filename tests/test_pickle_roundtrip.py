@@ -1,0 +1,99 @@
+"""Pickle round-trips for everything the multiproc workers ship.
+
+The process-parallel backend sends query specs and plan descriptions
+over pipes and rebuilds compiled pipelines on the far side, so every
+spec, expression, distributed program, and partitioning plan must
+survive ``pickle`` unchanged — no lambdas or closures anywhere in the
+serializable surface.  These are regression tests: a workload helper
+that grows a closure breaks the parallel backend at a distance.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.compiler import compile_query
+from repro.distributed import compile_distributed
+from repro.distributed.partitioning import candidate_partitionings
+from repro.parallel import WorkerTask, program_fingerprint
+from repro.ring import GMR
+from repro.workloads import MICRO_QUERIES, TPCDS_QUERIES, TPCH_QUERIES
+
+ALL_SPECS = [
+    (family, name, queries[name])
+    for family, queries in (
+        ("micro", MICRO_QUERIES),
+        ("tpch", TPCH_QUERIES),
+        ("tpcds", TPCDS_QUERIES),
+    )
+    for name in sorted(queries)
+]
+
+
+@pytest.mark.parametrize(
+    "family,name,spec", ALL_SPECS, ids=[f"{f}-{n}" for f, n, _ in ALL_SPECS]
+)
+def test_query_spec_roundtrips(family, name, spec):
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.name == spec.name
+    assert clone.query == spec.query  # Exprs are frozen dataclasses
+    assert clone.updatable == spec.updatable
+    assert clone.key_hints == spec.key_hints
+
+
+@pytest.mark.parametrize("name", ["M1", "M2", "Q1", "Q3", "Q6"])
+def test_distributed_program_roundtrips(name):
+    """The whole compiled distributed program (tags, triggers, fused
+    blocks) must pickle and keep an identical structure fingerprint —
+    the property the worker handshake verifies at startup."""
+    spec = (MICRO_QUERIES | TPCH_QUERIES)[name]
+    dprog = compile_distributed(
+        spec.query,
+        name=spec.name,
+        key_hints=spec.key_hints,
+        updatable=spec.updatable,
+    )
+    clone = pickle.loads(pickle.dumps(dprog))
+    assert clone.describe() == dprog.describe()
+    assert program_fingerprint(clone) == program_fingerprint(dprog)
+    assert clone.top_view == dprog.top_view
+
+
+def test_partitioning_candidates_roundtrip():
+    spec = MICRO_QUERIES["M1"]
+    program = compile_query(spec.query, spec.name, updatable=spec.updatable)
+    for cand in candidate_partitionings(program, spec.key_hints):
+        clone = pickle.loads(pickle.dumps(cand))
+        assert clone.name == cand.name
+        assert clone.tags == cand.tags
+
+
+def test_worker_task_roundtrips():
+    spec = MICRO_QUERIES["M1"]
+    task = WorkerTask(
+        spec=spec,
+        opt_level=3,
+        n_workers=4,
+        index=2,
+        use_compiled=True,
+        fingerprint="abc123",
+    )
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone == WorkerTask(
+        spec=clone.spec,
+        opt_level=3,
+        n_workers=4,
+        index=2,
+        use_compiled=True,
+        fingerprint="abc123",
+    )
+    assert clone.spec.query == spec.query
+
+
+def test_gmr_roundtrips_including_negative_multiplicities():
+    g = GMR({(1, "x"): 2, (3, "y"): -1, (0.5, "z"): 1.25})
+    clone = pickle.loads(pickle.dumps(g))
+    assert clone == g
+    assert clone.data == g.data
