@@ -103,6 +103,10 @@ def cmd_list_backends(_args) -> int:
         for name in available_backends()
     ]
     print(format_table(("backend", "description"), rows))
+    print(
+        "\nany backend can be wrapped as async:<backend> — bounded-queue "
+        "ingestion with a batcher thread (see 'run --async')"
+    )
     return 0
 
 
@@ -110,7 +114,7 @@ def _resolve_backend(args, default: str = "rivm-batch") -> str:
     """``--backend`` with ``--strategy`` as a deprecated hidden alias."""
     import warnings
 
-    from repro.exec import available_backends
+    from repro.exec import available_backends, is_registered
 
     backend = args.backend
     if getattr(args, "strategy", None):
@@ -126,12 +130,60 @@ def _resolve_backend(args, default: str = "rivm-batch") -> str:
         if backend is None:
             backend = args.strategy
     backend = backend or default
-    if backend not in available_backends():
+    if not is_registered(backend):
         raise SystemExit(
             f"unknown backend {backend!r}; choose one of: "
             + ", ".join(available_backends())
+            + " (each also available as async:<backend>)"
         )
     return backend
+
+
+def _async_options(args, implied: bool = False) -> dict | None:
+    """The ingestion-layer options of ``--async``, or ``None`` when
+    async ingestion was not requested (rejecting stray async knobs).
+
+    ``implied`` marks an explicitly async backend name
+    (``--backend async:rivm-batch``): the knobs then apply without
+    requiring a redundant ``--async``.
+    """
+    opts = {}
+    if args.policy is not None:
+        opts["policy"] = args.policy
+    if args.max_batch is not None:
+        opts["max_batch"] = args.max_batch
+    if args.max_delay is not None:
+        opts["max_delay_s"] = args.max_delay
+    if not args.async_ingest and not implied:
+        if opts:
+            raise SystemExit(
+                "--policy/--max-batch/--max-delay configure the async "
+                "ingestion layer; add --async to enable it"
+            )
+        return None
+    return opts
+
+
+def _add_async_arguments(p) -> None:
+    p.add_argument(
+        "--async", dest="async_ingest", action="store_true",
+        help="wrap the backend(s) in the async ingestion layer "
+             "(bounded queue + batcher thread; backend becomes "
+             "async:<backend>)",
+    )
+    p.add_argument(
+        "--policy", default=None, choices=["fixed", "delay", "adaptive"],
+        help="async batching policy (requires --async; default fixed)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=None,
+        help="async flush-size target in tuples (requires --async)",
+    )
+    p.add_argument(
+        "--max-delay", type=float, default=None,
+        help="async max seconds a queued update may wait before its "
+             "flush (requires --async; delay/adaptive policies)",
+    )
 
 
 def cmd_run(args) -> int:
@@ -143,6 +195,11 @@ def cmd_run(args) -> int:
     backend_options = {}
     if args.workers is not None:
         backend_options["n_workers"] = args.workers
+    async_opts = _async_options(args, implied=backend.startswith("async:"))
+    if async_opts is not None:
+        if not backend.startswith("async:"):
+            backend = f"async:{backend}"
+        backend_options.update(async_opts)
     result = measure_throughput(
         spec,
         backend,
@@ -172,39 +229,59 @@ def cmd_run(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.exec import available_backends
+    from repro.exec import available_backends, is_registered
     from repro.harness import ViewDef, measure_service_throughput
 
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     if not backends:
         raise SystemExit("--backends needs at least one backend name")
     for b in backends:
-        if b not in available_backends():
+        if not is_registered(b):
             raise SystemExit(
                 f"unknown backend {b!r}; choose from: "
                 + ", ".join(available_backends())
+                + " (each also available as async:<backend>)"
             )
 
     defs: list[ViewDef] = []
     view_options = (
         {"n_workers": args.workers} if args.workers is not None else {}
     )
+    # --async wraps every backend in the round-robin list; without it,
+    # explicitly named async:<backend> entries still imply the knobs —
+    # applied only to those views, so a mixed list keeps its
+    # synchronous backends synchronous.
+    async_opts = _async_options(
+        args, implied=any(b.startswith("async:") for b in backends)
+    )
+    if args.async_ingest:
+        backends = [
+            b if b.startswith("async:") else f"async:{b}" for b in backends
+        ]
 
     def next_backend() -> str:
         return backends[len(defs) % len(backends)]
+
+    def options_for(backend_name: str) -> dict:
+        options = dict(view_options)
+        if async_opts and backend_name.startswith("async:"):
+            options.update(async_opts)
+        return options
 
     for name in args.views:
         spec = _find_workload_query(name, prefer=args.workload)
         if spec is None:
             raise SystemExit(f"unknown query {name!r}; see 'list-queries'")
-        defs.append(ViewDef(name, spec, next_backend(), dict(view_options)))
+        backend = next_backend()
+        defs.append(ViewDef(name, spec, backend, options_for(backend)))
     for item in args.sql:
         view_name, sep, sql = item.partition("=")
         if not sep or not view_name or not sql:
             raise SystemExit(
                 f"--sql expects NAME=SELECT ..., got {item!r}"
             )
-        defs.append(ViewDef(view_name, sql, next_backend(), dict(view_options)))
+        backend = next_backend()
+        defs.append(ViewDef(view_name, sql, backend, options_for(backend)))
     if not defs:
         raise SystemExit("serve needs at least one view (names or --sql)")
     seen: set[str] = set()
@@ -348,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of compile-once pipelines")
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for the cluster/multiproc backends")
+    _add_async_arguments(p)
     p.add_argument("--batch-size", type=int, default=100,
                    help="0 = single-tuple execution")
     p.add_argument("--workload", default="tpch",
@@ -375,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for cluster/multiproc-backed views")
+    _add_async_arguments(p)
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])

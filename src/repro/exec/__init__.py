@@ -14,11 +14,13 @@ shared by the CLI, the harness, and the benchmarks.
 """
 
 from repro.exec.backend import (
+    ASYNC_PREFIX,
     BackendError,
     ExecutionBackend,
     available_backends,
     backend_info,
     create_backend,
+    is_registered,
     register_backend,
 )
 from repro.exec.engine import RecursiveIVMEngine
@@ -28,6 +30,7 @@ from repro.exec.specialized import SpecializedIVMEngine
 import repro.exec.registry  # noqa: F401  (side-effect import)
 
 __all__ = [
+    "ASYNC_PREFIX",
     "BackendError",
     "ExecutionBackend",
     "RecursiveIVMEngine",
@@ -35,5 +38,6 @@ __all__ = [
     "available_backends",
     "backend_info",
     "create_backend",
+    "is_registered",
     "register_backend",
 ]

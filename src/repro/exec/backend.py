@@ -142,6 +142,11 @@ class BackendInfo:
 
 _REGISTRY: dict[str, BackendInfo] = {}
 
+#: prefix selecting the async ingestion wrapper: ``async:<backend>``
+#: resolves for every registered backend (bounded ingest queue +
+#: batcher thread in front of the inner backend's ``on_batch``)
+ASYNC_PREFIX = "async:"
+
 
 def register_backend(
     name: str, factory: BackendFactory, description: str = ""
@@ -155,14 +160,44 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a backend.
+
+    True for explicitly registered names and for ``async:<inner>``
+    wrapper names whose inner backend is registered (double wrapping is
+    not a thing: the wrapper already serializes one queue per view).
+    """
+    if name in _REGISTRY:
+        return True
+    if name.startswith(ASYNC_PREFIX):
+        inner = name[len(ASYNC_PREFIX):]
+        return not inner.startswith(ASYNC_PREFIX) and inner in _REGISTRY
+    return False
+
+
 def backend_info(name: str) -> BackendInfo:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY)) or "<none>"
-        raise KeyError(
-            f"unknown backend {name!r}; registered backends: {known}"
-        ) from None
+        pass
+    if name.startswith(ASYNC_PREFIX):
+        inner = name[len(ASYNC_PREFIX):]
+        if not inner.startswith(ASYNC_PREFIX) and inner in _REGISTRY:
+            # Synthesized on demand so async:<x> works for any
+            # registered backend, including ones added at runtime.
+            from repro.ingest import make_async_factory
+
+            return BackendInfo(
+                name,
+                make_async_factory(inner),
+                f"async ingestion (bounded queue + batcher thread) "
+                f"over {inner!r}",
+            )
+    known = ", ".join(sorted(_REGISTRY)) or "<none>"
+    raise KeyError(
+        f"unknown backend {name!r}; registered backends: {known} "
+        "(each also available wrapped as 'async:<backend>')"
+    ) from None
 
 
 def create_backend(

@@ -17,7 +17,11 @@ Shared factory options (all optional):
 Backend-specific options are documented per factory (``n_workers``,
 ``cost_model``, ``opt_level``, ``seed`` for ``cluster``; ``n_workers``,
 ``opt_level``, ``reply_timeout_s``, ``start_method`` for
-``multiproc``).
+``multiproc``).  ``async:<backend>`` names additionally accept the
+ingestion-layer knobs (``policy``, ``max_batch``, ``max_delay_s``,
+``queue_capacity``, ``admission``, ...; see
+:data:`repro.ingest.ASYNC_OPTION_NAMES`) and forward the rest to the
+inner backend's factory.
 """
 
 from __future__ import annotations
@@ -145,6 +149,16 @@ def _multiproc(
     )
 
 
+def _async_rivm_batch(spec, **options):
+    """``async:rivm-batch`` — registered explicitly so one wrapper
+    configuration is part of the visible catalog (and of every
+    registry-wide invariant test); all other ``async:<backend>`` names
+    resolve dynamically in :func:`repro.exec.backend_info`."""
+    from repro.ingest import make_async_factory
+
+    return make_async_factory("rivm-batch")(spec, **options)
+
+
 def register_builtin_backends() -> None:
     register_backend(
         "rivm-single", _rivm_single,
@@ -174,6 +188,11 @@ def register_builtin_backends() -> None:
         "multiproc", _multiproc,
         "process-parallel cluster: n_workers OS processes over "
         "hash-partitioned databases",
+    )
+    register_backend(
+        "async:rivm-batch", _async_rivm_batch,
+        "async ingestion (bounded queue + batcher thread) over "
+        "rivm-batch; any backend can be wrapped as async:<backend>",
     )
 
 

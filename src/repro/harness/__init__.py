@@ -15,6 +15,8 @@ produces the same rows/series the paper reports:
 * :mod:`repro.harness.service` — multi-view serving runs (N concurrent
   views on one :class:`~repro.service.ViewService` over a shared
   stream);
+* :mod:`repro.harness.ingest` — async-ingestion runs (ingestion vs
+  maintenance latency through the ``async:<backend>`` wrappers);
 * :mod:`repro.harness.report` — plain-text table/series rendering.
 
 The ``benchmarks/`` directory contains one pytest-benchmark target per
@@ -50,6 +52,7 @@ from repro.harness.ablation import (
     preaggregation_ablation,
     specialization_ablation,
 )
+from repro.harness.ingest import IngestionResult, measure_ingestion
 from repro.harness.report import format_series, format_table
 from repro.harness.service import (
     ServiceResult,
@@ -85,4 +88,6 @@ __all__ = [
     "ViewStats",
     "ServiceResult",
     "measure_service_throughput",
+    "IngestionResult",
+    "measure_ingestion",
 ]

@@ -144,26 +144,39 @@ def measure_service_throughput(
         for d in defs:
             service.subscribe(d.name, lambda event: None)
 
-    routed_tuples = 0
-    start = time.perf_counter()
-    for relation, batch, size in batches:
-        touched = service.on_batch(relation, batch)
-        routed_tuples += len(touched) * size
-    elapsed = time.perf_counter() - start
+    try:
+        routed_tuples = 0
+        start = time.perf_counter()
+        for relation, batch, size in batches:
+            touched = service.on_batch(relation, batch)
+            routed_tuples += len(touched) * size
+        # Async-ingesting views only enqueued; the drain barrier (no-op
+        # for synchronous views) keeps the measured window end-to-end.
+        service.drain()
+        elapsed = time.perf_counter() - start
 
-    fed = {rel for rel, rows in streamed_rows.items() if rows}
-    stats = [
-        ViewStats(
-            name=d.name,
-            backend=d.backend,
-            streamed=tuple(sorted(service.view(d.name).relations)),
-            batches_applied=service.view(d.name).batches_applied,
-            deltas_delivered=service.view(d.name).deltas_delivered,
-            snapshot_tuples=len(service.snapshot(d.name)),
-            starved=not (service.view(d.name).relations & fed),
-        )
-        for d in defs
-    ]
+        fed = {rel for rel, rows in streamed_rows.items() if rows}
+        stats = [
+            ViewStats(
+                name=d.name,
+                backend=d.backend,
+                streamed=tuple(sorted(service.view(d.name).relations)),
+                batches_applied=service.view(d.name).batches_applied,
+                deltas_delivered=service.view(d.name).deltas_delivered,
+                snapshot_tuples=len(service.snapshot(d.name)),
+                starved=not (service.view(d.name).relations & fed),
+            )
+            for d in defs
+        ]
+    finally:
+        # Dropping the views closes async backends' batcher threads —
+        # also on the error path, so a failed run cannot leak pollers
+        # into later measurements.
+        for d in defs:
+            try:
+                service.drop_view(d.name)
+            except Exception:
+                pass
     return ServiceResult(
         views=stats,
         n_tuples=n_tuples,

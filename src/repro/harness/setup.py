@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.eval import Database
-from repro.exec import available_backends, create_backend
+from repro.exec import create_backend, is_registered
 from repro.metrics import CacheSimulator, Counters
 from repro.ring import GMR
 from repro.workloads import QuerySpec, generate_workload, stream_batches
@@ -112,7 +112,7 @@ def make_engine(
     lookup.  ``use_compiled=False`` routes statements through the
     interpreted reference evaluator instead of compile-once pipelines.
     """
-    if strategy not in available_backends():
+    if not is_registered(strategy):
         raise ValueError(f"unknown strategy {strategy!r}")
     return create_backend(
         strategy,
@@ -186,15 +186,29 @@ def run_engine(
         **backend_options,
     )
 
-    start = time.perf_counter()
-    for relation, batch in prepared.batches:
-        service.on_batch(relation, batch)
-    elapsed = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        for relation, batch in prepared.batches:
+            service.on_batch(relation, batch)
+        # Async-ingesting backends only enqueued: the drain barrier (a
+        # no-op for synchronous backends) keeps the measured window
+        # end-to-end — enqueue-only timing would overstate throughput.
+        service.drain()
+        elapsed = time.perf_counter() - start
 
-    return RunOutcome(
-        strategy=strategy,
-        elapsed_s=elapsed,
-        n_tuples=prepared.n_tuples,
-        virtual_instructions=counters.virtual_instructions(),
-        result=service.snapshot(prepared.spec.name),
-    )
+        outcome = RunOutcome(
+            strategy=strategy,
+            elapsed_s=elapsed,
+            n_tuples=prepared.n_tuples,
+            virtual_instructions=counters.virtual_instructions(),
+            result=service.snapshot(prepared.spec.name),
+        )
+    finally:
+        # Dropping the view closes an async backend's batcher thread —
+        # also on the error path, or a failed run in a sweep would
+        # leak pollers into every later measurement.
+        try:
+            service.drop_view(prepared.spec.name)
+        except Exception:
+            pass
+    return outcome

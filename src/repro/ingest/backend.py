@@ -1,0 +1,245 @@
+"""The async ingestion wrapper backend (``async:<inner>``).
+
+:class:`AsyncIngestBackend` decouples stream arrival from trigger
+execution for *any* registered :class:`~repro.exec.ExecutionBackend`:
+``on_batch`` admits the update into a bounded :class:`IngestQueue` and
+returns (ingestion latency), while the :class:`Batcher` thread
+coalesces queued updates per the batching policy and runs the inner
+backend's triggers (maintenance latency).  The two latencies — the
+quantity the paper's batch-size sweeps trade against each other — are
+recorded separately in :class:`~repro.metrics.IngestMetrics`.
+
+Read consistency: ``snapshot()`` and ``last_delta()`` first
+:meth:`drain` (a barrier: every admitted update is flushed), so reads
+observe exactly what was ingested — which is also what makes the
+wrapper pass the same differential tests as its inner backend.  The
+barrier is bounded by ``drain_timeout_s``; a wedged batcher surfaces as
+:class:`~repro.exec.BackendError`, never a deadlock.
+
+Failure contract: an exception from the inner backend poisons the
+wrapper — every subsequent call raises ``BackendError`` carrying the
+original failure (mirroring the multiproc coordinator's poisoning).
+A full queue under ``block`` admission instead raises the *transient*
+:class:`~repro.ingest.queue.IngestOverflow` and does not poison.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+from repro.eval import Database
+from repro.exec.backend import BackendError, ExecutionBackend, backend_info
+from repro.ingest.batcher import Batcher
+from repro.ingest.policy import make_policy
+from repro.ingest.queue import IngestQueue
+from repro.metrics import IngestMetrics
+from repro.ring import GMR
+
+__all__ = ["ASYNC_OPTION_NAMES", "AsyncIngestBackend", "make_async_factory"]
+
+#: factory options consumed by the wrapper; everything else is passed
+#: through to the inner backend's factory
+ASYNC_OPTION_NAMES = frozenset(
+    {
+        "policy",
+        "max_batch",
+        "max_delay_s",
+        "target_latency_s",
+        "min_batch",
+        "queue_capacity",
+        "admission",
+        "enqueue_timeout_s",
+        "drain_timeout_s",
+        "metrics",
+        "autostart",
+    }
+)
+
+
+class AsyncIngestBackend(ExecutionBackend):
+    """Bounded-queue + batcher-thread front for an inner backend."""
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        *,
+        name: str | None = None,
+        policy="fixed",
+        max_batch: int | None = None,
+        max_delay_s: float | None = None,
+        target_latency_s: float | None = None,
+        min_batch: int | None = None,
+        queue_capacity: int = 64,
+        admission: str = "block",
+        enqueue_timeout_s: float = 30.0,
+        drain_timeout_s: float = 60.0,
+        metrics: IngestMetrics | None = None,
+        autostart: bool = True,
+    ):
+        self.inner = inner
+        self.name = name or f"async:{type(inner).__name__}"
+        self.metrics = metrics if metrics is not None else IngestMetrics()
+        self.policy = make_policy(
+            policy,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            target_latency_s=target_latency_s,
+            min_batch=min_batch,
+        )
+        self.queue = IngestQueue(
+            capacity=queue_capacity,
+            admission=admission,
+            enqueue_timeout_s=enqueue_timeout_s,
+            metrics=self.metrics,
+            name=self.name,
+        )
+        self.drain_timeout_s = drain_timeout_s
+        self._batcher = Batcher(
+            self.queue, inner, self.policy, self.metrics, name=self.name
+        )
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the batcher thread (idempotent)."""
+        if self._batcher.ident is None:
+            self._batcher.start()
+
+    @property
+    def on_flush(self):
+        """Post-flush hook ``(relation, delta_source) -> None``; the
+        view service installs its push-delta publisher here."""
+        return self._batcher.on_flush
+
+    @on_flush.setter
+    def on_flush(self, hook) -> None:
+        self._batcher.on_flush = hook
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the wrapper down.
+
+        With ``drain`` (default) everything already admitted is flushed
+        to the inner backend first — a clean shutdown loses nothing even
+        with a non-empty queue; ``drain=False`` discards what is still
+        queued.  The inner backend's own ``close`` (if any) runs once
+        the batcher has exited.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain or self.queue.failure is not None:
+            self._batcher.request_discard()
+        self.queue.close()
+        if self._batcher.ident is None:
+            # Never started (autostart=False): flush inline by running
+            # the loop body once on this thread.
+            self._batcher.run()
+        else:
+            self._batcher.join(timeout=self.drain_timeout_s)
+        if self._batcher.is_alive():
+            # The batcher is wedged inside the inner backend: closing
+            # the inner under its feet would corrupt it mid-flush, so
+            # the daemon thread (and the inner backend) are abandoned —
+            # loudly, since e.g. a multiproc inner leaks its worker
+            # processes here.
+            warnings.warn(
+                f"{self.name}: batcher did not exit within "
+                f"{self.drain_timeout_s}s; inner backend left unclosed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        inner_close = getattr(self.inner, "close", None)
+        if inner_close is not None:
+            inner_close()
+
+    def __enter__(self) -> "AsyncIngestBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend surface
+    # ------------------------------------------------------------------
+    def initialize(self, base: Database) -> None:
+        """Populate the inner backend's state (serialized vs flushes)."""
+        self._check_open()
+        with self._batcher.inner_lock:
+            self.inner.initialize(base)
+
+    def on_batch(self, relation: str, batch: GMR) -> None:
+        """Admit one update batch; returns once admission decides.
+
+        The batch is copied at the boundary (the batcher merges entries
+        in place), so callers may keep mutating their GMR.
+        """
+        self._check_open()
+        tuples = sum(abs(m) for m in batch.data.values())
+        start = time.monotonic()
+        outcome, depth = self.queue.put(
+            relation, GMR(dict(batch.data)), tuples
+        )
+        if outcome != "shed":
+            self.metrics.record_enqueue(
+                time.monotonic() - start, depth, tuples
+            )
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Barrier: block until every admitted update is flushed."""
+        if self._batcher.ident is None and not self._closed:
+            self.start()
+        self.queue.drain(
+            self.drain_timeout_s if timeout is None else timeout
+        )
+
+    def snapshot(self) -> GMR:
+        """Drain, then read the inner view — a consistent read covering
+        everything admitted before the call."""
+        self.drain()
+        with self._batcher.inner_lock:
+            return self.inner.snapshot()
+
+    def last_delta(self) -> GMR:
+        """Drain, then read the inner changefeed (coalesced since the
+        previous call, as the base contract specifies)."""
+        self.drain()
+        return self._batcher.delta_source()
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendError(f"{self.name} is closed")
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncIngestBackend({self.name!r}, policy={self.policy!r}, "
+            f"queue={len(self.queue)}/{self.queue.capacity})"
+        )
+
+
+def make_async_factory(inner_name: str):
+    """A backend factory wrapping registered backend ``inner_name``.
+
+    Splits the shared option set: wrapper knobs (``policy``,
+    ``max_batch``, ``max_delay_s``, ``queue_capacity``, ``admission``,
+    ...) configure the ingestion layer, everything else (``counters``,
+    ``use_compiled``, ``n_workers``, ...) reaches the inner factory
+    unchanged.
+    """
+
+    def factory(spec, **options):
+        async_options = {
+            k: options.pop(k) for k in ASYNC_OPTION_NAMES & options.keys()
+        }
+        inner = backend_info(inner_name).factory(spec, **options)
+        return AsyncIngestBackend(
+            inner, name=f"async:{inner_name}", **async_options
+        )
+
+    return factory

@@ -1,0 +1,175 @@
+"""The batcher thread: coalesce queued updates, flush to the inner
+backend, close the loop with the policy.
+
+One daemon thread per async backend.  The loop pops entries in FIFO
+order and accumulates *consecutive same-relation* entries into one
+pending batch — never reordering across relations, so delivery order is
+the arrival order with adjacent same-relation runs merged (GMR deltas
+are additive, so a merged run is equivalent to its parts).  A pending
+batch flushes when
+
+* it reaches the policy's :meth:`~repro.ingest.policy.BatchPolicy.target_size`;
+* the next entry streams a different relation;
+* the oldest merged entry has waited the policy's ``max_delay_s``
+  (policies with one), or the queue goes idle (policies without one —
+  fixed-size batching degrades to group commit at low load);
+* a drain barrier requests it, or the queue is closed for shutdown.
+
+Every flush runs the inner backend under ``inner_lock`` — the same lock
+the wrapper's ``initialize``/``snapshot`` take — then reports size and
+maintenance latency to the policy and metrics, fires the optional
+``on_flush`` hook (the view service's push-delta path), and only then
+marks the entries completed, so a drain that returns implies every
+subscriber already saw the corresponding deltas.
+
+An exception escaping the inner backend (or the hook) poisons the
+queue: producers and drain waiters get a
+:class:`~repro.exec.BackendError` instead of a hang, and the thread
+exits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.ingest.policy import BatchPolicy
+from repro.ingest.queue import Entry, IngestQueue
+from repro.metrics import IngestMetrics
+
+__all__ = ["Batcher"]
+
+#: how long the loop waits for new entries before re-checking deadlines
+POLL_S = 0.02
+
+
+class _Pending:
+    """Consecutive same-relation entries merged into one flushable batch."""
+
+    __slots__ = ("relation", "delta", "tuples", "entries", "oldest_at")
+
+    def __init__(self, entry: Entry):
+        self.relation = entry.relation
+        self.delta = entry.delta
+        self.tuples = entry.tuples
+        self.entries = 1
+        self.oldest_at = entry.enqueued_at
+
+    def merge(self, entry: Entry) -> None:
+        self.delta.add_inplace(entry.delta)
+        self.tuples += entry.tuples
+        self.entries += 1
+
+
+class Batcher(threading.Thread):
+    def __init__(
+        self,
+        queue: IngestQueue,
+        inner,
+        policy: BatchPolicy,
+        metrics: IngestMetrics,
+        name: str = "async",
+    ):
+        super().__init__(name=f"{name}-batcher", daemon=True)
+        self.queue = queue
+        self.inner = inner
+        self.policy = policy
+        self.metrics = metrics
+        #: serializes inner-backend access between this thread and the
+        #: wrapper's initialize/snapshot/last_delta
+        self.inner_lock = threading.Lock()
+        #: optional hook ``on_flush(relation, delta_source)`` fired after
+        #: each flush; ``delta_source()`` returns the inner changefeed's
+        #: ``last_delta()`` (computed lazily, under ``inner_lock``)
+        self.on_flush = None
+        self._discard = threading.Event()
+
+    # ------------------------------------------------------------------
+    def request_discard(self) -> None:
+        """Make the thread exit without flushing what is still queued."""
+        self._discard.set()
+
+    def delta_source(self):
+        """Inner changefeed read, serialized against flushes."""
+        with self.inner_lock:
+            return self.inner.last_delta()
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # never die silently: poison instead
+            self.queue.poison(exc)
+
+    def _loop(self) -> None:
+        pending: _Pending | None = None
+        while True:
+            if self._discard.is_set():
+                self.queue.discard_pending()
+                if pending is not None:
+                    self.queue.mark_completed(pending.entries)
+                return
+            entry = self.queue.get(self._poll_timeout(pending))
+            if entry is not None:
+                if pending is None:
+                    pending = _Pending(entry)
+                elif entry.relation != pending.relation:
+                    self._flush(pending)
+                    pending = _Pending(entry)
+                else:
+                    pending.merge(entry)
+                if pending.tuples >= self.policy.target_size():
+                    self._flush(pending)
+                    pending = None
+                    continue
+            if pending is not None and self._due(pending):
+                self._flush(pending)
+                pending = None
+            if pending is None and self.queue.empty():
+                if self.queue.flush_requested():
+                    self.queue.clear_flush_request()
+                if self.queue.closed or self.queue.failure is not None:
+                    return
+
+    def _poll_timeout(self, pending: _Pending | None) -> float:
+        if pending is None:
+            return POLL_S
+        max_delay = self.policy.max_delay_s()
+        if max_delay is None:
+            return POLL_S
+        remaining = pending.oldest_at + max_delay - time.monotonic()
+        return max(0.0, min(POLL_S, remaining))
+
+    def _due(self, pending: _Pending) -> bool:
+        # A drain barrier (or shutdown) means "hold nothing back", not
+        # "stop coalescing": keep merging while backlog remains, flush
+        # the moment there is nothing left to merge.
+        if self.queue.empty() and (
+            self.queue.flush_requested() or self.queue.closed
+        ):
+            return True
+        max_delay = self.policy.max_delay_s()
+        if max_delay is None:
+            # No timed holding: flush as soon as there is no backlog to
+            # coalesce (group commit at low load).
+            return self.queue.empty()
+        return time.monotonic() >= pending.oldest_at + max_delay
+
+    def _flush(self, pending: _Pending) -> None:
+        start = time.perf_counter()
+        with self.inner_lock:
+            self.inner.on_batch(pending.relation, pending.delta)
+        maintenance = time.perf_counter() - start
+        self.metrics.record_flush(
+            tuples=pending.tuples,
+            entries=pending.entries,
+            maintenance_s=maintenance,
+            delay_s=time.monotonic() - pending.oldest_at,
+        )
+        self.policy.observe(pending.tuples, maintenance)
+        hook = self.on_flush
+        if hook is not None:
+            hook(pending.relation, self.delta_source)
+        # Completion is published last: a drain that returns implies the
+        # flush hook (subscriber deltas) already ran.
+        self.queue.mark_completed(pending.entries)

@@ -1,0 +1,196 @@
+"""Batching policies: when the batcher flushes, and how much.
+
+A policy answers two questions the batcher asks on every iteration —
+how many tuples should accumulate before a flush (:meth:`target_size`)
+and how long the oldest queued update may wait (:meth:`max_delay_s`) —
+and receives feedback after every flush (:meth:`observe`).
+
+* :class:`FixedSizePolicy` — the paper's static knob: flush at a fixed
+  tuple count.  ``max_delay_s`` is ``None``, which the batcher reads as
+  "flush whenever the queue goes empty": under backlog batches fill to
+  the target, at low load every update flushes immediately (group-commit
+  behavior, so a fixed-size policy never holds a tail batch hostage).
+* :class:`MaxDelayPolicy` — flush when the oldest queued update has
+  waited ``max_delay_s``, or earlier when ``max_batch`` accumulates:
+  a hard per-update freshness bound.
+* :class:`AdaptivePolicy` — closes the loop on the paper's throughput/
+  latency tradeoff: grow the target batch multiplicatively while
+  observed maintenance latency stays under ``target_latency_s``, halve
+  it when a flush overshoots.  The sweep the fig7/fig12 benchmarks do
+  statically, performed online.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AdaptivePolicy",
+    "BatchPolicy",
+    "FixedSizePolicy",
+    "MaxDelayPolicy",
+    "make_policy",
+]
+
+
+class BatchPolicy:
+    """Base policy: flush at ``target_size`` tuples, never on delay."""
+
+    name = "base"
+
+    def target_size(self) -> int:
+        """Flush once this many tuples have accumulated."""
+        raise NotImplementedError
+
+    def max_delay_s(self) -> float | None:
+        """Upper bound on the oldest queued update's wait, or ``None``
+        for "flush whenever the queue goes idle" (no timed holding)."""
+        return None
+
+    def observe(self, flush_tuples: int, maintenance_s: float) -> None:
+        """Feedback after a flush: its size and maintenance latency."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(target={self.target_size()})"
+
+
+class FixedSizePolicy(BatchPolicy):
+    """Flush at a fixed tuple count (idle flush when the queue drains)."""
+
+    name = "fixed"
+
+    def __init__(self, max_batch: int = 1000):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+
+    def target_size(self) -> int:
+        return self.max_batch
+
+
+class MaxDelayPolicy(BatchPolicy):
+    """Flush when the oldest update waited ``max_delay_s`` (or at
+    ``max_batch`` tuples, whichever comes first)."""
+
+    name = "delay"
+
+    def __init__(self, max_delay_s: float = 0.05, max_batch: int = 1_000_000):
+        if max_delay_s <= 0:
+            raise ValueError(f"max_delay_s must be > 0, got {max_delay_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._max_delay_s = max_delay_s
+        self.max_batch = max_batch
+
+    def target_size(self) -> int:
+        return self.max_batch
+
+    def max_delay_s(self) -> float:
+        return self._max_delay_s
+
+
+class AdaptivePolicy(BatchPolicy):
+    """Closed-loop batch sizing from observed maintenance latency.
+
+    Multiplicative increase while flushes finish under
+    ``grow_below * target_latency_s``, halving when one exceeds
+    ``shrink_above * target_latency_s``; the target stays within
+    ``[min_batch, max_batch]``.  ``max_delay_s`` bounds staleness while
+    the controller is still growing toward its operating point.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        target_latency_s: float = 0.005,
+        min_batch: int | None = None,
+        max_batch: int = 100_000,
+        max_delay_s: float = 0.05,
+        initial: int | None = None,
+        grow_below: float = 0.8,
+        shrink_above: float = 1.2,
+    ):
+        if target_latency_s <= 0:
+            raise ValueError(
+                f"target_latency_s must be > 0, got {target_latency_s}"
+            )
+        if min_batch is None:
+            min_batch = min(16, max_batch)
+        if not (1 <= min_batch <= max_batch):
+            raise ValueError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"{min_batch}..{max_batch}"
+            )
+        self.target_latency_s = target_latency_s
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self._max_delay_s = max_delay_s
+        self.grow_below = grow_below
+        self.shrink_above = shrink_above
+        start = initial if initial is not None else min(256, max_batch)
+        self._target = max(min_batch, min(max_batch, start))
+        #: (flush_tuples, maintenance_s, new_target) history for tests
+        #: and diagnostics
+        self.adjustments: list[tuple[int, float, int]] = []
+
+    def target_size(self) -> int:
+        return self._target
+
+    def max_delay_s(self) -> float:
+        return self._max_delay_s
+
+    def observe(self, flush_tuples: int, maintenance_s: float) -> None:
+        if maintenance_s > self.shrink_above * self.target_latency_s:
+            self._target = max(self.min_batch, self._target // 2)
+        elif (
+            maintenance_s < self.grow_below * self.target_latency_s
+            # Only grow on flushes that actually probed the current
+            # target; a tiny idle-time flush says nothing about how a
+            # full batch would behave.
+            and flush_tuples * 2 >= self._target
+        ):
+            self._target = min(self.max_batch, self._target * 2)
+        self.adjustments.append((flush_tuples, maintenance_s, self._target))
+
+
+#: CLI/registry names of the built-in policies
+POLICY_NAMES = ("fixed", "delay", "adaptive")
+
+
+def make_policy(
+    policy,
+    *,
+    max_batch: int | None = None,
+    max_delay_s: float | None = None,
+    target_latency_s: float | None = None,
+    min_batch: int | None = None,
+) -> BatchPolicy:
+    """Coerce a policy name (or a ready instance) into a policy.
+
+    Keyword knobs apply where the policy defines them; ``None`` keeps
+    the policy default.
+    """
+    if isinstance(policy, BatchPolicy):
+        return policy
+    if policy == "fixed":
+        return FixedSizePolicy(**_given(max_batch=max_batch))
+    if policy in ("delay", "timeout"):
+        return MaxDelayPolicy(
+            **_given(max_delay_s=max_delay_s, max_batch=max_batch)
+        )
+    if policy == "adaptive":
+        return AdaptivePolicy(
+            **_given(
+                target_latency_s=target_latency_s,
+                min_batch=min_batch,
+                max_batch=max_batch,
+                max_delay_s=max_delay_s,
+            )
+        )
+    raise ValueError(
+        f"unknown batching policy {policy!r}; choose one of: "
+        + ", ".join(POLICY_NAMES)
+    )
+
+
+def _given(**kwargs) -> dict:
+    return {k: v for k, v in kwargs.items() if v is not None}

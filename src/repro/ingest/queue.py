@@ -1,0 +1,258 @@
+"""The bounded ingest queue: admission control and the drain barrier.
+
+One :class:`IngestQueue` sits between a producer (whoever calls the
+async backend's ``on_batch``) and the single batcher thread.  Besides
+FIFO buffering it is the rendezvous point for everything the two sides
+must agree on:
+
+* **admission** when the queue is full — ``block`` (wait up to
+  ``enqueue_timeout_s``, then raise :class:`IngestOverflow`), ``shed``
+  (drop the batch, observable in the metrics), or ``coalesce`` (merge
+  the batch into the newest queued entry of the same relation — GMR
+  deltas are additive, so coalescing loses nothing — falling back to
+  blocking when no such entry exists);
+* the **drain barrier** — ``accepted`` counts entries admitted,
+  ``completed`` counts entries whose flush finished downstream;
+  :meth:`drain` waits for the two to meet, which is what makes
+  ``snapshot()`` on the async backend a consistent read;
+* **failure propagation** — when the batcher poisons the queue with the
+  inner backend's exception, every producer call and every drain waiter
+  raises :class:`~repro.exec.BackendError` instead of hanging.
+
+All state is guarded by one condition variable; entries are immutable
+once popped (coalescing touches only entries still queued, under the
+same lock the batcher pops with).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.exec.backend import BackendError
+from repro.metrics import IngestMetrics
+from repro.ring import GMR
+
+__all__ = ["ADMISSION_POLICIES", "Entry", "IngestOverflow", "IngestQueue"]
+
+#: admission behaviors when the bounded queue is full
+ADMISSION_POLICIES = ("block", "shed", "coalesce")
+
+
+class IngestOverflow(BackendError):
+    """A blocking enqueue timed out on a full queue.
+
+    Transient overload, not a backend failure: the wrapper is *not*
+    poisoned, and the producer may retry (or switch to ``shed`` /
+    ``coalesce`` admission).
+    """
+
+
+class Entry:
+    """One queued update: a relation's delta plus arrival bookkeeping."""
+
+    __slots__ = ("relation", "delta", "tuples", "enqueued_at", "batches")
+
+    def __init__(self, relation: str, delta: GMR, tuples: int, now: float):
+        self.relation = relation
+        self.delta = delta
+        self.tuples = tuples
+        self.enqueued_at = now
+        #: producer batches merged into this entry (1 + coalesced)
+        self.batches = 1
+
+
+class IngestQueue:
+    def __init__(
+        self,
+        capacity: int = 64,
+        admission: str = "block",
+        enqueue_timeout_s: float = 30.0,
+        metrics: IngestMetrics | None = None,
+        name: str = "async",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; choose one of: "
+                + ", ".join(ADMISSION_POLICIES)
+            )
+        self.capacity = capacity
+        self.admission = admission
+        self.enqueue_timeout_s = enqueue_timeout_s
+        self.metrics = metrics if metrics is not None else IngestMetrics()
+        self.name = name
+        self._cond = threading.Condition()
+        self._entries: deque[Entry] = deque()
+        self._accepted = 0
+        self._completed = 0
+        self._closed = False
+        self._failure: BaseException | None = None
+        self._flush_requested = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, relation: str, delta: GMR, tuples: int) -> tuple[str, int]:
+        """Admit one batch; returns ``(outcome, depth)`` where outcome
+        is ``"queued"``, ``"coalesced"``, or ``"shed"``.
+
+        Raises :class:`IngestOverflow` when blocking admission times
+        out, and :class:`~repro.exec.BackendError` when the queue is
+        closed or poisoned.
+        """
+        deadline = time.monotonic() + self.enqueue_timeout_s
+        with self._cond:
+            while True:
+                self._check_usable()
+                if len(self._entries) < self.capacity:
+                    self._entries.append(
+                        Entry(relation, delta, tuples, time.monotonic())
+                    )
+                    self._accepted += 1
+                    self._cond.notify_all()
+                    return "queued", len(self._entries)
+                if self.admission == "shed":
+                    self.metrics.record_shed(tuples)
+                    return "shed", len(self._entries)
+                if self.admission == "coalesce":
+                    entry = self._newest_for(relation)
+                    if entry is not None:
+                        entry.delta.add_inplace(delta)
+                        entry.tuples += tuples
+                        entry.batches += 1
+                        self.metrics.record_coalesced(tuples)
+                        return "coalesced", len(self._entries)
+                    # No queued entry to merge into: block like "block".
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise IngestOverflow(
+                        f"{self.name}: ingest queue full "
+                        f"({self.capacity} entries) and admission "
+                        f"{self.admission!r} waited longer than "
+                        f"{self.enqueue_timeout_s}s"
+                    )
+                self._cond.wait(min(remaining, 0.05))
+
+    def _newest_for(self, relation: str) -> Entry | None:
+        for entry in reversed(self._entries):
+            if entry.relation == relation:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Batcher side
+    # ------------------------------------------------------------------
+    def get(self, timeout_s: float) -> Entry | None:
+        """Pop the oldest entry, waiting up to ``timeout_s``; ``None``
+        on timeout, closure-with-empty-queue, or poisoning."""
+        end = time.monotonic() + timeout_s
+        with self._cond:
+            while not self._entries:
+                if self._closed or self._failure is not None:
+                    return None
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            entry = self._entries.popleft()
+            self._cond.notify_all()
+            return entry
+
+    def mark_completed(self, entries: int) -> None:
+        """The batcher finished flushing ``entries`` popped entries."""
+        with self._cond:
+            self._completed += entries
+            self._cond.notify_all()
+
+    def poison(self, exc: BaseException) -> None:
+        """Record a batcher/inner failure; wakes every waiter."""
+        with self._cond:
+            if self._failure is None:
+                self._failure = exc
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    def drain(self, timeout_s: float) -> None:
+        """Block until every admitted entry has been flushed.
+
+        Requests an immediate flush of any partial pending batch (so a
+        delay policy doesn't hold the barrier for its full window) and
+        raises :class:`~repro.exec.BackendError` on poisoning or when
+        the batcher fails to catch up within ``timeout_s`` — the
+        no-deadlock guarantee for ``snapshot()`` on a wedged batcher.
+        """
+        with self._cond:
+            self._flush_requested = True
+            self._cond.notify_all()
+            done = self._cond.wait_for(
+                lambda: self._failure is not None
+                or self._completed >= self._accepted,
+                timeout_s,
+            )
+            if self._failure is not None:
+                raise BackendError(
+                    f"{self.name}: inner backend failed: {self._failure}"
+                ) from self._failure
+            if not done:
+                raise BackendError(
+                    f"{self.name}: batcher did not drain within "
+                    f"{timeout_s}s ({self._accepted - self._completed} "
+                    "entries outstanding) — batcher wedged?"
+                )
+            # The barrier is satisfied: clear the flush request here so
+            # a stale flag cannot force the *next* batch into a
+            # premature size-1 flush (which would defeat the
+            # delay/adaptive coalescing after every read).
+            self._flush_requested = False
+
+    def flush_requested(self) -> bool:
+        with self._cond:
+            return self._flush_requested
+
+    def clear_flush_request(self) -> None:
+        with self._cond:
+            self._flush_requested = False
+
+    def close(self) -> None:
+        """Stop admitting; the batcher finishes what is queued."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def discard_pending(self) -> int:
+        """Drop queued entries (unclean shutdown); returns the count."""
+        with self._cond:
+            dropped = len(self._entries)
+            self._completed += dropped
+            self._entries.clear()
+            self._cond.notify_all()
+            return dropped
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def failure(self) -> BaseException | None:
+        return self._failure
+
+    def empty(self) -> bool:
+        with self._cond:
+            return not self._entries
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def _check_usable(self) -> None:
+        if self._failure is not None:
+            raise BackendError(
+                f"{self.name}: inner backend failed: {self._failure}"
+            ) from self._failure
+        if self._closed:
+            raise BackendError(f"{self.name}: ingest queue is closed")

@@ -9,5 +9,12 @@ for why the substitution preserves the phenomena under study.
 
 from repro.metrics.counters import Counters
 from repro.metrics.cachesim import CacheLevel, CacheSimulator
+from repro.metrics.ingest import IngestMetrics, percentile
 
-__all__ = ["Counters", "CacheLevel", "CacheSimulator"]
+__all__ = [
+    "Counters",
+    "CacheLevel",
+    "CacheSimulator",
+    "IngestMetrics",
+    "percentile",
+]

@@ -1,0 +1,141 @@
+"""Split ingestion/maintenance metrics for the async ingestion layer.
+
+The paper's central knob is the update batch size: throughput rises
+with larger batches while per-update latency falls apart.  Once
+ingestion is decoupled from trigger execution (a bounded queue and a
+batcher thread in front of ``on_batch``), that tradeoff splits into
+*separately measurable* quantities, which this module records:
+
+* **enqueue wait** — how long a producer's ``on_batch`` call blocked in
+  admission control (near zero unless the queue is full);
+* **queue depth** — entries waiting at each accepted enqueue;
+* **ingest delay** — how long the oldest update of a flush sat in the
+  queue before its flush completed (the decoupling latency an update
+  actually experiences);
+* **flush size** — streamed tuples per batcher flush (what the batching
+  policy actually chose);
+* **maintenance latency** — wall time of the inner backend's
+  ``on_batch`` per flush (the paper's per-batch maintenance cost).
+
+All recording methods append to plain lists (atomic under the GIL);
+the producer thread records enqueue-side series, the batcher thread
+records flush-side series, so no series has two writers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values, p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation.
+
+    Returns 0.0 for an empty series so summaries stay JSON-friendly.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (p / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass
+class IngestMetrics:
+    """Accumulated ingestion-side measurements of one async backend."""
+
+    #: producer-side blocking time per accepted enqueue (seconds)
+    enqueue_wait_s: list = field(default_factory=list)
+    #: queue depth (entries) observed at each accepted enqueue
+    queue_depths: list = field(default_factory=list)
+    #: streamed tuples per flush
+    flush_sizes: list = field(default_factory=list)
+    #: coalesced queue entries per flush
+    flush_entries: list = field(default_factory=list)
+    #: oldest-entry queue residency per flush, enqueue -> flush end
+    ingest_delay_s: list = field(default_factory=list)
+    #: inner ``on_batch`` wall time per flush
+    maintenance_s: list = field(default_factory=list)
+
+    enqueued_batches: int = 0
+    enqueued_tuples: int = 0
+    shed_batches: int = 0
+    shed_tuples: int = 0
+    coalesced_batches: int = 0
+    coalesced_tuples: int = 0
+    flushes: int = 0
+    flushed_tuples: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording (producer side)
+    # ------------------------------------------------------------------
+    def record_enqueue(self, wait_s: float, depth: int, tuples: int) -> None:
+        """An accepted enqueue (queued or coalesced into a queued entry)."""
+        self.enqueue_wait_s.append(wait_s)
+        self.queue_depths.append(depth)
+        self.enqueued_batches += 1
+        self.enqueued_tuples += tuples
+
+    def record_shed(self, tuples: int) -> None:
+        """A batch dropped by the ``shed`` admission policy."""
+        self.shed_batches += 1
+        self.shed_tuples += tuples
+
+    def record_coalesced(self, tuples: int) -> None:
+        """A batch merged into an already-queued entry (``coalesce``)."""
+        self.coalesced_batches += 1
+        self.coalesced_tuples += tuples
+
+    # ------------------------------------------------------------------
+    # Recording (batcher side)
+    # ------------------------------------------------------------------
+    def record_flush(
+        self,
+        tuples: int,
+        entries: int,
+        maintenance_s: float,
+        delay_s: float,
+    ) -> None:
+        self.flush_sizes.append(tuples)
+        self.flush_entries.append(entries)
+        self.maintenance_s.append(maintenance_s)
+        self.ingest_delay_s.append(delay_s)
+        self.flushes += 1
+        self.flushed_tuples += tuples
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Percentile summary of the split series (JSON-friendly)."""
+
+        def stats(series) -> dict:
+            return {
+                "p50": percentile(series, 50),
+                "p95": percentile(series, 95),
+                "p99": percentile(series, 99),
+                "max": float(max(series)) if series else 0.0,
+            }
+
+        return {
+            "enqueue_wait_s": stats(self.enqueue_wait_s),
+            "ingest_delay_s": stats(self.ingest_delay_s),
+            "maintenance_s": stats(self.maintenance_s),
+            "queue_depth": stats(self.queue_depths),
+            "flush_size": stats(self.flush_sizes),
+            "mean_flush_size": (
+                self.flushed_tuples / self.flushes if self.flushes else 0.0
+            ),
+            "enqueued_batches": self.enqueued_batches,
+            "enqueued_tuples": self.enqueued_tuples,
+            "shed_batches": self.shed_batches,
+            "shed_tuples": self.shed_tuples,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_tuples": self.coalesced_tuples,
+            "flushes": self.flushes,
+            "flushed_tuples": self.flushed_tuples,
+        }

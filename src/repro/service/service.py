@@ -37,7 +37,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.eval import Database
-from repro.exec import ExecutionBackend, available_backends, create_backend
+from repro.exec import (
+    ExecutionBackend,
+    available_backends,
+    create_backend,
+    is_registered,
+)
+from repro.ingest import AsyncIngestBackend
 from repro.ring import GMR
 from repro.workloads.spec import QuerySpec, as_query_spec
 
@@ -178,20 +184,27 @@ class ViewService:
         ``source`` is a SQL string (parsed against the service catalog),
         a query-algebra ``Expr``, or a pre-built ``QuerySpec`` — all
         three share one creation path (:func:`~repro.workloads.as_query_spec`).
-        ``backend`` names any registered execution backend; ``options``
-        are forwarded to its factory (``counters=``, ``n_workers=``,
-        ``use_compiled=``, ...).  The view initializes from the current
-        shared base database, and its changefeed is baselined so
-        subscription deltas describe only changes after creation.
+        ``backend`` names any registered execution backend — including
+        the ``async:<backend>`` ingestion wrappers, which give the view
+        per-view admission control (``admission="block"|"shed"|"coalesce"``
+        plus the batching-policy knobs, all via ``options``): a full
+        queue then sheds or coalesces instead of stalling the shared
+        stream, so one slow backend cannot hold every other view's
+        freshness hostage.  ``options`` are forwarded to the factory
+        (``counters=``, ``n_workers=``, ``use_compiled=``, ...).  The
+        view initializes from the current shared base database, and its
+        changefeed is baselined so subscription deltas describe only
+        changes after creation.
         """
         if name in self._views:
             raise ServiceError(
                 f"view {name!r} already exists; drop_view() it first"
             )
-        if backend not in available_backends():
+        if not is_registered(backend):
             raise ServiceError(
                 f"unknown backend {backend!r}; registered backends: "
                 + ", ".join(available_backends())
+                + " (each also available as 'async:<backend>')"
             )
         try:
             spec = as_query_spec(
@@ -209,15 +222,32 @@ class ViewService:
         # through subscribe(initial=True), not as the first batch delta.
         engine.last_delta()
         handle = ViewHandle(name, spec, backend, engine)
+        if isinstance(engine, AsyncIngestBackend):
+            # Async views publish from the batcher thread, once per
+            # flush (a coalesced flush is one event) — the stream loop
+            # only enqueues.  Subscriber callbacks therefore run on the
+            # view's batcher thread and must not issue blocking reads
+            # of the same view.
+            engine.on_flush = (
+                lambda relation, delta_source, h=handle: self._publish(
+                    h, relation, delta_source
+                )
+            )
         self._views[name] = handle
         return handle
 
     def drop_view(self, name: str) -> None:
-        """Unregister a view, cancelling its subscriptions."""
+        """Unregister a view, cancelling its subscriptions.
+
+        An async-wrapped backend is closed (draining its queue) so its
+        batcher thread does not outlive the view.
+        """
         handle = self._handle(name)
         for sub in handle.subscriptions:
             sub.cancel()
         del self._views[name]
+        if isinstance(handle.backend, AsyncIngestBackend):
+            handle.backend.close()
 
     def views(self) -> tuple[str, ...]:
         """Names of the registered views, sorted."""
@@ -256,25 +286,67 @@ class ViewService:
             handle.backend.on_batch(relation, batch)
             handle.batches_applied += 1
             touched.append(handle.name)
-            self._publish(handle, relation)
+            # Async views enqueue here and publish from their batcher
+            # thread after each flush (the on_flush hook installed at
+            # creation) — publishing now would drain and re-couple the
+            # stream to the slowest backend.
+            if not isinstance(handle.backend, AsyncIngestBackend):
+                self._publish(handle, relation)
         if self.track_base:
             self.base.apply_update(relation, batch)
         return tuple(touched)
 
-    def _publish(self, handle: ViewHandle, relation: str | None) -> None:
+    def drain(self, name: str | None = None, timeout: float | None = None):
+        """Barrier for async-ingesting views: block until everything
+        admitted to their queues is flushed (and its deltas pushed).
+
+        ``name`` drains one view, ``None`` all of them; synchronous
+        views are already current and are skipped.  A wedged batcher
+        raises :class:`~repro.exec.BackendError` after its drain
+        timeout instead of hanging the caller.
+        """
+        handles = (
+            [self._handle(name)] if name is not None
+            else list(self._views.values())
+        )
+        for handle in handles:
+            if isinstance(handle.backend, AsyncIngestBackend):
+                handle.backend.drain(timeout)
+
+    def _publish(
+        self,
+        handle: ViewHandle,
+        relation: str | None,
+        delta_source: Callable[[], GMR] | None = None,
+    ) -> None:
         """Compute and fan out one changefeed event, if anyone listens.
 
         When no subscription is active the (O(|view|)) delta is not
         computed; the backend's changefeed accumulates, so a later
         subscriber's first event covers everything since the last
-        delivery and accumulation stays exact.
+        delivery and accumulation stays exact.  ``delta_source``
+        overrides where the delta is read from (the async flush hook
+        passes the inner changefeed; the default is the backend's own
+        ``last_delta``).
         """
         live = [s for s in handle.subscriptions if s.active]
         if len(live) != len(handle.subscriptions):
-            handle.subscriptions[:] = live
+            # Prune cancelled subscriptions one by one instead of
+            # replacing the list: this runs on the batcher thread for
+            # async views, and a wholesale `[:] = live` would silently
+            # drop a subscription the producer thread appends
+            # concurrently.
+            for sub in [s for s in handle.subscriptions if not s.active]:
+                try:
+                    handle.subscriptions.remove(sub)
+                except ValueError:
+                    pass
         if not live:
             return
-        delta = handle.backend.last_delta()
+        delta = (
+            delta_source() if delta_source is not None
+            else handle.backend.last_delta()
+        )
         if delta.is_zero():
             return
         event = ViewDelta(handle.name, relation, self._seq, delta)
@@ -304,6 +376,14 @@ class ViewService:
         synthetic event carrying the current snapshot (``relation=None``),
         so accumulation equals ``snapshot(name)`` even when the view was
         warm at subscribe time.
+
+        Call this from the producer thread (the one driving
+        ``on_batch``).  For async-backed views that discipline is what
+        makes ``initial=True`` exact: the internal drain empties the
+        view's queue and no new batch can arrive before the snapshot
+        event is delivered, so nothing is both pushed and included in
+        the snapshot.  Subscribing from a second thread while another
+        streams has no such guarantee.
         """
         handle = self._handle(name)
         if initial:

@@ -1,0 +1,560 @@
+"""The async ingestion subsystem: differential correctness, policy
+semantics, backpressure, and the failure contract.
+
+The central invariant: for *every* registered backend, a randomized
+insert+delete stream pushed through ``async:<backend>`` must — after a
+drain barrier — yield a snapshot identical to the bare inner backend
+fed the same stream (the wrapper re-times and re-chunks maintenance,
+it never changes its result).  Around it: deterministic flush-on-size /
+flush-on-timeout / ordered-delivery / clean-shutdown tests, the three
+admission policies under a full queue against a wedged inner backend,
+poisoning on inner ``BackendError``, and the no-deadlock guarantee of
+``snapshot()`` on a wedged batcher.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.exec import (
+    BackendError,
+    ExecutionBackend,
+    available_backends,
+    backend_info,
+    create_backend,
+    is_registered,
+)
+from repro.ingest import (
+    AdaptivePolicy,
+    AsyncIngestBackend,
+    IngestOverflow,
+    IngestQueue,
+    make_policy,
+)
+from repro.query import join, rel, sum_over
+from repro.ring import GMR
+from repro.service import ServiceError, ViewService
+from repro.workloads.spec import QuerySpec
+
+Q = sum_over(["B"], join(rel("R", "A", "B"), rel("S", "B", "C")))
+
+SPEC = QuerySpec(
+    name="async_q",
+    query=Q,
+    updatable=frozenset({"R", "S"}),
+    key_hints={"R": ("A",), "S": ("B",)},
+)
+
+#: every non-wrapper backend in the registry (the wrapper composes with
+#: each of them, including the process-parallel one)
+INNER_BACKENDS = tuple(
+    n for n in available_backends() if not n.startswith("async:")
+)
+
+
+def _mixed_stream(seed: int = 7, n_batches: int = 10) -> list:
+    """A deterministic randomized insert+delete stream over R and S."""
+    rng = random.Random(seed)
+    live: list[tuple[str, tuple]] = []
+    batches = []
+    for _ in range(n_batches):
+        relation = rng.choice(("R", "S"))
+        delta: dict[tuple, int] = {}
+        for _ in range(rng.randint(1, 6)):
+            if live and rng.random() < 0.35:
+                rel_, row = live.pop(rng.randrange(len(live)))
+                if rel_ == relation:
+                    delta[row] = delta.get(row, 0) - 1
+                    continue
+                live.append((rel_, row))
+            row = (rng.randint(0, 5), rng.randint(0, 5))
+            delta[row] = delta.get(row, 0) + 1
+            live.append((relation, row))
+        if delta:
+            batches.append((relation, GMR(delta)))
+    return batches
+
+
+class RecordingBackend(ExecutionBackend):
+    """Accumulates every batch and logs the flush sequence."""
+
+    def __init__(self):
+        self.state = GMR()
+        self.calls: list[tuple[str, GMR]] = []
+
+    def initialize(self, base):
+        pass
+
+    def on_batch(self, relation, batch):
+        self.calls.append((relation, GMR(dict(batch.data))))
+        self.state.add_inplace(batch)
+
+    def snapshot(self):
+        return GMR(dict(self.state.data))
+
+
+class WedgeBackend(RecordingBackend):
+    """Blocks inside ``on_batch`` until released — a slow/stuck engine."""
+
+    def __init__(self):
+        super().__init__()
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def on_batch(self, relation, batch):
+        self.entered.set()
+        if not self.release.wait(timeout=30):
+            raise RuntimeError("WedgeBackend never released")
+        super().on_batch(relation, batch)
+
+
+class FailingBackend(RecordingBackend):
+    """Raises ``BackendError`` on the Nth ``on_batch``."""
+
+    def __init__(self, fail_on: int = 2):
+        super().__init__()
+        self.fail_on = fail_on
+
+    def on_batch(self, relation, batch):
+        if len(self.calls) + 1 >= self.fail_on:
+            raise BackendError("injected inner failure")
+        super().on_batch(relation, batch)
+
+
+def _wrap(inner, **options) -> AsyncIngestBackend:
+    options.setdefault("drain_timeout_s", 20.0)
+    return AsyncIngestBackend(inner, **options)
+
+
+# ----------------------------------------------------------------------
+# Differential: async:<inner> == bare inner, for every backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("inner", INNER_BACKENDS)
+def test_async_differential_every_backend(inner):
+    """The wrapper's drained snapshot matches the bare backend on a
+    randomized insert+delete stream — including ``multiproc``."""
+    stream = _mixed_stream(seed=11, n_batches=10)
+    bare = create_backend(inner, SPEC)
+    wrapped = create_backend(
+        f"async:{inner}", SPEC, max_batch=7, queue_capacity=8
+    )
+    try:
+        for relation, batch in stream:
+            bare.on_batch(relation, batch)
+            wrapped.on_batch(relation, batch)
+        wrapped.drain()
+        assert wrapped.snapshot() == bare.snapshot(), (
+            f"async:{inner} diverged from bare {inner}"
+        )
+    finally:
+        wrapped.close()
+        if hasattr(bare, "close"):
+            bare.close()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_async_differential_randomized_configurations(seed):
+    """Random policy/queue/admission configurations (never ``shed``)
+    preserve the reference result on random streams."""
+    rng = random.Random(100 + seed)
+    stream = _mixed_stream(seed=200 + seed, n_batches=14)
+    options = {
+        "policy": rng.choice(["fixed", "delay", "adaptive"]),
+        "max_batch": rng.choice([1, 3, 10, 1000]),
+        "queue_capacity": rng.choice([1, 2, 16]),
+        "admission": rng.choice(["block", "coalesce"]),
+    }
+    if options["policy"] != "fixed":
+        options["max_delay_s"] = rng.choice([0.001, 0.02])
+    wrapped = create_backend("async:rivm-batch", SPEC, **options)
+    reference = Database()
+    try:
+        for relation, batch in stream:
+            wrapped.on_batch(relation, batch)
+            reference.apply_update(relation, batch)
+        assert wrapped.snapshot() == evaluate(Q, reference), options
+    finally:
+        wrapped.close()
+
+
+def test_async_changefeed_accumulates_across_drains():
+    backend = create_backend("async:rivm-specialized", SPEC, max_batch=4)
+    accumulated = GMR()
+    try:
+        for relation, batch in _mixed_stream(seed=3, n_batches=8):
+            backend.on_batch(relation, batch)
+            accumulated.add_inplace(backend.last_delta())
+            assert accumulated == backend.snapshot()
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Deterministic policy semantics
+# ----------------------------------------------------------------------
+def test_flush_on_size_exact_grouping():
+    """With the queue pre-filled before the batcher starts, a fixed
+    size-8 policy groups five 4-tuple batches as 8+8+4."""
+    inner = RecordingBackend()
+    backend = _wrap(inner, policy="fixed", max_batch=8, autostart=False)
+    for i in range(5):
+        backend.on_batch("R", GMR({(i, 0): 2, (i, 1): 2}))
+    backend.start()
+    backend.drain()
+    assert [sum(abs(m) for m in b.data.values()) for _, b in inner.calls] \
+        == [8, 8, 4]
+    assert backend.metrics.flush_sizes == [8, 8, 4]
+    assert backend.metrics.flush_entries == [2, 2, 1]
+    backend.close()
+
+
+def test_flush_on_timeout():
+    """A delay policy flushes a partial batch within max_delay without
+    any drain/snapshot barrier."""
+    inner = RecordingBackend()
+    backend = _wrap(
+        inner, policy="delay", max_delay_s=0.05, max_batch=10_000
+    )
+    backend.on_batch("R", GMR({(1, 2): 1}))
+    deadline = time.monotonic() + 2.0
+    while not inner.calls and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert inner.calls, "batch never flushed on its own"
+    assert backend.metrics.flushes == 1
+    backend.close()
+
+
+def test_ordered_delivery_preserves_relation_runs():
+    """Flush order is arrival order with adjacent same-relation runs
+    merged: collapsing consecutive duplicates in both sequences gives
+    the identical relation string."""
+
+    def collapsed(relations):
+        out = []
+        for r in relations:
+            if not out or out[-1] != r:
+                out.append(r)
+        return out
+
+    rng = random.Random(42)
+    inner = RecordingBackend()
+    backend = _wrap(inner, policy="fixed", max_batch=5, autostart=False)
+    arrivals = []
+    per_relation: dict[str, GMR] = {"R": GMR(), "S": GMR()}
+    for i in range(30):
+        relation = rng.choice(("R", "S"))
+        batch = GMR({(i, rng.randint(0, 3)): 1})
+        arrivals.append(relation)
+        per_relation[relation].add_inplace(batch)
+        backend.on_batch(relation, batch)
+    backend.start()
+    backend.drain()
+    flushed = [r for r, _ in inner.calls]
+    assert collapsed(flushed) == collapsed(arrivals)
+    for relation in ("R", "S"):
+        got = GMR()
+        for r, b in inner.calls:
+            if r == relation:
+                got.add_inplace(b)
+        assert got == per_relation[relation]
+    backend.close()
+
+
+def test_clean_shutdown_flushes_non_empty_queue():
+    inner = RecordingBackend()
+    backend = _wrap(inner, policy="fixed", max_batch=100, autostart=False)
+    expected = GMR()
+    for i in range(6):
+        batch = GMR({(i, i): 1})
+        expected.add_inplace(batch)
+        backend.on_batch("R", batch)
+    backend.close()  # queue still holds all six entries
+    assert inner.state == expected, "close() lost queued updates"
+    assert not backend._batcher.is_alive()
+    with pytest.raises(BackendError, match="closed"):
+        backend.on_batch("R", GMR({(9, 9): 1}))
+
+
+def test_adaptive_policy_closes_the_loop():
+    policy = AdaptivePolicy(
+        target_latency_s=0.01, min_batch=10, max_batch=1000, initial=100
+    )
+    policy.observe(100, 0.05)  # too slow -> halve
+    assert policy.target_size() == 50
+    policy.observe(50, 0.05)
+    policy.observe(25, 0.05)
+    policy.observe(12, 0.05)
+    assert policy.target_size() == 10  # clamped at min_batch
+    for _ in range(10):
+        policy.observe(policy.target_size(), 0.001)  # fast -> grow
+    assert policy.target_size() == 1000  # clamped at max_batch
+    # Tiny flushes say nothing about a full batch: no growth.
+    before = policy.target_size()
+    policy.observe(1, 0.0001)
+    assert policy.target_size() == before
+
+
+def test_drain_clears_its_flush_request():
+    """A completed read barrier must not force the next batch into a
+    premature flush (the delay/adaptive policies coalesce afterwards
+    exactly as before the read)."""
+    queue = IngestQueue(capacity=4)
+    queue.drain(1.0)  # nothing outstanding: returns immediately
+    assert not queue.flush_requested()
+    inner = RecordingBackend()
+    backend = _wrap(inner, policy="delay", max_delay_s=0.2, max_batch=4)
+    backend.on_batch("R", GMR({(0, 0): 1}))
+    backend.drain()
+    assert backend.metrics.flushes == 1
+    # After the barrier, a single sub-target batch is *held* again
+    # (flushed by max_delay, not instantly by a stale barrier flag).
+    backend.on_batch("R", GMR({(1, 1): 1}))
+    time.sleep(0.05)
+    assert backend.metrics.flushes == 1, (
+        "stale drain flag forced a premature flush"
+    )
+    backend.close()
+    assert inner.state == GMR({(0, 0): 1, (1, 1): 1})
+
+
+def test_make_policy_rejects_unknown_name():
+    with pytest.raises(ValueError, match="fixed"):
+        make_policy("warp")
+    with pytest.raises(ValueError, match="capacity"):
+        IngestQueue(capacity=0)
+    with pytest.raises(ValueError, match="admission"):
+        IngestQueue(admission="panic")
+
+
+# ----------------------------------------------------------------------
+# Backpressure and admission control
+# ----------------------------------------------------------------------
+def test_block_admission_times_out_without_poisoning():
+    inner = WedgeBackend()
+    backend = _wrap(
+        inner,
+        policy="fixed",
+        max_batch=1,
+        queue_capacity=2,
+        admission="block",
+        enqueue_timeout_s=0.15,
+    )
+    backend.on_batch("R", GMR({(0, 0): 1}))  # popped into the wedged flush
+    assert inner.entered.wait(2.0)
+    backend.on_batch("R", GMR({(1, 1): 1}))
+    backend.on_batch("R", GMR({(2, 2): 1}))  # queue now full
+    start = time.monotonic()
+    with pytest.raises(IngestOverflow, match="full"):
+        backend.on_batch("R", GMR({(3, 3): 1}))
+    assert time.monotonic() - start >= 0.1, "blocking admission did not wait"
+    inner.release.set()
+    # Transient overload: not poisoned, the stream continues.
+    backend.on_batch("R", GMR({(4, 4): 1}))
+    backend.drain()
+    assert backend.snapshot() == GMR(
+        {(0, 0): 1, (1, 1): 1, (2, 2): 1, (4, 4): 1}
+    )
+    backend.close()
+
+
+def test_shed_admission_drops_observably():
+    inner = WedgeBackend()
+    backend = _wrap(
+        inner,
+        policy="fixed",
+        max_batch=1,
+        queue_capacity=1,
+        admission="shed",
+    )
+    backend.on_batch("R", GMR({(0, 0): 1}))
+    assert inner.entered.wait(2.0)
+    backend.on_batch("R", GMR({(1, 1): 1}))  # occupies the single slot
+    for i in range(2, 5):
+        backend.on_batch("R", GMR({(i, i): 2}))  # full -> shed
+    inner.release.set()
+    backend.drain()
+    assert backend.metrics.shed_batches == 3
+    assert backend.metrics.shed_tuples == 6
+    assert backend.snapshot() == GMR({(0, 0): 1, (1, 1): 1}), (
+        "shed batches must be absent from the view"
+    )
+    backend.close()
+
+
+def test_coalesce_admission_merges_without_loss():
+    inner = WedgeBackend()
+    backend = _wrap(
+        inner,
+        policy="fixed",
+        max_batch=1,
+        queue_capacity=1,
+        admission="coalesce",
+    )
+    expected = GMR()
+    batch0 = GMR({(0, 0): 1})
+    expected.add_inplace(batch0)
+    backend.on_batch("R", batch0)
+    assert inner.entered.wait(2.0)
+    for i in range(1, 5):
+        batch = GMR({(i, i): 1})
+        expected.add_inplace(batch)
+        backend.on_batch("R", batch)  # first queues, rest coalesce
+    inner.release.set()
+    backend.drain()
+    assert backend.metrics.coalesced_batches == 3
+    assert backend.metrics.shed_batches == 0
+    assert len(inner.calls) == 2, "coalesced entries must flush together"
+    assert backend.snapshot() == expected, "coalescing must lose nothing"
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# Failure contract
+# ----------------------------------------------------------------------
+def test_inner_backend_error_poisons_wrapper():
+    inner = FailingBackend(fail_on=2)
+    backend = _wrap(inner, policy="fixed", max_batch=1)
+    backend.on_batch("R", GMR({(0, 0): 1}))
+    backend.on_batch("R", GMR({(1, 1): 1}))  # this flush raises
+    with pytest.raises(BackendError, match="injected inner failure"):
+        backend.drain()
+    with pytest.raises(BackendError, match="injected inner failure"):
+        backend.on_batch("R", GMR({(2, 2): 1}))
+    with pytest.raises(BackendError, match="injected inner failure"):
+        backend.snapshot()
+    backend.close()
+
+
+def test_non_backend_exception_also_poisons():
+    class Exploding(RecordingBackend):
+        def on_batch(self, relation, batch):
+            raise ValueError("not even a BackendError")
+
+    backend = _wrap(Exploding(), policy="fixed", max_batch=1)
+    backend.on_batch("R", GMR({(0, 0): 1}))
+    with pytest.raises(BackendError, match="not even a BackendError"):
+        backend.drain()
+    backend.close()
+
+
+def test_wedged_batcher_cannot_deadlock_snapshot():
+    inner = WedgeBackend()
+    backend = _wrap(inner, policy="fixed", max_batch=1, drain_timeout_s=0.2)
+    backend.on_batch("R", GMR({(0, 0): 1}))
+    assert inner.entered.wait(2.0)
+    start = time.monotonic()
+    with pytest.raises(BackendError, match="drain"):
+        backend.snapshot()
+    assert time.monotonic() - start < 5.0, "snapshot() hung on the wedge"
+    # Not poisoned: once the inner backend recovers, reads work again.
+    inner.release.set()
+    assert backend.snapshot() == GMR({(0, 0): 1})
+    backend.close()
+
+
+def test_multiproc_worker_death_surfaces_through_wrapper():
+    """The wrapper forwards the inner multiproc failure contract: a
+    dead worker poisons the async view instead of hanging it."""
+    import os
+    import signal
+
+    backend = create_backend(
+        "async:multiproc", SPEC, n_workers=2, reply_timeout_s=20.0,
+        drain_timeout_s=30.0,
+    )
+    try:
+        backend.on_batch("R", GMR({(1, 10): 1}))
+        backend.drain()
+        os.kill(backend.inner._handles[0].process.pid, signal.SIGKILL)
+        with pytest.raises(BackendError):
+            backend.on_batch("S", GMR({(10, 5): 1}))
+            backend.drain()
+            backend.on_batch("S", GMR({(20, 5): 1}))
+            backend.drain()
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Registry and service integration
+# ----------------------------------------------------------------------
+def test_async_names_resolve_in_registry():
+    assert "async:rivm-batch" in available_backends()
+    info = backend_info("async:civm")
+    assert "civm" in info.description
+    assert is_registered("async:multiproc")
+    assert not is_registered("async:warp-drive")
+    assert not is_registered("async:async:rivm-batch")
+    with pytest.raises(KeyError, match="rivm-batch"):
+        backend_info("async:warp-drive")
+
+
+def test_async_factory_splits_options():
+    """Wrapper knobs stay in the wrapper; the rest reaches the inner
+    factory (use_compiled here)."""
+    backend = create_backend(
+        "async:rivm-batch", SPEC, max_batch=17, use_compiled=False
+    )
+    try:
+        assert backend.policy.max_batch == 17
+        assert backend.inner.use_compiled is False
+    finally:
+        backend.close()
+
+
+def test_service_async_view_pushes_deltas_per_flush():
+    service = ViewService(catalog={"R": ("A", "B"), "S": ("B", "C")})
+    service.create_view(
+        "agg", Q, backend="async:rivm-batch",
+        updatable=frozenset({"R", "S"}), max_batch=6,
+    )
+    events = []
+    service.subscribe("agg", events.append)
+    for relation, batch in _mixed_stream(seed=5, n_batches=12):
+        service.on_batch(relation, batch)
+    service.drain("agg")
+    accumulated = GMR()
+    for event in events:
+        assert event.view == "agg"
+        accumulated.add_inplace(event.delta)
+    assert accumulated == service.snapshot("agg")
+    handle = service.view("agg")
+    assert handle.deltas_delivered == len(events)
+    assert handle.deltas_delivered <= handle.batches_applied, (
+        "flush-coalesced delivery should not exceed enqueued batches"
+    )
+    service.drop_view("agg")
+    assert not handle.backend._batcher.is_alive(), (
+        "drop_view must close the async backend"
+    )
+
+
+def test_service_rejects_unknown_async_inner():
+    service = ViewService(catalog={"R": ("A", "B")})
+    with pytest.raises(ServiceError, match="async"):
+        service.create_view("v", "SELECT COUNT(*) FROM R",
+                            backend="async:warp-drive")
+
+
+def test_measure_ingestion_reports_split_latencies():
+    from repro.harness import measure_ingestion, prepare_stream
+    from repro.workloads import MICRO_QUERIES
+
+    prepared = prepare_stream(
+        MICRO_QUERIES["M1"], 50, workload="micro", sf=0.01, max_batches=6
+    )
+    result = measure_ingestion(
+        prepared, inner="rivm-batch", policy="adaptive",
+        target_latency_s=0.005,
+    )
+    assert result.metrics.flushes > 0
+    assert result.n_tuples > 0
+    summary = result.summary()
+    assert summary["maintenance_s"]["p50"] >= 0
+    assert summary["enqueue_wait_s"]["p50"] >= 0
+    assert len(result.snapshot) > 0

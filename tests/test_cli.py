@@ -143,6 +143,196 @@ def test_serve_prefers_requested_workload_for_colliding_names(capsys):
     assert n_tuples > 0
 
 
+def test_run_async_end_to_end(capsys):
+    rc = main(
+        [
+            "run", "M1", "--workload", "micro", "--async",
+            "--policy", "adaptive", "--max-batch", "40",
+            "--sf", "0.01", "--max-batches", "4",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "async:rivm-batch" in out
+    assert "tuples/s" in out
+
+
+def test_run_async_flags_reach_backend_factory(monkeypatch):
+    """--async/--policy/--max-batch/--max-delay/--workers land in the
+    backend name and backend_options handed to the harness."""
+    from repro.harness import LocalResult
+
+    seen = {}
+
+    def fake_measure_throughput(spec, backend, batch_size, **kwargs):
+        seen["backend"] = backend
+        seen["kwargs"] = kwargs
+        return LocalResult(
+            query=spec.name, strategy=backend, batch_size=batch_size,
+            throughput=1.0, virtual_throughput=1.0, n_tuples=1,
+            elapsed_s=0.1,
+        )
+
+    monkeypatch.setattr(
+        "repro.harness.measure_throughput", fake_measure_throughput
+    )
+    rc = main(
+        [
+            "run", "Q6", "--backend", "multiproc", "--workers", "3",
+            "--async", "--policy", "delay", "--max-batch", "64",
+            "--max-delay", "0.01",
+        ]
+    )
+    assert rc == 0
+    assert seen["backend"] == "async:multiproc"
+    assert seen["kwargs"]["n_workers"] == 3
+    assert seen["kwargs"]["policy"] == "delay"
+    assert seen["kwargs"]["max_batch"] == 64
+    assert seen["kwargs"]["max_delay_s"] == 0.01
+
+
+def test_run_async_knobs_require_async_flag():
+    with pytest.raises(SystemExit, match="--async"):
+        main(["run", "Q6", "--policy", "adaptive"])
+    with pytest.raises(SystemExit, match="--async"):
+        main(["serve", "M1", "--workload", "micro", "--max-batch", "10"])
+
+
+def test_run_accepts_explicit_async_backend_name(monkeypatch):
+    """async:<backend> is a first-class --backend value: the async
+    knobs apply without a redundant --async, and the name is never
+    double-wrapped (even with --async given too)."""
+    from repro.harness import LocalResult
+
+    seen = {}
+
+    def fake_measure_throughput(spec, backend, batch_size, **kwargs):
+        seen["backend"] = backend
+        seen["kwargs"] = kwargs
+        return LocalResult(
+            query=spec.name, strategy=backend, batch_size=batch_size,
+            throughput=1.0, virtual_throughput=1.0, n_tuples=1,
+            elapsed_s=0.1,
+        )
+
+    monkeypatch.setattr(
+        "repro.harness.measure_throughput", fake_measure_throughput
+    )
+    assert main(["run", "Q6", "--backend", "async:reeval"]) == 0
+    assert seen["backend"] == "async:reeval"
+    assert "policy" not in seen["kwargs"]
+    rc = main(
+        [
+            "run", "Q6", "--backend", "async:reeval", "--async",
+            "--policy", "adaptive",
+        ]
+    )
+    assert rc == 0
+    assert seen["backend"] == "async:reeval"  # not async:async:reeval
+    assert seen["kwargs"]["policy"] == "adaptive"
+    assert main(
+        ["run", "Q6", "--backend", "async:reeval", "--max-batch", "9"]
+    ) == 0
+    assert seen["kwargs"]["max_batch"] == 9  # implied by the name
+
+
+def test_serve_async_flags_reach_view_defs(monkeypatch):
+    """serve --async wraps every round-robin backend and forwards the
+    ingestion options into each ViewDef."""
+    from repro.harness import ServiceResult, ViewStats
+
+    seen = {}
+
+    def fake_measure_service_throughput(defs, batch_size, **kwargs):
+        seen["defs"] = list(defs)
+        return ServiceResult(
+            views=[
+                ViewStats(
+                    name=d.name, backend=d.backend, streamed=("R",),
+                    batches_applied=1, deltas_delivered=1,
+                    snapshot_tuples=1,
+                )
+                for d in seen["defs"]
+            ],
+            n_tuples=1, routed_tuples=1, n_batches=1, elapsed_s=0.1,
+        )
+
+    monkeypatch.setattr(
+        "repro.harness.measure_service_throughput",
+        fake_measure_service_throughput,
+    )
+    rc = main(
+        [
+            "serve", "M1", "M2", "--workload", "micro",
+            "--backends", "rivm-batch,reeval", "--workers", "2",
+            "--async", "--policy", "fixed", "--max-batch", "32",
+        ]
+    )
+    assert rc == 0
+    assert [d.backend for d in seen["defs"]] == [
+        "async:rivm-batch", "async:reeval",
+    ]
+    for d in seen["defs"]:
+        assert d.options["policy"] == "fixed"
+        assert d.options["max_batch"] == 32
+        assert d.options["n_workers"] == 2
+
+
+def test_serve_mixed_async_list_scopes_knobs(monkeypatch):
+    """An explicitly async backend in a mixed --backends list implies
+    the knobs for *its* views only; synchronous backends stay
+    synchronous and unconfigured."""
+    from repro.harness import ServiceResult, ViewStats
+
+    seen = {}
+
+    def fake_measure_service_throughput(defs, batch_size, **kwargs):
+        seen["defs"] = list(defs)
+        return ServiceResult(
+            views=[
+                ViewStats(
+                    name=d.name, backend=d.backend, streamed=("R",),
+                    batches_applied=1, deltas_delivered=1,
+                    snapshot_tuples=1,
+                )
+                for d in seen["defs"]
+            ],
+            n_tuples=1, routed_tuples=1, n_batches=1, elapsed_s=0.1,
+        )
+
+    monkeypatch.setattr(
+        "repro.harness.measure_service_throughput",
+        fake_measure_service_throughput,
+    )
+    rc = main(
+        [
+            "serve", "M1", "M2", "--workload", "micro",
+            "--backends", "async:rivm-batch,rivm-single",
+            "--max-batch", "64",
+        ]
+    )
+    assert rc == 0
+    first, second = seen["defs"]
+    assert first.backend == "async:rivm-batch"
+    assert first.options["max_batch"] == 64
+    assert second.backend == "rivm-single"
+    assert "max_batch" not in second.options
+
+
+def test_serve_async_end_to_end(capsys):
+    rc = main(
+        [
+            "serve", "M1", "M2", "--workload", "micro", "--async",
+            "--max-batch", "25", "--batch-size", "30",
+            "--sf", "0.002", "--max-batches", "8",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "async:rivm-batch" in out
+    assert "serving 2 views over one stream" in out
+
+
 def test_distributed_plan(capsys):
     assert main(["distributed", "Q3"]) == 0
     out = capsys.readouterr().out
