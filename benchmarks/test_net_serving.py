@@ -1,0 +1,129 @@
+"""Network serving: in-process vs over-the-wire, and push fan-out.
+
+The frontend exists to serve remote traffic, so the number that matters
+is what the wire *costs*: the same single-view TPC-H maintenance
+workload is run once on an in-process :class:`~repro.service.ViewService`
+(`measure_service_throughput`) and once through a live
+:class:`~repro.net.ViewServer` socket (`measure_network_throughput`)
+with 1 and 4 concurrent producer connections — plus a fan-out point
+where one view pushes every delta to 4 independent subscription
+streams.  Each network window ends only when every stream has observed
+the drain mark, so in-process and network elapsed times cover the same
+end-to-end work.
+
+Every configuration asserts the delivery invariant (deltas accumulated
+off the wire equal the final snapshot); measurements land in
+``BENCH_net.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import (
+    ViewDef,
+    format_table,
+    measure_network_throughput,
+    measure_service_throughput,
+)
+from repro.workloads import TPCH_QUERIES
+
+PARAMS = {
+    "Q1": dict(batch_size=250, sf=0.002, max_batches=16),
+    "Q6": dict(batch_size=250, sf=0.002, max_batches=16),
+    "Q17": dict(batch_size=100, sf=0.001, max_batches=8),
+}
+
+#: (label, n_clients, subscribers_per_view) network configurations
+NET_CONFIGS = (
+    ("net_1c", 1, 1),
+    ("net_4c", 4, 1),
+    ("net_fanout4", 1, 4),
+)
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_net.json"
+
+
+@pytest.mark.paper_experiment("network frontend: wire cost and fan-out")
+def test_network_serving_overhead_and_fanout():
+    rows = []
+    payload = {
+        "bench": "net_serving",
+        "unit": "seconds / tuples-per-second",
+        "semantics": (
+            "inproc = measure_service_throughput (one view, one "
+            "subscriber, in process); net_<n>c = measure_network_"
+            "throughput with n concurrent producer connections; "
+            "net_fanout4 = 1 producer, 4 push subscription streams on "
+            "the one view; every network window includes the drain "
+            "barrier observed on every stream"
+        ),
+        "backend": "rivm-batch",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "queries": {},
+    }
+    for query, params in PARAMS.items():
+        defs = [ViewDef(query, TPCH_QUERIES[query], "rivm-batch")]
+        inproc = measure_service_throughput(defs, **params)
+        entry = {
+            "inproc": {
+                "elapsed_s": inproc.elapsed_s,
+                "throughput_tuples_s": inproc.throughput,
+                "n_batches": inproc.n_batches,
+                "n_tuples": inproc.n_tuples,
+            }
+        }
+        rows.append(
+            (query, "inproc", 1, 1, round(inproc.elapsed_s, 4),
+             round(inproc.throughput))
+        )
+        for label, n_clients, n_subs in NET_CONFIGS:
+            net = measure_network_throughput(
+                defs, n_clients=n_clients,
+                subscribers_per_view=n_subs, **params,
+            )
+            assert all(v.consistent for v in net.views), (
+                f"{query}/{label}: wire deltas diverged from snapshot"
+            )
+            assert net.n_tuples == inproc.n_tuples, (
+                f"{query}/{label}: network run streamed a different "
+                "workload than the in-process run"
+            )
+            entry[label] = {
+                "elapsed_s": net.elapsed_s,
+                "throughput_tuples_s": net.throughput,
+                "n_clients": net.n_clients,
+                "subscribers_per_view": net.subscribers_per_view,
+                "deltas_received": net.views[0].deltas_received,
+                "wire_overhead_x": (
+                    net.elapsed_s / inproc.elapsed_s
+                    if inproc.elapsed_s > 0 else None
+                ),
+            }
+            rows.append(
+                (query, label, n_clients, n_subs,
+                 round(net.elapsed_s, 4), round(net.throughput))
+            )
+        payload["queries"][query] = entry
+
+    print()
+    print(
+        format_table(
+            ("query", "config", "clients", "subs/view", "elapsed (s)",
+             "tuples/s"),
+            rows,
+            title="network serving: in-process vs over-the-wire",
+        )
+    )
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Sanity of the shape, not of absolute numbers: every config moved
+    # real tuples and the wire did not corrupt anything (asserted
+    # above); throughputs must be positive and finite.
+    for query, entry in payload["queries"].items():
+        for config, stats in entry.items():
+            assert stats["throughput_tuples_s"] > 0, (query, config)

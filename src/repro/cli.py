@@ -9,7 +9,9 @@ Commands:
   report throughput;
 * ``serve`` — host several views (workload queries and/or ad-hoc SQL,
   mixed backends) on one :class:`~repro.service.ViewService` over a
-  shared stream and report per-view freshness;
+  shared stream and report per-view freshness — or, with ``--port``,
+  host them on a real HTTP socket (:class:`~repro.net.ViewServer`) for
+  remote clients to stream batches into and subscribe to deltas from;
 * ``list-backends`` — the registered execution backends;
 * ``distributed`` — compile for the simulated cluster and show the
   blocks/jobs plan (optionally execute a weak-scaling sweep);
@@ -290,6 +292,9 @@ def cmd_serve(args) -> int:
             raise SystemExit(f"duplicate view name {d.name!r}")
         seen.add(d.name)
 
+    if args.port is not None:
+        return _serve_network(args, defs)
+
     result = measure_service_throughput(
         defs,
         args.batch_size,
@@ -330,6 +335,43 @@ def cmd_serve(args) -> int:
         f"{round(result.routed_throughput)} tuples/s routed "
         f"({result.routed_tuples} view-deliveries)"
     )
+    return 0
+
+
+def _serve_network(args, defs) -> int:
+    """``serve --port``: host the views on a real socket until
+    interrupted (or a client POSTs /shutdown)."""
+    from repro.net import ViewServer
+    from repro.service import ViewService
+    from repro.workloads import as_query_spec
+
+    catalog = _demo_catalog()
+    service = ViewService(catalog=catalog)
+    for d in defs:
+        spec = as_query_spec(d.source, name=d.name, catalog=catalog)
+        service.create_view(d.name, spec, backend=d.backend, **d.options)
+    server = ViewServer(service, host=args.host, port=args.port)
+    print(f"serving {len(defs)} views on {server.url}", flush=True)
+    for d in defs:
+        handle = service.view(d.name)
+        print(
+            f"  view {d.name!r} [{d.backend}] streams "
+            + ",".join(sorted(handle.relations)),
+            flush=True,
+        )
+    print(
+        "endpoints: GET /health /views /views/<v>/snapshot "
+        "/views/<v>/deltas | POST /views /batch/<rel> /drain /shutdown "
+        "| DELETE /views/<v>",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    print("server closed", flush=True)
     return 0
 
 
@@ -454,6 +496,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for cluster/multiproc-backed views")
     _add_async_arguments(p)
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="host the views on a real socket (repro.net.ViewServer) "
+             "instead of running the measurement loop; 0 binds an "
+             "ephemeral port.  Clients then stream batches and "
+             "subscribe to deltas over HTTP (see repro.net.Client)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --port (default 127.0.0.1)",
+    )
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])

@@ -22,6 +22,7 @@ from repro.exec.backend import (
     create_backend,
     is_registered,
     register_backend,
+    reject_nested_async,
 )
 from repro.exec.engine import RecursiveIVMEngine
 from repro.exec.specialized import SpecializedIVMEngine
@@ -40,4 +41,5 @@ __all__ = [
     "create_backend",
     "is_registered",
     "register_backend",
+    "reject_nested_async",
 ]

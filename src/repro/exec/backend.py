@@ -148,6 +148,29 @@ _REGISTRY: dict[str, BackendInfo] = {}
 ASYNC_PREFIX = "async:"
 
 
+def reject_nested_async(name: str) -> None:
+    """Raise ``ValueError`` for ``async:async:<b>`` (and deeper) names.
+
+    The async wrapper already owns one bounded queue and one batcher
+    thread per view; stacking a second wrapper would double both for no
+    semantic gain (two FIFO queues compose to one) while hiding the
+    extra thread from every drain/close path.  The rejection names the
+    inner backend so the caller knows which single wrap they wanted.
+    """
+    if not name.startswith(ASYNC_PREFIX):
+        return
+    inner = name[len(ASYNC_PREFIX):]
+    if inner.startswith(ASYNC_PREFIX):
+        while inner.startswith(ASYNC_PREFIX):
+            inner = inner[len(ASYNC_PREFIX):]
+        raise ValueError(
+            f"nested async wrapper {name!r}: {inner!r} is already "
+            f"wrapped once by 'async:{inner}' (one bounded queue + "
+            "batcher thread per view); double wrapping would stack a "
+            f"second of each — use 'async:{inner}'"
+        )
+
+
 def register_backend(
     name: str, factory: BackendFactory, description: str = ""
 ) -> None:
@@ -164,8 +187,10 @@ def is_registered(name: str) -> bool:
     """Whether ``name`` resolves to a backend.
 
     True for explicitly registered names and for ``async:<inner>``
-    wrapper names whose inner backend is registered (double wrapping is
-    not a thing: the wrapper already serializes one queue per view).
+    wrapper names whose inner backend is registered.  Nested wrappers
+    (``async:async:<b>``) are never valid — resolving one raises the
+    explanatory ``ValueError`` of :func:`reject_nested_async`, so this
+    predicate returns ``False`` for them.
     """
     if name in _REGISTRY:
         return True
@@ -180,9 +205,10 @@ def backend_info(name: str) -> BackendInfo:
         return _REGISTRY[name]
     except KeyError:
         pass
+    reject_nested_async(name)
     if name.startswith(ASYNC_PREFIX):
         inner = name[len(ASYNC_PREFIX):]
-        if not inner.startswith(ASYNC_PREFIX) and inner in _REGISTRY:
+        if inner in _REGISTRY:
             # Synthesized on demand so async:<x> works for any
             # registered backend, including ones added at runtime.
             from repro.ingest import make_async_factory

@@ -17,6 +17,9 @@ produces the same rows/series the paper reports:
   stream);
 * :mod:`repro.harness.ingest` — async-ingestion runs (ingestion vs
   maintenance latency through the ``async:<backend>`` wrappers);
+* :mod:`repro.harness.network` — over-the-wire serving runs (the same
+  multi-view workload behind a :class:`~repro.net.ViewServer` socket,
+  driven by N concurrent client connections);
 * :mod:`repro.harness.report` — plain-text table/series rendering.
 
 The ``benchmarks/`` directory contains one pytest-benchmark target per
@@ -59,6 +62,12 @@ from repro.harness.service import (
     ViewDef,
     ViewStats,
     measure_service_throughput,
+    prepare_service_run,
+)
+from repro.harness.network import (
+    NetViewStats,
+    NetworkResult,
+    measure_network_throughput,
 )
 
 __all__ = [
@@ -88,6 +97,10 @@ __all__ = [
     "ViewStats",
     "ServiceResult",
     "measure_service_throughput",
+    "prepare_service_run",
+    "NetViewStats",
+    "NetworkResult",
+    "measure_network_throughput",
     "IngestionResult",
     "measure_ingestion",
 ]

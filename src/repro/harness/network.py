@@ -1,0 +1,213 @@
+"""Over-the-wire serving experiments.
+
+The network analogue of
+:func:`~repro.harness.service.measure_service_throughput`: the same
+multi-view workload, but hosted behind a real :class:`~repro.net.ViewServer`
+socket and driven by ``n_clients`` concurrent
+:class:`~repro.net.Client` connections — each on its own thread, the
+shape of the deployment the frontend exists for.  Per view, one push
+subscription accumulates deltas off the wire; the timed window covers
+ingestion, maintenance, push fan-out, *and* the client-side barrier
+(drain mark observed on every stream), so in-process vs network runs
+are directly comparable end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.harness.service import (
+    coerce_view_defs,
+    create_views,
+    prepare_service_run,
+)
+from repro.net import Client, ViewServer
+from repro.ring import GMR
+from repro.service import ViewService
+
+__all__ = ["NetViewStats", "NetworkResult", "measure_network_throughput"]
+
+#: how long the driver waits for a drain mark to show up on a stream
+_MARK_TIMEOUT_S = 60.0
+
+
+@dataclass
+class NetViewStats:
+    """Per-view outcome of one network serving run."""
+
+    name: str
+    backend: str
+    deltas_received: int
+    snapshot_tuples: int
+    #: deltas accumulated off the wire equal the final snapshot — the
+    #: end-to-end delivery invariant, checked per run
+    consistent: bool
+
+
+@dataclass
+class NetworkResult:
+    """One timed over-the-wire serving run."""
+
+    views: list[NetViewStats]
+    n_clients: int
+    n_tuples: int
+    n_batches: int
+    elapsed_s: float
+    subscribers_per_view: int = 1
+
+    @property
+    def throughput(self) -> float:
+        """Streamed tuples per second, measured at the clients."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.n_tuples / self.elapsed_s
+
+
+def measure_network_throughput(
+    views,
+    batch_size: int,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    use_compiled: bool = True,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+    n_clients: int = 1,
+    subscribers_per_view: int = 1,
+    host: str = "127.0.0.1",
+) -> NetworkResult:
+    """Serve N views over a real socket, driven by concurrent clients.
+
+    Stream preparation, view creation, and server startup happen
+    outside the timed window; the window spans the producer threads
+    (each posting its round-robin share of batches over its own client
+    connection), a drain barrier, and every subscription stream
+    observing the barrier's mark — i.e. all pushed deltas received.
+    ``subscribers_per_view`` opens that many independent push streams
+    per view (the fan-out axis): each is a separate connection and each
+    must observe the barrier inside the timed window.
+    """
+    defs = coerce_view_defs(views)
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    if subscribers_per_view < 1:
+        raise ValueError(
+            f"subscribers_per_view must be >= 1, got {subscribers_per_view}"
+        )
+
+    specs, static, batches, n_tuples, _fed = prepare_service_run(
+        defs, batch_size, workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches, catalog=catalog,
+    )
+
+    service = ViewService(catalog=catalog, base=static, track_base=False)
+    create_views(service, defs, specs, use_compiled)
+
+    server = ViewServer(service, host=host).start()
+    control = Client(host=host, port=server.port)
+    streams: dict[tuple[str, int], object] = {}
+    accs: dict[tuple[str, int], GMR] = {}
+    counts: dict[tuple[str, int], int] = {}
+    readers: list[threading.Thread] = []
+    errors: list[BaseException] = []
+    try:
+        for d in defs:
+            for i in range(subscribers_per_view):
+                key = (d.name, i)
+                streams[key] = control.subscribe(d.name)
+                accs[key] = GMR()
+                counts[key] = 0
+
+        def read(key) -> None:
+            # Iteration appends marks to stream.marks and ends when the
+            # server closes the stream (our shutdown path).
+            try:
+                for delta in streams[key]:
+                    accs[key].add_inplace(delta.delta)
+                    counts[key] += 1
+            except BaseException as exc:
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=read, args=(key,), daemon=True)
+            for key in streams
+        ]
+        for r in readers:
+            r.start()
+
+        shares = [batches[i::n_clients] for i in range(n_clients)]
+
+        def produce(share) -> None:
+            client = Client(host=host, port=server.port)
+            try:
+                for relation, batch, _size in share:
+                    client.batch(relation, batch)
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        producers = [
+            threading.Thread(target=produce, args=(share,), daemon=True)
+            for share in shares
+        ]
+
+        start = time.perf_counter()
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join()
+        token = control.drain()
+        deadline = time.monotonic() + _MARK_TIMEOUT_S
+        for key, stream in streams.items():
+            while token not in stream.marks:
+                if errors:
+                    raise RuntimeError(
+                        f"network run failed: {errors[0]!r}"
+                    ) from errors[0]
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"stream {key!r} never observed drain mark {token}"
+                    )
+                time.sleep(0.002)
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise RuntimeError(f"network run failed: {errors[0]!r}") from errors[0]
+
+        stats = []
+        for d in defs:
+            snap = control.snapshot(d.name)
+            stats.append(
+                NetViewStats(
+                    name=d.name,
+                    backend=d.backend,
+                    deltas_received=counts[(d.name, 0)],
+                    snapshot_tuples=len(snap),
+                    consistent=all(
+                        accs[(d.name, i)] == snap
+                        for i in range(subscribers_per_view)
+                    ),
+                )
+            )
+    finally:
+        for stream in streams.values():
+            stream.close()
+        control.close()
+        server.close()
+        for r in readers:
+            r.join(timeout=10)
+        for d in defs:
+            try:
+                service.drop_view(d.name)
+            except Exception:
+                pass
+    return NetworkResult(
+        views=stats,
+        n_clients=n_clients,
+        n_tuples=n_tuples,
+        n_batches=len(batches),
+        elapsed_s=elapsed,
+        subscribers_per_view=subscribers_per_view,
+    )

@@ -72,39 +72,52 @@ class ServiceResult:
         return self.routed_tuples / self.elapsed_s
 
 
-def measure_service_throughput(
-    views,
-    batch_size: int,
-    workload: str = "tpch",
-    sf: float = 0.0005,
-    seed: int = 42,
-    max_batches: int | None = None,
-    use_compiled: bool = True,
-    catalog: dict[str, tuple[str, ...]] | None = None,
-    subscribe: bool = True,
-) -> ServiceResult:
-    """Serve N concurrent views over one shared update stream.
-
-    ``views`` is an iterable of :class:`ViewDef` (or ``(name, source,
-    backend)`` tuples).  The streamed relation set is the union of every
-    view's ``updatable`` relations; each view's spec is widened so that
-    any streamed relation it references gets a trigger (a relation that
-    is static for one view but streamed by another would otherwise leave
-    the first view stale).  Remaining relations are pre-loaded as static
-    dimension tables shared by all views.
-
-    With ``subscribe`` (default) every view gets a delta-counting push
-    subscriber, so the measured window includes changefeed computation —
-    the realistic serving cost.  Stream preparation and view creation
-    happen outside the timed window.
-    """
+def coerce_view_defs(views) -> list[ViewDef]:
+    """Normalize an iterable of :class:`ViewDef` / ``(name, source,
+    backend?)`` tuples; rejects an empty view list."""
     defs = [
         v if isinstance(v, ViewDef) else ViewDef(v[0], v[1], *v[2:])
         for v in views
     ]
     if not defs:
-        raise ValueError("measure_service_throughput needs at least one view")
+        raise ValueError("the serving runners need at least one view")
+    return defs
 
+
+def create_views(
+    service: ViewService,
+    defs: list[ViewDef],
+    specs,
+    use_compiled: bool = True,
+) -> None:
+    """Create every prepared view on ``service`` (shared by the
+    in-process and network runners, so option defaulting cannot
+    diverge between the two sides of the comparison)."""
+    for d in defs:
+        options = dict(d.options)
+        options.setdefault("use_compiled", use_compiled)
+        service.create_view(d.name, specs[d.name], backend=d.backend, **options)
+
+
+def prepare_service_run(
+    defs: list[ViewDef],
+    batch_size: int,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+):
+    """Shared setup of the multi-view runners (in-process and network).
+
+    Resolves every view's spec, widens specs so any streamed relation a
+    view references gets a trigger, splits the generated workload into
+    static preload vs streamed batches, and returns
+    ``(specs, static_db, batches, n_tuples, fed)`` where ``batches`` is
+    a list of ``(relation, GMR, size)`` and ``fed`` is the set of
+    streamed relations the workload actually generated rows for (for
+    starvation warnings).
+    """
     specs = {
         d.name: as_query_spec(d.source, name=d.name, catalog=catalog)
         for d in defs
@@ -134,12 +147,44 @@ def measure_service_throughput(
         n_tuples += size
         if max_batches is not None and len(batches) >= max_batches:
             break
+    fed = {rel for rel, rows in streamed_rows.items() if rows}
+    return specs, static, batches, n_tuples, fed
+
+
+def measure_service_throughput(
+    views,
+    batch_size: int,
+    workload: str = "tpch",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    use_compiled: bool = True,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+    subscribe: bool = True,
+) -> ServiceResult:
+    """Serve N concurrent views over one shared update stream.
+
+    ``views`` is an iterable of :class:`ViewDef` (or ``(name, source,
+    backend)`` tuples).  The streamed relation set is the union of every
+    view's ``updatable`` relations; each view's spec is widened so that
+    any streamed relation it references gets a trigger (a relation that
+    is static for one view but streamed by another would otherwise leave
+    the first view stale).  Remaining relations are pre-loaded as static
+    dimension tables shared by all views.
+
+    With ``subscribe`` (default) every view gets a delta-counting push
+    subscriber, so the measured window includes changefeed computation —
+    the realistic serving cost.  Stream preparation and view creation
+    happen outside the timed window.
+    """
+    defs = coerce_view_defs(views)
+    specs, static, batches, n_tuples, fed = prepare_service_run(
+        defs, batch_size, workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches, catalog=catalog,
+    )
 
     service = ViewService(catalog=catalog, base=static, track_base=False)
-    for d in defs:
-        options = dict(d.options)
-        options.setdefault("use_compiled", use_compiled)
-        service.create_view(d.name, specs[d.name], backend=d.backend, **options)
+    create_views(service, defs, specs, use_compiled)
     if subscribe:
         for d in defs:
             service.subscribe(d.name, lambda event: None)
@@ -155,7 +200,6 @@ def measure_service_throughput(
         service.drain()
         elapsed = time.perf_counter() - start
 
-        fed = {rel for rel, rows in streamed_rows.items() if rows}
         stats = [
             ViewStats(
                 name=d.name,

@@ -112,8 +112,10 @@ class AsyncIngestBackend(ExecutionBackend):
 
     @property
     def on_flush(self):
-        """Post-flush hook ``(relation, delta_source) -> None``; the
-        view service installs its push-delta publisher here."""
+        """Post-flush hook ``(relation, delta_source, seq) -> None``;
+        the view service installs its push-delta publisher here.
+        ``seq`` is the highest producer-assigned sequence number merged
+        into the flush (``None`` when entries were never stamped)."""
         return self._batcher.on_flush
 
     @on_flush.setter
@@ -173,17 +175,21 @@ class AsyncIngestBackend(ExecutionBackend):
         with self._batcher.inner_lock:
             self.inner.initialize(base)
 
-    def on_batch(self, relation: str, batch: GMR) -> None:
+    def on_batch(self, relation: str, batch: GMR, seq: int | None = None) -> None:
         """Admit one update batch; returns once admission decides.
 
         The batch is copied at the boundary (the batcher merges entries
-        in place), so callers may keep mutating their GMR.
+        in place), so callers may keep mutating their GMR.  ``seq`` is
+        an optional producer sequence number stamped on the queue entry
+        at enqueue time; the flush hook reports the highest seq actually
+        merged into each flush (the view service uses this to attribute
+        coalesced ``ViewDelta`` events to the right batch).
         """
         self._check_open()
         tuples = sum(abs(m) for m in batch.data.values())
         start = time.monotonic()
         outcome, depth = self.queue.put(
-            relation, GMR(dict(batch.data)), tuples
+            relation, GMR(dict(batch.data)), tuples, seq
         )
         if outcome != "shed":
             self.metrics.record_enqueue(
@@ -232,6 +238,10 @@ def make_async_factory(inner_name: str):
     ``use_compiled``, ``n_workers``, ...) reaches the inner factory
     unchanged.
     """
+
+    from repro.exec.backend import reject_nested_async
+
+    reject_nested_async(f"async:{inner_name}")
 
     def factory(spec, **options):
         async_options = {

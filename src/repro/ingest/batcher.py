@@ -46,7 +46,7 @@ POLL_S = 0.02
 class _Pending:
     """Consecutive same-relation entries merged into one flushable batch."""
 
-    __slots__ = ("relation", "delta", "tuples", "entries", "oldest_at")
+    __slots__ = ("relation", "delta", "tuples", "entries", "oldest_at", "seq")
 
     def __init__(self, entry: Entry):
         self.relation = entry.relation
@@ -54,11 +54,20 @@ class _Pending:
         self.tuples = entry.tuples
         self.entries = 1
         self.oldest_at = entry.enqueued_at
+        #: highest producer-assigned seq merged into this batch — what a
+        #: coalesced flush's changefeed event must be stamped with (the
+        #: producer's *current* seq at flush time may belong to batches
+        #: this flush does not include)
+        self.seq = entry.seq
 
     def merge(self, entry: Entry) -> None:
         self.delta.add_inplace(entry.delta)
         self.tuples += entry.tuples
         self.entries += 1
+        if entry.seq is not None:
+            self.seq = (
+                entry.seq if self.seq is None else max(self.seq, entry.seq)
+            )
 
 
 class Batcher(threading.Thread):
@@ -78,9 +87,12 @@ class Batcher(threading.Thread):
         #: serializes inner-backend access between this thread and the
         #: wrapper's initialize/snapshot/last_delta
         self.inner_lock = threading.Lock()
-        #: optional hook ``on_flush(relation, delta_source)`` fired after
-        #: each flush; ``delta_source()`` returns the inner changefeed's
-        #: ``last_delta()`` (computed lazily, under ``inner_lock``)
+        #: optional hook ``on_flush(relation, delta_source, seq)`` fired
+        #: after each flush; ``delta_source()`` returns the inner
+        #: changefeed's ``last_delta()`` (computed lazily, under
+        #: ``inner_lock``) and ``seq`` is the highest producer-assigned
+        #: sequence number actually merged into the flushed batch
+        #: (``None`` when the producer never stamped one)
         self.on_flush = None
         self._discard = threading.Event()
 
@@ -169,7 +181,7 @@ class Batcher(threading.Thread):
         self.policy.observe(pending.tuples, maintenance)
         hook = self.on_flush
         if hook is not None:
-            hook(pending.relation, self.delta_source)
+            hook(pending.relation, self.delta_source, pending.seq)
         # Completion is published last: a drain that returns implies the
         # flush hook (subscriber deltas) already ran.
         self.queue.mark_completed(pending.entries)

@@ -8,9 +8,10 @@ must agree on:
 * **admission** when the queue is full — ``block`` (wait up to
   ``enqueue_timeout_s``, then raise :class:`IngestOverflow`), ``shed``
   (drop the batch, observable in the metrics), or ``coalesce`` (merge
-  the batch into the newest queued entry of the same relation — GMR
-  deltas are additive, so coalescing loses nothing — falling back to
-  blocking when no such entry exists);
+  the batch into the *tail* entry when it streams the same relation —
+  GMR deltas are additive, so coalescing loses nothing, and merging
+  only at the tail keeps delivery order equal to admission order —
+  falling back to blocking otherwise);
 * the **drain barrier** — ``accepted`` counts entries admitted,
   ``completed`` counts entries whose flush finished downstream;
   :meth:`drain` waits for the two to meet, which is what makes
@@ -52,15 +53,28 @@ class IngestOverflow(BackendError):
 class Entry:
     """One queued update: a relation's delta plus arrival bookkeeping."""
 
-    __slots__ = ("relation", "delta", "tuples", "enqueued_at", "batches")
+    __slots__ = (
+        "relation", "delta", "tuples", "enqueued_at", "batches", "seq",
+    )
 
-    def __init__(self, relation: str, delta: GMR, tuples: int, now: float):
+    def __init__(
+        self,
+        relation: str,
+        delta: GMR,
+        tuples: int,
+        now: float,
+        seq: int | None = None,
+    ):
         self.relation = relation
         self.delta = delta
         self.tuples = tuples
         self.enqueued_at = now
         #: producer batches merged into this entry (1 + coalesced)
         self.batches = 1
+        #: producer-assigned sequence number (the view service stamps
+        #: its service-wide batch seq here *at enqueue time*, so a later
+        #: coalesced flush can report exactly which batches it contains)
+        self.seq = seq
 
 
 class IngestQueue:
@@ -95,9 +109,18 @@ class IngestQueue:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def put(self, relation: str, delta: GMR, tuples: int) -> tuple[str, int]:
+    def put(
+        self,
+        relation: str,
+        delta: GMR,
+        tuples: int,
+        seq: int | None = None,
+    ) -> tuple[str, int]:
         """Admit one batch; returns ``(outcome, depth)`` where outcome
         is ``"queued"``, ``"coalesced"``, or ``"shed"``.
+
+        ``seq`` is an optional producer-assigned sequence number carried
+        on the entry (coalescing keeps the highest seq merged in).
 
         Raises :class:`IngestOverflow` when blocking admission times
         out, and :class:`~repro.exec.BackendError` when the queue is
@@ -109,7 +132,7 @@ class IngestQueue:
                 self._check_usable()
                 if len(self._entries) < self.capacity:
                     self._entries.append(
-                        Entry(relation, delta, tuples, time.monotonic())
+                        Entry(relation, delta, tuples, time.monotonic(), seq)
                     )
                     self._accepted += 1
                     self._cond.notify_all()
@@ -118,14 +141,24 @@ class IngestQueue:
                     self.metrics.record_shed(tuples)
                     return "shed", len(self._entries)
                 if self.admission == "coalesce":
-                    entry = self._newest_for(relation)
-                    if entry is not None:
+                    entry = self._entries[-1] if self._entries else None
+                    if entry is not None and entry.relation == relation:
                         entry.delta.add_inplace(delta)
                         entry.tuples += tuples
                         entry.batches += 1
+                        if seq is not None:
+                            entry.seq = (
+                                seq if entry.seq is None
+                                else max(entry.seq, seq)
+                            )
                         self.metrics.record_coalesced(tuples)
                         return "coalesced", len(self._entries)
-                    # No queued entry to merge into: block like "block".
+                    # Only the *tail* entry is a merge target: folding
+                    # this batch into an earlier same-relation entry
+                    # would deliver its (high) seq ahead of later-queued
+                    # lower seqs, breaking the per-subscriber seq
+                    # monotonicity the service guarantees.  A tail of a
+                    # different relation blocks like "block".
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise IngestOverflow(
@@ -135,12 +168,6 @@ class IngestQueue:
                         f"{self.enqueue_timeout_s}s"
                     )
                 self._cond.wait(min(remaining, 0.05))
-
-    def _newest_for(self, relation: str) -> Entry | None:
-        for entry in reversed(self._entries):
-            if entry.relation == relation:
-                return entry
-        return None
 
     # ------------------------------------------------------------------
     # Batcher side

@@ -1,0 +1,40 @@
+"""The network serving frontend: ViewService over real sockets.
+
+This package turns the in-process :class:`~repro.service.ViewService`
+into a deployable view-serving service — the shape DBToaster-style
+systems ship: a maintenance core behind an HTTP API, with push-based
+delta subscriptions streamed to remote clients.
+
+* :class:`ViewServer` — a stdlib-only threaded HTTP server exposing
+  view lifecycle, batch ingestion, snapshots/stats, a drain barrier,
+  and chunked-NDJSON push subscriptions;
+* :class:`Client` / :class:`DeltaStream` — the thin client mirroring
+  the API (``http.client``, one extra connection per subscription);
+* :mod:`repro.net.wire` — the JSON codecs for GMRs and ViewDelta
+  events.
+
+See ARCHITECTURE.md ("Network frontend") for the wire format, the
+threading model, and what ``drain`` means over HTTP.
+"""
+
+from repro.net.client import Client, DeltaStream, NetError
+from repro.net.server import ViewServer
+from repro.net.wire import (
+    WIRE_VERSION,
+    decode_delta,
+    decode_gmr,
+    encode_delta,
+    encode_gmr,
+)
+
+__all__ = [
+    "Client",
+    "DeltaStream",
+    "NetError",
+    "ViewServer",
+    "WIRE_VERSION",
+    "decode_delta",
+    "decode_gmr",
+    "encode_delta",
+    "encode_gmr",
+]

@@ -1,0 +1,317 @@
+"""The thin network client mirroring the :class:`ViewServer` API.
+
+One :class:`Client` wraps one keep-alive control connection (view
+lifecycle, batches, snapshots, drain); each :meth:`Client.subscribe`
+opens its *own* connection for the push stream, so reading deltas never
+head-of-line-blocks ingestion.  Everything is stdlib ``http.client``.
+
+A client is a single-producer handle: use one per thread (the server
+side is what makes concurrent producers safe, via the ViewService
+lock).  The blocking barrier pattern over the wire::
+
+    client = Client(port=server.port)
+    client.create_view("v", "SELECT ...", backend="async:rivm-batch")
+    stream = client.subscribe("v")
+    client.batch("R", GMR({(1, 10): 1}))
+    token = client.drain("v")           # server-side barrier + mark
+    deltas = stream.read_until_mark(token)   # everything owed, in order
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from repro.ring import GMR
+from repro.service import ViewDelta
+from repro.net.wire import decode_delta, decode_gmr, encode_gmr
+
+__all__ = ["Client", "DeltaStream", "NetError"]
+
+
+class NetError(RuntimeError):
+    """An HTTP error reply (or a broken stream) from the view server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class Client:
+    """Control-plane client for one :class:`~repro.net.ViewServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Request bodies are small and ping-pong with replies on one
+            # keep-alive connection; without TCP_NODELAY, Nagle plus the
+            # peer's delayed ACK stalls every exchange ~40ms.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload=None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # Only idempotent reads are retried transparently (a dropped
+        # keep-alive connection gets one reconnect).  POST/DELETE must
+        # not be: the server may already have applied the request even
+        # though the reply never arrived, and silently re-sending e.g.
+        # /batch would apply the same GMR delta twice.
+        attempts = (0, 1) if method == "GET" else (1,)
+        for attempt in attempts:
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                data = resp.read()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                self._close_conn()
+                if attempt:
+                    raise
+        decoded = json.loads(data) if data else None
+        if resp.status >= 400:
+            message = (
+                decoded.get("error", data.decode("utf-8", "replace"))
+                if isinstance(decoded, dict)
+                else data.decode("utf-8", "replace")
+            )
+            raise NetError(resp.status, message)
+        return decoded
+
+    def _close_conn(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def close(self) -> None:
+        """Close the control connection (streams close separately)."""
+        self._close_conn()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Mirrored API
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def backends(self) -> dict:
+        """Registered execution backends: ``{name: description}``."""
+        return self._request("GET", "/backends")
+
+    def views(self) -> dict:
+        """All hosted views with their delivery stats."""
+        return self._request("GET", "/views")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def create_view(
+        self,
+        name: str,
+        source: str,
+        backend: str = "rivm-batch",
+        *,
+        updatable=None,
+        **options,
+    ) -> dict:
+        """Create a view from a SQL source (parsed against the server's
+        catalog); ``options`` are forwarded to the backend factory."""
+        payload = {"name": name, "source": source, "backend": backend}
+        if updatable is not None:
+            payload["updatable"] = sorted(updatable)
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/views", payload)
+
+    def drop_view(self, name: str) -> dict:
+        return self._request("DELETE", f"/views/{name}")
+
+    def batch(self, relation: str, batch: GMR) -> dict:
+        """Stream one GMR delta batch; returns ``{seq, touched}``."""
+        return self._request(
+            "POST", f"/batch/{relation}", encode_gmr(batch)
+        )
+
+    def snapshot(self, name: str) -> GMR:
+        reply = self._request("GET", f"/views/{name}/snapshot")
+        return decode_gmr(reply["snapshot"])
+
+    def view_stats(self, name: str) -> dict:
+        return self._request("GET", f"/views/{name}/stats")
+
+    def drain(self, view: str | None = None) -> int:
+        """Server-side barrier; returns the ``mark`` token broadcast on
+        the drained delta streams (see ``DeltaStream.read_until_mark``)."""
+        payload = {"view": view} if view is not None else {}
+        return self._request("POST", "/drain", payload)["mark"]
+
+    def shutdown_server(self) -> dict:
+        """Ask the server to shut down cleanly."""
+        reply = self._request("POST", "/shutdown")
+        self._close_conn()
+        return reply
+
+    def subscribe(
+        self, view: str, *, initial: bool = False, timeout: float = 60.0
+    ) -> "DeltaStream":
+        """Open a push subscription on its own connection.
+
+        ``timeout`` bounds any single blocking read on the stream; the
+        server heartbeats idle streams well inside it, so a timeout
+        means the server is gone, not just quiet.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        path = f"/views/{view}/deltas"
+        if initial:
+            path += "?initial=1"
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        if resp.status >= 400:
+            data = resp.read()
+            conn.close()
+            try:
+                message = json.loads(data)["error"]
+            except Exception:
+                message = data.decode("utf-8", "replace")
+            raise NetError(resp.status, message)
+        stream = DeltaStream(view, conn, resp)
+        first = stream._read_envelope()
+        if first.get("type") != "subscribed":
+            conn.close()
+            raise NetError(502, f"expected subscribed event, got {first!r}")
+        return stream
+
+
+class DeltaStream:
+    """One push subscription: an iterator of :class:`ViewDelta` events.
+
+    Iterating yields decoded deltas (heartbeats are skipped) until the
+    server closes the stream.  :meth:`read_until_mark` consumes up to a
+    drain token — the client half of the over-the-wire barrier.
+    """
+
+    def __init__(self, view: str, conn, resp):
+        self.view = view
+        self._conn = conn
+        self._resp = resp
+        self.closed_reason: str | None = None
+        #: mark tokens seen while reading (in arrival order)
+        self.marks: list[int] = []
+
+    def _read_envelope(self) -> dict:
+        """The next raw NDJSON envelope (any type)."""
+        if self.closed_reason is not None:
+            raise NetError(410, f"stream closed: {self.closed_reason}")
+        try:
+            line = self._resp.readline()
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            self.close()
+            raise NetError(499, f"stream broken: {exc}") from exc
+        if not line:
+            self.close()
+            raise NetError(499, "stream ended without a closed event")
+        envelope = json.loads(line)
+        if envelope.get("type") == "closed":
+            self.closed_reason = envelope.get("reason", "")
+            self.close()
+        return envelope
+
+    def __iter__(self):
+        while True:
+            try:
+                envelope = self._read_envelope()
+            except NetError:
+                return
+            kind = envelope.get("type")
+            if kind == "delta":
+                yield decode_delta(envelope)
+            elif kind == "mark":
+                self.marks.append(envelope["token"])
+            elif kind == "closed":
+                return
+
+    def read_until_mark(self, token: int) -> list[ViewDelta]:
+        """Consume the stream up to (and including) mark ``token``;
+        returns the deltas read on the way, in delivery order.
+
+        Raises :class:`NetError` if the stream closes first — except
+        when the close reason is ``view dropped``, where the deltas
+        owed were (by the drain-then-cancel drop ordering) already
+        delivered before the close, so they are returned.
+        """
+        deltas: list[ViewDelta] = []
+        while True:
+            try:
+                envelope = self._read_envelope()
+            except NetError:
+                if self.closed_reason == "view dropped":
+                    return deltas
+                raise
+            kind = envelope.get("type")
+            if kind == "delta":
+                deltas.append(decode_delta(envelope))
+            elif kind == "mark":
+                self.marks.append(envelope["token"])
+                if envelope["token"] >= token:
+                    return deltas
+            elif kind == "closed":
+                if self.closed_reason == "view dropped":
+                    return deltas
+                raise NetError(
+                    410, f"stream closed before mark: {self.closed_reason}"
+                )
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "DeltaStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            f"closed: {self.closed_reason}" if self.closed_reason else "open"
+        )
+        return f"DeltaStream({self.view!r}, {state})"

@@ -1,0 +1,526 @@
+"""The network serving frontend: :class:`ViewServer`.
+
+A stdlib-only HTTP frontend over one :class:`~repro.service.ViewService`
+session — the deployment shape of DBToaster-style view-serving systems:
+a maintenance core behind a network API, with push subscriptions fanning
+maintained deltas out to remote clients.
+
+One ``ThreadingHTTPServer`` handles each connection on its own thread,
+so the service's own lock (see the ViewService threading model) is what
+serializes concurrent producers; the frontend adds no locking of its
+own around maintenance.  Endpoints:
+
+=========================== ==========================================
+``GET  /health``            liveness + wire version + session summary
+``GET  /backends``          the execution-backend catalog
+``GET  /views``             all hosted views and their delivery stats
+``POST /views``             create a view (SQL source, backend, options)
+``DELETE /views/<name>``    drop a view (drains async queues first)
+``POST /batch/<relation>``  ingest one GMR delta batch; returns seq +
+                            the touched views
+``GET  /views/<name>/snapshot``  pull the current contents
+``GET  /views/<name>/stats``     per-view delivery stats
+``POST /drain``             barrier (optionally ``{"view": name}``);
+                            broadcasts a ``mark`` token on the delta
+                            streams it drained
+``GET  /views/<name>/deltas``    push subscription: chunked NDJSON
+                            stream of ``delta`` events (``?initial=1``
+                            seeds with the current snapshot)
+``POST /shutdown``          clean remote shutdown
+=========================== ==========================================
+
+**What ``drain`` means over HTTP.**  ``POST /drain`` returns once every
+batch admitted *before the request* is flushed and its deltas have been
+handed to the per-connection stream queues, and the ``mark`` token it
+returns has been enqueued *behind* those deltas on each stream.  It
+does **not** mean remote subscribers have already read them — sockets
+buffer — so a client that needs the barrier reads its own stream until
+the mark arrives (``DeltaStream.read_until_mark``).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.exec import BackendError, available_backends, backend_info
+from repro.service import ServiceError, ViewService
+from repro.net.wire import (
+    WIRE_VERSION,
+    decode_gmr,
+    dump_line,
+    encode_delta,
+    encode_gmr,
+)
+
+__all__ = ["ViewServer"]
+
+#: how long a stream poll waits before re-checking liveness
+_STREAM_POLL_S = 0.25
+#: idle time after which a stream writes a heartbeat line
+_HEARTBEAT_S = 2.0
+
+#: sentinel queued to every live stream when the server closes
+_CLOSE = object()
+
+
+class _Hub:
+    """Registry of live subscription streams, for mark/close broadcast.
+
+    Every ``/deltas`` connection owns one queue; delta events are
+    enqueued by the service's publisher threads (via the subscription
+    callback), marks by ``/drain`` handler threads, and the close
+    sentinel by server shutdown — so the stream writer thread is the
+    queue's only consumer and wire order equals enqueue order.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._streams: dict[str, list[queue.SimpleQueue]] = {}
+        self.closing = False
+
+    def register(self, view: str, q: queue.SimpleQueue) -> None:
+        with self._lock:
+            self._streams.setdefault(view, []).append(q)
+
+    def unregister(self, view: str, q: queue.SimpleQueue) -> None:
+        with self._lock:
+            streams = self._streams.get(view, [])
+            if q in streams:
+                streams.remove(q)
+            if not streams:
+                self._streams.pop(view, None)
+
+    def broadcast(self, view: str | None, item) -> int:
+        """Queue ``item`` on every stream of ``view`` (all views when
+        ``None``); returns how many streams received it."""
+        with self._lock:
+            if view is None:
+                targets = [q for qs in self._streams.values() for q in qs]
+            else:
+                targets = list(self._streams.get(view, []))
+        for q in targets:
+            q.put(item)
+        return len(targets)
+
+    def close_all(self) -> None:
+        with self._lock:
+            self.closing = True
+        self.broadcast(None, _CLOSE)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 gives keep-alive for the control connection and chunked
+    # transfer for the delta streams.
+    protocol_version = "HTTP/1.1"
+    # Small request/reply bodies ping-pong on one keep-alive connection;
+    # Nagle + delayed ACK would add ~40ms to every exchange.
+    disable_nagle_algorithm = True
+    #: the owning ViewServer, injected by its handler subclass
+    view_server: "ViewServer" = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep harness/test output clean; errors surface as JSON
+
+    @property
+    def service(self) -> ViewService:
+        return self.view_server.service
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length == 0:
+            return None
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _fail(self, exc: Exception) -> None:
+        """Map service-layer exceptions onto HTTP statuses."""
+        message = str(exc)
+        if isinstance(exc, ServiceError):
+            if message.startswith("unknown view"):
+                return self._send_error_json(404, message)
+            if "already exists" in message:
+                return self._send_error_json(409, message)
+            return self._send_error_json(400, message)
+        if isinstance(exc, BackendError):
+            return self._send_error_json(500, message)
+        if isinstance(exc, (ValueError, KeyError, TypeError)):
+            return self._send_error_json(400, message)
+        raise exc
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            handler = self._resolve(method, parts, parse_qs(url.query))
+            if handler is None:
+                return self._send_error_json(
+                    404, f"no route for {method} {url.path}"
+                )
+            handler()
+        except (BrokenPipeError, ConnectionResetError):
+            raise  # client gone; nothing to send
+        except Exception as exc:  # noqa: BLE001 - mapped to a status
+            try:
+                self._fail(exc)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+    def _resolve(self, method: str, parts: list[str], query: dict):
+        if method == "GET":
+            if parts == ["health"]:
+                return self._get_health
+            if parts == ["backends"]:
+                return self._get_backends
+            if parts == ["stats"]:
+                return self._get_stats
+            if parts == ["views"]:
+                return self._get_views
+            if len(parts) == 3 and parts[0] == "views":
+                name = parts[1]
+                if parts[2] == "snapshot":
+                    return lambda: self._get_snapshot(name)
+                if parts[2] == "stats":
+                    return lambda: self._get_view_stats(name)
+                if parts[2] == "deltas":
+                    return lambda: self._stream_deltas(name, query)
+        elif method == "POST":
+            if parts == ["views"]:
+                return self._post_views
+            if len(parts) == 2 and parts[0] == "batch":
+                return lambda: self._post_batch(parts[1])
+            if parts == ["drain"]:
+                return self._post_drain
+            if parts == ["shutdown"]:
+                return self._post_shutdown
+        elif method == "DELETE":
+            if len(parts) == 2 and parts[0] == "views":
+                return lambda: self._delete_view(parts[1])
+        return None
+
+    def do_GET(self):
+        self._route("GET")
+
+    def do_POST(self):
+        self._route("POST")
+
+    def do_DELETE(self):
+        self._route("DELETE")
+
+    # ------------------------------------------------------------------
+    # Control endpoints
+    # ------------------------------------------------------------------
+    def _get_health(self):
+        self._send_json(
+            {
+                "status": "ok",
+                "wire_version": WIRE_VERSION,
+                "views": len(self.service),
+                "seq": self.service.seq,
+            }
+        )
+
+    def _get_backends(self):
+        self._send_json(
+            {
+                name: backend_info(name).description
+                for name in available_backends()
+            }
+        )
+
+    def _get_stats(self):
+        self._send_json(
+            {
+                "views": list(self.service.views()),
+                "seq": self.service.seq,
+            }
+        )
+
+    def _view_stats(self, name: str) -> dict:
+        handle = self.service.view(name)
+        return {
+            "view": handle.name,
+            "backend": handle.backend_name,
+            "streams": sorted(handle.relations),
+            "batches_applied": handle.batches_applied,
+            "deltas_delivered": handle.deltas_delivered,
+            "subscribers": sum(
+                1 for s in handle.subscriptions if s.active
+            ),
+        }
+
+    def _get_views(self):
+        listing = {}
+        for name in self.service.views():
+            try:
+                listing[name] = self._view_stats(name)
+            except ServiceError:
+                continue  # dropped between views() and the stat read
+        self._send_json(listing)
+
+    def _get_view_stats(self, name: str):
+        self._send_json(self._view_stats(name))
+
+    def _get_snapshot(self, name: str):
+        # Read the seq first: the snapshot then covers at least every
+        # batch up to it (reading after would claim batches a concurrent
+        # producer added mid-read), so `seq` is a sound lower bound.
+        seq = self.service.seq
+        snap = self.service.snapshot(name)
+        self._send_json(
+            {"view": name, "seq": seq, "snapshot": encode_gmr(snap)}
+        )
+
+    def _post_views(self):
+        body = self._read_json()
+        if not isinstance(body, dict) or "name" not in body or "source" not in body:
+            raise ValueError(
+                'POST /views needs {"name": ..., "source": "SELECT ..."} '
+                '(optional: "backend", "updatable", "options")'
+            )
+        updatable = body.get("updatable")
+        handle = self.service.create_view(
+            body["name"],
+            body["source"],
+            backend=body.get("backend", "rivm-batch"),
+            updatable=frozenset(updatable) if updatable else None,
+            **(body.get("options") or {}),
+        )
+        self._send_json(
+            {
+                "view": handle.name,
+                "backend": handle.backend_name,
+                "streams": sorted(handle.relations),
+            },
+            status=201,
+        )
+
+    def _delete_view(self, name: str):
+        self.service.drop_view(name)
+        self._send_json({"dropped": name})
+
+    def _post_batch(self, relation: str):
+        payload = self._read_json()
+        if payload is None:
+            raise ValueError("POST /batch/<relation> needs a GMR body")
+        batch = decode_gmr(payload)
+        # ingest() reports the seq assigned to *this* batch atomically;
+        # reading service.seq afterwards would race other producers.
+        seq, touched = self.service.ingest(relation, batch)
+        self._send_json(
+            {"relation": relation, "seq": seq, "touched": touched}
+        )
+
+    def _post_drain(self):
+        body = self._read_json() or {}
+        view = body.get("view")
+        self.service.drain(view)
+        token = self.view_server._next_mark()
+        streams = self.view_server.hub.broadcast(
+            view, ("mark", token)
+        )
+        self._send_json(
+            {"mark": token, "seq": self.service.seq, "streams": streams}
+        )
+
+    def _post_shutdown(self):
+        self._send_json({"closing": True})
+        # Close from a helper thread: close() joins the serve loop and
+        # waits for streams, which must not happen on a handler thread
+        # that the loop owns.
+        threading.Thread(
+            target=self.view_server.close, daemon=True
+        ).start()
+
+    # ------------------------------------------------------------------
+    # The push stream
+    # ------------------------------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        self.wfile.flush()
+
+    def _end_chunks(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def _stream_deltas(self, name: str, query: dict):
+        initial = query.get("initial", ["0"])[0] in ("1", "true", "yes")
+        hub = self.view_server.hub
+        q: queue.SimpleQueue = queue.SimpleQueue()
+        hub.register(name, q)
+        sub = None
+        try:
+            try:
+                sub = self.service.subscribe(
+                    name, lambda event: q.put(("delta", event)),
+                    initial=initial,
+                )
+            except ServiceError:
+                hub.unregister(name, q)
+                raise
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            self._write_chunk(
+                dump_line({"type": "subscribed", "view": name})
+            )
+            self._pump(name, q, sub)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; fall through to cleanup
+        finally:
+            if sub is not None:
+                sub.cancel()
+            hub.unregister(name, q)
+            # The stream owned this connection; never reuse it.
+            self.close_connection = True
+
+    def _pump(self, name: str, q: queue.SimpleQueue, sub) -> None:
+        """Forward queued items to the socket until closed."""
+        idle_s = 0.0
+        while True:
+            try:
+                item = q.get(timeout=_STREAM_POLL_S)
+            except queue.Empty:
+                if self.view_server.hub.closing:
+                    self._close_stream("server closing")
+                    return
+                if not sub.active:
+                    # drop_view cancelled us — everything owed was
+                    # already queued (the drain-then-cancel ordering),
+                    # and the queue is empty, so the stream is complete.
+                    self._close_stream("view dropped")
+                    return
+                idle_s += _STREAM_POLL_S
+                if idle_s >= _HEARTBEAT_S:
+                    self._write_chunk(dump_line({"type": "heartbeat"}))
+                    idle_s = 0.0
+                continue
+            idle_s = 0.0
+            if item is _CLOSE:
+                self._close_stream("server closing")
+                return
+            kind = item[0]
+            if kind == "delta":
+                self._write_chunk(dump_line(encode_delta(item[1])))
+            elif kind == "mark":
+                self._write_chunk(
+                    dump_line({"type": "mark", "token": item[1]})
+                )
+
+    def _close_stream(self, reason: str) -> None:
+        self._write_chunk(dump_line({"type": "closed", "reason": reason}))
+        self._end_chunks()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Handler threads are daemons and streams end via the hub sentinel;
+    # joining them here would make close() wait out a full poll cycle
+    # per stream for no benefit.
+    block_on_close = False
+
+
+class ViewServer:
+    """Host a :class:`~repro.service.ViewService` on a real socket.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    ``start()`` serves from a background thread;  ``serve_forever()``
+    blocks the caller (the CLI's ``serve --port``).  ``close()`` ends
+    every delta stream with a ``closed`` event, stops the accept loop,
+    and closes the socket — it does **not** drop the hosted views, so a
+    service can be re-hosted or inspected in-process afterwards.
+    """
+
+    def __init__(
+        self,
+        service: ViewService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.hub = _Hub()
+        handler = type("_BoundHandler", (_Handler,), {"view_server": self})
+        self._httpd = _Server((host, port), handler)
+        self._thread: threading.Thread | None = None
+        self._mark_lock = threading.Lock()
+        self._marks = 0
+        self._closed = False
+
+    def _next_mark(self) -> int:
+        with self._mark_lock:
+            self._marks += 1
+            return self._marks
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ViewServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"viewserver:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or an
+        interrupt) stops the loop."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving: end streams, stop the loop, close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        self.hub.close_all()
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ViewServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else self.url
+        return f"ViewServer({state}, views={len(self.service)})"

@@ -1,0 +1,98 @@
+"""The JSON wire format of the network frontend.
+
+Everything the server and client exchange is JSON, one object per
+message.  GMRs need a codec because their keys are Python tuples (JSON
+objects only key on strings): a GMR travels as a list of
+``[[v0, v1, ...], multiplicity]`` pairs, preserving int/float
+multiplicities exactly and tuple fields as JSON scalars.  Push
+subscriptions stream newline-delimited JSON (``application/x-ndjson``)
+over a chunked HTTP response; every line is an *event envelope* with a
+``type`` discriminator:
+
+* ``subscribed`` — stream opened (echoes the view name);
+* ``delta`` — one :class:`~repro.service.ViewDelta` (fields ``view``,
+  ``relation``, ``seq``, ``delta``);
+* ``mark`` — a drain barrier token (see the server's ``POST /drain``):
+  every delta admitted before the drain precedes the mark on the wire;
+* ``heartbeat`` — keep-alive while the view is idle (clients skip it);
+* ``closed`` — the stream is over (view dropped or server closing).
+
+The codec is deliberately minimal: tuple fields must already be JSON
+scalars (str/int/float/bool/None), which holds for every workload in
+the repo — the decoder rebuilds rows with ``tuple(...)`` only.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ring import GMR
+from repro.service import ViewDelta
+
+__all__ = [
+    "WIRE_VERSION",
+    "decode_delta",
+    "decode_gmr",
+    "dump_line",
+    "encode_delta",
+    "encode_gmr",
+]
+
+#: bumped on incompatible wire-format changes; exchanged in /health
+WIRE_VERSION = 1
+
+
+def encode_gmr(gmr: GMR) -> list:
+    """A GMR as JSON-safe ``[[row...], multiplicity]`` pairs."""
+    return [[list(t), m] for t, m in gmr.data.items()]
+
+
+def decode_gmr(payload) -> GMR:
+    """Rebuild a GMR from :func:`encode_gmr` output.
+
+    Raises ``ValueError`` on malformed payloads — the server turns that
+    into an HTTP 400 instead of a 500.
+    """
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"GMR payload must be a list of [row, multiplicity] pairs, "
+            f"got {type(payload).__name__}"
+        )
+    data: dict[tuple, float | int] = {}
+    for pair in payload:
+        if not (isinstance(pair, list) and len(pair) == 2):
+            raise ValueError(f"malformed GMR pair: {pair!r}")
+        row, m = pair
+        if not isinstance(row, list):
+            raise ValueError(f"GMR row must be a list, got {row!r}")
+        if not isinstance(m, (int, float)) or isinstance(m, bool):
+            raise ValueError(f"multiplicity must be a number, got {m!r}")
+        key = tuple(row)
+        data[key] = data.get(key, 0) + m
+    return GMR(data)
+
+
+def encode_delta(event: ViewDelta) -> dict:
+    """A ViewDelta as a ``type: delta`` wire envelope."""
+    return {
+        "type": "delta",
+        "view": event.view,
+        "relation": event.relation,
+        "seq": event.seq,
+        "delta": encode_gmr(event.delta),
+    }
+
+
+def decode_delta(envelope: dict) -> ViewDelta:
+    """Rebuild a ViewDelta from a ``type: delta`` envelope."""
+    return ViewDelta(
+        view=envelope["view"],
+        relation=envelope["relation"],
+        seq=envelope["seq"],
+        delta=decode_gmr(envelope["delta"]),
+    )
+
+
+def dump_line(obj: dict) -> bytes:
+    """One NDJSON line: compact JSON plus the terminating newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"

@@ -33,6 +33,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -42,6 +43,7 @@ from repro.exec import (
     available_backends,
     create_backend,
     is_registered,
+    reject_nested_async,
 )
 from repro.ingest import AsyncIngestBackend
 from repro.ring import GMR
@@ -133,6 +135,17 @@ class ViewService:
     accumulating streamed batches into the shared base database (views
     created mid-stream then initialize cold); the harness uses it to
     keep measured windows free of bookkeeping.
+
+    **Threading model.**  The session is safe for multiple producer
+    threads: one re-entrant lock serializes ``on_batch``,
+    ``create_view``/``drop_view``, ``subscribe`` and the catalog/base
+    mutators, so the service-wide ``seq`` is assigned atomically with
+    the routing it describes and every subscriber sees strictly
+    increasing ``seq`` values — the invariant the network frontend
+    (:mod:`repro.net`) relies on.  Async-backed views publish from
+    their batcher thread *without* taking the service lock (their
+    events carry the seq stamped at enqueue time), so a drain or close
+    can never deadlock against a producer.
     """
 
     def __init__(
@@ -148,13 +161,17 @@ class ViewService:
         self.track_base = track_base
         self._views: dict[str, ViewHandle] = {}
         self._seq = 0
+        # Re-entrant: a subscriber callback delivered under the lock may
+        # legitimately call back into the service (create/drop/snapshot).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Catalog and base data
     # ------------------------------------------------------------------
     def register_table(self, name: str, columns) -> None:
         """Add (or redefine) a table in the SQL catalog."""
-        self.catalog[name] = tuple(columns)
+        with self._lock:
+            self.catalog[name] = tuple(columns)
 
     def load(self, relation: str, rows) -> None:
         """Bulk-insert plain tuples into the shared base database.
@@ -164,7 +181,8 @@ class ViewService:
         delivered through :meth:`on_batch`, so treat ``load`` as static
         preloading.
         """
-        self.base.insert_rows(relation, rows)
+        with self._lock:
+            self.base.insert_rows(relation, rows)
 
     # ------------------------------------------------------------------
     # View lifecycle
@@ -196,76 +214,107 @@ class ViewService:
         changefeed is baselined so subscription deltas describe only
         changes after creation.
         """
-        if name in self._views:
-            raise ServiceError(
-                f"view {name!r} already exists; drop_view() it first"
-            )
-        if not is_registered(backend):
-            raise ServiceError(
-                f"unknown backend {backend!r}; registered backends: "
-                + ", ".join(available_backends())
-                + " (each also available as 'async:<backend>')"
-            )
-        try:
-            spec = as_query_spec(
-                source,
-                name=name,
-                catalog=self.catalog or None,
-                updatable=updatable,
-                key_hints=key_hints,
-            )
-        except TypeError as exc:
-            raise ServiceError(str(exc)) from exc
-        engine = create_backend(backend, spec, **options)
-        engine.initialize(self.base.copy())
-        # Baseline the changefeed: the warm-start contents are delivered
-        # through subscribe(initial=True), not as the first batch delta.
-        engine.last_delta()
-        handle = ViewHandle(name, spec, backend, engine)
-        if isinstance(engine, AsyncIngestBackend):
-            # Async views publish from the batcher thread, once per
-            # flush (a coalesced flush is one event) — the stream loop
-            # only enqueues.  Subscriber callbacks therefore run on the
-            # view's batcher thread and must not issue blocking reads
-            # of the same view.
-            engine.on_flush = (
-                lambda relation, delta_source, h=handle: self._publish(
-                    h, relation, delta_source
+        # Nested wrappers fail here with the explanatory ValueError
+        # (naming the inner backend) rather than the generic unknown-
+        # backend ServiceError below.
+        reject_nested_async(backend)
+        with self._lock:
+            if name in self._views:
+                raise ServiceError(
+                    f"view {name!r} already exists; drop_view() it first"
                 )
-            )
-        self._views[name] = handle
-        return handle
+            if not is_registered(backend):
+                raise ServiceError(
+                    f"unknown backend {backend!r}; registered backends: "
+                    + ", ".join(available_backends())
+                    + " (each also available as 'async:<backend>')"
+                )
+            try:
+                spec = as_query_spec(
+                    source,
+                    name=name,
+                    catalog=self.catalog or None,
+                    updatable=updatable,
+                    key_hints=key_hints,
+                )
+            except TypeError as exc:
+                raise ServiceError(str(exc)) from exc
+            engine = create_backend(backend, spec, **options)
+            engine.initialize(self.base.copy())
+            # Baseline the changefeed: the warm-start contents are
+            # delivered through subscribe(initial=True), not as the
+            # first batch delta.
+            engine.last_delta()
+            handle = ViewHandle(name, spec, backend, engine)
+            if isinstance(engine, AsyncIngestBackend):
+                # Async views publish from the batcher thread, once per
+                # flush (a coalesced flush is one event) — the stream
+                # loop only enqueues.  Subscriber callbacks therefore
+                # run on the view's batcher thread and must not issue
+                # blocking reads of the same view.  The published seq is
+                # the one stamped on each entry at enqueue time (the
+                # highest actually merged into the flush) — reading the
+                # service seq at flush time would misattribute coalesced
+                # flushes to batches they do not include.
+                engine.on_flush = (
+                    lambda relation, delta_source, seq, h=handle:
+                        self._publish(h, relation, seq, delta_source)
+                )
+            self._views[name] = handle
+            return handle
 
     def drop_view(self, name: str) -> None:
-        """Unregister a view, cancelling its subscriptions.
+        """Unregister a view.
 
-        An async-wrapped backend is closed (draining its queue) so its
-        batcher thread does not outlive the view.
+        The view leaves the routing table first (no new batch can reach
+        it), then an async-wrapped backend is *closed with a drain* —
+        updates already admitted to its queue still flush and their
+        :class:`ViewDelta` events still reach subscribers — and only
+        then are the subscriptions cancelled.  Cancelling before the
+        drain would flush the queued updates into the inner backend but
+        silently never deliver their deltas.
         """
-        handle = self._handle(name)
-        for sub in handle.subscriptions:
-            sub.cancel()
-        del self._views[name]
+        with self._lock:
+            handle = self._handle(name)
+            del self._views[name]
+        # Close outside the service lock: the drain joins the batcher
+        # thread, whose flush hook publishes to the (still active)
+        # subscribers and must not wait on this caller.
         if isinstance(handle.backend, AsyncIngestBackend):
             handle.backend.close()
+        for sub in handle.subscriptions:
+            sub.cancel()
 
     def views(self) -> tuple[str, ...]:
         """Names of the registered views, sorted."""
-        return tuple(sorted(self._views))
+        with self._lock:
+            return tuple(sorted(self._views))
 
     def view(self, name: str) -> ViewHandle:
         """The handle of a registered view."""
-        return self._handle(name)
+        with self._lock:
+            return self._handle(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._views
+        with self._lock:
+            return name in self._views
 
     def __len__(self) -> int:
-        return len(self._views)
+        with self._lock:
+            return len(self._views)
 
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """The service-wide sequence number of the latest batch (0
+        before any batch); every :class:`ViewDelta` carries the seq of
+        the batch (or, for coalesced async flushes, the highest-seq
+        batch) it describes."""
+        with self._lock:
+            return self._seq
+
     def on_batch(self, relation: str, batch: GMR) -> tuple[str, ...]:
         """Route one update batch to every dependent view.
 
@@ -275,26 +324,70 @@ class ViewService:
         the shared base database absorbs the batch so later
         ``create_view`` calls initialize warm.  Returns the names of the
         views that received the batch.
+
+        Safe to call from several producer threads: the whole routing
+        pass runs under the service lock, so ``seq`` assignment, view
+        maintenance, and delta delivery stay atomic per batch and every
+        subscriber observes strictly increasing ``seq``.  Note the
+        flip side: a *blocking* admission on a full async queue (or a
+        slow synchronous backend) holds the lock and stalls other
+        producers for its duration — give contended async views
+        ``shed``/``coalesce`` admission if that matters.
+
+        If a view's backend raises, the batch is still routed to every
+        other dependent view and the base update still applies —
+        routing is not left half-done — and the first error is then
+        re-raised (its type preserved, e.g. the transient
+        :class:`~repro.ingest.IngestOverflow`).  The failed view has
+        permanently missed this batch, and views that accepted it keep
+        it: re-sending the same batch would double-apply it to them.
         """
-        self._seq += 1
-        touched: list[str] = []
-        # Snapshot the view list: a subscriber callback may react by
-        # creating or dropping views mid-batch.
-        for handle in list(self._views.values()):
-            if relation not in handle.relations:
-                continue
-            handle.backend.on_batch(relation, batch)
-            handle.batches_applied += 1
-            touched.append(handle.name)
-            # Async views enqueue here and publish from their batcher
-            # thread after each flush (the on_flush hook installed at
-            # creation) — publishing now would drain and re-couple the
-            # stream to the slowest backend.
-            if not isinstance(handle.backend, AsyncIngestBackend):
-                self._publish(handle, relation)
-        if self.track_base:
-            self.base.apply_update(relation, batch)
-        return tuple(touched)
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            touched: list[str] = []
+            failures: list[tuple[str, BaseException]] = []
+            # Snapshot the view list: a subscriber callback may react by
+            # creating or dropping views mid-batch.
+            for handle in list(self._views.values()):
+                if relation not in handle.relations:
+                    continue
+                try:
+                    if isinstance(handle.backend, AsyncIngestBackend):
+                        # Enqueue only, stamping the seq on the entry;
+                        # the batcher publishes from its own thread
+                        # after each flush (the on_flush hook installed
+                        # at creation) with the highest seq actually
+                        # merged — publishing here would drain and
+                        # re-couple the stream to the slowest backend.
+                        handle.backend.on_batch(relation, batch, seq=seq)
+                    else:
+                        handle.backend.on_batch(relation, batch)
+                        self._publish(handle, relation, seq)
+                except Exception as exc:
+                    # Keep routing: one view's overflow/failure must not
+                    # leave the batch half-delivered to the others.
+                    failures.append((handle.name, exc))
+                    continue
+                handle.batches_applied += 1
+                touched.append(handle.name)
+            if self.track_base:
+                self.base.apply_update(relation, batch)
+            if failures:
+                raise failures[0][1]
+            return tuple(touched)
+
+    def ingest(self, relation: str, batch: GMR) -> tuple[int, tuple[str, ...]]:
+        """:meth:`on_batch` plus the seq it assigned, read atomically.
+
+        The network frontend echoes the seq to the producing client so
+        it can correlate its batch with subscription deltas; reading
+        ``service.seq`` after ``on_batch`` returns would race other
+        producers and report someone else's batch.
+        """
+        with self._lock:
+            touched = self.on_batch(relation, batch)
+            return self._seq, touched
 
     def drain(self, name: str | None = None, timeout: float | None = None):
         """Barrier for async-ingesting views: block until everything
@@ -305,10 +398,14 @@ class ViewService:
         raises :class:`~repro.exec.BackendError` after its drain
         timeout instead of hanging the caller.
         """
-        handles = (
-            [self._handle(name)] if name is not None
-            else list(self._views.values())
-        )
+        with self._lock:
+            handles = (
+                [self._handle(name)] if name is not None
+                else list(self._views.values())
+            )
+        # Wait outside the service lock: the batcher's flush hook
+        # publishes without it, so producers stay unblocked while the
+        # barrier waits.
         for handle in handles:
             if isinstance(handle.backend, AsyncIngestBackend):
                 handle.backend.drain(timeout)
@@ -317,6 +414,7 @@ class ViewService:
         self,
         handle: ViewHandle,
         relation: str | None,
+        seq: int | None = None,
         delta_source: Callable[[], GMR] | None = None,
     ) -> None:
         """Compute and fan out one changefeed event, if anyone listens.
@@ -327,7 +425,16 @@ class ViewService:
         delivery and accumulation stays exact.  ``delta_source``
         overrides where the delta is read from (the async flush hook
         passes the inner changefeed; the default is the backend's own
-        ``last_delta``).
+        ``last_delta``).  ``seq`` stamps the event: producers pass the
+        seq they assigned under the lock, the async flush hook passes
+        the highest seq merged into the flush; ``None`` (unstamped
+        entries from callers outside the service) falls back to the
+        current service seq.
+
+        Deliberately takes **no** service lock: it runs both on
+        producer threads (already holding the lock) and on async
+        batcher threads (which must never need it, or ``drop_view``'s
+        close-with-drain could deadlock against a blocked producer).
         """
         live = [s for s in handle.subscriptions if s.active]
         if len(live) != len(handle.subscriptions):
@@ -349,7 +456,9 @@ class ViewService:
         )
         if delta.is_zero():
             return
-        event = ViewDelta(handle.name, relation, self._seq, delta)
+        event = ViewDelta(
+            handle.name, relation, self._seq if seq is None else seq, delta
+        )
         handle.deltas_delivered += 1
         for sub in live:
             if sub.active:
@@ -360,7 +469,16 @@ class ViewService:
     # ------------------------------------------------------------------
     def snapshot(self, name: str) -> GMR:
         """Pull the current contents of a view (a defensive copy)."""
-        return GMR(dict(self._handle(name).backend.snapshot().data))
+        with self._lock:
+            backend = self._handle(name).backend
+            if not isinstance(backend, AsyncIngestBackend):
+                # Sync engines mutate their state inside on_batch, which
+                # runs under this lock — read under it too.
+                return GMR(dict(backend.snapshot().data))
+        # Async reads drain first (waiting on the batcher): do that
+        # outside the service lock so producers are not stalled behind
+        # the barrier; the wrapper's inner_lock serializes the read.
+        return GMR(dict(backend.snapshot().data))
 
     def subscribe(
         self,
@@ -385,21 +503,31 @@ class ViewService:
         the snapshot.  Subscribing from a second thread while another
         streams has no such guarantee.
         """
-        handle = self._handle(name)
         if initial:
-            # Flush coalesced changes owed to existing subscribers, then
-            # re-baseline the changefeed: the snapshot event below covers
-            # everything up to now, so the next per-batch delta must not
-            # include it again.
-            self._publish(handle, None)
-            handle.backend.last_delta()
-        sub = Subscription(handle.name, callback)
-        handle.subscriptions.append(sub)
-        if initial:
-            snap = self.snapshot(name)
-            if not snap.is_zero():
-                callback(ViewDelta(handle.name, None, self._seq, snap))
-        return sub
+            with self._lock:
+                backend = self._handle(name).backend
+            if isinstance(backend, AsyncIngestBackend):
+                # Work the backlog down *outside* the service lock so a
+                # long drain does not stall every producer on every
+                # view; the last_delta() below re-drains under the lock
+                # but only covers the short gap since this barrier.
+                backend.drain()
+        with self._lock:
+            handle = self._handle(name)
+            if initial:
+                # Flush coalesced changes owed to existing subscribers,
+                # then re-baseline the changefeed: the snapshot event
+                # below covers everything up to now, so the next
+                # per-batch delta must not include it again.
+                self._publish(handle, None, self._seq)
+                handle.backend.last_delta()
+            sub = Subscription(handle.name, callback)
+            handle.subscriptions.append(sub)
+            if initial:
+                snap = self.snapshot(name)
+                if not snap.is_zero():
+                    callback(ViewDelta(handle.name, None, self._seq, snap))
+            return sub
 
     # ------------------------------------------------------------------
     def _handle(self, name: str) -> ViewHandle:

@@ -558,3 +558,24 @@ def test_measure_ingestion_reports_split_latencies():
     assert summary["maintenance_s"]["p50"] >= 0
     assert summary["enqueue_wait_s"]["p50"] >= 0
     assert len(result.snapshot) > 0
+
+
+def test_coalesce_only_merges_into_the_tail_entry():
+    """Coalesce admission must not fold a new batch into an *earlier*
+    same-relation entry behind a different relation's tail: that
+    batch's (high) seq would flush before later-queued lower seqs,
+    breaking the per-subscriber seq monotonicity the service
+    guarantees.  A mismatched tail blocks like "block"."""
+    q = IngestQueue(capacity=2, admission="coalesce", enqueue_timeout_s=0.1)
+    q.put("R", GMR({(1,): 1}), 1, seq=1)
+    q.put("S", GMR({(2,): 1}), 1, seq=2)
+    with pytest.raises(IngestOverflow):
+        q.put("R", GMR({(3,): 1}), 1, seq=3)  # tail is S: no merge
+    # A tail-relation batch still coalesces, keeping the highest seq.
+    outcome, _depth = q.put("S", GMR({(4,): 1}), 1, seq=4)
+    assert outcome == "coalesced"
+    first = q.get(0.1)
+    second = q.get(0.1)
+    assert (first.relation, first.seq) == ("R", 1)
+    assert (second.relation, second.seq) == ("S", 4)
+    assert second.delta == GMR({(2,): 1, (4,): 1})

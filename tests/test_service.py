@@ -419,3 +419,120 @@ def test_measure_service_throughput_widens_shared_static_relations():
     by_name = {v.name: v for v in result.views}
     # cnt streams R, so narrow was widened to stream R too.
     assert by_name["narrow"].streamed == ("R", "T")
+
+
+# ----------------------------------------------------------------------
+# Changefeed delivery regressions (drop-time loss, seq attribution,
+# nested async wrappers)
+# ----------------------------------------------------------------------
+
+
+def test_drop_view_delivers_deltas_of_queued_async_batches():
+    """Regression: dropping an async view with a non-empty queue must
+    drain *before* cancelling subscriptions — the admitted updates'
+    deltas were previously flushed into the inner backend but silently
+    never delivered."""
+    service = ViewService(catalog=CATALOG)
+    # autostart=False keeps the batch queued deterministically until
+    # drop_view's close() flushes it.
+    service.create_view(
+        "cnt_a", EXPR_CNT_A, backend="async:rivm-batch", autostart=False
+    )
+    events = []
+    service.subscribe("cnt_a", events.append)
+    service.on_batch("R", GMR({(1, 10): 1, (2, 20): 1}))
+
+    service.drop_view("cnt_a")
+
+    acc = GMR()
+    for event in events:
+        acc.add_inplace(event.delta)
+    assert acc == GMR({(1,): 1, (2,): 1}), (
+        "deltas of batches queued at drop time were lost"
+    )
+    assert events[0].seq == 1
+
+
+def test_async_coalesced_flush_carries_max_merged_seq():
+    """Regression: a coalesced flush used to stamp the service seq read
+    at flush time — which can belong to later batches the flush does
+    not include.  The event must carry the highest seq actually merged."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view(
+        "cnt_a", EXPR_CNT_A, backend="async:rivm-batch", autostart=False
+    )
+    service.create_view("per_b", SQL_PER_B)  # streams R and S
+    events = []
+    service.subscribe("cnt_a", events.append)
+
+    # Seqs 1..3 stream R (queued, unflushed, for cnt_a) ...
+    for a in (1, 2, 3):
+        service.on_batch("R", GMR({(a, 10): 1}))
+    # ... seqs 4..5 stream S, advancing the service seq past what the
+    # coalesced flush below will contain.
+    service.on_batch("S", GMR({(10, 5): 1}))
+    service.on_batch("S", GMR({(10, 6): 1}))
+
+    service.drain("cnt_a")  # starts the batcher; flushes the backlog
+
+    assert events, "the drained flush published nothing"
+    seqs = [event.seq for event in events]
+    assert max(seqs) == 3, (
+        f"coalesced flush misattributed: got seqs {seqs}, but the view "
+        "only contains batches 1..3"
+    )
+    assert seqs == sorted(seqs)
+    acc = GMR()
+    for event in events:
+        acc.add_inplace(event.delta)
+    assert acc == service.snapshot("cnt_a")
+    service.drop_view("cnt_a")
+
+
+def test_nested_async_wrapper_rejected_everywhere():
+    """``async:async:<b>`` must fail with an explanatory ValueError
+    naming the single-wrapped backend — via create_backend and via
+    ViewService.create_view alike (not the generic unknown-backend
+    message)."""
+    from repro.exec import is_registered
+
+    spec = as_query_spec(EXPR_CNT_A, name="v")
+    with pytest.raises(ValueError, match=r"use 'async:rivm-batch'"):
+        create_backend("async:async:rivm-batch", spec)
+    # Deeper stacks name the innermost backend too.
+    with pytest.raises(ValueError, match=r"use 'async:reeval'"):
+        create_backend("async:async:async:reeval", spec)
+
+    service = ViewService(catalog=CATALOG)
+    with pytest.raises(ValueError, match="nested async wrapper"):
+        service.create_view(
+            "v", EXPR_CNT_A, backend="async:async:rivm-batch"
+        )
+    assert "v" not in service
+    assert not is_registered("async:async:rivm-batch")
+
+
+def test_one_failing_view_does_not_half_route_the_batch():
+    """A backend raising mid-routing must not leave the batch applied
+    to some dependent views and missing from others: the service routes
+    it everywhere else (and into the base) first, then re-raises."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("healthy", EXPR_CNT_A)
+    service.create_view("doomed", EXPR_CNT_A)
+
+    class Boom(RuntimeError):
+        pass
+
+    def explode(relation, batch):
+        raise Boom("maintenance failed")
+
+    service.view("doomed").backend.on_batch = explode
+    with pytest.raises(Boom):
+        service.on_batch("R", GMR({(1, 10): 1}))
+    assert service.snapshot("healthy") == GMR({(1,): 1}), (
+        "the healthy view missed a batch because a sibling failed"
+    )
+    assert service.base.get_view("R") == GMR({(1, 10): 1})
+    assert service.seq == 1  # the seq was consumed exactly once
+    assert service.view("healthy").batches_applied == 1
+    assert service.view("doomed").batches_applied == 0

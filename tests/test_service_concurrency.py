@@ -1,0 +1,183 @@
+"""Multi-producer safety of one ViewService session.
+
+The network frontend (:mod:`repro.net`) hands every HTTP connection its
+own thread, so several producers call ``on_batch`` on one shared
+session concurrently.  The guarantee the frontend relies on — asserted
+here — is that the service lock makes this indistinguishable from *some*
+single-threaded interleaving: final snapshots equal a single-threaded
+reference run over the same multiset of batches (GMR deltas are
+additive, so the final state is order-independent), accumulated
+subscription deltas equal the snapshot, and every subscriber observes
+strictly increasing ``seq`` values.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.query.builder import join, rel, sum_over
+from repro.ring import GMR
+from repro.service import ViewService
+from repro.workloads import QuerySpec
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+SQL_PER_B = (
+    "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+)
+EXPR_CNT_A = sum_over(["a"], rel("R", "a", "b"))
+SPEC_BY_D = QuerySpec(
+    name="by_d",
+    query=sum_over(["d"], join(rel("T", "a", "d"), rel("R", "a", "b"))),
+    updatable=frozenset({"R", "T"}),
+)
+
+#: mixed sync + async views, the composition the network frontend hosts
+VIEWS = {
+    "per_b": (SQL_PER_B, "rivm-batch", {}),
+    "cnt_a": (EXPR_CNT_A, "reeval", {}),
+    "by_d": (SPEC_BY_D, "async:rivm-batch", {"queue_capacity": 256}),
+}
+
+
+def _random_stream(seed: int, n_batches: int) -> list[tuple[str, GMR]]:
+    """A deterministic insert+delete stream over R/S/T.
+
+    Deletions only remove tuples inserted earlier in the same stream, so
+    any interleaving of the batches keeps base multiplicities sane.
+    """
+    rng = random.Random(seed)
+    live: dict[str, list[tuple]] = {"R": [], "S": [], "T": []}
+    batches: list[tuple[str, GMR]] = []
+    for _ in range(n_batches):
+        relation = rng.choice(("R", "S", "T"))
+        data: dict[tuple, int] = {}
+        for _ in range(rng.randint(1, 4)):
+            if live[relation] and rng.random() < 0.3:
+                victim = rng.choice(live[relation])
+                live[relation].remove(victim)
+                data[victim] = data.get(victim, 0) - 1
+            else:
+                row = (rng.randint(1, 6), rng.randint(1, 12))
+                live[relation].append(row)
+                data[row] = data.get(row, 0) + 1
+        if data:
+            batches.append((relation, GMR(data)))
+    return batches
+
+
+def _build_service() -> tuple[ViewService, dict[str, list]]:
+    service = ViewService(catalog=CATALOG)
+    events: dict[str, list] = {}
+    for name, (source, backend, options) in VIEWS.items():
+        service.create_view(name, source, backend=backend, **options)
+        events[name] = []
+        service.subscribe(name, events[name].append)
+    return service, events
+
+
+def _teardown(service: ViewService) -> None:
+    for name in service.views():
+        service.drop_view(name)
+
+
+@pytest.mark.parametrize("n_producers", [2, 4])
+def test_concurrent_producers_match_single_threaded_reference(n_producers):
+    batches = _random_stream(seed=20160626, n_batches=160)
+
+    # Single-threaded reference over the identical multiset of batches.
+    reference_service, _ = _build_service()
+    for relation, batch in batches:
+        reference_service.on_batch(relation, GMR(dict(batch.data)))
+    reference_service.drain()
+    reference = {
+        name: reference_service.snapshot(name) for name in VIEWS
+    }
+    _teardown(reference_service)
+
+    service, events = _build_service()
+    shares = [batches[i::n_producers] for i in range(n_producers)]
+    errors: list[BaseException] = []
+
+    def produce(share):
+        try:
+            for relation, batch in share:
+                service.on_batch(relation, GMR(dict(batch.data)))
+        except BaseException as exc:  # surface, don't swallow
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=produce, args=(share,), daemon=True)
+        for share in shares
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+        assert not t.is_alive(), "producer thread wedged"
+    assert not errors, f"producer raised: {errors[0]!r}"
+    service.drain()
+
+    try:
+        for name in VIEWS:
+            snap = service.snapshot(name)
+            assert snap == reference[name], (
+                f"{name}: concurrent run diverged from the "
+                "single-threaded reference"
+            )
+            acc = GMR()
+            for event in events[name]:
+                acc.add_inplace(event.delta)
+            assert acc == snap, (
+                f"{name}: accumulated deltas diverged from snapshot"
+            )
+            seqs = [event.seq for event in events[name]]
+            assert all(a < b for a, b in zip(seqs, seqs[1:])), (
+                f"{name}: subscriber saw non-increasing seqs {seqs[:20]}..."
+            )
+    finally:
+        _teardown(service)
+
+
+def test_concurrent_create_drop_while_streaming():
+    """View lifecycle racing a producer: no lost updates for surviving
+    views, no exceptions from routing into a half-dropped view."""
+    batches = _random_stream(seed=7, n_batches=120)
+    service, _ = _build_service()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def churn():
+        try:
+            i = 0
+            while not stop.is_set():
+                name = f"churn_{i % 2}"
+                service.create_view(name, EXPR_CNT_A, backend="rivm-batch")
+                service.drop_view(name)
+                i += 1
+        except BaseException as exc:
+            errors.append(exc)
+
+    churner = threading.Thread(target=churn, daemon=True)
+    churner.start()
+    try:
+        for relation, batch in batches:
+            service.on_batch(relation, GMR(dict(batch.data)))
+    finally:
+        stop.set()
+        churner.join(timeout=30)
+    assert not churner.is_alive(), "churn thread wedged"
+    assert not errors, f"lifecycle churn raised: {errors[0]!r}"
+    service.drain()
+
+    reference_service, _ = _build_service()
+    for relation, batch in batches:
+        reference_service.on_batch(relation, GMR(dict(batch.data)))
+    reference_service.drain()
+    try:
+        for name in VIEWS:
+            assert service.snapshot(name) == reference_service.snapshot(name)
+    finally:
+        _teardown(reference_service)
+        _teardown(service)
