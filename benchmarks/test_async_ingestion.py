@@ -27,6 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.harness import (
+    bench_environment,
     format_table,
     measure_ingestion,
     prepare_stream,
@@ -72,6 +73,7 @@ def test_async_ingestion_split_latency():
             for name, opts in POLICIES.items()
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
         "queries": {},
     }
     for query, params in PARAMS.items():

@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness import format_table, prepare_stream, run_engine
+from repro.harness import bench_environment, format_table, prepare_stream, run_engine
 from repro.workloads import TPCH_QUERIES
 
 from benchmarks.conftest import LOCAL_SF
@@ -54,6 +54,7 @@ def test_compiled_path_not_slower_than_interpreted():
         "batch_size": BATCH_SIZE,
         "sf": LOCAL_SF,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
         "queries": {},
     }
     for name in QUERIES:

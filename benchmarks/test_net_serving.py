@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.harness import (
+    bench_environment,
     ViewDef,
     format_table,
     measure_network_throughput,
@@ -64,6 +65,7 @@ def test_network_serving_overhead_and_fanout():
         ),
         "backend": "rivm-batch",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
         "queries": {},
     }
     for query, params in PARAMS.items():

@@ -188,6 +188,17 @@ def _add_async_arguments(p) -> None:
     )
 
 
+def _validated_workers(args) -> int | None:
+    """``--workers`` must be a positive count; a broken coordinator
+    spawn is a far worse error message than this one."""
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(
+            f"--workers must be at least 1 (got {args.workers}); the "
+            "cluster/multiproc backends need at least one worker"
+        )
+    return args.workers
+
+
 def cmd_run(args) -> int:
     from repro.harness import measure_throughput
 
@@ -195,8 +206,11 @@ def cmd_run(args) -> int:
     spec = _resolve_spec(args)
     workload = args.workload
     backend_options = {}
-    if args.workers is not None:
-        backend_options["n_workers"] = args.workers
+    workers = _validated_workers(args)
+    if workers is not None:
+        backend_options["n_workers"] = workers
+    if args.data_plane is not None:
+        backend_options["data_plane"] = args.data_plane
     async_opts = _async_options(args, implied=backend.startswith("async:"))
     if async_opts is not None:
         if not backend.startswith("async:"):
@@ -246,9 +260,12 @@ def cmd_serve(args) -> int:
             )
 
     defs: list[ViewDef] = []
-    view_options = (
-        {"n_workers": args.workers} if args.workers is not None else {}
-    )
+    view_options = {}
+    workers = _validated_workers(args)
+    if workers is not None:
+        view_options["n_workers"] = workers
+    if args.data_plane is not None:
+        view_options["data_plane"] = args.data_plane
     # --async wraps every backend in the round-robin list; without it,
     # explicitly named async:<backend> entries still imply the knobs —
     # applied only to those views, so a mixed list keeps its
@@ -467,6 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of compile-once pipelines")
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for the cluster/multiproc backends")
+    p.add_argument("--data-plane", default=None, choices=["pickle", "shm"],
+                   help="multiproc payload transport: shared-memory "
+                        "blocks (shm, default) or pickled GMRs over "
+                        "pipes (pickle)")
     _add_async_arguments(p)
     p.add_argument("--batch-size", type=int, default=100,
                    help="0 = single-tuple execution")
@@ -495,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for cluster/multiproc-backed views")
+    p.add_argument("--data-plane", default=None, choices=["pickle", "shm"],
+                   help="multiproc payload transport: shared-memory "
+                        "blocks (shm, default) or pickled GMRs (pickle)")
     _add_async_arguments(p)
     p.add_argument(
         "--port", type=int, default=None,

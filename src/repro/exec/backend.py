@@ -32,7 +32,14 @@ class BackendError(RuntimeError):
 
     Raised by backends whose execution substrate can fail independently
     of the maintenance logic — e.g. the process-parallel backend when a
-    worker process dies mid-batch or stops answering.  Callers that host
+    worker process dies mid-batch or stops answering.  Backends may
+    absorb such failures internally first: the multiproc backend
+    restarts a dead worker and replays its partition from the
+    supervisor's journal, and raises this error only once its restart
+    budget is exhausted (or immediately with ``restart_budget=0``, or
+    on an in-band worker error that a restart would deterministically
+    hit again).  Once raised, the backend is poisoned — it refuses
+    further use rather than serve partial state.  Callers that host
     backends (the view service, the harness) can catch this to fail one
     view without taking down the session.
     """

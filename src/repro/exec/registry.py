@@ -16,8 +16,8 @@ Shared factory options (all optional):
 
 Backend-specific options are documented per factory (``n_workers``,
 ``cost_model``, ``opt_level``, ``seed`` for ``cluster``; ``n_workers``,
-``opt_level``, ``reply_timeout_s``, ``start_method`` for
-``multiproc``).  ``async:<backend>`` names additionally accept the
+``opt_level``, ``reply_timeout_s``, ``start_method``, ``data_plane``,
+``restart_budget``, ``checkpoint_every`` for ``multiproc``).  ``async:<backend>`` names additionally accept the
 ingestion-layer knobs (``policy``, ``max_batch``, ``max_delay_s``,
 ``queue_capacity``, ``admission``, ...; see
 :data:`repro.ingest.ASYNC_OPTION_NAMES`) and forward the rest to the
@@ -131,11 +131,18 @@ def _multiproc(
     use_compiled: bool = True,
     reply_timeout_s: float = 120.0,
     start_method: str | None = None,
+    data_plane: str = "shm",
+    restart_budget: int = 3,
+    checkpoint_every: int = 16,
     **_unused,
 ):
     """Real process-parallel execution: the coordinator partitions the
     database across ``n_workers`` OS processes, each running locally
-    rebuilt compiled pipelines over its hash partition."""
+    rebuilt compiled pipelines over its hash partition.  ``data_plane``
+    selects how GMRs cross process boundaries (``"shm"`` shared-memory
+    block descriptors, ``"pickle"`` whole pickled GMRs);
+    ``restart_budget``/``checkpoint_every`` configure worker-death
+    recovery (budget 0 = fail fast, no journaling)."""
     from repro.parallel import MultiprocBackend
 
     return MultiprocBackend(
@@ -146,6 +153,9 @@ def _multiproc(
         counters=counters,
         reply_timeout_s=reply_timeout_s,
         start_method=start_method,
+        data_plane=data_plane,
+        restart_budget=restart_budget,
+        checkpoint_every=checkpoint_every,
     )
 
 

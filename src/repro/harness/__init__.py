@@ -56,7 +56,11 @@ from repro.harness.ablation import (
     specialization_ablation,
 )
 from repro.harness.ingest import IngestionResult, measure_ingestion
-from repro.harness.report import format_series, format_table
+from repro.harness.report import (
+    bench_environment,
+    format_series,
+    format_table,
+)
 from repro.harness.service import (
     ServiceResult,
     ViewDef,
@@ -91,6 +95,7 @@ __all__ = [
     "domain_extraction_ablation",
     "preaggregation_ablation",
     "specialization_ablation",
+    "bench_environment",
     "format_table",
     "format_series",
     "ViewDef",

@@ -12,10 +12,13 @@ in the backend registry as ``multiproc``;
 
 from repro.parallel.coordinator import MultiprocBackend, WorkerHandle
 from repro.parallel.protocol import WorkerTask, program_fingerprint
+from repro.parallel.supervisor import WorkerJournal, WorkerSupervisor
 
 __all__ = [
     "MultiprocBackend",
     "WorkerHandle",
+    "WorkerJournal",
+    "WorkerSupervisor",
     "WorkerTask",
     "program_fingerprint",
 ]

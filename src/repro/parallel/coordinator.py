@@ -17,7 +17,7 @@ hash partition of every Dist-tagged view.  Per batch:
 2. blocks execute in fused order — distributed blocks are broadcast as
    ``("block", relation, i)`` commands and run *concurrently* across
    workers; local blocks run on the coordinator, with Scatter/Repart/
-   Gather performing real data movement over the pipes;
+   Gather performing real data movement;
 3. staged deltas are cleared everywhere and one sync barrier confirms
    the batch landed on every worker.
 
@@ -26,16 +26,36 @@ The protocol is *pipelined*: pure-write commands (``delta``,
 acknowledgements, and the coordinator only drains replies at genuine
 data dependencies — a block's counters, a Gather/Repart collect, the
 end-of-batch sync.  Workers execute their pipe strictly in order, so
-pipelining never reorders effects; it only removes round-trip stalls
-(which dominate on oversubscribed machines, where every pipe wait is a
-context switch).
+pipelining never reorders effects; it only removes round-trip stalls.
 
-Only picklable values cross a pipe (specs, GMRs, command tuples);
-compiled closure pipelines are rebuilt per worker from the
-:class:`~repro.parallel.protocol.WorkerTask`.  Worker failures surface
-as :class:`~repro.exec.BackendError` at the coordinator: every reply
-wait polls the worker's liveness and a hard deadline, so a died or
-wedged process fails the batch quickly instead of hanging the session.
+Data plane.  With ``data_plane="shm"`` (the default) GMR payloads
+never cross a pipe: the coordinator encodes them once as
+:class:`~repro.storage.columnar.ShmColumnarBlock` bytes written
+straight into ref-counted :class:`~repro.storage.pool.SegmentPool`
+segments — per-worker delta slices are carved from the batch by stride
+(``items[i::n]``) and encoded directly, so per-worker pickles are
+never materialized — and pipes carry only small descriptors
+``(name, nbytes, generation)``.  Replies (Gather/Repart reads,
+snapshots) travel the same way through coordinator-pre-sized reply
+segments with an inline overflow fallback.  Every segment is created
+and unlinked by the coordinator; workers only attach.  The end-of-batch
+sync barrier doubles as the segment-recycling point: once every worker
+has drained its pipe, no descriptor is outstanding and all in-flight
+segments return to the pool, so a steady-state stream allocates
+nothing.  ``data_plane="pickle"`` keeps the PR 3 behavior (whole GMRs
+pickled per worker) as the benchmark baseline.
+
+Elasticity.  A worker's state is a deterministic function of the
+command stream it has consumed, so worker death is survivable: a
+:class:`~repro.parallel.supervisor.WorkerSupervisor` journals every
+mutating command, and on failure the coordinator quiesces survivors,
+restarts the dead process, replays its partition from the last
+checkpoint, rolls the in-flight batch back (journal + driver undo log)
+and retries it.  Only when the restart budget is exhausted — or a
+worker reports an in-band error, which a restart would deterministically
+hit again — does the backend poison itself with
+:class:`~repro.exec.BackendError` (``restart_budget=0`` restores the
+strict PR 3 fail-fast contract).
 """
 
 from __future__ import annotations
@@ -49,20 +69,39 @@ from dataclasses import dataclass, field
 
 from repro.compiler.plancache import compile_program
 from repro.distributed import compile_distributed
-from repro.distributed.partitioning import (
-    hash_partition,
-    round_robin_partition,
-)
+from repro.distributed.partitioning import hash_partition
 from repro.distributed.program import apply_store, ref_cols as _ref_cols
 from repro.distributed.tags import Dist, Local, Replicated, Tag
 from repro.eval import CompiledEvaluator, Database, Evaluator
 from repro.exec.backend import BackendError, ExecutionBackend
 from repro.metrics import Counters
 from repro.parallel.protocol import WorkerTask, program_fingerprint
+from repro.parallel.supervisor import WorkerSupervisor
 from repro.parallel.worker import worker_main
 from repro.query.ast import DeltaRel, Expr, Gather, Rel, Repart, Scatter
 from repro.ring import GMR
+from repro.storage.columnar import decode_gmr, encode_pairs
+from repro.storage.pool import SegmentPool
 from repro.workloads.spec import QuerySpec
+
+#: Starting capacity for reply segments before any size feedback.
+_REPLY_HINT_DEFAULT = 65536
+
+DATA_PLANES = ("pickle", "shm")
+
+
+class _WorkerFailure(Exception):
+    """Internal: a worker died, wedged, or broke its pipe.
+
+    Unlike an in-band ``err`` reply (a deterministic program error),
+    this is a *process* failure — the supervisor may be able to restart
+    and replay.  Never escapes the backend's public surface.
+    """
+
+    def __init__(self, index: int, message: str):
+        super().__init__(message)
+        self.index = index
+        self.message = message
 
 
 @dataclass
@@ -97,6 +136,8 @@ class ParallelMetrics:
     scaleout_s: list = field(default_factory=list)
     #: total busy CPU seconds per worker index (load-balance diagnostics)
     worker_busy_s: list = field(default_factory=list)
+    #: worker processes restarted by the supervisor
+    restarts: int = 0
 
     @property
     def total_wall_s(self) -> float:
@@ -129,8 +170,14 @@ def _default_start_method() -> str:
     return "spawn"
 
 
-def _shutdown_workers(handles: list[WorkerHandle]) -> None:
-    """GC/exit-time cleanup; must not reference the backend object."""
+def _shutdown_workers(handles: list[WorkerHandle], pool=None) -> None:
+    """GC/exit-time cleanup; must not reference the backend object.
+
+    ``handles`` is the backend's *live* list — worker restarts replace
+    entries in place, so the finalizer always sees the current
+    processes.  The pool is closed (segments unlinked) only after the
+    workers are down, so no attach can race the unlink.
+    """
     for h in handles:
         try:
             h.conn.close()
@@ -142,6 +189,8 @@ def _shutdown_workers(handles: list[WorkerHandle]) -> None:
     for h in handles:
         if h.process.is_alive():
             h.process.terminate()
+    if pool is not None:
+        pool.close()
 
 
 class MultiprocBackend(ExecutionBackend):
@@ -156,14 +205,24 @@ class MultiprocBackend(ExecutionBackend):
         counters: Counters | None = None,
         reply_timeout_s: float = 120.0,
         start_method: str | None = None,
+        data_plane: str = "shm",
+        restart_budget: int = 3,
+        checkpoint_every: int = 16,
     ):
         if n_workers < 1:
             raise ValueError("multiproc backend needs at least one worker")
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"unknown data plane {data_plane!r}; expected one of "
+                f"{DATA_PLANES}"
+            )
         self.spec = spec
         self.n_workers = n_workers
         self.use_compiled = use_compiled
         self.reply_timeout_s = reply_timeout_s
+        self.data_plane = data_plane
         self.counters = counters if counters is not None else Counters()
+        self._opt_level = opt_level
         self.program = compile_distributed(
             spec.query,
             name=spec.name,
@@ -171,7 +230,7 @@ class MultiprocBackend(ExecutionBackend):
             updatable=spec.updatable,
             opt_level=opt_level,
         )
-        fingerprint = program_fingerprint(self.program)
+        self._fingerprint = program_fingerprint(self.program)
 
         self.driver = Database()
         self.plans = compile_program(self.program) if use_compiled else None
@@ -180,40 +239,54 @@ class MultiprocBackend(ExecutionBackend):
         self._failed: str | None = None
         self._closed = False
         self._pending: list[deque] = [deque() for _ in range(n_workers)]
+        self._pool = SegmentPool() if data_plane == "shm" else None
+        self._supervisor = (
+            WorkerSupervisor(n_workers, restart_budget, checkpoint_every)
+            if restart_budget > 0
+            else None
+        )
+        self._reply_hints: dict = {}
+        self._driver_undo: dict | None = None
 
-        ctx = mp.get_context(start_method or _default_start_method())
+        self._ctx = mp.get_context(start_method or _default_start_method())
         handles: list[WorkerHandle] = []
         try:
             for i in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                task = WorkerTask(
-                    spec=spec,
-                    opt_level=opt_level,
-                    n_workers=n_workers,
-                    index=i,
-                    use_compiled=use_compiled,
-                    fingerprint=fingerprint,
-                )
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, task),
-                    name=f"repro-{spec.name}-worker-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                handles.append(WorkerHandle(i, proc, parent_conn))
+                handles.append(self._spawn_worker(i))
             self._handles = handles
             # Ready handshake: workers compile concurrently; collecting
             # after all have started surfaces compile errors up front.
             for h in handles:
                 self._recv(h)
+        except _WorkerFailure as exc:
+            _shutdown_workers(handles, self._pool)
+            raise BackendError(exc.message) from exc
         except BaseException:
-            _shutdown_workers(handles)
+            _shutdown_workers(handles, self._pool)
             raise
         self._finalizer = weakref.finalize(
-            self, _shutdown_workers, list(handles)
+            self, _shutdown_workers, self._handles, self._pool
         )
+
+    def _spawn_worker(self, index: int) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        task = WorkerTask(
+            spec=self.spec,
+            opt_level=self._opt_level,
+            n_workers=self.n_workers,
+            index=index,
+            use_compiled=self.use_compiled,
+            fingerprint=self._fingerprint,
+        )
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, task),
+            name=f"repro-{self.spec.name}-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return WorkerHandle(index, proc, parent_conn)
 
     # ------------------------------------------------------------------
     # Pipe plumbing (pipelined request/reply)
@@ -238,9 +311,10 @@ class MultiprocBackend(ExecutionBackend):
         try:
             handle.conn.send(msg)
         except (BrokenPipeError, OSError) as exc:
-            raise self._fail(
+            raise _WorkerFailure(
+                handle.index,
                 f"worker {handle.index} (pid {handle.process.pid}) is gone: "
-                f"cannot send {msg[0]!r} command ({exc})"
+                f"cannot send {msg[0]!r} command ({exc})",
             ) from exc
 
     def _ask(self, handle: WorkerHandle, msg: tuple) -> list:
@@ -265,37 +339,240 @@ class MultiprocBackend(ExecutionBackend):
             self._ask(h, ("sync",))
         self._drain()
 
-    def _recv(self, handle: WorkerHandle):
+    def _recv_raw(self, handle: WorkerHandle) -> tuple:
         deadline = time.monotonic() + self.reply_timeout_s
         while True:
             try:
                 if handle.conn.poll(0.05):
                     break
             except (BrokenPipeError, OSError) as exc:
-                raise self._fail(
-                    f"worker {handle.index} pipe failed: {exc}"
+                raise _WorkerFailure(
+                    handle.index, f"worker {handle.index} pipe failed: {exc}"
                 ) from exc
             if not handle.process.is_alive():
-                raise self._fail(
+                raise _WorkerFailure(
+                    handle.index,
                     f"worker {handle.index} (pid {handle.process.pid}) died "
-                    f"mid-batch (exit code {handle.process.exitcode})"
+                    f"mid-batch (exit code {handle.process.exitcode})",
                 )
             if time.monotonic() > deadline:
-                raise self._fail(
+                raise _WorkerFailure(
+                    handle.index,
                     f"worker {handle.index} (pid {handle.process.pid}) did "
-                    f"not reply within {self.reply_timeout_s}s"
+                    f"not reply within {self.reply_timeout_s}s",
                 )
         try:
-            status, payload = handle.conn.recv()
+            return handle.conn.recv()
         except (EOFError, OSError) as exc:
-            raise self._fail(
-                f"worker {handle.index} closed its pipe mid-reply ({exc})"
+            raise _WorkerFailure(
+                handle.index,
+                f"worker {handle.index} closed its pipe mid-reply ({exc})",
             ) from exc
+
+    def _recv(self, handle: WorkerHandle):
+        status, payload = self._recv_raw(handle)
         if status == "err":
+            # Deterministic program error: a restarted worker would hit
+            # it again, so poison instead of burning restart budget.
             raise self._fail(
                 f"worker {handle.index} raised while serving:\n{payload}"
             )
         return payload
+
+    # ------------------------------------------------------------------
+    # Payload encoding (the data plane)
+    # ------------------------------------------------------------------
+    def _make_payload(self, value, refs: int = 1) -> tuple:
+        """Encode a GMR (or raw ``(tuple, mult)`` pairs) for the wire.
+
+        Returns ``(payload, journal_bytes)``.  On the shm plane the
+        contents are laid out once in a pool segment and the payload is
+        a descriptor; pairs are encoded directly — no intermediate GMR.
+        ``journal_bytes`` is the plane-independent codec encoding for
+        the supervisor's journal (``None`` when unsupervised).
+        """
+        journal = self._supervisor is not None
+        if self._pool is not None:
+            pairs = value.data.items() if hasattr(value, "data") else value
+            block = encode_pairs(pairs)
+            jbytes = block.to_bytes() if journal else None
+            if block.n_rows == 0:
+                return ("e",), jbytes
+            seg = self._pool.acquire(block.nbytes, refs=refs)
+            block.write_into(seg.buf)
+            return ("s", seg.name, block.nbytes, seg.generation), jbytes
+        gmr = value if hasattr(value, "data") else GMR.unsafe(dict(value))
+        jbytes = encode_pairs(gmr.data.items()).to_bytes() if journal else None
+        return ("g", gmr), jbytes
+
+    def _reply_spec(self, key) -> tuple:
+        """Pre-size a reply segment for a ``read``/``view`` command.
+
+        Returns ``(spec, segment)``; ``(None, None)`` on the pickle
+        plane.  Capacity starts at 64 KiB and adapts per reply key from
+        observed sizes (overflows fall back to inline bytes and bump
+        the hint, so a growing view pays the pipe copy at most once per
+        size class)."""
+        if self._pool is None:
+            return None, None
+        hint = self._reply_hints.get(key, _REPLY_HINT_DEFAULT)
+        seg = self._pool.acquire(hint, refs=1)
+        return ("s", seg.name, seg.capacity), seg
+
+    def _decode_reply(self, payload, seg, key) -> GMR:
+        """Materialize a ``read``/``view`` reply; recycles ``seg``."""
+        kind = payload[0]
+        if kind == "g":
+            result = payload[1]
+        elif kind == "e":
+            result = GMR()
+        elif kind == "s":
+            _, _name, nbytes = payload
+            result = decode_gmr(seg.buf[:nbytes])
+            if nbytes > self._reply_hints.get(key, _REPLY_HINT_DEFAULT):
+                self._reply_hints[key] = nbytes
+        elif kind == "b":
+            result = decode_gmr(payload[1])
+            # The pre-sized segment overflowed; remember the real size.
+            self._reply_hints[key] = 2 * len(payload[1])
+        else:
+            raise BackendError(f"malformed reply payload {payload!r}")
+        if seg is not None:
+            self._pool.release(seg.name)
+        return result
+
+    def _stage(self, index: int, entry: tuple) -> None:
+        if self._supervisor is not None:
+            self._supervisor.stage(index, entry)
+
+    # ------------------------------------------------------------------
+    # Worker recovery (restart + journal replay)
+    # ------------------------------------------------------------------
+    def _recover(self, failure: _WorkerFailure) -> None:
+        """Bring the backend back to the last committed state.
+
+        Restarts dead workers (journal replay), quiesces and — when
+        their staged commands touched views — resets survivors, rolls
+        the driver back, and recycles every in-flight segment.  Raises
+        the poisoning :class:`BackendError` when unsupervised or out of
+        restart budget.  Safe to re-enter: a worker dying *during*
+        recovery surfaces as a fresh ``_WorkerFailure`` and the caller
+        loops back in, with the budget bounding total attempts.
+        """
+        sup = self._supervisor
+        if sup is None:
+            raise self._fail(failure.message)
+        dead = [h for h in self._handles if not h.process.is_alive()]
+        failing = self._handles[failure.index]
+        if failing not in dead:
+            # Wedged past its deadline or pipe broken while the process
+            # lingers: it is unrecoverable in place, so make it dead.
+            failing.process.terminate()
+            failing.process.join(5.0)
+            dead.append(failing)
+        for h in dead:
+            if not sup.consume_budget():
+                raise self._fail(
+                    f"worker {h.index} failed with the restart budget "
+                    f"exhausted: {failure.message}"
+                )
+        self.metrics.restarts = sup.restarts
+        dead_idx = {h.index for h in dead}
+
+        # Quiesce survivors: drain the replies they still owe so their
+        # pipes are empty, then reset+replay any whose staged commands
+        # mutated views (a staged delta alone is overwritten by the
+        # retry, so those workers keep their state).
+        for h in self._handles:
+            if h.index in dead_idx:
+                continue
+            self._resync(h)
+            if sup.journals[h.index].staged_mutates_views():
+                self._post(h, ("reset",))
+                self._replay(h)
+
+        # Restart the dead and rebuild their partitions from the
+        # journal (fresh process: checkpoint installs + committed
+        # commands, finished with a barrier).
+        for h in dead:
+            try:
+                h.conn.close()
+            except OSError:
+                pass
+            replacement = self._spawn_worker(h.index)
+            self._handles[h.index] = replacement
+            self._pending[h.index].clear()
+            self._recv(replacement)  # ready handshake
+            self._replay(replacement)
+
+        # Every pipe is quiet again: no descriptor is outstanding.
+        if self._pool is not None:
+            self._pool.release_all_inflight()
+        sup.rollback_all()
+        self._rollback_driver()
+
+    def _resync(self, handle: WorkerHandle) -> None:
+        """Discard a survivor's outstanding replies and re-barrier.
+
+        Workers answer strictly in order, so the pending queue's length
+        is exactly the number of replies still in (or headed for) the
+        pipe.  ``err`` replies are discarded too: they answer abandoned
+        commands, and the retry will re-encounter any deterministic
+        error itself.
+        """
+        q = self._pending[handle.index]
+        while q:
+            q.popleft()
+            self._recv_raw(handle)
+        self._post(handle, ("sync",))
+        status, _ = self._recv_raw(handle)
+        if status != "ok":
+            raise _WorkerFailure(
+                handle.index,
+                f"worker {handle.index} failed its recovery barrier",
+            )
+
+    def _replay(self, handle: WorkerHandle) -> None:
+        """Re-send a worker's journal: checkpoint, then commands."""
+        journal = self._supervisor.journals[handle.index]
+        for name, gmr in journal.checkpoint.items():
+            # Pickled inline: send() gives the worker its own copy and
+            # leaves the coordinator's checkpoint untouched.
+            self._post(handle, ("install", name, ("g", gmr)))
+        for entry in journal.committed:
+            kind = entry[0]
+            if kind == "block":
+                _, relation, index = entry
+                self._post(handle, ("block", relation, index))
+                self._recv(handle)  # discard: counters already merged
+            elif kind == "clear":
+                self._post(handle, ("clear",))
+            elif kind == "delta":
+                self._post(handle, ("delta", entry[1], ("b", entry[2])))
+            elif kind == "install":
+                self._post(handle, ("install", entry[1], ("b", entry[2])))
+            else:  # store
+                _, target, op, scope, payload = entry
+                self._post(
+                    handle, ("store", target, op, scope, ("b", payload))
+                )
+        self._post(handle, ("sync",))
+        self._recv(handle)
+
+    def _rollback_driver(self) -> None:
+        """Return the driver to its state before the failed batch."""
+        undo = self._driver_undo
+        if undo:
+            for name, gmr in undo.items():
+                self.driver.set_view(name, gmr)
+            undo.clear()
+        self.driver.clear_deltas()
+
+    def _restore_counters(self, before: dict, busy_before: list) -> None:
+        for name, value in before.items():
+            if name != "virtual_instructions":
+                setattr(self.counters, name, value)
+        self.metrics.worker_busy_s[:] = busy_before
 
     # ------------------------------------------------------------------
     # Placement helpers (shared semantics with SimulatedCluster)
@@ -305,9 +582,6 @@ class MultiprocBackend(ExecutionBackend):
 
     def _partition(self, contents: GMR, cols, keys) -> list[GMR]:
         return hash_partition(contents, cols, keys, self.n_workers)
-
-    def _round_robin(self, batch: GMR) -> list[GMR]:
-        return round_robin_partition(batch, self.n_workers)
 
     def _evaluator(self, counters: Counters):
         if self.use_compiled:
@@ -321,23 +595,41 @@ class MultiprocBackend(ExecutionBackend):
         """Compute every view from ``base`` and install it by tag."""
         self._check_usable()
         evaluator = Evaluator(base)
+        computed = []
         for info in self.program.local_program.views.values():
             contents = evaluator.evaluate(info.definition)
-            if contents.is_zero():
-                continue
+            if not contents.is_zero():
+                computed.append((info, contents))
+        while True:
+            try:
+                self._initialize_once(computed)
+                return
+            except _WorkerFailure as exc:
+                self._recover(exc)
+
+    def _initialize_once(self, computed) -> None:
+        for info, contents in computed:
             tag = self.program.partitioning.get(info.name)
             if isinstance(tag, Dist):
                 parts = self._partition(contents, list(info.cols), tag.keys)
                 for h, part in zip(self._handles, parts):
-                    self._post(h, ("install", info.name, part))
+                    payload, jbytes = self._make_payload(part)
+                    self._stage(h.index, ("install", info.name, jbytes))
+                    self._post(h, ("install", info.name, payload))
             elif isinstance(tag, Replicated):
-                # No defensive copy: send() pickles, so every worker
-                # already receives an independent GMR.
+                payload, jbytes = self._make_payload(
+                    contents, refs=self.n_workers
+                )
                 for h in self._handles:
-                    self._post(h, ("install", info.name, contents))
+                    self._stage(h.index, ("install", info.name, jbytes))
+                    self._post(h, ("install", info.name, payload))
             else:
                 self.driver.set_view(info.name, contents)
         self._sync()
+        if self._supervisor is not None:
+            self._supervisor.commit_all()
+        if self._pool is not None:
+            self._pool.release_all_inflight()
 
     # ------------------------------------------------------------------
     # Batch processing
@@ -348,24 +640,47 @@ class MultiprocBackend(ExecutionBackend):
         trig = self.program.triggers.get(relation)
         if trig is None:
             raise KeyError(f"no trigger for relation {relation!r}")
+        while True:
+            counters_before = self.counters.snapshot()
+            busy_before = list(self.metrics.worker_busy_s)
+            try:
+                self._on_batch_once(relation, batch, trig)
+                break
+            except _WorkerFailure as exc:
+                # A failed attempt must leave no trace: counters and
+                # busy accounting roll back here, worker/driver state
+                # inside _recover.
+                self._restore_counters(counters_before, busy_before)
+                self._recover(exc)
+        self._maybe_checkpoint()
 
+    def _on_batch_once(self, relation: str, batch: GMR, trig) -> None:
         start = time.perf_counter()
         oversubscription_s = 0.0
+        if self._supervisor is not None:
+            self._driver_undo = {}
 
         # Worker-side ingestion: each worker receives its share of the
-        # stream directly; the driver keeps the full batch for
-        # Local-tagged delta reads (mirrors SimulatedCluster).
-        for h, share in zip(self._handles, self._round_robin(batch)):
-            self._post(h, ("delta", relation, share))
+        # stream directly (stride slices, the same assignment as
+        # round-robin partitioning, but encoded straight from the pairs
+        # — no per-worker GMR is ever built on the shm plane); the
+        # driver keeps the full batch for Local-tagged delta reads
+        # (mirrors SimulatedCluster).
+        items = list(batch.data.items())
+        n = self.n_workers
+        for h in self._handles:
+            payload, jbytes = self._make_payload(items[h.index::n])
+            self._stage(h.index, ("delta", relation, jbytes))
+            self._post(h, ("delta", relation, payload))
         self.driver.set_delta(relation, batch)
 
         for index, block in enumerate(trig.blocks):
             if block.mode == "dist":
                 block_start = time.perf_counter()
-                slots = [
-                    self._ask(h, ("block", relation, index))
-                    for h in self._handles
-                ]
+                slots = []
+                for h in self._handles:
+                    self._stage(h.index, ("block", relation, index))
+                    slots.append(self._ask(h, ("block", relation, index)))
                 self._drain()
                 block_wall = time.perf_counter() - block_start
                 busy = []
@@ -386,15 +701,39 @@ class MultiprocBackend(ExecutionBackend):
                 self._run_local_block(block)
 
         for h in self._handles:
+            self._stage(h.index, ("clear",))
             self._post(h, ("clear",))
         self.driver.clear_deltas()
         self._sync()
+        # The barrier committed the batch everywhere: promote the
+        # journal, drop the undo log, and recycle every segment (all
+        # pipes drained, so no descriptor is outstanding).
+        if self._supervisor is not None:
+            self._supervisor.commit_all()
+            self._driver_undo = None
+        if self._pool is not None:
+            self._pool.release_all_inflight()
         self.batches_processed += 1
 
         wall = time.perf_counter() - start
         self.metrics.batches += 1
         self.metrics.wall_s.append(wall)
         self.metrics.scaleout_s.append(max(0.0, wall - oversubscription_s))
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodically dump worker views to bound replay cost."""
+        sup = self._supervisor
+        if sup is None or not sup.due_checkpoint(self.batches_processed):
+            return
+        while True:
+            try:
+                slots = [self._ask(h, ("dump",)) for h in self._handles]
+                self._drain()
+                break
+            except _WorkerFailure as exc:
+                self._recover(exc)
+        for h, slot in zip(self._handles, slots):
+            sup.journals[h.index].set_checkpoint(slot[0])
 
     def _run_local_block(self, block) -> None:
         evaluator = self._evaluator(self.counters)
@@ -411,7 +750,7 @@ class MultiprocBackend(ExecutionBackend):
                 self._store_driver(stmt, evaluator.evaluate(expr))
 
     # ------------------------------------------------------------------
-    # Location transformers (real data movement over the pipes)
+    # Location transformers (real data movement)
     # ------------------------------------------------------------------
     def _read_driver(self, e: Expr) -> GMR:
         if isinstance(e, Rel):
@@ -430,34 +769,58 @@ class MultiprocBackend(ExecutionBackend):
             )
         is_delta = isinstance(e, DeltaRel)
         tag = self.program.tag_of_ref(e.name, is_delta)
+        key = (e.name, is_delta)
         if isinstance(tag, Replicated):
-            slot = self._ask(self._handles[0], ("read", e.name, is_delta))
+            spec, seg = self._reply_spec(key)
+            slot = self._ask(self._handles[0], ("read", e.name, is_delta, spec))
             self._drain()
-            return slot[0]
-        slots = [
-            self._ask(h, ("read", e.name, is_delta)) for h in self._handles
-        ]
+            return self._decode_reply(slot[0], seg, key)
+        asked = []
+        for h in self._handles:
+            spec, seg = self._reply_spec(key)
+            asked.append(
+                (self._ask(h, ("read", e.name, is_delta, spec)), seg)
+            )
         self._drain()
         total = GMR()
-        for slot in slots:
-            total.add_inplace(slot[0])
+        for slot, seg in asked:
+            total.add_inplace(self._decode_reply(slot[0], seg, key))
         return total
+
+    def _scatter_parts(self, stmt, parts: list[GMR]) -> None:
+        for h, part in zip(self._handles, parts):
+            payload, jbytes = self._make_payload(part)
+            self._stage(
+                h.index, ("store", stmt.target, stmt.op, stmt.scope, jbytes)
+            )
+            self._post(
+                h, ("store", stmt.target, stmt.op, stmt.scope, payload)
+            )
 
     def _do_scatter(self, stmt, expr: Scatter) -> None:
         contents = self._read_driver(expr.child)
         cols = _ref_cols(expr.child)
-        parts = self._partition(contents, list(cols), expr.keys)
-        for h, part in zip(self._handles, parts):
-            self._post(h, ("store", stmt.target, stmt.op, stmt.scope, part))
+        self._scatter_parts(
+            stmt, self._partition(contents, list(cols), expr.keys)
+        )
 
     def _do_repart(self, stmt, expr: Repart) -> None:
         contents = self._collect(expr.child)
         cols = _ref_cols(expr.child)
-        parts = self._partition(contents, list(cols), expr.keys)
-        for h, part in zip(self._handles, parts):
-            self._post(h, ("store", stmt.target, stmt.op, stmt.scope, part))
+        self._scatter_parts(
+            stmt, self._partition(contents, list(cols), expr.keys)
+        )
 
     def _store_driver(self, stmt, value: GMR) -> None:
+        undo = self._driver_undo
+        if (
+            undo is not None
+            and stmt.scope != "batch"
+            and stmt.target not in undo
+        ):
+            undo[stmt.target] = GMR(
+                dict(self.driver.get_view(stmt.target).data)
+            )
         apply_store(self.driver, stmt.target, stmt.op, stmt.scope, value)
 
     # ------------------------------------------------------------------
@@ -472,15 +835,27 @@ class MultiprocBackend(ExecutionBackend):
         tag = self._tag(name)
         if isinstance(tag, Local):
             return self.driver.get_view(name)
+        while True:
+            try:
+                return self._view_once(name, tag)
+            except _WorkerFailure as exc:
+                self._recover(exc)
+
+    def _view_once(self, name: str, tag: Tag) -> GMR:
+        key = (name, False)
         if isinstance(tag, Replicated):
-            slot = self._ask(self._handles[0], ("view", name))
+            spec, seg = self._reply_spec(key)
+            slot = self._ask(self._handles[0], ("view", name, spec))
             self._drain()
-            return slot[0]
-        slots = [self._ask(h, ("view", name)) for h in self._handles]
+            return self._decode_reply(slot[0], seg, key)
+        asked = []
+        for h in self._handles:
+            spec, seg = self._reply_spec(key)
+            asked.append((self._ask(h, ("view", name, spec)), seg))
         self._drain()
         total = GMR()
-        for slot in slots:
-            total.add_inplace(slot[0])
+        for slot, seg in asked:
+            total.add_inplace(self._decode_reply(slot[0], seg, key))
         return total
 
     def snapshot(self) -> GMR:
@@ -500,7 +875,9 @@ class MultiprocBackend(ExecutionBackend):
                     h.conn.send(("stop",))
                 except (BrokenPipeError, OSError):
                     pass
-        self._finalizer()  # close pipes, join briefly, terminate stragglers
+        # Close pipes, join briefly, terminate stragglers, then unlink
+        # every shared-memory segment.
+        self._finalizer()
 
     def __enter__(self) -> "MultiprocBackend":
         return self

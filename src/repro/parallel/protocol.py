@@ -1,41 +1,75 @@
 """The coordinator/worker wire protocol of the process-parallel backend.
 
-Everything that crosses a pipe is a plain picklable value: query specs,
-GMRs, and small command tuples.  Compiled closure pipelines never
-travel — each worker rebuilds them locally from the
+Everything that crosses a pipe is a small plain picklable value: query
+specs, command tuples, and *payload descriptors*.  Compiled closure
+pipelines never travel — each worker rebuilds them locally from the
 :class:`WorkerTask` it receives at startup (see ARCHITECTURE.md,
 "Process-parallel backend").
 
-Commands (coordinator -> worker).  Only ``block``, ``read``, ``view``,
-``sync``, and ``stop`` answer with exactly one reply; the pure writes
-(``install``, ``delta``, ``store``, ``clear``) are silent, which is
-what lets the coordinator pipeline a batch of commands and drain
-replies only at data dependencies:
+Payloads
+--------
+GMR contents move in one of four tagged forms, chosen by the
+coordinator's ``data_plane``:
 
-``("install", name, gmr)``
-    Install one partition of a materialized view (initialization).
-``("delta", relation, gmr)``
+``("g", gmr)``
+    The pickle data plane: the GMR itself, pickled by ``Connection``.
+``("s", name, nbytes, generation)``
+    The shm data plane: a *descriptor* of a shared-memory segment the
+    coordinator owns.  The segment holds ``nbytes`` of
+    :class:`~repro.storage.columnar.ShmColumnarBlock` encoding (the
+    block header carries row count and tuple width); ``generation``
+    distinguishes successive tenancies of a recycled segment.
+``("b", bytes)``
+    Inline codec bytes: the overflow fallback when a reply outgrows its
+    pre-sized segment, and the form journal replay uses (replayed
+    payloads must not depend on segments that may have been recycled).
+``("e",)``
+    The empty GMR (common enough to shortcut).
+
+Replying commands that return GMRs (``read``, ``view``) carry a *reply
+spec*: ``None`` (reply inline as ``("g", gmr)``) or
+``("s", name, capacity)`` naming a coordinator-created segment the
+worker should encode into, replying ``("s", name, nbytes)`` — or
+``("b", bytes)`` when the encoding exceeds ``capacity``.
+
+Commands (coordinator -> worker).  Only ``block``, ``read``, ``view``,
+``dump``, ``sync``, and ``stop`` answer with exactly one reply; the
+pure writes (``install``, ``delta``, ``store``, ``clear``, ``reset``)
+are silent, which is what lets the coordinator pipeline a batch of
+commands and drain replies only at data dependencies:
+
+``("install", name, payload)``
+    Install one partition of a materialized view (initialization and
+    journal replay).
+``("delta", relation, payload)``
     Stage this worker's share of an update batch.
 ``("block", relation, block_index)``
     Execute one distributed block of ``relation``'s trigger against the
     worker's partitions; the reply carries the worker's per-block
     operation counters.
-``("read", name, is_delta)``
+``("read", name, is_delta, reply_spec)``
     Return the worker's partition of a view or staged delta (the data
     half of a Repart/Gather).
-``("store", target, op, scope, gmr)``
+``("store", target, op, scope, payload)``
     Install moved contents under statement-store semantics (the data
     half of a Scatter/Repart).
-``("view", name)``
+``("view", name, reply_spec)``
     Return the worker's partition of a materialized view (snapshots).
 ``("clear",)``
     Drop staged deltas at the end of a batch.
+``("dump",)``
+    Return every view partition (``{name: GMR}``, always inline — dumps
+    are rare checkpoints, not the fast path).
+``("reset",)``
+    Drop all views and deltas (precedes a journal replay).
 ``("stop",)``
     Acknowledge and exit the worker loop.
 
 Replies are ``("ok", payload)`` or ``("err", formatted_traceback)``;
 the coordinator converts ``err`` replies — and silence past a deadline
-— into :class:`~repro.exec.BackendError`.
+— into worker-failure handling: restart + journal replay while the
+supervisor's restart budget lasts, a poisoning
+:class:`~repro.exec.BackendError` after.
 """
 
 from __future__ import annotations
@@ -43,6 +77,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.ring import GMR
+from repro.storage.columnar import decode_gmr, encode_gmr
 from repro.workloads.spec import QuerySpec
 
 
@@ -74,3 +110,41 @@ def program_fingerprint(program) -> str:
     must agree on for block indices to mean the same thing everywhere.
     """
     return hashlib.sha256(program.describe().encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Payload forms
+# ----------------------------------------------------------------------
+def decode_payload(payload, attacher) -> GMR:
+    """Materialize a payload on the worker side.
+
+    ``attacher`` is the worker's
+    :class:`~repro.storage.pool.SegmentAttacher`; segment descriptors
+    resolve through it so repeat descriptors for a recycled segment
+    reuse the existing mapping.
+    """
+    kind = payload[0]
+    if kind == "g":
+        return payload[1]
+    if kind == "e":
+        return GMR()
+    if kind == "b":
+        return decode_gmr(payload[1])
+    if kind == "s":
+        _, name, nbytes, _generation = payload
+        return decode_gmr(attacher.get(name).buf[:nbytes])
+    raise ValueError(f"unknown payload form {kind!r}")
+
+
+def encode_reply(gmr: GMR, reply_spec, attacher):
+    """Build a replying command's GMR payload per its reply spec."""
+    if reply_spec is None:
+        return ("g", gmr)
+    if gmr.is_zero():
+        return ("e",)
+    block = encode_gmr(gmr)
+    _, name, capacity = reply_spec
+    if block.nbytes > capacity:
+        return ("b", block.to_bytes())
+    block.write_into(attacher.get(name).buf)
+    return ("s", name, block.nbytes)

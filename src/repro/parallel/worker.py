@@ -7,14 +7,23 @@ the worker re-runs the distributed compiler on the spec, verifies the
 program fingerprint against the coordinator's, and lowers its own
 compile-once pipelines.  No closures ever cross the pipe.
 
+GMR contents arrive and leave as tagged payloads (see ``protocol``):
+inline GMRs on the pickle data plane, shared-memory block descriptors
+on the shm plane.  The worker only ever *attaches* to segments — the
+coordinator creates and unlinks every one, so a worker crash cannot
+leak shared memory — and caches attachments by name, making repeat
+descriptors for a recycled segment free.
+
 The loop executes its pipe strictly in order, and only *replying*
-commands (``block``, ``read``, ``view``, ``sync``, ``stop``) send
-anything back; pure writes (``delta``, ``install``, ``store``,
-``clear``) are silent, which lets the coordinator pipeline a whole
-batch of commands and drain replies only at genuine data dependencies.
-Any exception is reported in-band as an ``err`` reply carrying the
-formatted traceback — the coordinator's crash sentinel, which poisons
-the backend on receipt regardless of which command failed.
+commands (``block``, ``read``, ``view``, ``dump``, ``sync``, ``stop``)
+send anything back; pure writes (``delta``, ``install``, ``store``,
+``clear``, ``reset``) are silent, which lets the coordinator pipeline a
+whole batch of commands and drain replies only at genuine data
+dependencies.  Any exception is reported in-band as an ``err`` reply
+carrying the formatted traceback — the coordinator treats that as a
+deterministic program error and poisons the backend (a restart would
+just hit it again), unlike process death, which is survivable via
+journal replay.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import traceback
 
 from repro.distributed.program import apply_store
 from repro.metrics import Counters
+from repro.parallel.protocol import decode_payload, encode_reply
+from repro.storage.pool import SegmentAttacher
 
 
 def _build_state(task):
@@ -81,6 +92,7 @@ def worker_main(conn, task) -> None:
         finally:
             conn.close()
         return
+    attacher = SegmentAttacher()
     conn.send(("ok", "ready"))
 
     while True:
@@ -111,21 +123,32 @@ def worker_main(conn, task) -> None:
                      (_counters_delta(before, counters.snapshot()), busy_s))
                 )
             elif kind == "delta":
-                db.set_delta(msg[1], msg[2])
+                db.set_delta(msg[1], decode_payload(msg[2], attacher))
             elif kind == "install":
-                db.set_view(msg[1], msg[2])
+                db.set_view(msg[1], decode_payload(msg[2], attacher))
             elif kind == "store":
-                _, target, op, scope, value = msg
+                _, target, op, scope, payload = msg
+                value = decode_payload(payload, attacher)
                 apply_store(db, target, op, scope, value)
             elif kind == "read":
-                _, name, is_delta = msg
-                conn.send(
-                    ("ok", db.get_delta(name) if is_delta else db.get_view(name))
-                )
+                _, name, is_delta, reply_spec = msg
+                gmr = db.get_delta(name) if is_delta else db.get_view(name)
+                conn.send(("ok", encode_reply(gmr, reply_spec, attacher)))
             elif kind == "view":
-                conn.send(("ok", db.get_view(msg[1])))
+                _, name, reply_spec = msg
+                conn.send(
+                    ("ok", encode_reply(db.get_view(name), reply_spec, attacher))
+                )
             elif kind == "clear":
                 db.clear_deltas()
+            elif kind == "dump":
+                # Checkpoint: always inline — pickling a full dump is
+                # off the fast path, and the coordinator stores it as
+                # plain GMRs anyway.
+                conn.send(("ok", dict(db.views)))
+            elif kind == "reset":
+                db.views.clear()
+                db.deltas.clear()
             elif kind == "sync":
                 conn.send(("ok", None))
             else:
@@ -135,4 +158,5 @@ def worker_main(conn, task) -> None:
                 conn.send(("err", traceback.format_exc()))
             except (BrokenPipeError, OSError):
                 break
+    attacher.close()
     conn.close()

@@ -9,10 +9,28 @@
   row/column transformers.
 * :func:`build_storage` — automatic index selection from the compiler's
   access-pattern analysis (§5.2.1).
+* :class:`SegmentPool` / :func:`attach_segment` — ref-counted
+  shared-memory segments behind the ``multiproc`` backend's zero-copy
+  data plane, with the `ShmColumnarBlock` codec in ``columnar``.
 """
 
-from repro.storage.pool import RecordPool
-from repro.storage.columnar import ColumnarBatch
+from repro.storage.pool import (
+    RecordPool,
+    Segment,
+    SegmentAttacher,
+    SegmentPool,
+    attach_segment,
+)
+from repro.storage.columnar import ColumnarBatch, ShmColumnarBlock
 from repro.storage.specialize import build_storage
 
-__all__ = ["RecordPool", "ColumnarBatch", "build_storage"]
+__all__ = [
+    "RecordPool",
+    "ColumnarBatch",
+    "ShmColumnarBlock",
+    "Segment",
+    "SegmentAttacher",
+    "SegmentPool",
+    "attach_segment",
+    "build_storage",
+]

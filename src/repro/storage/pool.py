@@ -1,12 +1,12 @@
-"""The multi-indexed record pool of Figure 6.
+"""Record pools (Figure 6) and the shared-memory segment pool.
 
-One pool stores the contents of one materialized view: records of a
-fixed format (key fields = the view's schema, one value field = the
-tuple multiplicity).  Slots freed by deletions are recycled through a
-free list.  A unique hash index over the full key serves ``get`` /
-``update`` / ``delete``; non-unique hash indexes over column subsets
-serve ``slice`` operations, with per-slot membership kept consistent on
-every mutation (the paper's index back-references).
+:class:`RecordPool` stores the contents of one materialized view:
+records of a fixed format (key fields = the view's schema, one value
+field = the tuple multiplicity).  Slots freed by deletions are recycled
+through a free list.  A unique hash index over the full key serves
+``get`` / ``update`` / ``delete``; non-unique hash indexes over column
+subsets serve ``slice`` operations, with per-slot membership kept
+consistent on every mutation (the paper's index back-references).
 
 Each slot has a stable *virtual address* so a cache simulator can
 replay the pool's access trace; pass a ``tracer`` callable taking
@@ -16,10 +16,20 @@ The pool intentionally exposes the same read interface as
 :class:`~repro.ring.GMR` (``items``, ``get``, ``__len__``,
 ``add_inplace``, ``add_tuple``, ``is_zero``, ``data``) so execution
 engines can swap pools in wherever a GMR is expected.
+
+:class:`SegmentPool` is the coordinator-side allocator behind the
+``multiproc`` backend's shared-memory data plane: ref-counted
+power-of-two shared-memory segments, recycled at sync barriers so a
+steady-state stream allocates no new segments.  The coordinator
+*creates* every segment (workers only attach via
+:func:`attach_segment`), which keeps unlink responsibility in exactly
+one process — a crashed worker can never leak a segment it owns.
 """
 
 from __future__ import annotations
 
+import os
+from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Iterator
 
 from repro.ring.gmr import is_zero as _is_zero
@@ -264,3 +274,235 @@ class RecordPool:
             f"capacity={self.capacity()}, "
             f"slice_indexes={self._slice_cols})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments (the multiproc data plane)
+# ----------------------------------------------------------------------
+
+#: Smallest segment ever allocated; requests round up to a power of two
+#: so recycled segments fit the next similarly-sized payload.
+_MIN_SEGMENT_BYTES = 4096
+
+
+def _size_class(nbytes: int) -> int:
+    size = _MIN_SEGMENT_BYTES
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment created by another process, without adding a
+    second tracking claim on it.
+
+    Workers share the coordinator's ``resource_tracker`` process (fork
+    inherits it; spawn passes its fd), and the coordinator registered
+    the segment at creation.  Python 3.13 lets an attach opt out via
+    ``track=False``; on earlier versions the attach re-registers, which
+    is a harmless duplicate in the shared tracker's name set — but it
+    must NOT be "fixed" with ``unregister``, which would delete the
+    coordinator's claim and break its eventual ``unlink``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class Segment:
+    """One shared-memory block plus its pool bookkeeping.
+
+    ``refs`` counts outstanding readers the coordinator has promised
+    the block to (one per worker for a broadcast, one for a targeted
+    send).  ``generation`` increments on every reuse, so a descriptor
+    built for a previous tenancy of the same name is detectably stale.
+    """
+
+    __slots__ = ("shm", "capacity", "refs", "generation")
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        self.refs = 0
+        self.generation = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment({self.name}, cap={self.capacity}, "
+            f"refs={self.refs}, gen={self.generation})"
+        )
+
+
+class SegmentPool:
+    """Ref-counted pool of coordinator-owned shared-memory segments.
+
+    Lifecycle of one payload::
+
+        seg = pool.acquire(nbytes, refs=k)   # alloc (or recycle)
+        block.write_into(seg.buf)            # lay the bytes out once
+        ... send (seg.name, ...) to k workers ...
+        pool.release(seg.name)  * k          # after each consumption
+        # refs == 0  ->  segment returns to the free list
+        pool.close()                         # close + unlink everything
+
+    Segment names are ``repro{pid}x{poolid}x{n}`` — short enough for
+    the POSIX 31-character limit and grep-able (a leak check is
+    ``ls /dev/shm | grep '^repro'``).
+    """
+
+    _next_pool_id = 0
+
+    def __init__(self):
+        # The shared resource tracker must exist *before* workers fork.
+        # Attaching registers a claim (pre-3.13), and a worker forked
+        # with no tracker fd to inherit spawns a private one — which
+        # unlinks every segment that worker ever attached the moment
+        # the worker exits (or is killed), out from under the pool.
+        # The pool is always constructed before the coordinator spawns
+        # workers, so starting the tracker here pins one shared tracker
+        # for the whole process tree.
+        resource_tracker.ensure_running()
+        self._pool_id = SegmentPool._next_pool_id
+        SegmentPool._next_pool_id += 1
+        self._counter = 0
+        self._segments: dict[str, Segment] = {}  # every live segment
+        self._free: dict[int, list[Segment]] = {}  # capacity -> LIFO
+        self._inflight: dict[str, Segment] = {}
+        self._closed = False
+        self.created = 0  # segments ever allocated
+        self.recycled = 0  # acquisitions served from the free list
+
+    # ------------------------------------------------------------------
+    def acquire(self, nbytes: int, refs: int = 1) -> Segment:
+        """Hand out a segment with capacity >= ``nbytes`` and ``refs``
+        outstanding consumptions."""
+        if self._closed:
+            raise ValueError("SegmentPool is closed")
+        capacity = _size_class(nbytes)
+        stack = self._free.get(capacity)
+        if stack:
+            seg = stack.pop()
+            self.recycled += 1
+        else:
+            name = f"repro{os.getpid()}x{self._pool_id}x{self._counter}"
+            self._counter += 1
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=capacity
+            )
+            seg = Segment(shm, capacity)
+            self._segments[seg.name] = seg
+            self.created += 1
+        seg.refs = refs
+        seg.generation += 1
+        self._inflight[seg.name] = seg
+        return seg
+
+    def retain(self, name: str, n: int = 1) -> None:
+        """Promise the segment to ``n`` more readers."""
+        self._inflight[name].refs += n
+
+    def release(self, name: str, n: int = 1) -> None:
+        """Record ``n`` consumptions; recycle the segment at zero."""
+        seg = self._inflight.get(name)
+        if seg is None:
+            return  # already recycled (or pool reset after a failure)
+        seg.refs -= n
+        if seg.refs <= 0:
+            del self._inflight[name]
+            self._free.setdefault(seg.capacity, []).append(seg)
+
+    def release_all_inflight(self) -> None:
+        """Recycle every outstanding segment, whatever its refcount.
+
+        Sound only at a sync barrier (all workers have drained their
+        pipes, so no descriptor is still awaiting a read) or after a
+        failure when surviving workers have been resynced.
+        """
+        for seg in list(self._inflight.values()):
+            seg.refs = 0
+            del self._inflight[seg.name]
+            self._free.setdefault(seg.capacity, []).append(seg)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close and unlink every segment this pool ever created."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.shm.close()
+            except Exception:
+                pass
+            try:
+                seg.shm.unlink()
+            except FileNotFoundError:
+                # Unlinked externally.  ``unlink`` bails before dropping
+                # our tracker claim, so drop it here — otherwise the
+                # tracker reports a phantom leak at process shutdown.
+                try:
+                    resource_tracker.unregister(
+                        seg.shm._name, "shared_memory"
+                    )
+                except Exception:
+                    pass
+            except Exception:
+                pass
+        self._segments.clear()
+        self._free.clear()
+        self._inflight.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "created": self.created,
+            "recycled": self.recycled,
+            "live": len(self._segments),
+            "inflight": len(self._inflight),
+            "free": sum(len(s) for s in self._free.values()),
+            "bytes": sum(s.capacity for s in self._segments.values()),
+        }
+
+    def __repr__(self) -> str:
+        return f"SegmentPool({self.stats()})"
+
+
+class SegmentAttacher:
+    """Worker-side cache of attached segments, keyed by name.
+
+    Attaching is a syscall + mmap; a steady-state stream reuses the
+    same few pool segments, so caching makes repeat descriptors free.
+    The coordinator never unlinks a segment while any descriptor naming
+    it can still arrive (unlink happens only at pool close, after
+    workers stop), so cached attachments cannot go stale mid-stream.
+    """
+
+    def __init__(self):
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def get(self, name: str) -> shared_memory.SharedMemory:
+        shm = self._attached.get(name)
+        if shm is None:
+            shm = attach_segment(name)
+            self._attached[name] = shm
+        return shm
+
+    def close(self) -> None:
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._attached.clear()

@@ -458,14 +458,15 @@ def test_wedged_batcher_cannot_deadlock_snapshot():
 
 
 def test_multiproc_worker_death_surfaces_through_wrapper():
-    """The wrapper forwards the inner multiproc failure contract: a
-    dead worker poisons the async view instead of hanging it."""
+    """The wrapper forwards the inner multiproc failure contract: with
+    restarts disabled, a dead worker poisons the async view instead of
+    hanging it."""
     import os
     import signal
 
     backend = create_backend(
         "async:multiproc", SPEC, n_workers=2, reply_timeout_s=20.0,
-        drain_timeout_s=30.0,
+        drain_timeout_s=30.0, restart_budget=0,
     )
     try:
         backend.on_batch("R", GMR({(1, 10): 1}))
@@ -476,6 +477,39 @@ def test_multiproc_worker_death_surfaces_through_wrapper():
             backend.drain()
             backend.on_batch("S", GMR({(20, 5): 1}))
             backend.drain()
+    finally:
+        backend.close()
+
+
+def test_multiproc_worker_death_recovers_through_wrapper():
+    """Under the default restart budget the wrapper never notices a
+    worker death: the inner backend restarts and replays it."""
+    import os
+    import signal
+
+    backend = create_backend(
+        "async:multiproc", SPEC, n_workers=2, reply_timeout_s=20.0,
+        drain_timeout_s=30.0,
+    )
+    try:
+        oracle = create_backend("rivm-batch", SPEC)
+        for relation, delta in (("R", GMR({(1, 10): 1})),):
+            backend.on_batch(relation, delta)
+            oracle.on_batch(relation, delta)
+        backend.drain()
+        victim = backend.inner._handles[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5.0)
+        for relation, delta in (
+            ("S", GMR({(10, 5): 1})),
+            ("R", GMR({(2, 10): 1})),
+        ):
+            backend.on_batch(relation, delta)
+            oracle.on_batch(relation, delta)
+        snap = backend.snapshot()
+        assert not snap.is_zero()
+        assert snap == oracle.snapshot()
+        assert backend.inner.metrics.restarts >= 1
     finally:
         backend.close()
 

@@ -74,6 +74,39 @@ def test_run_strategy_is_deprecated_alias(capsys):
     assert "deprecated" in captured.err      # and warns loudly
 
 
+@pytest.mark.parametrize("workers", ["0", "-2"])
+def test_run_rejects_non_positive_workers(workers):
+    with pytest.raises(SystemExit, match=r"--workers must be at least 1"):
+        main(
+            [
+                "run", "Q6", "--backend", "multiproc",
+                "--workers", workers, "--sf", "0.0002",
+            ]
+        )
+
+
+def test_serve_rejects_non_positive_workers():
+    with pytest.raises(SystemExit, match=r"--workers must be at least 1"):
+        main(
+            [
+                "serve", "M1", "--workload", "micro",
+                "--backends", "multiproc", "--workers", "0",
+            ]
+        )
+
+
+def test_run_multiproc_data_plane_flag(capsys):
+    rc = main(
+        [
+            "run", "M1", "--workload", "micro", "--backend", "multiproc",
+            "--workers", "2", "--data-plane", "shm", "--sf", "0.02",
+            "--max-batches", "3", "--batch-size", "20",
+        ]
+    )
+    assert rc == 0
+    assert "multiproc" in capsys.readouterr().out
+
+
 def test_run_unknown_backend_exits():
     with pytest.raises(SystemExit, match="unknown backend"):
         main(["run", "Q6", "--backend", "warp-drive"])

@@ -57,19 +57,23 @@ def _mixed_stream(spec: QuerySpec, seed: int = 7, n_batches: int = 8):
     return batches
 
 
+@pytest.mark.parametrize("data_plane", ["pickle", "shm"])
 @pytest.mark.parametrize("workload", ["M1", "M2", "M3"])
-def test_differential_against_simulated_cluster(workload):
-    """Same insert+delete stream -> identical snapshots, batch by batch."""
+def test_differential_against_simulated_cluster(workload, data_plane):
+    """Same insert+delete stream -> identical snapshots, batch by batch,
+    on both data planes."""
     spec = MICRO_QUERIES[workload]
     oracle = create_backend("cluster", spec, n_workers=3)
-    backend = create_backend("multiproc", spec, n_workers=3)
+    backend = create_backend(
+        "multiproc", spec, n_workers=3, data_plane=data_plane
+    )
     try:
         for relation, batch in _mixed_stream(spec):
             oracle.on_batch(relation, batch)
             backend.on_batch(relation, batch)
             assert backend.snapshot() == oracle.snapshot(), (
                 f"{workload} diverged from the simulated cluster after a "
-                f"batch on {relation}"
+                f"batch on {relation} ({data_plane} data plane)"
             )
     finally:
         backend.close()
@@ -119,12 +123,13 @@ def test_initialize_installs_partitions():
 
 
 # ----------------------------------------------------------------------
-# Failure contract
+# Failure contract (restart_budget=0: the strict fail-fast mode)
 # ----------------------------------------------------------------------
 def test_worker_crash_raises_backend_error_not_hang():
-    """A worker dying mid-stream surfaces as a clear BackendError."""
+    """With no restart budget, a dying worker is a clear BackendError."""
     backend = create_backend(
-        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0,
+        restart_budget=0,
     )
     try:
         backend.on_batch("R", GMR({(1, 10): 1}))
@@ -142,7 +147,8 @@ def test_worker_crash_raises_backend_error_not_hang():
 
 def test_failed_backend_refuses_further_use():
     backend = create_backend(
-        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0,
+        restart_budget=0,
     )
     try:
         os.kill(backend._handles[1].process.pid, signal.SIGKILL)
@@ -152,6 +158,108 @@ def test_failed_backend_refuses_further_use():
                 backend.on_batch("R", GMR({(1, 10): 1}))
         with pytest.raises(BackendError, match="already failed"):
             backend.on_batch("R", GMR({(2, 20): 1}))
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Worker elasticity (restart + journal replay)
+# ----------------------------------------------------------------------
+def _kill_worker(backend, index):
+    victim = backend._handles[index].process
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(5.0)
+    return victim.pid
+
+
+@pytest.mark.parametrize("data_plane", ["pickle", "shm"])
+def test_killed_worker_restarted_and_partition_replayed(data_plane):
+    """A SIGKILLed worker is resurrected, its partition replayed, and
+    the stream continues with snapshots identical to the oracle."""
+    spec = MICRO_QUERIES["M1"]
+    oracle = create_backend("cluster", spec, n_workers=2)
+    backend = create_backend(
+        "multiproc", spec, n_workers=2, reply_timeout_s=10.0,
+        data_plane=data_plane,
+    )
+    try:
+        stream = _mixed_stream(spec)
+        half = len(stream) // 2
+        for relation, batch in stream[:half]:
+            oracle.on_batch(relation, batch)
+            backend.on_batch(relation, batch)
+        old_pid = _kill_worker(backend, 0)
+        for relation, batch in stream[half:]:
+            oracle.on_batch(relation, batch)
+            backend.on_batch(relation, batch)
+            assert backend.snapshot() == oracle.snapshot()
+        assert backend.metrics.restarts >= 1
+        assert backend._handles[0].process.pid != old_pid
+        assert backend._handles[0].process.is_alive()
+    finally:
+        backend.close()
+
+
+def test_recovery_replays_initialized_partitions():
+    """Recovery restores installed base partitions, not just deltas."""
+    base = Database()
+    base.insert_rows("R", [(1, 10), (2, 20), (3, 10), (4, 20)])
+    base.insert_rows("S", [(10, 5), (20, 6)])
+    backend = create_backend(
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=10.0
+    )
+    try:
+        backend.initialize(base)
+        _kill_worker(backend, 1)
+        batch = GMR({(5, 20): 1, (1, 10): -1})
+        backend.on_batch("R", batch)
+        base.apply_update("R", batch)
+        assert backend.snapshot() == evaluate(Q, base)
+        assert backend.metrics.restarts >= 1
+    finally:
+        backend.close()
+
+
+def test_checkpoint_bounds_replay():
+    """With a short checkpoint cadence, recovery replays from the dump
+    (the committed journal is truncated) and still converges."""
+    backend = create_backend(
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=10.0,
+        checkpoint_every=2,
+    )
+    try:
+        reference = Database()
+        stream = _mixed_stream(SPEC, n_batches=7)
+        for i, (relation, batch) in enumerate(stream):
+            backend.on_batch(relation, batch)
+            reference.apply_update(relation, batch)
+            if i == 4:
+                sup = backend._supervisor
+                # The cadence really truncated the journal...
+                assert any(j.checkpoint for j in sup.journals)
+                _kill_worker(backend, 0)
+        assert backend.snapshot() == evaluate(Q, reference)
+        assert backend.metrics.restarts >= 1
+    finally:
+        backend.close()
+
+
+def test_restart_budget_exhaustion_poisons():
+    """Deaths beyond the budget fall back to the poisoning contract."""
+    backend = create_backend(
+        "multiproc", SPEC, n_workers=2, reply_timeout_s=5.0,
+        restart_budget=1,
+    )
+    try:
+        backend.on_batch("R", GMR({(1, 10): 1}))
+        _kill_worker(backend, 0)
+        backend.on_batch("R", GMR({(2, 20): 1}))  # absorbed: budget 1 -> 0
+        _kill_worker(backend, 1)
+        with pytest.raises(BackendError, match="restart budget"):
+            for _ in range(3):
+                backend.on_batch("S", GMR({(10, 5): 1}))
+        with pytest.raises(BackendError, match="already failed"):
+            backend.on_batch("R", GMR({(3, 30): 1}))
     finally:
         backend.close()
 

@@ -2,9 +2,11 @@
 
 import pytest
 
+import random
+
 from repro.ring import GMR
 from repro.storage import ColumnarBatch, RecordPool
-from repro.storage.columnar import estimate_gmr_bytes
+from repro.storage.columnar import encode_gmr, estimate_gmr_bytes
 
 
 # ----------------------------------------------------------------------
@@ -175,15 +177,34 @@ def test_columnar_aggregate_merges_and_cancels():
     assert a.to_gmr() == GMR({(5,): 2})
 
 
-def test_columnar_serialized_bytes():
-    b = ColumnarBatch.from_rows([(1, "abc")], ("A", "B"))
-    # 8 (mult) + 8 (int) + 3 (str)
-    assert b.serialized_bytes() == 19
+def test_columnar_serialized_bytes_is_actual_wire_size():
+    """serialized_bytes == the byte length of the real encoding."""
+    b = ColumnarBatch.from_rows([(1, "abc"), (2, "defg")], ("A", "B"))
+    wire = encode_gmr(b.to_gmr()).to_bytes()
+    assert b.serialized_bytes() == len(wire)
 
 
-def test_estimate_gmr_bytes():
-    g = GMR({(1, "ab"): 1})
-    assert estimate_gmr_bytes(g) == 18
+def test_estimate_gmr_bytes_is_actual_wire_size():
+    """The estimate the coordinator's cost model trusts is measured,
+    not approximated: it equals len() of the encoding that actually
+    crosses the process boundary."""
+    cases = [
+        GMR(),
+        GMR({(1, "ab"): 1}),
+        GMR({(i, f"s{i}", i * 1.5): (-1) ** i for i in range(50)}),
+        GMR({(10**30, "overflow"): 2}),  # pickled-column fallback
+        GMR({(1, 2): 1, (3, 4, 5): 1}),  # ragged -> pickled pairs
+    ]
+    for g in cases:
+        assert estimate_gmr_bytes(g) == len(encode_gmr(g).to_bytes())
+
+
+def test_estimate_tracks_string_payload_growth():
+    small = GMR({(1, "x"): 1})
+    big = GMR({(1, "x" * 500): 1})
+    assert (
+        estimate_gmr_bytes(big) - estimate_gmr_bytes(small) >= 499
+    )
 
 
 def test_columnar_column_access():
@@ -191,3 +212,60 @@ def test_columnar_column_access():
     assert b.column("B") == [5, 6]
     with pytest.raises(ValueError):
         b.column("Z")
+
+
+# ----------------------------------------------------------------------
+# Round-trip fidelity (the shm codec builds on this path)
+# ----------------------------------------------------------------------
+
+
+def _random_gmr(rng: random.Random, width: int, n: int) -> GMR:
+    """A randomized GMR with mixed-type columns and negative
+    multiplicities (deletion batches)."""
+    value_makers = [
+        lambda: rng.randrange(-(10**6), 10**6),
+        lambda: rng.random() * 1e4 - 5e3,
+        lambda: "".join(
+            rng.choice("abcdefgh αβγ😀") for _ in range(rng.randrange(0, 9))
+        ),
+        # A column mixing ints, floats, and strings in the same position
+        # (forces the codec's pickled-column fallback).
+        lambda: rng.choice(
+            [rng.randrange(100), rng.random(), f"m{rng.randrange(10)}"]
+        ),
+    ]
+    makers = [rng.choice(value_makers) for _ in range(width)]
+    g = GMR()
+    for _ in range(n):
+        key = tuple(m() for m in makers)
+        mult = rng.choice([-3, -1, 1, 2, 7])
+        g.add_tuple(key, mult)
+    return g
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_columnar_batch_roundtrip_property(seed):
+    """from_gmr -> to_gmr is the identity over randomized GMRs,
+    including deletions, empty batches, and mixed-type columns."""
+    rng = random.Random(seed)
+    width = rng.randrange(1, 5)
+    n = rng.randrange(0, 60)
+    g = _random_gmr(rng, width, n)
+    cols = tuple(f"C{i}" for i in range(width))
+    assert ColumnarBatch.from_gmr(g, cols).to_gmr() == g
+
+
+def test_columnar_batch_roundtrip_empty_and_degenerate():
+    assert ColumnarBatch.from_gmr(GMR(), ("A",)).to_gmr() == GMR()
+    g = GMR({(1,): -2})  # pure deletion
+    assert ColumnarBatch.from_gmr(g, ("A",)).to_gmr() == g
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_wire_codec_roundtrip_property(seed):
+    """encode_gmr -> decode_gmr is the identity over the same space."""
+    from repro.storage.columnar import decode_gmr
+
+    rng = random.Random(seed + 100)
+    g = _random_gmr(rng, rng.randrange(1, 5), rng.randrange(0, 60))
+    assert decode_gmr(encode_gmr(g).to_bytes()) == g
