@@ -1,0 +1,153 @@
+"""Sharded serving: scatter/gather router vs one ViewServer.
+
+The cluster tier exists to spread maintenance across shards, so the
+number that matters is how throughput moves with the shard count under
+identical end-to-end semantics: the same micro join-maintenance
+workload is run once against a single :class:`~repro.net.ViewServer`
+(`measure_network_throughput` — the ``BENCH_net.json`` shape) and then
+against a :class:`~repro.cluster.ClusterRouter` fronting 1, 2, and 4
+in-process shard servers (`measure_cluster_throughput`), each at 1 and
+4 concurrent producer connections.  Every window ends only when every
+merged subscription stream has observed the router's cross-shard
+barrier mark, so single-server and sharded elapsed times cover the
+same work — ingestion, maintenance, push fan-out, and the barrier.
+
+Every configuration asserts the delivery invariant (deltas accumulated
+off the merged streams equal the gathered snapshot); measurements land
+in ``BENCH_cluster.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import (
+    ViewDef,
+    bench_environment,
+    format_table,
+    measure_cluster_throughput,
+    measure_network_throughput,
+)
+from repro.workloads import MICRO_TABLES
+
+#: the served view: R join S on b, grouped — co-partitionable on b, so
+#: every shard maintains only its slice (the interesting scaling case).
+SQL_PER_B = (
+    "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+)
+
+PARAMS = dict(
+    batch_size=250,
+    workload="micro",
+    sf=2.0,
+    max_batches=48,
+    catalog=MICRO_TABLES,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+CLIENT_COUNTS = (1, 4)
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+@pytest.mark.paper_experiment("sharded serving: router scatter/gather scaling")
+def test_cluster_serving_scaling():
+    defs = [ViewDef("per_b", SQL_PER_B, "rivm-batch")]
+    rows = []
+    payload = {
+        "bench": "cluster_serving",
+        "unit": "seconds / tuples-per-second",
+        "semantics": (
+            "net_<c>c = measure_network_throughput against one "
+            "ViewServer with c producer connections (the BENCH_net "
+            "baseline shape); s<n>_<c>c = measure_cluster_throughput "
+            "against a ClusterRouter fronting n shard servers with c "
+            "producer connections posting to the router; every window "
+            "includes the cross-shard drain barrier observed on every "
+            "merged stream"
+        ),
+        "backend": "rivm-batch",
+        "view": SQL_PER_B,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
+        "configs": {},
+    }
+
+    baseline_tuples = None
+    for n_clients in CLIENT_COUNTS:
+        net = measure_network_throughput(
+            defs, n_clients=n_clients, **PARAMS
+        )
+        assert all(v.consistent for v in net.views), (
+            f"net_{n_clients}c: wire deltas diverged from snapshot"
+        )
+        baseline_tuples = net.n_tuples
+        label = f"net_{n_clients}c"
+        payload["configs"][label] = {
+            "shards": 1,
+            "router": False,
+            "n_clients": n_clients,
+            "elapsed_s": net.elapsed_s,
+            "throughput_tuples_s": net.throughput,
+            "n_batches": net.n_batches,
+            "n_tuples": net.n_tuples,
+        }
+        rows.append(
+            (label, "-", n_clients, round(net.elapsed_s, 4),
+             round(net.throughput))
+        )
+
+    for n_shards in SHARD_COUNTS:
+        for n_clients in CLIENT_COUNTS:
+            res = measure_cluster_throughput(
+                defs, n_shards=n_shards, n_clients=n_clients, **PARAMS
+            )
+            assert all(v.consistent for v in res.views), (
+                f"{n_shards} shards / {n_clients} clients: merged "
+                "deltas diverged from the gathered snapshot"
+            )
+            assert res.n_tuples == baseline_tuples, (
+                f"{n_shards} shards: cluster run streamed a different "
+                "workload than the single-server baseline"
+            )
+            label = f"s{n_shards}_{n_clients}c"
+            base = payload["configs"][f"net_{n_clients}c"]
+            payload["configs"][label] = {
+                "shards": n_shards,
+                "router": True,
+                "n_clients": n_clients,
+                "elapsed_s": res.elapsed_s,
+                "throughput_tuples_s": res.throughput,
+                "n_batches": res.n_batches,
+                "n_tuples": res.n_tuples,
+                "placement": res.placement,
+                "speedup_vs_net_x": (
+                    base["elapsed_s"] / res.elapsed_s
+                    if res.elapsed_s > 0 else None
+                ),
+            }
+            rows.append(
+                (label, n_shards, n_clients, round(res.elapsed_s, 4),
+                 round(res.throughput))
+            )
+
+    print()
+    print(
+        format_table(
+            ("config", "shards", "clients", "elapsed (s)", "tuples/s"),
+            rows,
+            title="sharded serving: single server vs router tier",
+        )
+    )
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Sanity of the shape, not of absolute numbers (a router over
+    # in-process shards on one machine pays scatter overhead before it
+    # shows scaling): every config moved the same tuples, nothing
+    # diverged (asserted above), and throughputs are positive.
+    for config, stats in payload["configs"].items():
+        assert stats["throughput_tuples_s"] > 0, config

@@ -12,6 +12,10 @@ Commands:
   shared stream and report per-view freshness — or, with ``--port``,
   host them on a real HTTP socket (:class:`~repro.net.ViewServer`) for
   remote clients to stream batches into and subscribe to deltas from;
+* ``route`` — front a set of already-running shard ``serve --port``
+  servers with a :class:`~repro.cluster.ClusterRouter`: one scatter/
+  gather HTTP endpoint speaking the same wire protocol, partitioning
+  batches across the shards and merging their delta streams;
 * ``list-backends`` — the registered execution backends;
 * ``distributed`` — compile for the simulated cluster and show the
   blocks/jobs plan (optionally execute a weak-scaling sweep);
@@ -367,7 +371,13 @@ def _serve_network(args, defs) -> int:
     for d in defs:
         spec = as_query_spec(d.source, name=d.name, catalog=catalog)
         service.create_view(d.name, spec, backend=d.backend, **d.options)
-    server = ViewServer(service, host=args.host, port=args.port)
+    server = ViewServer(
+        service, host=args.host, port=args.port,
+        auth_token=args.auth_token,
+    )
+    if args.auth_token:
+        print("auth: bearer token required (all endpoints but /health)",
+              flush=True)
     print(f"serving {len(defs)} views on {server.url}", flush=True)
     for d in defs:
         handle = service.view(d.name)
@@ -389,6 +399,89 @@ def _serve_network(args, defs) -> int:
     finally:
         server.close()
     print("server closed", flush=True)
+    return 0
+
+
+def _parse_boundaries(text: str) -> list:
+    """``--boundaries 10,20,30`` with numeric literals coerced (string
+    cut points stay strings, matching string-typed key columns)."""
+    out = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        try:
+            out.append(int(piece))
+        except ValueError:
+            try:
+                out.append(float(piece))
+            except ValueError:
+                out.append(piece)
+    return out
+
+
+def cmd_route(args) -> int:
+    """``route``: front already-running shard servers with a router."""
+    from repro.cluster import ClusterRouter
+
+    defs = []
+    for item in args.sql:
+        view_name, sep, sql = item.partition("=")
+        if not sep or not view_name or not sql:
+            raise SystemExit(f"--sql expects NAME=SELECT ..., got {item!r}")
+        defs.append((view_name, sql))
+
+    router = ClusterRouter(
+        args.shards,
+        _demo_catalog(),
+        partition=args.partition,
+        boundaries=_parse_boundaries(args.boundaries) if args.boundaries else None,
+        host=args.host,
+        port=args.port,
+        auth_token=args.auth_token,
+        shard_token=args.shard_token,
+    )
+    n = router.shardmap.n_shards
+    print(
+        f"routing {n} shard group(s): "
+        + " ".join(
+            "+".join(f"{h}:{p}" for h, p in router.shardmap.endpoints(s))
+            for s in range(n)
+        ),
+        flush=True,
+    )
+    try:
+        for view_name, sql in defs:
+            info = router.create_view(
+                view_name, sql, backend=args.backend
+            )
+            kind = "replicated" if info["replicated"] else "partitioned"
+            print(
+                f"  view {view_name!r} [{info['backend']}] streams "
+                + ",".join(info["streams"]) + f" ({kind})",
+                flush=True,
+            )
+        if defs:
+            print(
+                "placement: "
+                + router.shardmap.plan.describe(router.catalog),
+                flush=True,
+            )
+    except Exception as exc:
+        router.close()
+        raise SystemExit(f"route: creating views failed: {exc}")
+    print(f"router serving on {router.url}", flush=True)
+    print(
+        "endpoints: GET /health /shards /views /views/<v>/snapshot "
+        "/views/<v>/deltas | POST /views /batch/<rel> /drain /shutdown "
+        "| DELETE /views/<v>",
+        flush=True,
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        router.close()
+    print("router closed", flush=True)
     return 0
 
 
@@ -531,11 +624,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--host", default="127.0.0.1",
         help="bind address for --port (default 127.0.0.1)",
     )
+    p.add_argument(
+        "--auth-token", default=None,
+        help="with --port: require 'Authorization: Bearer <token>' on "
+             "every endpoint except GET /health",
+    )
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])
     p.add_argument("--sf", type=float, default=0.0005)
     p.add_argument("--max-batches", type=int, default=None)
+
+    p = sub.add_parser(
+        "route",
+        help="scatter/gather router over running shard servers",
+    )
+    p.add_argument(
+        "--shards", required=True,
+        help="shard topology: comma-separated groups of host:port "
+             "endpoints, replicas joined with '+' "
+             "(e.g. 'localhost:9001,localhost:9002' or "
+             "'a:9001+b:9001,a:9002+b:9002')",
+    )
+    p.add_argument(
+        "--partition", default="hash", choices=["hash", "range"],
+        help="how partitioned relations split across shards "
+             "(default hash; range needs --boundaries)",
+    )
+    p.add_argument(
+        "--boundaries", default=None,
+        help="range mode: the n_shards-1 ascending cut values on the "
+             "partition-key column, comma-separated (e.g. 100,200,300)",
+    )
+    p.add_argument(
+        "--sql", action="append", default=[], metavar="NAME=SELECT...",
+        help="create this view on every shard at startup (repeatable)",
+    )
+    p.add_argument(
+        "--backend", default="async:rivm-batch",
+        help="execution backend for --sql views on the shards "
+             "(default async:rivm-batch)",
+    )
+    p.add_argument("--port", type=int, default=0,
+                   help="router bind port (0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--auth-token", default=None,
+        help="bearer token the router's own clients must present",
+    )
+    p.add_argument(
+        "--shard-token", default=None,
+        help="bearer token the router presents to the shard servers "
+             "(their 'serve --auth-token' value)",
+    )
 
     p = sub.add_parser("distributed", help="distributed plan (and sweep)")
     p.add_argument("query", nargs="?", default="Q3")
@@ -559,6 +700,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "run": cmd_run,
     "serve": cmd_serve,
+    "route": cmd_route,
     "distributed": cmd_distributed,
     "advise": cmd_advise,
 }

@@ -1,0 +1,33 @@
+"""The sharded serving cluster: a scatter/gather router over N shards.
+
+This package scales the network serving frontend (:mod:`repro.net`)
+horizontally: a :class:`ClusterRouter` fronts any number of shard
+:class:`~repro.net.ViewServer` replica groups, speaking the same wire
+protocol clients already use against a single server.
+
+* :class:`ClusterRouter` — the HTTP router: scatters update batches
+  per the shard map, gathers/round-robins snapshots with replica
+  failover, merges shard delta streams into one seq-consistent
+  subscriber stream, and generalizes the drain barrier across shards
+  (marks carry a per-shard seq vector);
+* :class:`ShardMap` — topology (replica groups) + placement (the
+  inferred :class:`~repro.service.PartitionPlan`) + the deterministic
+  hash/range split function;
+* :class:`StreamMerger` — the per-(shard, view) reader threads behind
+  the merged changefeed, with endpoint-pinned reconnects and typed
+  ``closed`` envelopes when a shard stream is lost for good.
+
+See ARCHITECTURE.md ("Sharded cluster") for the placement rules, the
+barrier protocol, and the failure semantics.
+"""
+
+from repro.cluster.merge import StreamMerger
+from repro.cluster.router import ClusterRouter
+from repro.cluster.shardmap import ShardMap, parse_shard_spec
+
+__all__ = [
+    "ClusterRouter",
+    "ShardMap",
+    "StreamMerger",
+    "parse_shard_spec",
+]

@@ -1,0 +1,921 @@
+"""The scatter/gather router: one HTTP frontend over N shard servers.
+
+A :class:`ClusterRouter` speaks the *same* wire protocol as a single
+:class:`~repro.net.ViewServer` — the stock :class:`~repro.net.Client`
+works against either — but owns no view state of its own.  Instead it
+
+* **scatters writes**: ``POST /batch/<rel>`` splits the GMR batch per
+  the :class:`~repro.cluster.ShardMap` (hash/range partitioned, or
+  replicated when the views' algebra demands it) and fans the sub-
+  batches to every replica of each owning shard;
+* **gathers reads**: ``GET /views/<v>/snapshot`` sums per-shard
+  snapshots for a partitioned view, and round-robins across replicas —
+  failing over on connect/timeout errors — for a fully replicated one;
+* **merges changefeeds**: a :class:`~repro.cluster.StreamMerger`
+  subscribes to each shard's delta stream and the router re-stamps the
+  merged events with its own strictly-increasing delivery seq, so
+  every router subscriber sees a single monotone stream no matter how
+  the shard streams interleave;
+* **generalizes the drain barrier**: ``POST /drain`` drains every
+  shard, waits until the merger has observed each shard's mark on
+  every affected stream (proof that all owed deltas were merged and
+  broadcast), then emits its *own* mark carrying the vector of
+  per-shard seqs the barrier covered.
+
+Correctness rests on two properties of the underlying system: GMRs
+keep aggregate values in multiplicities, so adding per-shard partial
+views of disjointly placed data *is* the global view; and placement is
+inferred (:func:`~repro.service.infer_partition_plan`) so any relation
+a view uses nonlinearly or cannot co-partition is replicated — exact,
+if broadcast-heavy.  Placement constraints are **sticky**: the plan
+only ever grows over the views created during the router's lifetime,
+and a ``create_view`` whose inferred plan would re-place a relation
+that already streamed batches is rejected (rows cannot be moved
+retroactively).
+
+The router's ``seq`` values are its own: ``/batch`` replies carry the
+router ingest counter and merged deltas carry the router delivery
+counter — neither equals any shard's seq (marks expose those as the
+``shards`` vector).  Like the single server, ``subscribe(initial=True)``
+is exact only when no producer streams concurrently.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import queue
+import threading
+import time
+
+from repro.exec import BackendError
+from repro.net import Client, NetConnectError, NetError
+from repro.net.server import (
+    _HEARTBEAT_S,
+    _STREAM_POLL_S,
+    CLOSE_SENTINEL,
+    JsonHttpHandler,
+    StreamHub,
+)
+from repro.net.wire import WIRE_VERSION, decode_gmr, dump_line, encode_delta, encode_gmr, encode_mark
+from repro.ring import GMR
+from repro.service import (
+    ServiceError,
+    ViewDelta,
+    infer_partition_plan,
+    is_replicated_view,
+)
+from repro.workloads.spec import as_query_spec
+from repro.cluster.merge import StreamMerger
+from repro.cluster.shardmap import ShardMap, parse_shard_spec
+
+__all__ = ["ClusterRouter"]
+
+#: read-path errors worth failing over to another replica: the reply
+#: never arrived (transport) or the replica itself is broken (5xx) —
+#: never deterministic 4xx, which every replica would repeat.
+def _failover_worthy(exc: Exception) -> bool:
+    if isinstance(exc, NetConnectError):
+        return True
+    if isinstance(exc, NetError):
+        return exc.status >= 500
+    return isinstance(exc, (OSError, http.client.HTTPException))
+
+
+class ClusterRouter:
+    """HTTP router tier over ``n_shards`` ViewServer replica groups.
+
+    ``shards`` is a topology spec string (see
+    :func:`~repro.cluster.parse_shard_spec`) or a pre-parsed group
+    list; ``catalog`` the shared table catalog every view is parsed
+    against.  ``auth_token`` is what *clients of the router* must
+    present; ``shard_token`` is what the router presents to the shard
+    servers (pass-through deployments use the same value for both).
+    """
+
+    def __init__(
+        self,
+        shards,
+        catalog: dict[str, tuple[str, ...]],
+        partition: str = "hash",
+        boundaries: list | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: str | None = None,
+        shard_token: str | None = None,
+        reconnect_timeout_s: float = 10.0,
+        write_retry_timeout_s: float = 10.0,
+        shard_call_timeout_s: float = 60.0,
+    ):
+        groups = (
+            parse_shard_spec(shards) if isinstance(shards, str) else shards
+        )
+        self.catalog = {t: tuple(cols) for t, cols in catalog.items()}
+        self.shardmap = ShardMap(
+            groups, self.catalog, mode=partition, boundaries=boundaries
+        )
+        self.auth_token = auth_token
+        self.shard_token = shard_token
+        self.write_retry_timeout_s = write_retry_timeout_s
+        self.shard_call_timeout_s = shard_call_timeout_s
+
+        self.hub = StreamHub()
+        self.merger = StreamMerger(
+            emit=self._merge_delta,
+            emit_closed=self._emit_closed,
+            shard_token=shard_token,
+            reconnect_timeout_s=reconnect_timeout_s,
+        )
+
+        # View registry.  _spec_history keeps every spec ever created:
+        # the partition plan derives from it and must stay monotone
+        # (data already placed cannot move), so drops never shrink it.
+        self._registry_lock = threading.RLock()
+        self._views: dict[str, dict] = {}
+        self._spec_history: dict[str, object] = {}
+        self._placement_used: dict[str, object] = {}
+
+        # Router-wide counters.
+        self._seq_lock = threading.Lock()
+        self._seq = 0  # ingest counter (per accepted /batch)
+        self._emit_lock = threading.Lock()
+        self._out_seq = 0  # delivery counter (per merged delta)
+        self._mark_lock = threading.Lock()
+        self._marks = 0
+        self._rr = itertools.count()  # replica round-robin cursor
+
+        # One keep-alive client (plus its lock: http.client is not
+        # thread-safe) per shard endpoint, created lazily.
+        self._clients_lock = threading.Lock()
+        self._clients: dict[tuple[str, int], tuple[Client, threading.Lock]] = {}
+
+        handler = type("_BoundRouterHandler", (_RouterHandler,), {"router": self})
+        from repro.net.server import _Server
+
+        self._httpd = _Server((host, port), handler)
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Shard transport
+    # ------------------------------------------------------------------
+    def _client(self, endpoint: tuple[str, int]):
+        with self._clients_lock:
+            entry = self._clients.get(endpoint)
+            if entry is None:
+                host, port = endpoint
+                entry = (
+                    Client(
+                        host=host,
+                        port=port,
+                        timeout=self.shard_call_timeout_s,
+                        auth_token=self.shard_token,
+                    ),
+                    threading.Lock(),
+                )
+                self._clients[endpoint] = entry
+            return entry
+
+    def _call(self, endpoint: tuple[str, int], fn):
+        """Run ``fn(client)`` against one shard endpoint, serialized
+        per endpoint (the keep-alive connection is single-flight)."""
+        client, lock = self._client(endpoint)
+        with lock:
+            return fn(client)
+
+    def _call_write(self, endpoint: tuple[str, int], fn):
+        """Like :meth:`_call` but retries *connect-phase* failures — the
+        request never left, so resending cannot double-apply — for up to
+        ``write_retry_timeout_s``, riding out a shard restart."""
+        deadline = time.monotonic() + self.write_retry_timeout_s
+        while True:
+            try:
+                return self._call(endpoint, fn)
+            except NetConnectError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+    def _fan(self, thunks: list):
+        """Run shard calls concurrently; returns results/exceptions in
+        order (one slow or dead shard must not serialize the rest)."""
+        if len(thunks) == 1:
+            try:
+                return [thunks[0]()]
+            except Exception as exc:  # noqa: BLE001 - collected
+                return [exc]
+        results: list = [None] * len(thunks)
+
+        def run(i, thunk):
+            try:
+                results[i] = thunk()
+            except Exception as exc:  # noqa: BLE001 - collected
+                results[i] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(i, t), daemon=True)
+            for i, t in enumerate(thunks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    # ------------------------------------------------------------------
+    # Merge path (called from shard-reader threads)
+    # ------------------------------------------------------------------
+    def _merge_delta(self, view: str, shard: int, envelope: dict) -> None:
+        """Re-stamp one shard delta with the router delivery seq and
+        broadcast it.  Stamping and broadcasting happen under one lock:
+        releasing in between would let two readers swap their enqueue
+        order and hand a subscriber seq 6 before seq 5."""
+        env = dict(envelope)
+        env["origin"] = {"shard": shard, "seq": env.get("seq")}
+        with self._emit_lock:
+            self._out_seq += 1
+            env["seq"] = self._out_seq
+            self.hub.broadcast(view, ("delta", env))
+
+    def _emit_closed(self, view: str, reason: str) -> None:
+        with self._emit_lock:
+            self.hub.broadcast(view, ("closed", reason))
+
+    def _next_mark(self) -> int:
+        with self._mark_lock:
+            self._marks += 1
+            return self._marks
+
+    @property
+    def out_seq(self) -> int:
+        with self._emit_lock:
+            return self._out_seq
+
+    # ------------------------------------------------------------------
+    # View lifecycle
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        source: str,
+        backend: str = "rivm-batch",
+        *,
+        updatable=None,
+        key_hints=None,
+        options: dict | None = None,
+    ) -> dict:
+        """Create the view on every shard replica and start merging.
+
+        The view definition must be SQL text (it is re-parsed by each
+        shard against the same catalog).  Creation is all-or-nothing:
+        a failure on any endpoint rolls back the ones that succeeded.
+        """
+        if not isinstance(source, str):
+            raise ServiceError(
+                "the cluster router only accepts SQL view definitions "
+                "(the text is re-parsed by every shard)"
+            )
+        with self._registry_lock:
+            if name in self._views:
+                raise ServiceError(
+                    f"view {name!r} already exists; drop_view() it first"
+                )
+            spec = as_query_spec(
+                source,
+                name=name,
+                catalog=self.catalog or None,
+                updatable=frozenset(updatable) if updatable else None,
+                key_hints=key_hints,
+            )
+            history = dict(self._spec_history)
+            history[name] = spec
+            plan = infer_partition_plan(history.values())
+            candidate_map = self.shardmap.with_plan(plan)
+            for rel, used in self._placement_used.items():
+                now = candidate_map.placement(rel)
+                if now != used:
+                    raise ServiceError(
+                        f"creating view {name!r} would re-place relation "
+                        f"{rel!r} ({used!r} -> {now!r}) but it already "
+                        "streamed batches under the old placement; "
+                        "restart the cluster to change partitioning"
+                    )
+
+            endpoints = self.shardmap.all_endpoints()
+            created: list[tuple[str, int]] = []
+            failure: Exception | None = None
+            for ep in endpoints:
+                try:
+                    reply = self._call_write(
+                        ep,
+                        lambda c: c.create_view(
+                            name,
+                            source,
+                            backend=backend,
+                            updatable=updatable,
+                            **(options or {}),
+                        ),
+                    )
+                    created.append(ep)
+                except Exception as exc:  # noqa: BLE001 - rolled back
+                    failure = exc
+                    break
+            if failure is not None:
+                for ep in created:
+                    try:
+                        self._call(ep, lambda c: c.drop_view(name))
+                    except Exception:  # noqa: BLE001 - best effort
+                        pass
+                raise failure
+
+            self._spec_history = history
+            self.shardmap = candidate_map
+            replicated = is_replicated_view(spec, plan)
+            self._views[name] = {
+                "view": name,
+                "backend": reply["backend"],
+                "streams": reply["streams"],
+                "replicated": replicated,
+                "batches_routed": 0,
+                "subscribers": 0,
+            }
+            info = dict(self._views[name])
+        # Pin one merged stream per shard to the shard's primary
+        # replica — or just shard 0 for a fully replicated view, where
+        # every shard serves the identical stream and reading more
+        # than one would deliver each delta N times.
+        shard_streams = (
+            {0: self.shardmap.endpoints(0)[0]}
+            if replicated
+            else {
+                s: self.shardmap.endpoints(s)[0]
+                for s in range(self.shardmap.n_shards)
+            }
+        )
+        self.merger.add_view(name, shard_streams)
+        return info
+
+    def drop_view(self, name: str) -> None:
+        """Drop everywhere, preserving the single-server contract:
+        subscribers receive every delta owed *before* the typed
+        ``view dropped`` close."""
+        with self._registry_lock:
+            if name not in self._views:
+                raise ServiceError(
+                    f"unknown view {name!r}; registered views: "
+                    + (", ".join(sorted(self._views)) or "<none>")
+                )
+        try:
+            self.drain(view=name)
+        except BackendError:
+            pass  # a dead shard must not make the view undroppable
+        self.merger.remove_view(name)
+        for ep in self.shardmap.all_endpoints():
+            try:
+                self._call(ep, lambda c: c.drop_view(name))
+            except NetError as exc:
+                if exc.status != 404 and not _failover_worthy(exc):
+                    raise
+            except OSError:
+                pass  # unreachable replica: it has no state to keep
+        with self._registry_lock:
+            self._views.pop(name, None)
+        self._emit_closed(name, "view dropped")
+
+    def views_info(self) -> dict:
+        with self._registry_lock:
+            return {name: dict(info) for name, info in self._views.items()}
+
+    def view_info(self, name: str) -> dict:
+        with self._registry_lock:
+            if name not in self._views:
+                raise ServiceError(
+                    f"unknown view {name!r}; registered views: "
+                    + (", ".join(sorted(self._views)) or "<none>")
+                )
+            return dict(self._views[name])
+
+    def view_stats(self, name: str) -> dict:
+        """Router-level stats plus the per-shard stats of one reachable
+        replica per group."""
+        info = self.view_info(name)
+        shards: dict[str, dict] = {}
+        for shard in range(self.shardmap.n_shards):
+            reply = None
+            for ep in self.shardmap.endpoints(shard):
+                try:
+                    reply = self._call(ep, lambda c: c.view_stats(name))
+                    break
+                except Exception as exc:  # noqa: BLE001 - reported
+                    reply = {"error": str(exc)}
+                    if not _failover_worthy(exc):
+                        break
+            shards[str(shard)] = reply
+        info["shards"] = shards
+        return info
+
+    # ------------------------------------------------------------------
+    # Scatter: writes
+    # ------------------------------------------------------------------
+    def ingest(self, relation: str, batch: GMR) -> tuple[int, tuple[str, ...]]:
+        """Split one batch per the shard map and fan the parts out;
+        returns the router ingest seq and the union of touched views.
+
+        Mirrors ``ViewService.on_batch`` failure semantics: every
+        reachable shard still receives its part even when another
+        fails, then the first error is re-raised — a shard that missed
+        the batch has missed it for good, and re-sending would
+        double-apply to the shards that accepted it.
+        """
+        parts = self.shardmap.split(relation, batch)
+        with self._registry_lock:
+            self._placement_used.setdefault(
+                relation, self.shardmap.placement(relation)
+            )
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        thunks = []
+        for shard, part in enumerate(parts):
+            if part.is_zero():
+                continue
+            for ep in self.shardmap.endpoints(shard):
+                thunks.append(
+                    lambda ep=ep, part=part: self._call_write(
+                        ep, lambda c: c.batch(relation, part)
+                    )
+                )
+        touched: set[str] = set()
+        first_error: Exception | None = None
+        for result in self._fan(thunks):
+            if isinstance(result, Exception):
+                if first_error is None:
+                    first_error = result
+            else:
+                touched.update(result["touched"])
+        if first_error is not None:
+            raise BackendError(
+                f"batch {relation!r} (router seq {seq}) failed on at "
+                f"least one shard replica: {first_error}"
+            ) from first_error
+        with self._registry_lock:
+            for view in touched:
+                if view in self._views:
+                    self._views[view]["batches_routed"] += 1
+        return seq, tuple(sorted(touched))
+
+    # ------------------------------------------------------------------
+    # Gather: reads
+    # ------------------------------------------------------------------
+    def _read_with_failover(self, endpoints, fn, what: str):
+        start = next(self._rr)
+        last: Exception | None = None
+        for i in range(len(endpoints)):
+            ep = endpoints[(start + i) % len(endpoints)]
+            try:
+                return self._call(ep, fn)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not _failover_worthy(exc):
+                    raise
+                last = exc
+        raise BackendError(
+            f"{what}: no replica reachable "
+            f"(last error from {len(endpoints)} endpoints: {last})"
+        )
+
+    def snapshot(self, name: str, consistent: bool = True) -> GMR:
+        """Gather a view's contents.
+
+        Fully replicated views read **one** replica, round-robin across
+        every endpoint with failover — the serving path that scales
+        reads with replicas.  Partitioned views scatter to one replica
+        per shard (failover within the group) and sum the parts, which
+        is exact because the parts are disjoint additive shares.
+        ``consistent=False`` is passed through: each shard serves its
+        last flushed state without the drain barrier.
+        """
+        info = self.view_info(name)
+
+        def read(client: Client) -> GMR:
+            return client.snapshot(name, consistent=consistent)
+
+        if info["replicated"]:
+            return self._read_with_failover(
+                self.shardmap.all_endpoints(), read,
+                f"snapshot of replicated view {name!r}",
+            )
+        total = GMR()
+        for shard in range(self.shardmap.n_shards):
+            part = self._read_with_failover(
+                self.shardmap.endpoints(shard), read,
+                f"snapshot of view {name!r} shard {shard}",
+            )
+            for t, m in part.items():
+                total.add_tuple(t, m)
+        return total
+
+    # ------------------------------------------------------------------
+    # The cross-shard barrier
+    # ------------------------------------------------------------------
+    def drain(
+        self, view: str | None = None, timeout: float = 60.0
+    ) -> tuple[int, dict[int, int], int]:
+        """Drain every shard and release a router mark only once the
+        barrier is *proven*.
+
+        Steps: (1) ``POST /drain`` on every replica of every shard —
+        each pinned stream's replica returns the mark token its drain
+        queued behind the deltas it owed, and its service seq; (2) wait
+        until the merger has observed each pinned stream's token
+        (:meth:`StreamMerger.await_marks` — the proof that every owed
+        delta was merged and broadcast); (3) under the emit lock,
+        broadcast the router's own mark carrying the per-shard seq
+        vector.  Returns ``(token, shard_seqs, streams_reached)``.
+
+        Draining *all* replicas — not just the pinned ones — is what
+        makes a follow-up ``consistent`` snapshot current no matter
+        which replica the read round-robin lands on.  An unreachable
+        non-pinned replica is skipped (reads fail over past it); an
+        unreachable pinned replica fails the barrier with
+        :class:`~repro.exec.BackendError`.
+        """
+        with self._registry_lock:
+            if view is not None and view not in self._views:
+                raise ServiceError(
+                    f"unknown view {view!r}; registered views: "
+                    + (", ".join(sorted(self._views)) or "<none>")
+                )
+            affected = [view] if view is not None else list(self._views)
+            replicated = {
+                v: self._views[v]["replicated"] for v in affected
+            }
+
+        # A barrier over a lost stream can never be proven: fail now
+        # rather than drain shards and time out waiting for a mark no
+        # reader will observe.
+        required_keys = []
+        for v in affected:
+            required = [0] if replicated[v] else range(self.shardmap.n_shards)
+            for shard in required:
+                if self.merger.reader_endpoint(shard, v) is None:
+                    raise BackendError(
+                        f"cross-shard barrier failed: no live stream for "
+                        f"view {v!r} shard {shard} (stream lost)"
+                    )
+                required_keys.append((shard, v))
+        # ... and a shard broadcasts its mark only to subscriptions
+        # present when its drain runs: wait out any in-flight reconnect
+        # (e.g. right after a shard restart) before draining.
+        self.merger.await_connected(required_keys, timeout=timeout)
+
+        stream_tokens: dict[tuple[int, str], int] = {}
+        shard_seqs: dict[int, int] = {}
+        for shard in range(self.shardmap.n_shards):
+            pinned = {
+                v: self.merger.reader_endpoint(shard, v) for v in affected
+            }
+            for ep in self.shardmap.endpoints(shard):
+                is_pinned = ep in pinned.values()
+                try:
+                    caller = self._call_write if is_pinned else self._call
+                    reply = caller(
+                        ep, lambda c: c.drain_info(view)
+                    )
+                except Exception as exc:  # noqa: BLE001 - classified
+                    if is_pinned:
+                        raise BackendError(
+                            f"cross-shard barrier failed: cannot drain "
+                            f"pinned replica {ep[0]}:{ep[1]} of shard "
+                            f"{shard}: {exc}"
+                        ) from exc
+                    if _failover_worthy(exc):
+                        continue  # dead replica; reads fail over anyway
+                    raise
+                for v, pin in pinned.items():
+                    if pin == ep:
+                        stream_tokens[(shard, v)] = reply["mark"]
+                        shard_seqs[shard] = reply["seq"]
+                shard_seqs.setdefault(shard, reply["seq"])
+
+        self.merger.await_marks(stream_tokens, timeout=timeout)
+
+        token = self._next_mark()
+        with self._emit_lock:
+            streams = self.hub.broadcast(
+                view, ("mark", token, {str(s): q for s, q in shard_seqs.items()})
+            )
+        return token, shard_seqs, streams
+
+    # ------------------------------------------------------------------
+    # Aggregate info
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        shards = {}
+        for shard in range(self.shardmap.n_shards):
+            replicas = []
+            for host, port in self.shardmap.endpoints(shard):
+                try:
+                    reply = self._call(
+                        (host, port), lambda c: c.health()
+                    )
+                    replicas.append(
+                        {
+                            "host": host,
+                            "port": port,
+                            "ok": True,
+                            "seq": reply.get("seq"),
+                        }
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported
+                    replicas.append(
+                        {
+                            "host": host,
+                            "port": port,
+                            "ok": False,
+                            "error": str(exc),
+                        }
+                    )
+            shards[str(shard)] = replicas
+        with self._seq_lock:
+            seq = self._seq
+        return {
+            "status": "ok",
+            "role": "router",
+            "wire_version": WIRE_VERSION,
+            "views": len(self.views_info()),
+            "seq": seq,
+            "n_shards": self.shardmap.n_shards,
+            "shards": shards,
+        }
+
+    def describe_shards(self) -> dict:
+        info = self.shardmap.describe()
+        info["streams"] = [
+            {"shard": s, "view": v, "endpoint": [ep[0], ep[1]]}
+            for s, v, ep in self.merger.streams()
+        ]
+        info["placement_used"] = {
+            rel: (list(p) if isinstance(p, tuple) else p)
+            for rel, p in sorted(self._placement_used.items())
+        }
+        return info
+
+    def _subscriber_delta(self, name: str, change: int) -> None:
+        with self._registry_lock:
+            if name in self._views:
+                self._views[name]["subscribers"] += change
+
+    # ------------------------------------------------------------------
+    # Serving lifecycle (mirrors ViewServer)
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusterRouter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"clusterrouter:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop routing: end merged streams, stop shard readers, stop
+        the accept loop.  The shard servers are *not* shut down — they
+        are independent processes the router merely fronts."""
+        if self._closed:
+            return
+        self._closed = True
+        self.merger.close()
+        self.hub.close_all()
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd.server_close()
+        self._httpd.close_connections()
+        with self._clients_lock:
+            for client, _ in self._clients.values():
+                client.close()
+            self._clients.clear()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else self.url
+        return (
+            f"ClusterRouter({state}, shards={self.shardmap.n_shards}, "
+            f"views={len(self._views)})"
+        )
+
+
+class _RouterHandler(JsonHttpHandler):
+    #: the owning router, injected by the bound subclass
+    router: ClusterRouter = None
+
+    @property
+    def auth_token(self) -> str | None:
+        return self.router.auth_token
+
+    def _resolve(self, method: str, parts: list[str], query: dict):
+        if method == "GET":
+            if parts == ["health"]:
+                return self._get_health
+            if parts == ["shards"]:
+                return self._get_shards
+            if parts == ["stats"]:
+                return self._get_stats
+            if parts == ["views"]:
+                return self._get_views
+            if len(parts) == 3 and parts[0] == "views":
+                name = parts[1]
+                if parts[2] == "snapshot":
+                    return lambda: self._get_snapshot(name, query)
+                if parts[2] == "stats":
+                    return lambda: self._get_view_stats(name)
+                if parts[2] == "deltas":
+                    return lambda: self._stream_deltas(name, query)
+        elif method == "POST":
+            if parts == ["views"]:
+                return self._post_views
+            if len(parts) == 2 and parts[0] == "batch":
+                return lambda: self._post_batch(parts[1])
+            if parts == ["drain"]:
+                return self._post_drain
+            if parts == ["shutdown"]:
+                return self._post_shutdown
+        elif method == "DELETE":
+            if len(parts) == 2 and parts[0] == "views":
+                return lambda: self._delete_view(parts[1])
+        return None
+
+    # ------------------------------------------------------------------
+    def _get_health(self):
+        self._send_json(self.router.health())
+
+    def _get_shards(self):
+        self._send_json(self.router.describe_shards())
+
+    def _get_stats(self):
+        self._send_json(
+            {
+                "views": sorted(self.router.views_info()),
+                "seq": self.router._seq,
+                "out_seq": self.router.out_seq,
+            }
+        )
+
+    def _get_views(self):
+        self._send_json(self.router.views_info())
+
+    def _get_view_stats(self, name: str):
+        self._send_json(self.router.view_stats(name))
+
+    def _get_snapshot(self, name: str, query: dict):
+        consistent = query.get("consistent", ["1"])[0] not in (
+            "0", "false", "no",
+        )
+        with self.router._seq_lock:
+            seq = self.router._seq
+        snap = self.router.snapshot(name, consistent=consistent)
+        self._send_json(
+            {"view": name, "seq": seq, "snapshot": encode_gmr(snap)}
+        )
+
+    def _post_views(self):
+        body = self._read_json()
+        if not isinstance(body, dict) or "name" not in body or "source" not in body:
+            raise ValueError(
+                'POST /views needs {"name": ..., "source": "SELECT ..."} '
+                '(optional: "backend", "updatable", "options")'
+            )
+        updatable = body.get("updatable")
+        info = self.router.create_view(
+            body["name"],
+            body["source"],
+            backend=body.get("backend", "rivm-batch"),
+            updatable=frozenset(updatable) if updatable else None,
+            options=body.get("options") or None,
+        )
+        self._send_json(
+            {
+                "view": info["view"],
+                "backend": info["backend"],
+                "streams": info["streams"],
+                "replicated": info["replicated"],
+            },
+            status=201,
+        )
+
+    def _delete_view(self, name: str):
+        self.router.drop_view(name)
+        self._send_json({"dropped": name})
+
+    def _post_batch(self, relation: str):
+        payload = self._read_json()
+        if payload is None:
+            raise ValueError("POST /batch/<relation> needs a GMR body")
+        batch = decode_gmr(payload)
+        seq, touched = self.router.ingest(relation, batch)
+        self._send_json(
+            {"relation": relation, "seq": seq, "touched": touched}
+        )
+
+    def _post_drain(self):
+        body = self._read_json() or {}
+        token, shard_seqs, streams = self.router.drain(body.get("view"))
+        self._send_json(
+            {
+                "mark": token,
+                "seq": self.router._seq,
+                "shards": {str(s): q for s, q in shard_seqs.items()},
+                "streams": streams,
+            }
+        )
+
+    def _post_shutdown(self):
+        self._send_json({"closing": True})
+        # Close from a helper thread: close() joins the serve loop,
+        # which must not happen on a handler thread the loop owns.
+        threading.Thread(target=self.router.close, daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # The merged push stream
+    # ------------------------------------------------------------------
+    def _stream_deltas(self, name: str, query: dict):
+        initial = query.get("initial", ["0"])[0] in ("1", "true", "yes")
+        router = self.router
+        router.view_info(name)  # 404 before committing to a stream
+        if initial:
+            # Barrier first: existing subscribers receive everything
+            # owed, and — under the documented single-producer
+            # discipline — nothing new flows until the snapshot below
+            # is delivered, so snapshot + subsequent deltas is exact.
+            router.drain(view=name)
+        q: queue.SimpleQueue = queue.SimpleQueue()
+        router.hub.register(name, q)
+        router._subscriber_delta(name, +1)
+        try:
+            if initial:
+                snap = router.snapshot(name)
+                if not snap.is_zero():
+                    q.put(
+                        (
+                            "delta",
+                            encode_delta(
+                                ViewDelta(name, None, router.out_seq, snap)
+                            ),
+                        )
+                    )
+            self._start_stream(name)
+            self._pump(q)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; fall through to cleanup
+        finally:
+            router._subscriber_delta(name, -1)
+            router.hub.unregister(name, q)
+            self.close_connection = True
+
+    def _pump(self, q: queue.SimpleQueue) -> None:
+        idle_s = 0.0
+        while True:
+            try:
+                item = q.get(timeout=_STREAM_POLL_S)
+            except queue.Empty:
+                if self.router.hub.closing:
+                    self._close_stream("server closing")
+                    return
+                idle_s += _STREAM_POLL_S
+                if idle_s >= _HEARTBEAT_S:
+                    self._write_chunk(dump_line({"type": "heartbeat"}))
+                    idle_s = 0.0
+                continue
+            idle_s = 0.0
+            if item is CLOSE_SENTINEL:
+                self._close_stream("server closing")
+                return
+            kind = item[0]
+            if kind == "delta":
+                self._write_chunk(dump_line(item[1]))
+            elif kind == "mark":
+                self._write_chunk(dump_line(encode_mark(item[1], item[2])))
+            elif kind == "closed":
+                self._close_stream(item[1])
+                return

@@ -1,0 +1,213 @@
+"""The shard map: which shard owns which rows of which relation.
+
+A :class:`ShardMap` binds three things together for the cluster router:
+
+* the **topology** — an ordered list of shard *replica groups*, each a
+  list of ``(host, port)`` endpoints hosting identical state (every
+  write to the shard fans to all of its replicas; reads pick any one);
+* the **placement** — a :class:`~repro.service.PartitionPlan` inferred
+  from the hosted view definitions, saying per base relation whether
+  its rows are hash/range-partitioned (and on which columns) or
+  replicated to every shard;
+* the **split function** — :meth:`ShardMap.split` turns one incoming
+  GMR update batch into the per-shard sub-batches the router scatters.
+
+The hash split reuses :func:`~repro.distributed.tags.partition_of` —
+the same deterministic FNV-1a placement the in-process distributed
+backends use — so a tuple lands on the same shard no matter which
+process computed the split.  Partition keys are column *positions*
+(see :class:`~repro.service.PartitionPlan`).  Range mode instead cuts
+the first partition-key column at explicit ``boundaries``
+(``len(boundaries) == n_shards - 1``, sorted ascending); relations
+whose placement is *unconstrained* (key ``()``) fall back to whole-row
+hashing even in range mode, since there is no key column to compare
+against the cuts.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.distributed.tags import partition_of
+from repro.ring import GMR
+from repro.service import PartitionPlan
+
+__all__ = ["ShardMap", "parse_shard_spec"]
+
+
+def parse_shard_spec(spec: str) -> list[list[tuple[str, int]]]:
+    """Parse a ``--shards`` topology string into replica groups.
+
+    Groups are comma-separated; replicas *within* a group are joined
+    with ``+``::
+
+        "127.0.0.1:9001,127.0.0.1:9002"            # 2 shards, no replicas
+        "a:9001+b:9001,a:9002+b:9002"              # 2 shards x 2 replicas
+
+    A bare port (``"9001"``) means ``127.0.0.1:9001``.
+    """
+    groups: list[list[tuple[str, int]]] = []
+    for group_spec in spec.split(","):
+        group: list[tuple[str, int]] = []
+        for endpoint in group_spec.split("+"):
+            endpoint = endpoint.strip()
+            if not endpoint:
+                continue
+            host, sep, port = endpoint.rpartition(":")
+            if not sep:
+                host, port = "127.0.0.1", endpoint
+            try:
+                group.append((host, int(port)))
+            except ValueError:
+                raise ValueError(
+                    f"bad shard endpoint {endpoint!r} "
+                    "(expected host:port or port)"
+                ) from None
+        if group:
+            groups.append(group)
+    if not groups:
+        raise ValueError(f"shard spec {spec!r} names no endpoints")
+    return groups
+
+
+class ShardMap:
+    """Topology + placement + split function for one router.
+
+    ``groups`` is the replica-group list (see :func:`parse_shard_spec`),
+    ``catalog`` the shared table catalog (column positions for key
+    lookups), ``plan`` the current placement.  The plan is swappable
+    (:meth:`with_plan`) because the router re-infers it as views are
+    created; topology and mode are fixed for the router's lifetime.
+    """
+
+    def __init__(
+        self,
+        groups: list[list[tuple[str, int]]],
+        catalog: dict[str, tuple[str, ...]],
+        plan: PartitionPlan | None = None,
+        mode: str = "hash",
+        boundaries: list | None = None,
+    ):
+        if mode not in ("hash", "range"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        if mode == "range":
+            if not boundaries:
+                raise ValueError(
+                    "range partitioning needs --boundaries (the "
+                    "n_shards-1 ascending cut values)"
+                )
+            if len(boundaries) != len(groups) - 1:
+                raise ValueError(
+                    f"range mode with {len(groups)} shards needs exactly "
+                    f"{len(groups) - 1} boundaries, got {len(boundaries)}"
+                )
+            if sorted(boundaries) != list(boundaries):
+                raise ValueError("range boundaries must be ascending")
+        self.groups = [list(g) for g in groups]
+        self.catalog = {t: tuple(cols) for t, cols in catalog.items()}
+        self.plan = plan if plan is not None else PartitionPlan({}, frozenset())
+        self.mode = mode
+        self.boundaries = list(boundaries or [])
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.groups)
+
+    def endpoints(self, shard: int) -> list[tuple[str, int]]:
+        """The replica endpoints of one shard (writes go to all)."""
+        return list(self.groups[shard])
+
+    def all_endpoints(self) -> list[tuple[str, int]]:
+        """Every endpoint across every group, group order first."""
+        return [ep for group in self.groups for ep in group]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def with_plan(self, plan: PartitionPlan) -> "ShardMap":
+        """The same topology under a new placement."""
+        return ShardMap(
+            self.groups, self.catalog, plan, self.mode,
+            self.boundaries or None,
+        )
+
+    def placement(self, relation: str):
+        """How ``relation`` is placed: a tuple of key-column positions
+        (``()`` = whole-row) or the string ``"replicated"``.
+
+        A relation no hosted view constrains — including one no view
+        references at all — is replicated: always correct, and it keeps
+        a batch for a not-yet-referenced relation from being scattered
+        under a placement a later view creation might contradict.
+        """
+        if relation in self.plan.keys:
+            return self.plan.keys[relation]
+        return "replicated"
+
+    # ------------------------------------------------------------------
+    # The split function
+    # ------------------------------------------------------------------
+    def split(self, relation: str, batch: GMR) -> list[GMR]:
+        """Per-shard sub-batches of one update batch (length
+        ``n_shards``; shards owning none of the rows get an empty GMR,
+        which the router skips on the wire)."""
+        placement = self.placement(relation)
+        n = self.n_shards
+        if n == 1:
+            return [GMR(dict(batch.data))]
+        if placement == "replicated":
+            return [GMR(dict(batch.data)) for _ in range(n)]
+        positions = placement
+        parts = [GMR() for _ in range(n)]
+        if not positions:
+            # Unconstrained: any disjoint split is exact; hash the whole
+            # row so placement stays deterministic across processes.
+            for t, m in batch.items():
+                parts[partition_of(t, n)].add_tuple(t, m)
+            return parts
+        if self.mode == "hash":
+            for t, m in batch.items():
+                shard = partition_of(tuple(t[p] for p in positions), n)
+                parts[shard].add_tuple(t, m)
+            return parts
+        # Range: cut the first key column at the boundaries.
+        pos = positions[0]
+        for t, m in batch.items():
+            parts[bisect.bisect_right(self.boundaries, t[pos])].add_tuple(
+                t, m
+            )
+        return parts
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-friendly summary (the router's ``GET /shards`` body)."""
+        return {
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "boundaries": self.boundaries,
+            "groups": [
+                [[host, port] for host, port in group]
+                for group in self.groups
+            ],
+            "plan": {
+                "keys": {
+                    rel: [
+                        self.catalog[rel][p]
+                        if rel in self.catalog and p < len(self.catalog[rel])
+                        else p
+                        for p in positions
+                    ]
+                    for rel, positions in self.plan.keys.items()
+                },
+                "replicated": sorted(self.plan.replicated),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap({self.n_shards} shards, mode={self.mode!r}, "
+            f"plan={self.plan.describe(self.catalog)})"
+        )

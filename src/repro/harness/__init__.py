@@ -20,6 +20,9 @@ produces the same rows/series the paper reports:
 * :mod:`repro.harness.network` — over-the-wire serving runs (the same
   multi-view workload behind a :class:`~repro.net.ViewServer` socket,
   driven by N concurrent client connections);
+* :mod:`repro.harness.cluster` — sharded serving runs (the network
+  workload scattered over N shard servers behind a
+  :class:`~repro.cluster.ClusterRouter`);
 * :mod:`repro.harness.report` — plain-text table/series rendering.
 
 The ``benchmarks/`` directory contains one pytest-benchmark target per
@@ -73,6 +76,10 @@ from repro.harness.network import (
     NetworkResult,
     measure_network_throughput,
 )
+from repro.harness.cluster import (
+    ClusterResult,
+    measure_cluster_throughput,
+)
 
 __all__ = [
     "PreparedStream",
@@ -106,6 +113,8 @@ __all__ = [
     "NetViewStats",
     "NetworkResult",
     "measure_network_throughput",
+    "ClusterResult",
+    "measure_cluster_throughput",
     "IngestionResult",
     "measure_ingestion",
 ]

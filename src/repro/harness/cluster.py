@@ -1,0 +1,264 @@
+"""Sharded-cluster serving experiments.
+
+The cluster analogue of
+:func:`~repro.harness.network.measure_network_throughput`: the same
+multi-view workload and the same producer/subscriber shape, but hosted
+on ``n_shards`` in-process :class:`~repro.net.ViewServer` shards behind
+a :class:`~repro.cluster.ClusterRouter` — so single-server and sharded
+numbers are directly comparable end to end (ingestion, scatter,
+maintenance, merge, push fan-out, and the cross-shard barrier all
+inside the timed window).
+
+Static dimension tables are pre-loaded per shard through the *same*
+split function the router will scatter with (replicated tables go to
+every shard in full; partitioned ones are cut identically), so every
+shard's warm initialization matches the placement of the stream it
+will see.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.cluster import ClusterRouter, ShardMap
+from repro.eval import Database
+from repro.harness.network import NetViewStats
+from repro.harness.service import coerce_view_defs, prepare_service_run
+from repro.net import Client, ViewServer
+from repro.ring import GMR
+from repro.service import ViewService, infer_partition_plan
+
+__all__ = ["ClusterResult", "measure_cluster_throughput"]
+
+#: how long the driver waits for the router's barrier mark on a stream
+_MARK_TIMEOUT_S = 60.0
+
+
+@dataclass
+class ClusterResult:
+    """One timed sharded serving run."""
+
+    views: list[NetViewStats]
+    n_shards: int
+    replicas: int
+    n_clients: int
+    n_tuples: int
+    n_batches: int
+    elapsed_s: float
+    subscribers_per_view: int = 1
+    #: the inferred placement, e.g. "R:hash(b) S:hash(b)"
+    placement: str = ""
+
+    @property
+    def throughput(self) -> float:
+        """Streamed tuples per second, measured at the clients."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.n_tuples / self.elapsed_s
+
+
+def measure_cluster_throughput(
+    views,
+    batch_size: int,
+    workload: str = "micro",
+    sf: float = 0.0005,
+    seed: int = 42,
+    max_batches: int | None = None,
+    use_compiled: bool = True,
+    catalog: dict[str, tuple[str, ...]] | None = None,
+    n_shards: int = 2,
+    replicas: int = 1,
+    n_clients: int = 1,
+    subscribers_per_view: int = 1,
+    partition: str = "hash",
+    boundaries: list | None = None,
+    host: str = "127.0.0.1",
+) -> ClusterResult:
+    """Serve N views on a ``n_shards``-shard cluster behind a router.
+
+    View definitions must be SQL strings (each shard re-parses them
+    against the shared ``catalog``).  Setup — workload generation,
+    per-shard static preload, shard servers, router, view creation —
+    happens outside the timed window; the window spans the producer
+    threads (posting round-robin shares of the stream to the router),
+    the cross-shard drain barrier, and every merged subscription stream
+    observing the router's mark.  Each run also checks the end-to-end
+    invariant: deltas accumulated off every merged stream equal the
+    gathered snapshot.
+    """
+    defs = coerce_view_defs(views)
+    for d in defs:
+        if not isinstance(d.source, str):
+            raise ValueError(
+                f"view {d.name!r}: the cluster harness needs SQL view "
+                "definitions (they are re-parsed by every shard)"
+            )
+    if n_shards < 1 or replicas < 1 or n_clients < 1:
+        raise ValueError("n_shards, replicas and n_clients must be >= 1")
+
+    specs, static, batches, n_tuples, _fed = prepare_service_run(
+        defs, batch_size, workload=workload, sf=sf, seed=seed,
+        max_batches=max_batches, catalog=catalog,
+    )
+
+    # Pre-split the static tables with the same plan the router will
+    # infer from the same specs (inference is deterministic).
+    plan = infer_partition_plan(specs.values())
+    splitter = ShardMap(
+        [[(host, 0)] for _ in range(n_shards)],
+        catalog or {}, plan, mode=partition, boundaries=boundaries,
+    )
+    shard_bases = [Database() for _ in range(n_shards)]
+    for relation, contents in static.views.items():
+        for shard, part in enumerate(splitter.split(relation, contents)):
+            shard_bases[shard].set_view(relation, part)
+
+    servers: list[ViewServer] = []
+    groups: list[list[tuple[str, int]]] = []
+    router = None
+    streams: dict[tuple[str, int], object] = {}
+    readers: list[threading.Thread] = []
+    errors: list[BaseException] = []
+    services: list[ViewService] = []
+    try:
+        for shard in range(n_shards):
+            group = []
+            for _ in range(replicas):
+                base = Database()
+                for rel, contents in shard_bases[shard].views.items():
+                    base.set_view(rel, GMR(dict(contents.data)))
+                svc = ViewService(
+                    catalog=catalog, base=base, track_base=False
+                )
+                services.append(svc)
+                server = ViewServer(svc, host=host).start()
+                servers.append(server)
+                group.append((host, server.port))
+            groups.append(group)
+
+        router = ClusterRouter(
+            groups, catalog or {}, partition=partition,
+            boundaries=boundaries,
+        ).start()
+
+        for d in defs:
+            options = dict(d.options)
+            options.setdefault("use_compiled", use_compiled)
+            router.create_view(
+                d.name, d.source, backend=d.backend,
+                updatable=specs[d.name].updatable, options=options,
+            )
+
+        control = Client(host=host, port=router.port)
+        accs: dict[tuple[str, int], GMR] = {}
+        counts: dict[tuple[str, int], int] = {}
+        for d in defs:
+            for i in range(subscribers_per_view):
+                key = (d.name, i)
+                streams[key] = control.subscribe(d.name)
+                accs[key] = GMR()
+                counts[key] = 0
+
+        def read(key) -> None:
+            try:
+                for delta in streams[key]:
+                    accs[key].add_inplace(delta.delta)
+                    counts[key] += 1
+            except BaseException as exc:
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=read, args=(key,), daemon=True)
+            for key in streams
+        ]
+        for r in readers:
+            r.start()
+
+        shares = [batches[i::n_clients] for i in range(n_clients)]
+
+        def produce(share) -> None:
+            client = Client(host=host, port=router.port)
+            try:
+                for relation, batch, _size in share:
+                    client.batch(relation, batch)
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        producers = [
+            threading.Thread(target=produce, args=(share,), daemon=True)
+            for share in shares
+        ]
+
+        start = time.perf_counter()
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join()
+        token = control.drain()
+        deadline = time.monotonic() + _MARK_TIMEOUT_S
+        for key, stream in streams.items():
+            while token not in stream.marks:
+                if errors:
+                    raise RuntimeError(
+                        f"cluster run failed: {errors[0]!r}"
+                    ) from errors[0]
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"stream {key!r} never observed router mark {token}"
+                    )
+                time.sleep(0.002)
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise RuntimeError(
+                f"cluster run failed: {errors[0]!r}"
+            ) from errors[0]
+
+        stats = []
+        for d in defs:
+            snap = control.snapshot(d.name)
+            stats.append(
+                NetViewStats(
+                    name=d.name,
+                    backend=d.backend,
+                    deltas_received=counts[(d.name, 0)],
+                    snapshot_tuples=len(snap),
+                    consistent=all(
+                        accs[(d.name, i)] == snap
+                        for i in range(subscribers_per_view)
+                    ),
+                )
+            )
+        control.close()
+        placement = plan.describe(catalog)
+    finally:
+        for stream in streams.values():
+            stream.close()
+        if router is not None:
+            router.close()
+        for server in servers:
+            server.close()
+        for r in readers:
+            r.join(timeout=10)
+        # Dropping the views closes async backends' batcher threads —
+        # also on the error path, so a failed run cannot leak pollers.
+        for svc in services:
+            for name in svc.views():
+                try:
+                    svc.drop_view(name)
+                except Exception:
+                    pass
+    return ClusterResult(
+        views=stats,
+        n_shards=n_shards,
+        replicas=replicas,
+        n_clients=n_clients,
+        n_tuples=n_tuples,
+        n_batches=len(batches),
+        elapsed_s=elapsed,
+        subscribers_per_view=subscribers_per_view,
+        placement=placement,
+    )

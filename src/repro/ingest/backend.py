@@ -199,6 +199,14 @@ class AsyncIngestBackend(ExecutionBackend):
     def drain(self, timeout: float | None = None) -> None:
         """Barrier: block until every admitted update is flushed."""
         if self._batcher.ident is None and not self._closed:
+            if not len(self.queue):
+                # Never started and nothing admitted: there is no work
+                # the barrier could wait on.  Starting the batcher here
+                # would silently defeat ``autostart=False`` — the view
+                # service drains once at creation time (the changefeed
+                # baseline), which must not launch the thread the
+                # caller asked to control manually.
+                return
             self.start()
         self.queue.drain(
             self.drain_timeout_s if timeout is None else timeout
@@ -210,6 +218,21 @@ class AsyncIngestBackend(ExecutionBackend):
         self.drain()
         with self._batcher.inner_lock:
             return self.inner.snapshot()
+
+    def peek_snapshot(self) -> GMR:
+        """The last *flushed* state, read without the drain barrier.
+
+        A bounded-staleness read: it reflects every flush the batcher
+        has completed but none of the updates still queued, and it
+        never blocks behind a busy (or wedged) batcher.  The inner
+        lock still serializes the read against an in-progress flush,
+        so the result is always some prefix-consistent state — exactly
+        the ``snapshot?consistent=0`` contract the serving frontends
+        expose for non-draining replica reads.
+        """
+        self._check_open()
+        with self._batcher.inner_lock:
+            return GMR(dict(self.inner.snapshot().data))
 
     def last_delta(self) -> GMR:
         """Drain, then read the inner changefeed (coalesced since the

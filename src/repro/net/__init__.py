@@ -17,24 +17,29 @@ See ARCHITECTURE.md ("Network frontend") for the wire format, the
 threading model, and what ``drain`` means over HTTP.
 """
 
-from repro.net.client import Client, DeltaStream, NetError
-from repro.net.server import ViewServer
+from repro.net.client import Client, DeltaStream, NetConnectError, NetError
+from repro.net.server import JsonHttpHandler, StreamHub, ViewServer
 from repro.net.wire import (
     WIRE_VERSION,
     decode_delta,
     decode_gmr,
     encode_delta,
     encode_gmr,
+    encode_mark,
 )
 
 __all__ = [
     "Client",
     "DeltaStream",
+    "JsonHttpHandler",
+    "NetConnectError",
     "NetError",
+    "StreamHub",
     "ViewServer",
     "WIRE_VERSION",
     "decode_delta",
     "decode_gmr",
     "encode_delta",
     "encode_gmr",
+    "encode_mark",
 ]

@@ -15,6 +15,17 @@ lock).  The blocking barrier pattern over the wire::
     client.batch("R", GMR({(1, 10): 1}))
     token = client.drain("v")           # server-side barrier + mark
     deltas = stream.read_until_mark(token)   # everything owed, in order
+
+**Failure classification.**  Transport failures split into two kinds,
+and retry safety differs between them:
+
+* :class:`NetConnectError` — the TCP connection could never be
+  established (refused, unreachable, connect timeout).  The request
+  was *never sent*, so retrying is safe for any method; the cluster
+  router leans on this to fail over batches to a restarting shard.
+* plain transport errors after connect — the request may already have
+  been applied even though the reply was lost.  Only idempotent GETs
+  are retried; a re-sent ``POST /batch`` could double-apply its delta.
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from repro.ring import GMR
 from repro.service import ViewDelta
 from repro.net.wire import decode_delta, decode_gmr, encode_gmr
 
-__all__ = ["Client", "DeltaStream", "NetError"]
+__all__ = ["Client", "DeltaStream", "NetConnectError", "NetError"]
 
 
 class NetError(RuntimeError):
@@ -39,6 +50,19 @@ class NetError(RuntimeError):
         self.message = message
 
 
+class NetConnectError(NetError):
+    """The server could not be reached at all (connection refused,
+    unreachable host, connect timeout).
+
+    The request was never sent, so callers may retry it — including
+    non-idempotent POSTs — against the same or another endpoint without
+    risking a double apply.  ``status`` is 0: no HTTP reply exists.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(0, message)
+
+
 class Client:
     """Control-plane client for one :class:`~repro.net.ViewServer`."""
 
@@ -47,42 +71,64 @@ class Client:
         host: str = "127.0.0.1",
         port: int = 8080,
         timeout: float = 30.0,
+        auth_token: str | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.auth_token = auth_token
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        """Open and tune one connection; failures here are by
+        definition pre-request and raise :class:`NetConnectError`."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.connect()
+        except OSError as exc:
+            conn.close()
+            raise NetConnectError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        # Request bodies are small and ping-pong with replies on one
+        # keep-alive connection; without TCP_NODELAY, Nagle plus the
+        # peer's delayed ACK stalls every exchange ~40ms.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-            self._conn.connect()
-            # Request bodies are small and ping-pong with replies on one
-            # keep-alive connection; without TCP_NODELAY, Nagle plus the
-            # peer's delayed ACK stalls every exchange ~40ms.
-            self._conn.sock.setsockopt(
-                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-            )
+            self._conn = self._connect()
         return self._conn
+
+    def _headers(self) -> dict:
+        if self.auth_token is None:
+            return {}
+        return {"Authorization": f"Bearer {self.auth_token}"}
 
     def _request(self, method: str, path: str, payload=None):
         body = None
-        headers = {}
+        headers = self._headers()
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # Only idempotent reads are retried transparently (a dropped
-        # keep-alive connection gets one reconnect).  POST/DELETE must
-        # not be: the server may already have applied the request even
-        # though the reply never arrived, and silently re-sending e.g.
-        # /batch would apply the same GMR delta twice.
+        # Only idempotent reads are retried transparently after an
+        # in-flight failure (a dropped keep-alive connection gets one
+        # reconnect).  POST/DELETE must not be: the server may already
+        # have applied the request even though the reply never arrived,
+        # and silently re-sending e.g. /batch would apply the same GMR
+        # delta twice.  Connect-phase failures (NetConnectError) are
+        # not retried here either — they propagate with their type so
+        # callers that *can* safely retry (the request never left) get
+        # to decide.
         attempts = (0, 1) if method == "GET" else (1,)
         for attempt in attempts:
+            reused = self._conn is not None
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
@@ -92,9 +138,31 @@ class Client:
             except (
                 http.client.HTTPException, ConnectionError, socket.timeout,
                 OSError,
-            ):
+            ) as exc:
                 self._close_conn()
                 if attempt:
+                    # One carve-out from the no-retry-writes rule: a
+                    # *reused* keep-alive connection that dies before a
+                    # single response byte.  Servers half-close
+                    # (``SHUT_RD``) idle keep-alives on shutdown, so
+                    # zero-bytes-then-EOF on an old connection means
+                    # the request was provably never read — re-sending
+                    # it (against whatever now owns the port) is safe.
+                    # Surfacing it as NetConnectError hands the retry
+                    # decision to callers that already handle fresh
+                    # connect failures, e.g. the router's write path.
+                    if reused and isinstance(
+                        exc,
+                        (
+                            http.client.RemoteDisconnected,
+                            ConnectionResetError,
+                            BrokenPipeError,
+                        ),
+                    ):
+                        raise NetConnectError(
+                            f"stale keep-alive connection to "
+                            f"{self.host}:{self.port}: {exc}"
+                        ) from exc
                     raise
         decoded = json.loads(data) if data else None
         if resp.status >= 400:
@@ -167,8 +235,15 @@ class Client:
             "POST", f"/batch/{relation}", encode_gmr(batch)
         )
 
-    def snapshot(self, name: str) -> GMR:
-        reply = self._request("GET", f"/views/{name}/snapshot")
+    def snapshot(self, name: str, consistent: bool = True) -> GMR:
+        """Pull a view's contents.  ``consistent=False`` asks the
+        server to skip the drain barrier for async-ingesting views and
+        serve the last *flushed* state — a bounded-staleness read that
+        never blocks behind the batcher (the router's replica reads)."""
+        path = f"/views/{name}/snapshot"
+        if not consistent:
+            path += "?consistent=0"
+        reply = self._request("GET", path)
         return decode_gmr(reply["snapshot"])
 
     def view_stats(self, name: str) -> dict:
@@ -177,8 +252,14 @@ class Client:
     def drain(self, view: str | None = None) -> int:
         """Server-side barrier; returns the ``mark`` token broadcast on
         the drained delta streams (see ``DeltaStream.read_until_mark``)."""
+        return self.drain_info(view)["mark"]
+
+    def drain_info(self, view: str | None = None) -> dict:
+        """The full ``/drain`` reply: ``mark`` (the token), ``seq`` (the
+        server seq the barrier covered), ``streams`` — plus ``shards``
+        (the per-shard seq vector) when the server is a cluster router."""
         payload = {"view": view} if view is not None else {}
-        return self._request("POST", "/drain", payload)["mark"]
+        return self._request("POST", "/drain", payload)
 
     def shutdown_server(self) -> dict:
         """Ask the server to shut down cleanly."""
@@ -198,10 +279,17 @@ class Client:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout
         )
+        try:
+            conn.connect()
+        except OSError as exc:
+            conn.close()
+            raise NetConnectError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
         path = f"/views/{view}/deltas"
         if initial:
             path += "?initial=1"
-        conn.request("GET", path)
+        conn.request("GET", path, headers=self._headers())
         resp = conn.getresponse()
         if resp.status >= 400:
             data = resp.read()
@@ -234,6 +322,9 @@ class DeltaStream:
         self.closed_reason: str | None = None
         #: mark tokens seen while reading (in arrival order)
         self.marks: list[int] = []
+        #: per-shard seq vectors of cluster-router marks, keyed by
+        #: token (single-server marks carry no vector)
+        self.mark_shards: dict[int, dict[str, int]] = {}
 
     def _read_envelope(self) -> dict:
         """The next raw NDJSON envelope (any type)."""
@@ -241,7 +332,13 @@ class DeltaStream:
             raise NetError(410, f"stream closed: {self.closed_reason}")
         try:
             line = self._resp.readline()
-        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+        except (
+            http.client.HTTPException, ConnectionError, OSError,
+            # close() from another thread tears the response's buffer
+            # out from under a blocked readline, which then surfaces as
+            # AttributeError/ValueError from http.client internals.
+            AttributeError, ValueError,
+        ) as exc:
             self.close()
             raise NetError(499, f"stream broken: {exc}") from exc
         if not line:
@@ -253,6 +350,11 @@ class DeltaStream:
             self.close()
         return envelope
 
+    def _record_mark(self, envelope: dict) -> None:
+        self.marks.append(envelope["token"])
+        if "shards" in envelope:
+            self.mark_shards[envelope["token"]] = envelope["shards"]
+
     def __iter__(self):
         while True:
             try:
@@ -263,7 +365,7 @@ class DeltaStream:
             if kind == "delta":
                 yield decode_delta(envelope)
             elif kind == "mark":
-                self.marks.append(envelope["token"])
+                self._record_mark(envelope)
             elif kind == "closed":
                 return
 
@@ -288,7 +390,7 @@ class DeltaStream:
             if kind == "delta":
                 deltas.append(decode_delta(envelope))
             elif kind == "mark":
-                self.marks.append(envelope["token"])
+                self._record_mark(envelope)
                 if envelope["token"] >= token:
                     return deltas
             elif kind == "closed":

@@ -19,6 +19,8 @@ own around maintenance.  Endpoints:
 ``POST /batch/<relation>``  ingest one GMR delta batch; returns seq +
                             the touched views
 ``GET  /views/<name>/snapshot``  pull the current contents
+                            (``?consistent=0`` skips the drain barrier
+                            for async views: last flushed state)
 ``GET  /views/<name>/stats``     per-view delivery stats
 ``POST /drain``             barrier (optionally ``{"view": name}``);
                             broadcasts a ``mark`` token on the delta
@@ -36,12 +38,23 @@ returns has been enqueued *behind* those deltas on each stream.  It
 does **not** mean remote subscribers have already read them — sockets
 buffer — so a client that needs the barrier reads its own stream until
 the mark arrives (``DeltaStream.read_until_mark``).
+
+**Auth.**  With ``auth_token=...`` every endpoint except ``GET /health``
+requires ``Authorization: Bearer <token>`` and replies 401 otherwise —
+the minimum needed for a router tier to front untrusted producers.
+
+The request plumbing (:class:`JsonHttpHandler`) and the stream registry
+(:class:`StreamHub`) are shared with the cluster router frontend
+(:mod:`repro.cluster`), which speaks the same wire protocol over a set
+of shard ``ViewServer``\\ s.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import queue
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -54,9 +67,10 @@ from repro.net.wire import (
     dump_line,
     encode_delta,
     encode_gmr,
+    encode_mark,
 )
 
-__all__ = ["ViewServer"]
+__all__ = ["JsonHttpHandler", "StreamHub", "ViewServer"]
 
 #: how long a stream poll waits before re-checking liveness
 _STREAM_POLL_S = 0.25
@@ -64,17 +78,18 @@ _STREAM_POLL_S = 0.25
 _HEARTBEAT_S = 2.0
 
 #: sentinel queued to every live stream when the server closes
-_CLOSE = object()
+CLOSE_SENTINEL = object()
 
 
-class _Hub:
+class StreamHub:
     """Registry of live subscription streams, for mark/close broadcast.
 
     Every ``/deltas`` connection owns one queue; delta events are
-    enqueued by the service's publisher threads (via the subscription
-    callback), marks by ``/drain`` handler threads, and the close
-    sentinel by server shutdown — so the stream writer thread is the
-    queue's only consumer and wire order equals enqueue order.
+    enqueued by publisher threads (the service's subscription callback,
+    or the cluster router's shard-stream mergers), marks by ``/drain``
+    handler threads, and the close sentinel by server shutdown — so the
+    stream writer thread is the queue's only consumer and wire order
+    equals enqueue order.
     """
 
     def __init__(self):
@@ -109,18 +124,25 @@ class _Hub:
     def close_all(self) -> None:
         with self._lock:
             self.closing = True
-        self.broadcast(None, _CLOSE)
+        self.broadcast(None, CLOSE_SENTINEL)
 
 
-class _Handler(BaseHTTPRequestHandler):
+class JsonHttpHandler(BaseHTTPRequestHandler):
+    """Shared request plumbing of the view-serving HTTP frontends.
+
+    Subclasses implement :meth:`_resolve` (method + path parts -> a
+    nullary handler) and may override :attr:`auth_token` (a property
+    reading the owning server's configuration).  The base class
+    provides JSON body I/O, the error-to-status mapping, bearer-token
+    enforcement, and the chunked-NDJSON stream primitives.
+    """
+
     # HTTP/1.1 gives keep-alive for the control connection and chunked
     # transfer for the delta streams.
     protocol_version = "HTTP/1.1"
     # Small request/reply bodies ping-pong on one keep-alive connection;
     # Nagle + delayed ACK would add ~40ms to every exchange.
     disable_nagle_algorithm = True
-    #: the owning ViewServer, injected by its handler subclass
-    view_server: "ViewServer" = None
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -129,8 +151,10 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep harness/test output clean; errors surface as JSON
 
     @property
-    def service(self) -> ViewService:
-        return self.view_server.service
+    def auth_token(self) -> str | None:
+        """The bearer token required on every endpoint but /health
+        (``None`` disables the check)."""
+        return None
 
     def _read_json(self):
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -168,6 +192,13 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_error_json(400, message)
         raise exc
 
+    def _authorized(self, parts: list[str]) -> bool:
+        token = self.auth_token
+        if token is None or parts == ["health"]:
+            return True
+        header = self.headers.get("Authorization", "")
+        return hmac.compare_digest(header, f"Bearer {token}")
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
@@ -175,6 +206,11 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
+            if not self._authorized(parts):
+                return self._send_error_json(
+                    401, "missing or invalid bearer token "
+                    "(Authorization: Bearer <token>)"
+                )
             handler = self._resolve(method, parts, parse_qs(url.query))
             if handler is None:
                 return self._send_error_json(
@@ -190,6 +226,55 @@ class _Handler(BaseHTTPRequestHandler):
                 pass
 
     def _resolve(self, method: str, parts: list[str], query: dict):
+        raise NotImplementedError
+
+    def do_GET(self):
+        self._route("GET")
+
+    def do_POST(self):
+        self._route("POST")
+
+    def do_DELETE(self):
+        self._route("DELETE")
+
+    # ------------------------------------------------------------------
+    # Chunked-NDJSON stream primitives
+    # ------------------------------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        self.wfile.flush()
+
+    def _end_chunks(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def _start_stream(self, view: str) -> None:
+        """Reply headers + the ``subscribed`` envelope of a push stream."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        self._write_chunk(dump_line({"type": "subscribed", "view": view}))
+
+    def _close_stream(self, reason: str) -> None:
+        self._write_chunk(dump_line({"type": "closed", "reason": reason}))
+        self._end_chunks()
+
+
+class _Handler(JsonHttpHandler):
+    #: the owning ViewServer, injected by its handler subclass
+    view_server: "ViewServer" = None
+
+    @property
+    def service(self) -> ViewService:
+        return self.view_server.service
+
+    @property
+    def auth_token(self) -> str | None:
+        return self.view_server.auth_token
+
+    def _resolve(self, method: str, parts: list[str], query: dict):
         if method == "GET":
             if parts == ["health"]:
                 return self._get_health
@@ -202,7 +287,7 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 3 and parts[0] == "views":
                 name = parts[1]
                 if parts[2] == "snapshot":
-                    return lambda: self._get_snapshot(name)
+                    return lambda: self._get_snapshot(name, query)
                 if parts[2] == "stats":
                     return lambda: self._get_view_stats(name)
                 if parts[2] == "deltas":
@@ -220,15 +305,6 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "views":
                 return lambda: self._delete_view(parts[1])
         return None
-
-    def do_GET(self):
-        self._route("GET")
-
-    def do_POST(self):
-        self._route("POST")
-
-    def do_DELETE(self):
-        self._route("DELETE")
 
     # ------------------------------------------------------------------
     # Control endpoints
@@ -284,12 +360,15 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_view_stats(self, name: str):
         self._send_json(self._view_stats(name))
 
-    def _get_snapshot(self, name: str):
+    def _get_snapshot(self, name: str, query: dict):
+        consistent = query.get("consistent", ["1"])[0] not in (
+            "0", "false", "no",
+        )
         # Read the seq first: the snapshot then covers at least every
         # batch up to it (reading after would claim batches a concurrent
         # producer added mid-read), so `seq` is a sound lower bound.
         seq = self.service.seq
-        snap = self.service.snapshot(name)
+        snap = self.service.snapshot(name, consistent=consistent)
         self._send_json(
             {"view": name, "seq": seq, "snapshot": encode_gmr(snap)}
         )
@@ -340,7 +419,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.drain(view)
         token = self.view_server._next_mark()
         streams = self.view_server.hub.broadcast(
-            view, ("mark", token)
+            view, ("mark", token, None)
         )
         self._send_json(
             {"mark": token, "seq": self.service.seq, "streams": streams}
@@ -358,14 +437,6 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # The push stream
     # ------------------------------------------------------------------
-    def _write_chunk(self, data: bytes) -> None:
-        self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
-        self.wfile.flush()
-
-    def _end_chunks(self) -> None:
-        self.wfile.write(b"0\r\n\r\n")
-        self.wfile.flush()
-
     def _stream_deltas(self, name: str, query: dict):
         initial = query.get("initial", ["0"])[0] in ("1", "true", "yes")
         hub = self.view_server.hub
@@ -381,14 +452,7 @@ class _Handler(BaseHTTPRequestHandler):
             except ServiceError:
                 hub.unregister(name, q)
                 raise
-            self.send_response(200)
-            self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Cache-Control", "no-store")
-            self.send_header("Transfer-Encoding", "chunked")
-            self.end_headers()
-            self._write_chunk(
-                dump_line({"type": "subscribed", "view": name})
-            )
+            self._start_stream(name)
             self._pump(name, q, sub)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; fall through to cleanup
@@ -421,7 +485,7 @@ class _Handler(BaseHTTPRequestHandler):
                     idle_s = 0.0
                 continue
             idle_s = 0.0
-            if item is _CLOSE:
+            if item is CLOSE_SENTINEL:
                 self._close_stream("server closing")
                 return
             kind = item[0]
@@ -429,12 +493,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._write_chunk(dump_line(encode_delta(item[1])))
             elif kind == "mark":
                 self._write_chunk(
-                    dump_line({"type": "mark", "token": item[1]})
+                    dump_line(encode_mark(item[1], item[2]))
                 )
-
-    def _close_stream(self, reason: str) -> None:
-        self._write_chunk(dump_line({"type": "closed", "reason": reason}))
-        self._end_chunks()
 
 
 class _Server(ThreadingHTTPServer):
@@ -443,6 +503,45 @@ class _Server(ThreadingHTTPServer):
     # joining them here would make close() wait out a full poll cycle
     # per stream for no benefit.
     block_on_close = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._conns_lock = threading.Lock()
+        self._conns: set = set()
+
+    def process_request(self, request, client_address):
+        with self._conns_lock:
+            self._conns.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._conns_lock:
+            self._conns.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Half-close (``SHUT_RD``) every open connection.
+
+        Without this, a keep-alive handler thread blocked in its next
+        ``readline`` outlives ``server_close()`` (daemon threads are
+        never joined) and keeps *serving* — a zombie of the dead
+        server.  A peer holding such a connection would have its
+        requests answered against the dead server's stream hub, so a
+        restarted server on the same port silently loses every
+        broadcast.  ``SHUT_RD`` makes the blocked read return EOF —
+        the handler loop exits and fully closes the socket — while
+        letting a reply already being written flush: a request the
+        old server *accepted* still completes, and one sent after the
+        cut is provably unread, which is what lets clients classify
+        the resulting EOF as safe-to-resend.
+        """
+        with self._conns_lock:
+            conns = list(self._conns)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already gone
 
 
 class ViewServer:
@@ -454,6 +553,8 @@ class ViewServer:
     every delta stream with a ``closed`` event, stops the accept loop,
     and closes the socket — it does **not** drop the hosted views, so a
     service can be re-hosted or inspected in-process afterwards.
+    ``auth_token`` requires ``Authorization: Bearer <token>`` on every
+    endpoint except ``GET /health``.
     """
 
     def __init__(
@@ -461,9 +562,11 @@ class ViewServer:
         service: ViewService,
         host: str = "127.0.0.1",
         port: int = 0,
+        auth_token: str | None = None,
     ):
         self.service = service
-        self.hub = _Hub()
+        self.hub = StreamHub()
+        self.auth_token = auth_token
         handler = type("_BoundHandler", (_Handler,), {"view_server": self})
         self._httpd = _Server((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -514,6 +617,7 @@ class ViewServer:
         if self._thread is not None:
             self._thread.join(timeout=10)
         self._httpd.server_close()
+        self._httpd.close_connections()
 
     def __enter__(self) -> "ViewServer":
         return self.start()

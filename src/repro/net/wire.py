@@ -13,7 +13,10 @@ over a chunked HTTP response; every line is an *event envelope* with a
 * ``delta`` — one :class:`~repro.service.ViewDelta` (fields ``view``,
   ``relation``, ``seq``, ``delta``);
 * ``mark`` — a drain barrier token (see the server's ``POST /drain``):
-  every delta admitted before the drain precedes the mark on the wire;
+  every delta admitted before the drain precedes the mark on the wire.
+  A mark from the cluster router additionally carries ``shards``, the
+  vector of per-shard sequence numbers the barrier covered (shard
+  index, as a string key, to that shard's service seq);
 * ``heartbeat`` — keep-alive while the view is idle (clients skip it);
 * ``closed`` — the stream is over (view dropped or server closing).
 
@@ -36,6 +39,7 @@ __all__ = [
     "dump_line",
     "encode_delta",
     "encode_gmr",
+    "encode_mark",
 ]
 
 #: bumped on incompatible wire-format changes; exchanged in /health
@@ -91,6 +95,19 @@ def decode_delta(envelope: dict) -> ViewDelta:
         seq=envelope["seq"],
         delta=decode_gmr(envelope["delta"]),
     )
+
+
+def encode_mark(token: int, shards: dict | None = None) -> dict:
+    """A drain-barrier token as a ``type: mark`` envelope.
+
+    ``shards`` is the cluster router's per-shard seq vector (shard
+    index -> that shard's service seq at the barrier); a single server
+    omits it.
+    """
+    envelope = {"type": "mark", "token": token}
+    if shards is not None:
+        envelope["shards"] = {str(k): v for k, v in shards.items()}
+    return envelope
 
 
 def dump_line(obj: dict) -> bytes:

@@ -15,11 +15,19 @@ from repro.service.service import (
     ViewHandle,
     ViewService,
 )
+from repro.service.sharding import (
+    PartitionPlan,
+    infer_partition_plan,
+    is_replicated_view,
+)
 
 __all__ = [
+    "PartitionPlan",
     "ServiceError",
     "Subscription",
     "ViewDelta",
     "ViewHandle",
     "ViewService",
+    "infer_partition_plan",
+    "is_replicated_view",
 ]

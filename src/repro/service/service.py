@@ -409,6 +409,12 @@ class ViewService:
         for handle in handles:
             if isinstance(handle.backend, AsyncIngestBackend):
                 handle.backend.drain(timeout)
+            # Flush changefeed coalesced during a no-subscriber window
+            # (publishes skip delta computation with nobody listening):
+            # a subscriber that joined after the window must receive the
+            # catch-up *before* any post-drain mark, or accumulation
+            # would diverge from the snapshot the barrier promises.
+            self._publish(handle, None, self._seq)
 
     def _publish(
         self,
@@ -467,14 +473,26 @@ class ViewService:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def snapshot(self, name: str) -> GMR:
-        """Pull the current contents of a view (a defensive copy)."""
+    def snapshot(self, name: str, consistent: bool = True) -> GMR:
+        """Pull the current contents of a view (a defensive copy).
+
+        ``consistent=False`` skips the drain barrier for async-backed
+        views and serves the last *flushed* state instead — a
+        bounded-staleness read that never waits on the batcher (the
+        snapshot-isolation mode replica readers and the cluster
+        router's round-robin reads use).  Synchronous views are always
+        current, so the flag is a no-op for them.
+        """
         with self._lock:
             backend = self._handle(name).backend
             if not isinstance(backend, AsyncIngestBackend):
                 # Sync engines mutate their state inside on_batch, which
                 # runs under this lock — read under it too.
                 return GMR(dict(backend.snapshot().data))
+        if not consistent:
+            # No barrier: the wrapper's inner_lock alone serializes the
+            # read against an in-progress flush.
+            return backend.peek_snapshot()
         # Async reads drain first (waiting on the batcher): do that
         # outside the service lock so producers are not stalled behind
         # the barrier; the wrapper's inner_lock serializes the read.

@@ -1,0 +1,198 @@
+"""Per-shard view placement: how a set of views partitions base data.
+
+The cluster router (:mod:`repro.cluster`) hosts the *same* view
+definitions on N shard :class:`~repro.service.ViewService` sessions and
+merges their results by GMR addition.  That merge is exact only when
+base relations are placed so every shard computes a disjoint additive
+share of each view:
+
+* a relation may be **partitioned** — each row lives on exactly one
+  shard, chosen by a pure function of the row's partition-key columns —
+  when every view is *linear* in it (the relation occurs once in the
+  view's algebra) and every join it participates in is co-partitioned
+  (both sides hashed on a shared join column);
+* otherwise it must be **replicated** — every shard holds a full copy —
+  which is always correct (nested aggregates, self-joins, non-equi
+  references all see complete data) at the cost of broadcasting its
+  update batches to every shard.
+
+This module derives that placement from the view specs themselves:
+:func:`infer_partition_plan` walks each query's algebra, finds the join
+columns relations share (the algebra joins naturally, so shared column
+names *are* the join keys), and produces a :class:`PartitionPlan` that
+the router's shard map enforces.  Partition keys are stored as column
+*positions* into the base-relation tuples: the SQL frontend renames
+columns per view (``R.b`` and ``S.b`` both become the equivalence-class
+name ``R_b``), so names are view-local, while positions are canonical
+across views and match the tuples actually split at ingest time.
+
+A view whose every base relation ends up replicated is itself fully
+materialized on every shard — the router then answers its reads from
+*one* shard round-robin instead of gathering, which is where replica
+failover comes from.  The additive-merge premise holds because this
+algebra keeps aggregate values in GMR *multiplicities* (group keys in
+the tuple, the single aggregate in the ring annotation — the paper's
+representation), so per-shard partial aggregates of disjoint data sum
+to the global view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.ast import Expr, Rel, children, is_expr
+from repro.workloads.spec import QuerySpec
+
+__all__ = [
+    "PartitionPlan",
+    "infer_partition_plan",
+    "is_replicated_view",
+]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Placement of base relations across a shard set.
+
+    ``keys`` maps each partitioned relation to its partition-key column
+    *positions* (indices into the relation's tuples); an *empty* tuple
+    means the relation is unconstrained (no view joins it against
+    anything) and may be split on the whole row.  Relations in
+    ``replicated`` are broadcast to every shard instead.  Every
+    relation any view references appears in exactly one of the two.
+    """
+
+    keys: dict[str, tuple[int, ...]]
+    replicated: frozenset[str]
+
+    def describe(
+        self, catalog: dict[str, tuple[str, ...]] | None = None
+    ) -> str:
+        """Human-readable placement; with a ``catalog``, key positions
+        render as the table's column names."""
+
+        def key_name(rel: str, pos: int) -> str:
+            cols = (catalog or {}).get(rel)
+            return cols[pos] if cols and pos < len(cols) else f"#{pos}"
+
+        parts = [
+            f"{rel}:hash({','.join(key_name(rel, p) for p in poss) or '*'})"
+            for rel, poss in sorted(self.keys.items())
+        ]
+        parts.extend(f"{rel}:replicated" for rel in sorted(self.replicated))
+        return " ".join(parts) or "<empty>"
+
+
+#: per-relation demand lattice values (internal)
+_ANY = "any"
+_REPLICATE = "replicate"
+
+
+def _collect_rels(e: Expr) -> list[Rel]:
+    """Every base-relation occurrence in an expression, in walk order
+    (a relation occurring twice — self-join, nested aggregate over the
+    same table — appears twice)."""
+    out: list[Rel] = []
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Rel):
+            out.append(node)
+        for child in children(node):
+            if is_expr(child):
+                stack.append(child)
+    return out
+
+
+def _view_demands(spec: QuerySpec) -> dict[str, object]:
+    """One view's placement demand per referenced relation: a tuple of
+    key *positions*, ``_ANY`` (unconstrained), or ``_REPLICATE``."""
+    rels = _collect_rels(spec.query)
+    occurrences: dict[str, int] = {}
+    cols_of: dict[str, tuple[str, ...]] = {}
+    for r in rels:
+        occurrences[r.name] = occurrences.get(r.name, 0) + 1
+        cols_of.setdefault(r.name, r.cols)
+
+    demands: dict[str, object] = {}
+    if len(cols_of) == 1:
+        # Single-relation view: linear in its one input when that input
+        # occurs once, so any disjoint split of the rows is exact.
+        for name, n in occurrences.items():
+            demands[name] = _ANY if n == 1 else _REPLICATE
+        return demands
+
+    # Multi-relation view: pick ONE shared column to co-partition on.
+    # Co-partitioning on a subset of the join columns is sufficient
+    # (rows equal on all join columns are certainly equal on the chosen
+    # one, so every joining pair meets on one shard); relations that
+    # lack the column — or occur nonlinearly — must be replicated.
+    containing: dict[str, set[str]] = {}
+    for name, cols in cols_of.items():
+        for c in cols:
+            containing.setdefault(c, set()).add(name)
+    # key_hints name catalog columns; the algebra renames R.b to e.g.
+    # "R_b", so match hints against both the raw and the table-prefixed
+    # form (a tie-break only — correctness never depends on hints).
+    hinted = set()
+    for rel, cols in spec.key_hints.items():
+        for c in cols:
+            hinted.add(c)
+            hinted.add(f"{rel}_{c}")
+    shared = [c for c, rels_with in containing.items() if len(rels_with) >= 2]
+    best = min(
+        shared,
+        key=lambda c: (-len(containing[c]), c not in hinted, c),
+        default=None,
+    )
+    for name, n in occurrences.items():
+        if n > 1 or best is None or best not in cols_of[name]:
+            demands[name] = _REPLICATE
+        else:
+            demands[name] = (cols_of[name].index(best),)
+    return demands
+
+
+def infer_partition_plan(specs) -> PartitionPlan:
+    """Derive one consistent :class:`PartitionPlan` for a set of views.
+
+    Per-view demands merge per relation: ``replicate`` dominates (one
+    nonlinear or non-co-partitionable use poisons the relation for
+    everyone), two views demanding *different* key positions also force
+    replication (a row cannot live on two shards), a concrete key beats
+    ``any``, and a relation every view is indifferent about stays
+    partitioned on the whole row.
+    """
+    merged: dict[str, object] = {}
+    for spec in specs:
+        for name, demand in _view_demands(spec).items():
+            prior = merged.get(name)
+            if prior is None:
+                merged[name] = demand
+            elif demand == _REPLICATE or prior == _REPLICATE:
+                merged[name] = _REPLICATE
+            elif prior == _ANY:
+                merged[name] = demand
+            elif demand == _ANY or demand == prior:
+                pass  # prior concrete key stands
+            else:  # two different concrete keys
+                merged[name] = _REPLICATE
+
+    keys: dict[str, tuple[int, ...]] = {}
+    replicated: set[str] = set()
+    for name, demand in merged.items():
+        if demand == _REPLICATE:
+            replicated.add(name)
+        elif demand == _ANY:
+            keys[name] = ()
+        else:
+            keys[name] = tuple(demand)
+    return PartitionPlan(keys=keys, replicated=frozenset(replicated))
+
+
+def is_replicated_view(spec: QuerySpec, plan: PartitionPlan) -> bool:
+    """True when every relation the view references is replicated under
+    ``plan`` — the view is then fully materialized on every shard, and
+    reads round-robin across shards instead of gathering."""
+    rels = {r.name for r in _collect_rels(spec.query)}
+    return bool(rels) and rels <= plan.replicated
