@@ -16,6 +16,8 @@ Commands:
   servers with a :class:`~repro.cluster.ClusterRouter`: one scatter/
   gather HTTP endpoint speaking the same wire protocol, partitioning
   batches across the shards and merging their delta streams;
+* ``top`` — poll a server's or router's ``GET /metrics`` and render a
+  live per-view rate table (batches/s, deltas/s, maintain p50/p99);
 * ``list-backends`` — the registered execution backends;
 * ``distributed`` — compile for the simulated cluster and show the
   blocks/jobs plan (optionally execute a weak-scaling sweep);
@@ -367,7 +369,12 @@ def _serve_network(args, defs) -> int:
     from repro.workloads import as_query_spec
 
     catalog = _demo_catalog()
-    service = ViewService(catalog=catalog)
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer(out=args.trace_out)
+    service = ViewService(catalog=catalog, tracer=tracer)
     for d in defs:
         spec = as_query_spec(d.source, name=d.name, catalog=catalog)
         service.create_view(d.name, spec, backend=d.backend, **d.options)
@@ -388,8 +395,8 @@ def _serve_network(args, defs) -> int:
         )
     print(
         "endpoints: GET /health /views /views/<v>/snapshot "
-        "/views/<v>/deltas | POST /views /batch/<rel> /drain /shutdown "
-        "| DELETE /views/<v>",
+        "/views/<v>/deltas /metrics /trace/recent | POST /views "
+        "/batch/<rel> /drain /shutdown | DELETE /views/<v>",
         flush=True,
     )
     try:
@@ -429,6 +436,11 @@ def cmd_route(args) -> int:
             raise SystemExit(f"--sql expects NAME=SELECT ..., got {item!r}")
         defs.append((view_name, sql))
 
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer(out=args.trace_out)
     router = ClusterRouter(
         args.shards,
         _demo_catalog(),
@@ -438,6 +450,7 @@ def cmd_route(args) -> int:
         port=args.port,
         auth_token=args.auth_token,
         shard_token=args.shard_token,
+        tracer=tracer,
     )
     n = router.shardmap.n_shards
     print(
@@ -471,8 +484,8 @@ def cmd_route(args) -> int:
     print(f"router serving on {router.url}", flush=True)
     print(
         "endpoints: GET /health /shards /views /views/<v>/snapshot "
-        "/views/<v>/deltas | POST /views /batch/<rel> /drain /shutdown "
-        "| DELETE /views/<v>",
+        "/views/<v>/deltas /metrics /trace/recent | POST /views "
+        "/batch/<rel> /drain /shutdown | DELETE /views/<v>",
         flush=True,
     )
     try:
@@ -483,6 +496,22 @@ def cmd_route(args) -> int:
         router.close()
     print("router closed", flush=True)
     return 0
+
+
+def cmd_top(args) -> int:
+    """``top``: live per-view metrics from a ``/metrics`` endpoint."""
+    from repro.obs.top import run_top
+
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    return run_top(
+        url,
+        interval=args.interval,
+        iterations=args.iterations,
+        auth_token=args.auth_token,
+        clear=not args.no_clear,
+    )
 
 
 def cmd_distributed(args) -> int:
@@ -629,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --port: require 'Authorization: Bearer <token>' on "
              "every endpoint except GET /health",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with --port: tee every trace span to this NDJSON file "
+             "(the in-memory ring behind GET /trace/recent stays on)",
+    )
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])
@@ -677,6 +711,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="bearer token the router presents to the shard servers "
              "(their 'serve --auth-token' value)",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="tee the router's trace spans to this NDJSON file",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="live per-view metrics from a server or router /metrics",
+    )
+    p.add_argument(
+        "url",
+        help="base URL (or host:port) of a 'serve --port' server or "
+             "'route' router; its GET /metrics is polled",
+    )
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N polls (default: run until ^C)")
+    p.add_argument("--auth-token", default=None,
+                   help="bearer token for the scraped endpoint")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append refreshes instead of clearing the screen")
 
     p = sub.add_parser("distributed", help="distributed plan (and sweep)")
     p.add_argument("query", nargs="?", default="Q3")
@@ -701,6 +757,7 @@ _COMMANDS = {
     "run": cmd_run,
     "serve": cmd_serve,
     "route": cmd_route,
+    "top": cmd_top,
     "distributed": cmd_distributed,
     "advise": cmd_advise,
 }

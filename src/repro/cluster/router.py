@@ -50,6 +50,15 @@ import time
 
 from repro.exec import BackendError
 from repro.net import Client, NetConnectError, NetError
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    TraceContext,
+    Tracer,
+    TRACE_HEADER,
+    assemble,
+    merge_expositions,
+)
 from repro.net.server import (
     _HEARTBEAT_S,
     _STREAM_POLL_S,
@@ -82,6 +91,29 @@ def _failover_worthy(exc: Exception) -> bool:
     return isinstance(exc, (OSError, http.client.HTTPException))
 
 
+def _iter_tree_nodes(tree: dict):
+    """Every span node of one assembled trace tree, any order."""
+    stack = list(tree.get("spans", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.get("children", []))
+
+
+def _tree_has_attr(tree: dict, key: str, value) -> bool:
+    """True when any span of the tree carries ``key=value`` — with the
+    same coalesced-flush special case as the single-server filter: a
+    ``seq`` query also matches membership in a span's ``seqs`` list."""
+    want = str(value)
+    for node in _iter_tree_nodes(tree):
+        attrs = node.get("attrs", {})
+        if str(attrs.get(key)) == want:
+            return True
+        if key == "seq" and value in (attrs.get("seqs") or ()):
+            return True
+    return False
+
+
 class ClusterRouter:
     """HTTP router tier over ``n_shards`` ViewServer replica groups.
 
@@ -106,6 +138,8 @@ class ClusterRouter:
         reconnect_timeout_s: float = 10.0,
         write_retry_timeout_s: float = 10.0,
         shard_call_timeout_s: float = 60.0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         groups = (
             parse_shard_spec(shards) if isinstance(shards, str) else shards
@@ -155,6 +189,50 @@ class ClusterRouter:
         self._httpd = _Server((host, port), handler)
         self._thread: threading.Thread | None = None
         self._closed = False
+
+        # Router-tier telemetry: its own registry (the /metrics handler
+        # additionally scrapes and merges the shards' expositions) and
+        # its own trace ring (scatter/merge spans; /trace/recent fans
+        # out to the shards and re-assembles cross-process trees).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.started_at = time.time()
+        self._obs_lock = threading.Lock()
+        self._relation_counters: dict[str, object] = {}
+        self._merged_counters: dict[str, object] = {}
+        self._delivery_counters: dict[str, object] = {}
+        self.registry.gauge_fn(
+            "repro_router_seq", lambda: self._seq,
+            help="router ingest sequence (accepted /batch requests)",
+        )
+        self.registry.gauge_fn(
+            "repro_router_out_seq", lambda: self._out_seq,
+            help="router delivery sequence (merged deltas broadcast)",
+        )
+        self.registry.gauge_fn(
+            "repro_router_views", lambda: len(self._views),
+            help="views registered through the router",
+        )
+        self.registry.gauge_fn(
+            "repro_router_active_streams", self.hub.count,
+            help="open merged push streams",
+        )
+        self.registry.gauge_fn(
+            "repro_router_uptime_seconds",
+            lambda: time.time() - self.started_at,
+            help="seconds since the router started",
+        )
+
+    def _labeled_counter(self, cache: dict, name: str, key: str,
+                         label: str, help_text: str):
+        with self._obs_lock:
+            ctr = cache.get(key)
+            if ctr is None:
+                ctr = self.registry.counter(
+                    name, help=help_text, labels={label: key}
+                )
+                cache[key] = ctr
+        return ctr
 
     # ------------------------------------------------------------------
     # Shard transport
@@ -232,10 +310,27 @@ class ClusterRouter:
         order and hand a subscriber seq 6 before seq 5."""
         env = dict(envelope)
         env["origin"] = {"shard": shard, "seq": env.get("seq")}
+        # The envelope's trace field is the shard's publish-span
+        # context: the merge span chains from it, and the envelope is
+        # re-stamped with the merge span so subscriber-side delivery
+        # chains from the merge — one trace across all three hops.
+        parent = TraceContext.from_wire(envelope.get("trace"))
         with self._emit_lock:
             self._out_seq += 1
             env["seq"] = self._out_seq
+            span = self.tracer.span(
+                "merge", parent,
+                view=view, shard=shard, seq=self._out_seq,
+                origin_seq=env["origin"]["seq"],
+            )
+            if span.ctx is not None:
+                env["trace"] = span.ctx.to_wire()
             self.hub.broadcast(view, ("delta", env))
+            span.finish()
+        self._labeled_counter(
+            self._merged_counters, "repro_router_merged_total", view,
+            "view", "shard deltas merged into the router stream",
+        ).inc()
 
     def _emit_closed(self, view: str, reason: str) -> None:
         with self._emit_lock:
@@ -417,7 +512,9 @@ class ClusterRouter:
     # ------------------------------------------------------------------
     # Scatter: writes
     # ------------------------------------------------------------------
-    def ingest(self, relation: str, batch: GMR) -> tuple[int, tuple[str, ...]]:
+    def ingest(
+        self, relation: str, batch: GMR, trace: TraceContext | None = None
+    ) -> tuple[int, tuple[str, ...]]:
         """Split one batch per the shard map and fan the parts out;
         returns the router ingest seq and the union of touched views.
 
@@ -426,6 +523,11 @@ class ClusterRouter:
         fails, then the first error is re-raised — a shard that missed
         the batch has missed it for good, and re-sending would
         double-apply to the shards that accepted it.
+
+        ``trace`` (from the ``X-Repro-Trace`` header) becomes the
+        parent of the router's admission span; every scatter call
+        carries the admission context to its shard, so all per-shard
+        work joins one trace.
         """
         parts = self.shardmap.split(relation, batch)
         with self._registry_lock:
@@ -435,14 +537,32 @@ class ClusterRouter:
         with self._seq_lock:
             self._seq += 1
             seq = self._seq
+        admission = self.tracer.span(
+            "admission", trace, relation=relation, seq=seq, tier="router"
+        )
+        self._labeled_counter(
+            self._relation_counters, "repro_router_batches_total", relation,
+            "relation", "batches accepted by the router, by relation",
+        ).inc()
+
+        def scatter(ep, part, shard):
+            with self.tracer.span(
+                "scatter", admission.ctx,
+                relation=relation, seq=seq, shard=shard,
+                endpoint=f"{ep[0]}:{ep[1]}", tuples=len(part),
+            ) as sp:
+                return self._call_write(
+                    ep, lambda c: c.batch(relation, part, trace=sp.ctx)
+                )
+
         thunks = []
         for shard, part in enumerate(parts):
             if part.is_zero():
                 continue
             for ep in self.shardmap.endpoints(shard):
                 thunks.append(
-                    lambda ep=ep, part=part: self._call_write(
-                        ep, lambda c: c.batch(relation, part)
+                    lambda ep=ep, part=part, shard=shard: scatter(
+                        ep, part, shard
                     )
                 )
         touched: set[str] = set()
@@ -453,6 +573,8 @@ class ClusterRouter:
                     first_error = result
             else:
                 touched.update(result["touched"])
+        admission.set(touched=len(touched), shards=len(thunks))
+        admission.finish()
         if first_error is not None:
             raise BackendError(
                 f"batch {relation!r} (router seq {seq}) failed on at "
@@ -648,6 +770,84 @@ class ClusterRouter:
             "shards": shards,
         }
 
+    def metrics_exposition(self) -> str:
+        """The router's own exposition merged with every reachable
+        replica's ``GET /metrics`` scrape, each shard sample stamped
+        with ``shard``/``replica`` labels so per-shard series stay
+        distinguishable in one aggregated page.  Unreachable replicas
+        are skipped (and counted) — a dead shard must not take the
+        router's own telemetry down with it."""
+        pages: list[tuple[dict, str]] = [({}, self.registry.render())]
+        unreachable = 0
+        for shard in range(self.shardmap.n_shards):
+            for replica, ep in enumerate(self.shardmap.endpoints(shard)):
+                try:
+                    text = self._call(ep, lambda c: c.metrics_raw())
+                except Exception:  # noqa: BLE001 - skipped, counted
+                    unreachable += 1
+                    continue
+                pages.append(
+                    ({"shard": str(shard), "replica": str(replica)}, text)
+                )
+        merged = merge_expositions(pages)
+        return merged + (
+            "# HELP repro_router_unreachable_replicas replicas that "
+            "failed this scrape\n"
+            "# TYPE repro_router_unreachable_replicas gauge\n"
+            f"repro_router_unreachable_replicas {unreachable}\n"
+        )
+
+    def trace_recent(
+        self,
+        view: str | None = None,
+        seq: int | None = None,
+        trace_id: str | None = None,
+        limit: int = 50,
+    ) -> list[dict]:
+        """Cross-process trace assembly: the router's own spans plus
+        the spans of one reachable replica per shard, re-assembled so
+        one ingested batch shows up as a single tree spanning
+        admission -> scatter -> shard flush/maintain/publish -> merge.
+
+        Shards return *assembled* trees; they are flattened back to
+        spans, deduplicated by (trace id, span id), pooled with the
+        router's ring, and re-assembled — a shard span whose parent is
+        a router scatter span nests correctly only in this pooled view.
+        """
+        pool: dict[tuple[str, str], Span] = {}
+        for s in self.tracer.spans():
+            pool[(s.trace_id, s.span_id)] = s
+        for shard in range(self.shardmap.n_shards):
+            trees = None
+            for ep in self.shardmap.endpoints(shard):
+                try:
+                    trees = self._call(
+                        ep,
+                        lambda c: c.trace_recent(
+                            view=view, seq=None, trace_id=trace_id,
+                            limit=limit,
+                        ),
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 - failover
+                    if not _failover_worthy(exc):
+                        raise
+            for tree in trees or []:
+                for node in _iter_tree_nodes(tree):
+                    span = Span.from_dict(
+                        {k: v for k, v in node.items() if k != "children"}
+                    )
+                    pool[(span.trace_id, span.span_id)] = span
+        trees = assemble(list(pool.values()))
+        if trace_id is not None:
+            trees = [t for t in trees if t["trace_id"] == trace_id]
+        if view is not None:
+            trees = [t for t in trees if _tree_has_attr(t, "view", view)]
+        if seq is not None:
+            trees = [t for t in trees if _tree_has_attr(t, "seq", seq)]
+        trees.reverse()  # assemble() is oldest-first
+        return trees[:max(0, limit)]
+
     def describe_shards(self) -> dict:
         info = self.shardmap.describe()
         info["streams"] = [
@@ -744,6 +944,10 @@ class _RouterHandler(JsonHttpHandler):
                 return self._get_stats
             if parts == ["views"]:
                 return self._get_views
+            if parts == ["metrics"]:
+                return self._get_metrics
+            if parts == ["trace", "recent"]:
+                return lambda: self._get_trace_recent(query)
             if len(parts) == 3 and parts[0] == "views":
                 name = parts[1]
                 if parts[2] == "snapshot":
@@ -787,6 +991,23 @@ class _RouterHandler(JsonHttpHandler):
 
     def _get_view_stats(self, name: str):
         self._send_json(self.router.view_stats(name))
+
+    def _get_metrics(self):
+        self._send_text(
+            self.router.metrics_exposition(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _get_trace_recent(self, query: dict):
+        seq = query.get("seq", [None])[0]
+        limit = query.get("limit", ["50"])[0]
+        trees = self.router.trace_recent(
+            view=query.get("view", [None])[0],
+            seq=int(seq) if seq is not None else None,
+            trace_id=query.get("trace_id", [None])[0],
+            limit=int(limit),
+        )
+        self._send_json({"traces": trees})
 
     def _get_snapshot(self, name: str, query: dict):
         consistent = query.get("consistent", ["1"])[0] not in (
@@ -833,10 +1054,12 @@ class _RouterHandler(JsonHttpHandler):
         if payload is None:
             raise ValueError("POST /batch/<relation> needs a GMR body")
         batch = decode_gmr(payload)
-        seq, touched = self.router.ingest(relation, batch)
-        self._send_json(
-            {"relation": relation, "seq": seq, "touched": touched}
-        )
+        trace = TraceContext.parse(self.headers.get(TRACE_HEADER))
+        seq, touched = self.router.ingest(relation, batch, trace=trace)
+        reply = {"relation": relation, "seq": seq, "touched": touched}
+        if trace is not None:
+            reply["trace_id"] = trace.trace_id
+        self._send_json(reply)
 
     def _post_drain(self):
         body = self._read_json() or {}
@@ -885,7 +1108,7 @@ class _RouterHandler(JsonHttpHandler):
                         )
                     )
             self._start_stream(name)
-            self._pump(q)
+            self._pump(name, q)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; fall through to cleanup
         finally:
@@ -893,18 +1116,29 @@ class _RouterHandler(JsonHttpHandler):
             router.hub.unregister(name, q)
             self.close_connection = True
 
-    def _pump(self, q: queue.SimpleQueue) -> None:
+    def _pump(self, name: str, q: queue.SimpleQueue) -> None:
+        router = self.router
+        delivered = router._labeled_counter(
+            router._delivery_counters, "repro_router_deliveries_total",
+            name, "view", "merged deltas written to router subscribers",
+        )
         idle_s = 0.0
         while True:
             try:
                 item = q.get(timeout=_STREAM_POLL_S)
             except queue.Empty:
-                if self.router.hub.closing:
+                if router.hub.closing:
                     self._close_stream("server closing")
                     return
                 idle_s += _STREAM_POLL_S
                 if idle_s >= _HEARTBEAT_S:
-                    self._write_chunk(dump_line({"type": "heartbeat"}))
+                    self._write_chunk(dump_line({
+                        "type": "heartbeat",
+                        "seq": router.out_seq,
+                        "uptime_s": round(
+                            time.time() - router.started_at, 3
+                        ),
+                    }))
                     idle_s = 0.0
                 continue
             idle_s = 0.0
@@ -913,7 +1147,14 @@ class _RouterHandler(JsonHttpHandler):
                 return
             kind = item[0]
             if kind == "delta":
-                self._write_chunk(dump_line(item[1]))
+                env = item[1]
+                with router.tracer.span(
+                    "deliver",
+                    TraceContext.from_wire(env.get("trace")),
+                    view=name, seq=env.get("seq"), tier="router",
+                ):
+                    self._write_chunk(dump_line(env))
+                delivered.inc()
             elif kind == "mark":
                 self._write_chunk(dump_line(encode_mark(item[1], item[2])))
             elif kind == "closed":

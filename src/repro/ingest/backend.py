@@ -112,15 +112,34 @@ class AsyncIngestBackend(ExecutionBackend):
 
     @property
     def on_flush(self):
-        """Post-flush hook ``(relation, delta_source, seq) -> None``;
-        the view service installs its push-delta publisher here.
-        ``seq`` is the highest producer-assigned sequence number merged
-        into the flush (``None`` when entries were never stamped)."""
+        """Post-flush hook ``(relation, delta_source, seq, trace) ->
+        None``; the view service installs its push-delta publisher
+        here.  ``seq`` is the highest producer-assigned sequence number
+        merged into the flush (``None`` when entries were never
+        stamped); ``trace`` is the flush span's context."""
         return self._batcher.on_flush
 
     @on_flush.setter
     def on_flush(self, hook) -> None:
         self._batcher.on_flush = hook
+
+    @property
+    def tracer(self):
+        """Span sink for flush/maintain stages (NULL_TRACER default)."""
+        return self._batcher.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._batcher.tracer = tracer
+
+    @property
+    def trace_view(self):
+        """View name stamped on this backend's flush/maintain spans."""
+        return self._batcher.trace_view
+
+    @trace_view.setter
+    def trace_view(self, view) -> None:
+        self._batcher.trace_view = view
 
     def close(self, drain: bool = True) -> None:
         """Shut the wrapper down.
@@ -175,7 +194,8 @@ class AsyncIngestBackend(ExecutionBackend):
         with self._batcher.inner_lock:
             self.inner.initialize(base)
 
-    def on_batch(self, relation: str, batch: GMR, seq: int | None = None) -> None:
+    def on_batch(self, relation: str, batch: GMR, seq: int | None = None,
+                 trace=None) -> None:
         """Admit one update batch; returns once admission decides.
 
         The batch is copied at the boundary (the batcher merges entries
@@ -183,13 +203,15 @@ class AsyncIngestBackend(ExecutionBackend):
         an optional producer sequence number stamped on the queue entry
         at enqueue time; the flush hook reports the highest seq actually
         merged into each flush (the view service uses this to attribute
-        coalesced ``ViewDelta`` events to the right batch).
+        coalesced ``ViewDelta`` events to the right batch).  ``trace``
+        is the admission-time :class:`~repro.obs.TraceContext` the
+        flush span will join.
         """
         self._check_open()
         tuples = sum(abs(m) for m in batch.data.values())
         start = time.monotonic()
         outcome, depth = self.queue.put(
-            relation, GMR(dict(batch.data)), tuples, seq
+            relation, GMR(dict(batch.data)), tuples, seq, trace
         )
         if outcome != "shed":
             self.metrics.record_enqueue(

@@ -36,6 +36,7 @@ import time
 from repro.ingest.policy import BatchPolicy
 from repro.ingest.queue import Entry, IngestQueue
 from repro.metrics import IngestMetrics
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["Batcher"]
 
@@ -46,7 +47,8 @@ POLL_S = 0.02
 class _Pending:
     """Consecutive same-relation entries merged into one flushable batch."""
 
-    __slots__ = ("relation", "delta", "tuples", "entries", "oldest_at", "seq")
+    __slots__ = ("relation", "delta", "tuples", "entries", "oldest_at",
+                 "seq", "seqs", "trace")
 
     def __init__(self, entry: Entry):
         self.relation = entry.relation
@@ -59,15 +61,21 @@ class _Pending:
         #: producer's *current* seq at flush time may belong to batches
         #: this flush does not include)
         self.seq = entry.seq
+        #: every seq merged into this batch (trace seq-coverage record)
+        self.seqs = list(entry.seqs)
+        #: trace context of the highest-seq entry — the flush span joins
+        #: that trace and lists all merged seqs in its attrs
+        self.trace = entry.trace
 
     def merge(self, entry: Entry) -> None:
         self.delta.add_inplace(entry.delta)
         self.tuples += entry.tuples
         self.entries += 1
+        self.seqs.extend(entry.seqs)
         if entry.seq is not None:
-            self.seq = (
-                entry.seq if self.seq is None else max(self.seq, entry.seq)
-            )
+            if self.seq is None or entry.seq > self.seq:
+                self.seq = entry.seq
+                self.trace = entry.trace
 
 
 class Batcher(threading.Thread):
@@ -87,13 +95,19 @@ class Batcher(threading.Thread):
         #: serializes inner-backend access between this thread and the
         #: wrapper's initialize/snapshot/last_delta
         self.inner_lock = threading.Lock()
-        #: optional hook ``on_flush(relation, delta_source, seq)`` fired
-        #: after each flush; ``delta_source()`` returns the inner
+        #: optional hook ``on_flush(relation, delta_source, seq, trace)``
+        #: fired after each flush; ``delta_source()`` returns the inner
         #: changefeed's ``last_delta()`` (computed lazily, under
-        #: ``inner_lock``) and ``seq`` is the highest producer-assigned
+        #: ``inner_lock``), ``seq`` is the highest producer-assigned
         #: sequence number actually merged into the flushed batch
-        #: (``None`` when the producer never stamped one)
+        #: (``None`` when the producer never stamped one), and ``trace``
+        #: is the flush span's context for downstream publish spans
         self.on_flush = None
+        #: span sink for flush/maintain stages; the service installs its
+        #: tracer when it hosts this backend as an async view
+        self.tracer = NULL_TRACER
+        #: view name stamped on this batcher's spans
+        self.trace_view: str | None = None
         self._discard = threading.Event()
 
     # ------------------------------------------------------------------
@@ -168,9 +182,23 @@ class Batcher(threading.Thread):
         return time.monotonic() >= pending.oldest_at + max_delay
 
     def _flush(self, pending: _Pending) -> None:
+        flush_span = self.tracer.span(
+            "flush", pending.trace,
+            relation=pending.relation,
+            seq=pending.seq,
+            seqs=list(pending.seqs),
+            entries=pending.entries,
+            tuples=pending.tuples,
+            view=self.trace_view,
+        )
         start = time.perf_counter()
         with self.inner_lock:
-            self.inner.on_batch(pending.relation, pending.delta)
+            with self.tracer.span(
+                "maintain", flush_span.ctx,
+                relation=pending.relation, seq=pending.seq,
+                view=self.trace_view,
+            ):
+                self.inner.on_batch(pending.relation, pending.delta)
         maintenance = time.perf_counter() - start
         self.metrics.record_flush(
             tuples=pending.tuples,
@@ -181,7 +209,9 @@ class Batcher(threading.Thread):
         self.policy.observe(pending.tuples, maintenance)
         hook = self.on_flush
         if hook is not None:
-            hook(pending.relation, self.delta_source, pending.seq)
+            hook(pending.relation, self.delta_source, pending.seq,
+                 flush_span.ctx)
+        flush_span.finish()
         # Completion is published last: a drain that returns implies the
         # flush hook (subscriber deltas) already ran.
         self.queue.mark_completed(pending.entries)

@@ -55,6 +55,7 @@ class Entry:
 
     __slots__ = (
         "relation", "delta", "tuples", "enqueued_at", "batches", "seq",
+        "seqs", "trace",
     )
 
     def __init__(
@@ -64,6 +65,7 @@ class Entry:
         tuples: int,
         now: float,
         seq: int | None = None,
+        trace=None,
     ):
         self.relation = relation
         self.delta = delta
@@ -75,6 +77,13 @@ class Entry:
         #: its service-wide batch seq here *at enqueue time*, so a later
         #: coalesced flush can report exactly which batches it contains)
         self.seq = seq
+        #: every seq merged into this entry, in admission order (the
+        #: trace layer's seq-coverage record — ``seq`` alone only keeps
+        #: the max)
+        self.seqs = [] if seq is None else [seq]
+        #: admission-time TraceContext; coalescing keeps the context of
+        #: the highest seq so the flush span joins the newest trace
+        self.trace = trace
 
 
 class IngestQueue:
@@ -115,6 +124,7 @@ class IngestQueue:
         delta: GMR,
         tuples: int,
         seq: int | None = None,
+        trace=None,
     ) -> tuple[str, int]:
         """Admit one batch; returns ``(outcome, depth)`` where outcome
         is ``"queued"``, ``"coalesced"``, or ``"shed"``.
@@ -132,7 +142,8 @@ class IngestQueue:
                 self._check_usable()
                 if len(self._entries) < self.capacity:
                     self._entries.append(
-                        Entry(relation, delta, tuples, time.monotonic(), seq)
+                        Entry(relation, delta, tuples, time.monotonic(),
+                              seq, trace)
                     )
                     self._accepted += 1
                     self._cond.notify_all()
@@ -147,10 +158,10 @@ class IngestQueue:
                         entry.tuples += tuples
                         entry.batches += 1
                         if seq is not None:
-                            entry.seq = (
-                                seq if entry.seq is None
-                                else max(entry.seq, seq)
-                            )
+                            entry.seqs.append(seq)
+                            if entry.seq is None or seq > entry.seq:
+                                entry.seq = seq
+                                entry.trace = trace
                         self.metrics.record_coalesced(tuples)
                         return "coalesced", len(self._entries)
                     # Only the *tail* entry is a merge target: folding

@@ -73,3 +73,29 @@ class Counters:
             "bytes_shuffled": self.bytes_shuffled,
             "virtual_instructions": self.virtual_instructions(),
         }
+
+    def bind(self, scope) -> None:
+        """Export these counters through a :class:`repro.obs.MetricsScope`.
+
+        Registered as callback gauges (the engine mutates plain ints on
+        the hot path; reading at scrape time keeps maintenance free of
+        any registry cost).  Gauges rather than registry counters
+        because :meth:`reset` makes the values non-monotonic.
+        """
+        fields = (
+            "tuples_scanned", "index_lookups", "tuples_emitted",
+            "statements_executed", "triggers_fired",
+            "batches_materialized", "bytes_shuffled",
+        )
+        for name in fields:
+            scope.gauge_fn(
+                f"repro_engine_{name}",
+                lambda self=self, name=name: getattr(self, name),
+                help=f"engine operation count: {name}",
+            )
+        scope.gauge_fn(
+            "repro_engine_virtual_instructions",
+            self.virtual_instructions,
+            help="weighted operation total (paper's retired-instruction "
+                 "stand-in)",
+        )

@@ -70,6 +70,10 @@ class IngestMetrics:
     flushes: int = 0
     flushed_tuples: int = 0
 
+    #: optional registry histogram fed by :meth:`record_flush`
+    #: (set by :meth:`bind`; excluded from dataclass comparisons)
+    _maintain_hist: object = field(default=None, repr=False, compare=False)
+
     # ------------------------------------------------------------------
     # Recording (producer side)
     # ------------------------------------------------------------------
@@ -106,6 +110,9 @@ class IngestMetrics:
         self.ingest_delay_s.append(delay_s)
         self.flushes += 1
         self.flushed_tuples += tuples
+        hist = self._maintain_hist
+        if hist is not None:
+            hist.observe(maintenance_s)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -139,3 +146,39 @@ class IngestMetrics:
             "flushes": self.flushes,
             "flushed_tuples": self.flushed_tuples,
         }
+
+    # ------------------------------------------------------------------
+    # Registry export
+    # ------------------------------------------------------------------
+    def bind(self, scope, maintain_hist=None) -> None:
+        """Export through a :class:`repro.obs.MetricsScope`.
+
+        Counter fields become callback gauges (single-writer ints read
+        at scrape time); the list series export recent-window p50/p99
+        callback gauges (last 1024 samples, computed per scrape so the
+        hot path stays a list append).  ``maintain_hist``, when given,
+        is the service's shared per-view maintenance histogram — every
+        subsequent :meth:`record_flush` observes into it.
+        """
+        if maintain_hist is not None:
+            self._maintain_hist = maintain_hist
+        for name in ("enqueued_batches", "enqueued_tuples", "shed_batches",
+                     "shed_tuples", "coalesced_batches", "coalesced_tuples",
+                     "flushes", "flushed_tuples"):
+            scope.gauge_fn(
+                f"repro_ingest_{name}",
+                lambda self=self, name=name: getattr(self, name),
+                help=f"async ingestion count: {name}",
+            )
+        series = (
+            ("enqueue_wait_seconds", self.enqueue_wait_s),
+            ("ingest_delay_seconds", self.ingest_delay_s),
+            ("flush_size_tuples", self.flush_sizes),
+        )
+        for name, values in series:
+            for p in (50, 99):
+                scope.gauge_fn(
+                    f"repro_ingest_{name}_p{p}",
+                    lambda values=values, p=p: percentile(values[-1024:], p),
+                    help=f"recent-window p{p} of ingest series {name}",
+                )

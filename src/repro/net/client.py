@@ -34,6 +34,7 @@ import http.client
 import json
 import socket
 
+from repro.obs import TRACE_HEADER
 from repro.ring import GMR
 from repro.service import ViewDelta
 from repro.net.wire import decode_delta, decode_gmr, encode_gmr
@@ -111,9 +112,12 @@ class Client:
             return {}
         return {"Authorization": f"Bearer {self.auth_token}"}
 
-    def _request(self, method: str, path: str, payload=None):
+    def _request(self, method: str, path: str, payload=None,
+                 extra_headers: dict | None = None, raw: bool = False):
         body = None
         headers = self._headers()
+        if extra_headers:
+            headers.update(extra_headers)
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -164,15 +168,20 @@ class Client:
                             f"{self.host}:{self.port}: {exc}"
                         ) from exc
                     raise
-        decoded = json.loads(data) if data else None
         if resp.status >= 400:
+            try:
+                decoded = json.loads(data) if data else None
+            except json.JSONDecodeError:
+                decoded = None
             message = (
                 decoded.get("error", data.decode("utf-8", "replace"))
                 if isinstance(decoded, dict)
                 else data.decode("utf-8", "replace")
             )
             raise NetError(resp.status, message)
-        return decoded
+        if raw:
+            return data.decode("utf-8")
+        return json.loads(data) if data else None
 
     def _close_conn(self) -> None:
         if self._conn is not None:
@@ -229,11 +238,40 @@ class Client:
     def drop_view(self, name: str) -> dict:
         return self._request("DELETE", f"/views/{name}")
 
-    def batch(self, relation: str, batch: GMR) -> dict:
-        """Stream one GMR delta batch; returns ``{seq, touched}``."""
+    def batch(self, relation: str, batch: GMR, trace=None) -> dict:
+        """Stream one GMR delta batch; returns ``{seq, touched}``.
+
+        ``trace`` (a :class:`~repro.obs.TraceContext`) is sent as the
+        ``X-Repro-Trace`` header so the server joins the caller's trace
+        instead of opening a new one.
+        """
+        extra = {TRACE_HEADER: trace.header()} if trace is not None else None
         return self._request(
-            "POST", f"/batch/{relation}", encode_gmr(batch)
+            "POST", f"/batch/{relation}", encode_gmr(batch),
+            extra_headers=extra,
         )
+
+    def metrics_raw(self) -> str:
+        """The server's ``/metrics`` Prometheus text exposition."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def trace_recent(
+        self,
+        view: str | None = None,
+        seq: int | None = None,
+        trace_id: str | None = None,
+        limit: int = 50,
+    ) -> list[dict]:
+        """Assembled span trees from the server's ``/trace/recent``."""
+        params = [("limit", str(limit))]
+        if view is not None:
+            params.append(("view", view))
+        if seq is not None:
+            params.append(("seq", str(seq)))
+        if trace_id is not None:
+            params.append(("trace_id", trace_id))
+        qs = "&".join(f"{k}={v}" for k, v in params)
+        return self._request("GET", f"/trace/recent?{qs}")["traces"]
 
     def snapshot(self, name: str, consistent: bool = True) -> GMR:
         """Pull a view's contents.  ``consistent=False`` asks the
@@ -325,6 +363,11 @@ class DeltaStream:
         #: per-shard seq vectors of cluster-router marks, keyed by
         #: token (single-server marks carry no vector)
         self.mark_shards: dict[int, dict[str, int]] = {}
+        #: the most recent heartbeat envelope read from the stream
+        #: (``{"type": "heartbeat", "seq": ..., "uptime_s": ...}``) —
+        #: lets an idle subscriber detect a stalled shard (``seq``
+        #: frozen) or a restart (``uptime_s`` reset) without a drain
+        self.last_heartbeat: dict | None = None
 
     def _read_envelope(self) -> dict:
         """The next raw NDJSON envelope (any type)."""
@@ -345,7 +388,12 @@ class DeltaStream:
             self.close()
             raise NetError(499, "stream ended without a closed event")
         envelope = json.loads(line)
-        if envelope.get("type") == "closed":
+        kind = envelope.get("type")
+        if kind == "heartbeat":
+            # Recorded centrally so every read path (iteration,
+            # read_until_mark, raw envelope reads) keeps it fresh.
+            self.last_heartbeat = envelope
+        elif kind == "closed":
             self.closed_reason = envelope.get("reason", "")
             self.close()
         return envelope

@@ -56,10 +56,12 @@ import json
 import queue
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.exec import BackendError, available_backends, backend_info
+from repro.obs import TRACE_HEADER, TraceContext
 from repro.service import ServiceError, ViewService
 from repro.net.wire import (
     WIRE_VERSION,
@@ -121,6 +123,11 @@ class StreamHub:
             q.put(item)
         return len(targets)
 
+    def count(self) -> int:
+        """Live streams across all views."""
+        with self._lock:
+            return sum(len(qs) for qs in self._streams.values())
+
     def close_all(self) -> None:
         with self._lock:
             self.closing = True
@@ -170,6 +177,19 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+        status: int = 200,
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -282,6 +302,10 @@ class _Handler(JsonHttpHandler):
                 return self._get_backends
             if parts == ["stats"]:
                 return self._get_stats
+            if parts == ["metrics"]:
+                return self._get_metrics
+            if parts == ["trace", "recent"]:
+                return lambda: self._get_trace_recent(query)
             if parts == ["views"]:
                 return self._get_views
             if len(parts) == 3 and parts[0] == "views":
@@ -318,6 +342,25 @@ class _Handler(JsonHttpHandler):
                 "seq": self.service.seq,
             }
         )
+
+    def _get_metrics(self):
+        """Prometheus text exposition of the service registry."""
+        self._send_text(
+            self.service.registry.render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _get_trace_recent(self, query: dict):
+        """Assembled span trees from the service tracer's ring buffer."""
+        seq = query.get("seq", [None])[0]
+        limit = query.get("limit", ["50"])[0]
+        trees = self.service.tracer.recent(
+            view=query.get("view", [None])[0],
+            seq=int(seq) if seq is not None else None,
+            trace_id=query.get("trace_id", [None])[0],
+            limit=int(limit),
+        )
+        self._send_json({"traces": trees})
 
     def _get_backends(self):
         self._send_json(
@@ -406,12 +449,17 @@ class _Handler(JsonHttpHandler):
         if payload is None:
             raise ValueError("POST /batch/<relation> needs a GMR body")
         batch = decode_gmr(payload)
+        # Join the producer's trace when the request carries one; the
+        # admission span (and everything below it) then shares the
+        # producer's — or the router's — trace id.
+        trace = TraceContext.parse(self.headers.get(TRACE_HEADER))
         # ingest() reports the seq assigned to *this* batch atomically;
         # reading service.seq afterwards would race other producers.
-        seq, touched = self.service.ingest(relation, batch)
-        self._send_json(
-            {"relation": relation, "seq": seq, "touched": touched}
-        )
+        seq, touched = self.service.ingest(relation, batch, trace=trace)
+        reply = {"relation": relation, "seq": seq, "touched": touched}
+        if trace is not None:
+            reply["trace_id"] = trace.trace_id
+        self._send_json(reply)
 
     def _post_drain(self):
         body = self._read_json() or {}
@@ -466,6 +514,8 @@ class _Handler(JsonHttpHandler):
     def _pump(self, name: str, q: queue.SimpleQueue, sub) -> None:
         """Forward queued items to the socket until closed."""
         idle_s = 0.0
+        tracer = self.service.tracer
+        delivered = self.view_server.delivery_counter(name)
         while True:
             try:
                 item = q.get(timeout=_STREAM_POLL_S)
@@ -481,7 +531,14 @@ class _Handler(JsonHttpHandler):
                     return
                 idle_s += _STREAM_POLL_S
                 if idle_s >= _HEARTBEAT_S:
-                    self._write_chunk(dump_line({"type": "heartbeat"}))
+                    # seq + uptime let an idle subscriber detect a
+                    # stalled shard (seq frozen) or a restarted one
+                    # (uptime reset) without issuing a drain.
+                    self._write_chunk(dump_line({
+                        "type": "heartbeat",
+                        "seq": self.service.seq,
+                        "uptime_s": round(self.view_server.uptime_s(), 3),
+                    }))
                     idle_s = 0.0
                 continue
             idle_s = 0.0
@@ -490,7 +547,13 @@ class _Handler(JsonHttpHandler):
                 return
             kind = item[0]
             if kind == "delta":
-                self._write_chunk(dump_line(encode_delta(item[1])))
+                event = item[1]
+                with tracer.span(
+                    "deliver", event.trace,
+                    view=event.view, seq=event.seq,
+                ):
+                    self._write_chunk(dump_line(encode_delta(event)))
+                delivered.inc()
             elif kind == "mark":
                 self._write_chunk(
                     dump_line(encode_mark(item[1], item[2]))
@@ -573,6 +636,36 @@ class ViewServer:
         self._mark_lock = threading.Lock()
         self._marks = 0
         self._closed = False
+        self.started_at = time.time()
+        self._delivery_counters: dict = {}
+        # Server-tier metrics live in the hosted service's registry so
+        # one /metrics scrape covers both tiers; the scope is closed on
+        # close() so a re-hosting server re-registers cleanly.
+        self.metrics_scope = service.registry.scope()
+        self.metrics_scope.gauge_fn(
+            "repro_server_uptime_seconds", self.uptime_s,
+            help="seconds since the server started",
+        )
+        self.metrics_scope.gauge_fn(
+            "repro_server_active_streams", self.hub.count,
+            help="open push subscription streams",
+        )
+
+    def uptime_s(self) -> float:
+        return time.time() - self.started_at
+
+    def delivery_counter(self, view: str):
+        """Per-view counter of delta envelopes written to streams."""
+        with self._mark_lock:
+            ctr = self._delivery_counters.get(view)
+            if ctr is None:
+                ctr = self.metrics_scope.counter(
+                    "repro_server_deliveries_total",
+                    help="delta envelopes delivered to subscribers",
+                    labels={"view": view},
+                )
+                self._delivery_counters[view] = ctr
+        return ctr
 
     def _next_mark(self) -> int:
         with self._mark_lock:
@@ -618,6 +711,7 @@ class ViewServer:
             self._thread.join(timeout=10)
         self._httpd.server_close()
         self._httpd.close_connections()
+        self.metrics_scope.close()
 
     def __enter__(self) -> "ViewServer":
         return self.start()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 
+from repro.obs import TraceContext
 from repro.ring import GMR
 from repro.service import ViewDelta
 
@@ -77,14 +78,22 @@ def decode_gmr(payload) -> GMR:
 
 
 def encode_delta(event: ViewDelta) -> dict:
-    """A ViewDelta as a ``type: delta`` wire envelope."""
-    return {
+    """A ViewDelta as a ``type: delta`` wire envelope.
+
+    The optional ``trace`` field (``{"id": ..., "span": ...}``) carries
+    the publish span's context so the next hop — a router merge or a
+    subscriber — joins the originating batch's trace.
+    """
+    envelope = {
         "type": "delta",
         "view": event.view,
         "relation": event.relation,
         "seq": event.seq,
         "delta": encode_gmr(event.delta),
     }
+    if event.trace is not None:
+        envelope["trace"] = event.trace.to_wire()
+    return envelope
 
 
 def decode_delta(envelope: dict) -> ViewDelta:
@@ -94,6 +103,7 @@ def decode_delta(envelope: dict) -> ViewDelta:
         relation=envelope["relation"],
         seq=envelope["seq"],
         delta=decode_gmr(envelope["delta"]),
+        trace=TraceContext.from_wire(envelope.get("trace")),
     )
 
 

@@ -1,0 +1,48 @@
+"""Telemetry: unified metrics registry + seq-correlated batch tracing.
+
+See :mod:`repro.obs.registry` for the metrics model and Prometheus
+exposition, :mod:`repro.obs.trace` for the trace-context propagation
+design, and :mod:`repro.obs.top` for the live CLI dashboard.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    MetricsScope,
+    Sample,
+    bucket_percentile,
+    merge_expositions,
+    parse_prometheus,
+)
+from .trace import (
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    TRACE_HEADER,
+    assemble,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_TRACER",
+    "Sample",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TRACE_HEADER",
+    "assemble",
+    "bucket_percentile",
+    "merge_expositions",
+    "parse_prometheus",
+]

@@ -1,0 +1,146 @@
+"""``python -m repro top`` — live per-view serving dashboard.
+
+Polls ``GET /metrics`` on a :class:`~repro.net.server.ViewServer` or
+:class:`~repro.cluster.router.ClusterRouter`, parses the Prometheus
+exposition with the strict parser from :mod:`repro.obs.registry`, and
+renders per-view throughput (batch/delta rates between polls),
+maintenance latency percentiles (interpolated from the histogram
+buckets), and ingest queue depth.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from .registry import Sample, bucket_percentile, parse_prometheus
+
+__all__ = ["TopSnapshot", "fetch_metrics", "render_top", "run_top"]
+
+
+class TopSnapshot:
+    """Per-view readings extracted from one /metrics scrape."""
+
+    def __init__(self, samples: list[Sample], at: float):
+        self.at = at
+        self.views: dict[str, dict] = {}
+        self.service: dict[str, float] = {}
+        hist: dict[str, list[tuple[float, int]]] = {}
+        for s in samples:
+            view = s.labels.get("view")
+            if s.name in ("repro_service_seq", "repro_router_seq",
+                          "repro_service_views", "repro_server_uptime_seconds",
+                          "repro_router_uptime_seconds"):
+                # A router's merged page repeats these per shard under
+                # shard/replica labels; the scraped tier's own samples
+                # are the unlabeled ones.
+                if "shard" not in s.labels:
+                    self.service[s.name] = s.value
+                continue
+            if view is None:
+                continue
+            row = self.views.setdefault(view, {})
+            if s.name == "repro_view_batches_total":
+                row["batches"] = row.get("batches", 0) + s.value
+            elif s.name == "repro_view_deltas_total":
+                row["deltas"] = row.get("deltas", 0) + s.value
+            elif s.name == "repro_ingest_queue_depth":
+                row["queue"] = row.get("queue", 0) + s.value
+            elif s.name == "repro_view_subscribers":
+                row["subs"] = row.get("subs", 0) + s.value
+            elif s.name == "repro_view_maintain_seconds_bucket":
+                try:
+                    upper = (math.inf if s.labels.get("le") == "+Inf"
+                             else float(s.labels.get("le", "inf")))
+                except ValueError:
+                    continue
+                hist.setdefault(view, []).append((upper, int(s.value)))
+            elif s.name == "repro_view_maintain_seconds_count":
+                row["maintains"] = row.get("maintains", 0) + s.value
+        for view, buckets in hist.items():
+            buckets.sort(key=lambda t: t[0])
+            row = self.views.setdefault(view, {})
+            row["p50_ms"] = bucket_percentile(buckets, 50) * 1e3
+            row["p99_ms"] = bucket_percentile(buckets, 99) * 1e3
+
+
+def fetch_metrics(url: str, auth_token: str | None = None,
+                  timeout: float = 5.0) -> TopSnapshot:
+    req = urllib.request.Request(url.rstrip("/") + "/metrics")
+    if auth_token:
+        req.add_header("Authorization", f"Bearer {auth_token}")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        text = resp.read().decode("utf-8")
+    return TopSnapshot(parse_prometheus(text), time.time())
+
+
+def render_top(cur: TopSnapshot, prev: TopSnapshot | None) -> str:
+    from ..harness.report import format_table
+
+    elapsed = (cur.at - prev.at) if prev is not None else 0.0
+    rows = []
+    for view in sorted(cur.views):
+        row = cur.views[view]
+        batch_rate = delta_rate = float("nan")
+        if prev is not None and elapsed > 0 and view in prev.views:
+            old = prev.views[view]
+            batch_rate = (row.get("batches", 0)
+                          - old.get("batches", 0)) / elapsed
+            delta_rate = (row.get("deltas", 0)
+                          - old.get("deltas", 0)) / elapsed
+        rows.append([
+            view,
+            "-" if math.isnan(batch_rate) else f"{batch_rate:.1f}",
+            "-" if math.isnan(delta_rate) else f"{delta_rate:.1f}",
+            f"{row['p50_ms']:.2f}" if "p50_ms" in row else "-",
+            f"{row['p99_ms']:.2f}" if "p99_ms" in row else "-",
+            f"{int(row['queue'])}" if "queue" in row else "-",
+            f"{int(row.get('subs', 0))}",
+        ])
+    if not rows:
+        rows.append(["(no views)", "-", "-", "-", "-", "-", "-"])
+    seq = cur.service.get("repro_service_seq",
+                          cur.service.get("repro_router_seq"))
+    uptime = cur.service.get("repro_server_uptime_seconds",
+                             cur.service.get("repro_router_uptime_seconds"))
+    title = "repro top"
+    if seq is not None:
+        title += f" · seq={int(seq)}"
+    if uptime is not None:
+        title += f" · up {uptime:.0f}s"
+    return format_table(
+        ["view", "batch/s", "delta/s", "p50 ms", "p99 ms", "queue", "subs"],
+        rows,
+        title=title,
+    )
+
+
+def run_top(url: str, interval: float = 2.0, iterations: int | None = None,
+            auth_token: str | None = None, clear: bool = True,
+            out=None) -> int:
+    """Poll loop; ``iterations=None`` runs until interrupted."""
+    out = out if out is not None else sys.stdout
+    prev: TopSnapshot | None = None
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            if n > 0:
+                time.sleep(interval)
+            try:
+                cur = fetch_metrics(url, auth_token=auth_token)
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"scrape failed: {exc}", file=out)
+                n += 1
+                continue
+            if clear and out is sys.stdout:
+                out.write("\x1b[2J\x1b[H")
+            print(render_top(cur, prev), file=out)
+            out.flush()
+            prev = cur
+            n += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

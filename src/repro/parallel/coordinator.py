@@ -158,6 +158,35 @@ class ParallelMetrics:
             return 1.0
         return max(busy) / (sum(busy) / len(busy))
 
+    def bind(self, scope) -> None:
+        """Export through a :class:`repro.obs.MetricsScope` (callback
+        gauges — the coordinator mutates plain fields on the hot path)."""
+        scope.gauge_fn(
+            "repro_multiproc_batches",
+            lambda: self.batches,
+            help="batches executed by the process-parallel backend",
+        )
+        scope.gauge_fn(
+            "repro_multiproc_restarts",
+            lambda: self.restarts,
+            help="worker processes restarted by the supervisor",
+        )
+        scope.gauge_fn(
+            "repro_multiproc_wall_seconds",
+            lambda: self.total_wall_s,
+            help="cumulative per-batch wall time",
+        )
+        scope.gauge_fn(
+            "repro_multiproc_scaleout_seconds",
+            lambda: self.total_scaleout_s,
+            help="cumulative critical-path latency estimate",
+        )
+        scope.gauge_fn(
+            "repro_multiproc_balance",
+            self.balance,
+            help="max/mean worker busy time (1.0 = balanced)",
+        )
+
 
 def _default_start_method() -> str:
     # fork is an order of magnitude cheaper to start and the tests spin

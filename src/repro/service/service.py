@@ -34,6 +34,7 @@ Usage::
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,6 +47,7 @@ from repro.exec import (
     reject_nested_async,
 )
 from repro.ingest import AsyncIngestBackend
+from repro.obs import Counter, MetricsRegistry, TraceContext, Tracer
 from repro.ring import GMR
 from repro.workloads.spec import QuerySpec, as_query_spec
 
@@ -79,6 +81,10 @@ class ViewDelta:
     relation: str | None
     seq: int
     delta: GMR
+    #: trace context of the publish span that produced this event, so
+    #: downstream delivery (the network stream pump) joins the batch's
+    #: trace; ``None`` when tracing is disabled
+    trace: TraceContext | None = None
 
 
 class Subscription:
@@ -100,17 +106,41 @@ class Subscription:
 
 @dataclass
 class ViewHandle:
-    """One registered view: its spec, backend, and delivery stats."""
+    """One registered view: its spec, backend, and delivery stats.
+
+    The per-view stats live in registry :class:`~repro.obs.Counter`
+    objects rather than plain ints: ``deltas_delivered`` is incremented
+    from async batcher threads *without* the service lock, and a bare
+    ``+= 1`` there loses increments under producer concurrency (the
+    read-modify-write is not atomic).  The counters' own locks make the
+    updates atomic, and the same objects are what ``/metrics`` exports.
+    """
 
     name: str
     spec: QuerySpec
     backend_name: str
     backend: ExecutionBackend
     subscriptions: list[Subscription] = field(default_factory=list)
-    #: batches routed to this view (relation matched ``spec.updatable``)
-    batches_applied: int = 0
-    #: non-empty deltas pushed to at least one subscriber
-    deltas_delivered: int = 0
+    #: counter behind :attr:`batches_applied` (service-installed
+    #: registry child; standalone handles get a private one)
+    batches_counter: Counter = field(default_factory=Counter, repr=False)
+    #: counter behind :attr:`deltas_delivered`
+    deltas_counter: Counter = field(default_factory=Counter, repr=False)
+    #: the view's label scope in the service registry (closed on drop)
+    metrics_scope: object = field(default=None, repr=False)
+    #: shared per-view maintenance-latency histogram
+    maintain_hist: object = field(default=None, repr=False)
+
+    @property
+    def batches_applied(self) -> int:
+        """Batches routed to this view (relation matched
+        ``spec.updatable``)."""
+        return int(self.batches_counter.value)
+
+    @property
+    def deltas_delivered(self) -> int:
+        """Non-empty deltas pushed to at least one subscriber."""
+        return int(self.deltas_counter.value)
 
     @property
     def relations(self) -> frozenset[str]:
@@ -153,6 +183,8 @@ class ViewService:
         catalog: dict[str, tuple[str, ...]] | None = None,
         base: Database | None = None,
         track_base: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.catalog: dict[str, tuple[str, ...]] = {
             t: tuple(cols) for t, cols in (catalog or {}).items()
@@ -164,6 +196,20 @@ class ViewService:
         # Re-entrant: a subscriber callback delivered under the lock may
         # legitimately call back into the service (create/drop/snapshot).
         self._lock = threading.RLock()
+        #: unified metrics registry — per-service rather than global so
+        #: in-process multi-shard deployments (and tests) stay isolated
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: span sink for the seq-correlated batch traces
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._relation_counters: dict[str, Counter] = {}
+        self.registry.gauge_fn(
+            "repro_service_seq", lambda: self._seq,
+            help="service-wide sequence number of the latest batch",
+        )
+        self.registry.gauge_fn(
+            "repro_service_views", lambda: len(self._views),
+            help="registered views",
+        )
 
     # ------------------------------------------------------------------
     # Catalog and base data
@@ -246,6 +292,7 @@ class ViewService:
             # first batch delta.
             engine.last_delta()
             handle = ViewHandle(name, spec, backend, engine)
+            self._register_view_metrics(handle)
             if isinstance(engine, AsyncIngestBackend):
                 # Async views publish from the batcher thread, once per
                 # flush (a coalesced flush is one event) — the stream
@@ -255,13 +302,57 @@ class ViewService:
                 # the one stamped on each entry at enqueue time (the
                 # highest actually merged into the flush) — reading the
                 # service seq at flush time would misattribute coalesced
-                # flushes to batches they do not include.
+                # flushes to batches they do not include.  ``trace`` is
+                # the flush span's context, parent of the publish span.
+                engine.tracer = self.tracer
+                engine.trace_view = name
                 engine.on_flush = (
-                    lambda relation, delta_source, seq, h=handle:
-                        self._publish(h, relation, seq, delta_source)
+                    lambda relation, delta_source, seq, trace=None, h=handle:
+                        self._publish(h, relation, seq, delta_source,
+                                      parent=trace)
                 )
             self._views[name] = handle
             return handle
+
+    def _register_view_metrics(self, handle: ViewHandle) -> None:
+        """Create the view's label scope and re-home its stats counters
+        and the backend's island metrics into the service registry."""
+        scope = self.registry.scope(view=handle.name)
+        handle.metrics_scope = scope
+        handle.batches_counter = scope.counter(
+            "repro_view_batches_total",
+            help="batches routed to this view",
+        )
+        handle.deltas_counter = scope.counter(
+            "repro_view_deltas_total",
+            help="non-empty deltas pushed to subscribers",
+        )
+        handle.maintain_hist = scope.histogram(
+            "repro_view_maintain_seconds",
+            help="inner-backend maintenance wall time per applied batch",
+        )
+        scope.gauge_fn(
+            "repro_view_subscribers",
+            lambda h=handle: sum(1 for s in h.subscriptions if s.active),
+            help="active subscriptions",
+        )
+        engine = handle.backend
+        if isinstance(engine, AsyncIngestBackend):
+            scope.gauge_fn(
+                "repro_ingest_queue_depth",
+                lambda e=engine: len(e.queue),
+                help="entries waiting in the ingest queue",
+            )
+            engine.metrics.bind(scope, maintain_hist=handle.maintain_hist)
+            inner_counters = getattr(engine.inner, "counters", None)
+        else:
+            inner_counters = getattr(engine, "counters", None)
+            # e.g. the multiproc backend's ParallelMetrics
+            island = getattr(engine, "metrics", None)
+            if island is not None and hasattr(island, "bind"):
+                island.bind(scope)
+        if inner_counters is not None and hasattr(inner_counters, "bind"):
+            inner_counters.bind(scope)
 
     def drop_view(self, name: str) -> None:
         """Unregister a view.
@@ -284,6 +375,10 @@ class ViewService:
             handle.backend.close()
         for sub in handle.subscriptions:
             sub.cancel()
+        if handle.metrics_scope is not None:
+            # Remove the view's label series so create/drop churn does
+            # not grow the registry without bound.
+            handle.metrics_scope.close()
 
     def views(self) -> tuple[str, ...]:
         """Names of the registered views, sorted."""
@@ -315,7 +410,12 @@ class ViewService:
         with self._lock:
             return self._seq
 
-    def on_batch(self, relation: str, batch: GMR) -> tuple[str, ...]:
+    def on_batch(
+        self,
+        relation: str,
+        batch: GMR,
+        trace: TraceContext | None = None,
+    ) -> tuple[str, ...]:
         """Route one update batch to every dependent view.
 
         The batch reaches each view whose spec streams ``relation``
@@ -341,10 +441,26 @@ class ViewService:
         :class:`~repro.ingest.IngestOverflow`).  The failed view has
         permanently missed this batch, and views that accepted it keep
         it: re-sending the same batch would double-apply it to them.
+
+        ``trace`` joins an existing trace (the network frontend passes
+        the parsed ``X-Repro-Trace`` context); ``None`` starts a fresh
+        one.  Exactly one ``admission`` span is emitted per seq.
         """
         with self._lock:
             self._seq += 1
             seq = self._seq
+            admission = self.tracer.span(
+                "admission", trace, relation=relation, seq=seq,
+            )
+            ctr = self._relation_counters.get(relation)
+            if ctr is None:
+                ctr = self.registry.counter(
+                    "repro_service_batches_total",
+                    help="batches ingested, by base relation",
+                    labels={"relation": relation},
+                )
+                self._relation_counters[relation] = ctr
+            ctr.inc()
             touched: list[str] = []
             failures: list[tuple[str, BaseException]] = []
             # Snapshot the view list: a subscriber callback may react by
@@ -360,24 +476,42 @@ class ViewService:
                         # at creation) with the highest seq actually
                         # merged — publishing here would drain and
                         # re-couple the stream to the slowest backend.
-                        handle.backend.on_batch(relation, batch, seq=seq)
+                        handle.backend.on_batch(
+                            relation, batch, seq=seq, trace=admission.ctx
+                        )
                     else:
-                        handle.backend.on_batch(relation, batch)
-                        self._publish(handle, relation, seq)
+                        with self.tracer.span(
+                            "maintain", admission.ctx,
+                            relation=relation, seq=seq, view=handle.name,
+                        ):
+                            start = time.perf_counter()
+                            handle.backend.on_batch(relation, batch)
+                            handle.maintain_hist.observe(
+                                time.perf_counter() - start
+                            )
+                        self._publish(handle, relation, seq,
+                                      parent=admission.ctx)
                 except Exception as exc:
                     # Keep routing: one view's overflow/failure must not
                     # leave the batch half-delivered to the others.
                     failures.append((handle.name, exc))
                     continue
-                handle.batches_applied += 1
+                handle.batches_counter.inc()
                 touched.append(handle.name)
             if self.track_base:
                 self.base.apply_update(relation, batch)
+            admission.set(touched=len(touched))
+            admission.finish()
             if failures:
                 raise failures[0][1]
             return tuple(touched)
 
-    def ingest(self, relation: str, batch: GMR) -> tuple[int, tuple[str, ...]]:
+    def ingest(
+        self,
+        relation: str,
+        batch: GMR,
+        trace: TraceContext | None = None,
+    ) -> tuple[int, tuple[str, ...]]:
         """:meth:`on_batch` plus the seq it assigned, read atomically.
 
         The network frontend echoes the seq to the producing client so
@@ -386,7 +520,7 @@ class ViewService:
         producers and report someone else's batch.
         """
         with self._lock:
-            touched = self.on_batch(relation, batch)
+            touched = self.on_batch(relation, batch, trace=trace)
             return self._seq, touched
 
     def drain(self, name: str | None = None, timeout: float | None = None):
@@ -422,6 +556,7 @@ class ViewService:
         relation: str | None,
         seq: int | None = None,
         delta_source: Callable[[], GMR] | None = None,
+        parent: TraceContext | None = None,
     ) -> None:
         """Compute and fan out one changefeed event, if anyone listens.
 
@@ -462,13 +597,24 @@ class ViewService:
         )
         if delta.is_zero():
             return
-        event = ViewDelta(
-            handle.name, relation, self._seq if seq is None else seq, delta
+        seq_val = self._seq if seq is None else seq
+        # The publish span parents the downstream deliver spans (the
+        # network pump reads the context off the event).
+        span = self.tracer.span(
+            "publish", parent,
+            view=handle.name, relation=relation, seq=seq_val,
+            subscribers=len(live),
         )
-        handle.deltas_delivered += 1
+        event = ViewDelta(
+            handle.name, relation, seq_val, delta, trace=span.ctx
+        )
+        # Counter, not `+= 1`: this path runs on batcher threads without
+        # the service lock, racing producer-thread publishes.
+        handle.deltas_counter.inc()
         for sub in live:
             if sub.active:
                 sub.callback(event)
+        span.finish()
 
     # ------------------------------------------------------------------
     # Reads

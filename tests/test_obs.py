@@ -1,0 +1,650 @@
+"""End-to-end telemetry: registry, tracer, exposition, heartbeats.
+
+The acceptance bar (ISSUE 8): a single batch ingested into a 2-shard
+cluster must yield one assembled trace — router admission → scatter →
+shard flush → maintain → publish → router merge → subscriber delivery
+— every span sharing one trace id and carrying the right seqs, while
+``GET /metrics`` on both tiers serves valid Prometheus text (the router
+merging shard scrapes under per-shard labels).  Around that: registry
+unit behavior (get-or-create, cardinality bound, percentile
+interpolation, strict parse), an 8-thread histogram hammer with count
+conservation, the per-view stats race regression (counters mutated
+from batcher threads), heartbeat seq/uptime enrichment, and the smoke
+tests CI runs per Python version.
+"""
+
+import contextlib
+import math
+import re
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.net import Client, ViewServer
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    Span,
+    TraceContext,
+    Tracer,
+    assemble,
+    bucket_percentile,
+    merge_expositions,
+    parse_prometheus,
+)
+from repro.ring import GMR
+from repro.service import ViewService
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+SQL_PER_B = (
+    "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+)
+SQL_CNT_A = "SELECT R.a, COUNT(*) FROM R GROUP BY R.a"
+
+
+@contextlib.contextmanager
+def cluster(n_shards: int):
+    """``n_shards`` in-process shard servers behind a live router
+    (the test_cluster.py harness, without the replica knobs)."""
+    services: list[ViewService] = []
+    servers: list[ViewServer] = []
+    router = None
+    try:
+        for _ in range(n_shards):
+            svc = ViewService(catalog=CATALOG)
+            services.append(svc)
+            servers.append(ViewServer(svc).start())
+        groups = [[("127.0.0.1", s.port)] for s in servers]
+        router = ClusterRouter(groups, CATALOG).start()
+        yield router, services, servers
+    finally:
+        if router is not None:
+            router.close()
+        for server in servers:
+            server.close()
+        for svc in services:
+            for name in svc.views():
+                svc.drop_view(name)
+
+
+def _sample_map(text: str) -> dict:
+    """``{(name, sorted-label-items): value}`` for exposition asserts."""
+    return {
+        (s.name, tuple(sorted(s.labels.items()))): s.value
+        for s in parse_prometheus(text)
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry units
+# ----------------------------------------------------------------------
+
+
+def test_counter_and_gauge_roundtrip():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", help="a counter")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    g = reg.gauge("repro_test_depth", help="a gauge")
+    g.set(7)
+    g.inc()
+    g.dec(2)
+    samples = _sample_map(reg.render())
+    assert samples[("repro_test_total", ())] == 4
+    assert samples[("repro_test_depth", ())] == 6
+
+
+def test_get_or_create_same_series():
+    """Re-registering (server restart over one service) must hand back
+    the same live series, not raise or zero it."""
+    reg = MetricsRegistry()
+    a = reg.counter("repro_test_total", labels={"view": "v"})
+    a.inc(5)
+    b = reg.counter("repro_test_total", labels={"view": "v"})
+    assert b is a and b.value == 5
+    with pytest.raises(MetricError):
+        reg.gauge("repro_test_total")  # same name, different kind
+
+
+def test_callback_gauge_reads_at_scrape_time():
+    reg = MetricsRegistry()
+    state = {"n": 1}
+    reg.gauge_fn("repro_test_live", lambda: state["n"])
+    assert _sample_map(reg.render())[("repro_test_live", ())] == 1
+    state["n"] = 42
+    assert _sample_map(reg.render())[("repro_test_live", ())] == 42
+
+
+def test_histogram_buckets_and_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_test_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.05, 0.5, 0.5, 0.5, 0.5, 5.0, 5.0, 5.0, 50.0):
+        h.observe(v)
+    cum = h.cumulative()
+    assert cum == [(0.1, 2), (1.0, 6), (10.0, 9), (math.inf, 10)]
+    # p50 falls in (0.1, 1.0]: 2 below, 4 inside, rank 5 → interpolated
+    p50 = h.percentile(50)
+    assert 0.1 < p50 <= 1.0
+    # a rank in the +Inf bucket clamps to the top finite bound
+    assert h.percentile(99) == 10.0
+    # standalone interpolation helper agrees with the histogram
+    assert bucket_percentile(cum, 50) == pytest.approx(p50)
+
+
+def test_exposition_renders_valid_prometheus():
+    reg = MetricsRegistry()
+    reg.counter("repro_test_total", help="with \"quotes\" and \\slash",
+                labels={"view": 'v"1"', "rel": "a\\b"}).inc()
+    reg.histogram("repro_test_seconds", buckets=(0.5,)).observe(0.1)
+    text = reg.render()
+    # HELP/TYPE precede samples; histograms expand to _bucket/_sum/_count
+    assert re.search(r"^# TYPE repro_test_total counter$", text, re.M)
+    assert re.search(r"^# TYPE repro_test_seconds histogram$", text, re.M)
+    assert 'le="+Inf"' in text
+    samples = parse_prometheus(text)
+    names = {s.name for s in samples}
+    assert {"repro_test_total", "repro_test_seconds_bucket",
+            "repro_test_seconds_sum", "repro_test_seconds_count"} <= names
+    # escaped labels survive the round trip
+    (ctr,) = [s for s in samples if s.name == "repro_test_total"]
+    assert ctr.labels == {"view": 'v"1"', "rel": "a\\b"}
+
+
+def test_parse_rejects_malformed_exposition():
+    with pytest.raises(MetricError):
+        parse_prometheus("this is { not prometheus\n")
+
+
+def test_cardinality_bound_folds_overflow():
+    reg = MetricsRegistry(max_series_per_family=3)
+    fam_children = [
+        reg.counter("repro_test_total", labels={"view": f"v{i}"})
+        for i in range(5)
+    ]
+    for c in fam_children:
+        c.inc()  # detached overflow children must not crash
+    samples = _sample_map(reg.render())
+    kept = [k for k in samples if k[0] == "repro_test_total"]
+    assert len(kept) == 3
+    assert samples[("repro_registry_dropped_series_total", ())] == 2
+
+
+def test_scope_close_removes_series():
+    reg = MetricsRegistry()
+    scope = reg.scope(view="doomed")
+    scope.counter("repro_test_total").inc()
+    scope.gauge_fn("repro_test_depth", lambda: 1)
+    assert "doomed" in reg.render()
+    scope.close()
+    assert "doomed" not in reg.render()
+
+
+def test_merge_expositions_stamps_shard_labels():
+    a = MetricsRegistry()
+    a.counter("repro_test_total", help="h", labels={"view": "v"}).inc(2)
+    b = MetricsRegistry()
+    b.counter("repro_test_total", help="h", labels={"view": "v"}).inc(5)
+    merged = merge_expositions(
+        [({"shard": "0"}, a.render()), ({"shard": "1"}, b.render())]
+    )
+    samples = _sample_map(merged)
+    assert samples[("repro_test_total",
+                    (("shard", "0"), ("view", "v")))] == 2
+    assert samples[("repro_test_total",
+                    (("shard", "1"), ("view", "v")))] == 5
+    # HELP/TYPE appear once per family, not once per source page
+    assert merged.count("# TYPE repro_test_total counter") == 1
+
+
+def test_histogram_thread_hammer_conserves_counts():
+    """8 writer threads on one histogram: no observation may be lost
+    or double-counted, and the bucket counts must stay cumulative."""
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_test_seconds", buckets=DEFAULT_BUCKETS)
+    per_thread, n_threads = 2_000, 8
+    values = [b * 1.5 for b in DEFAULT_BUCKETS]  # straddle every bucket
+
+    def hammer(seed: int):
+        for i in range(per_thread):
+            h.observe(values[(seed + i) % len(values)])
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    cum = h.cumulative()
+    assert cum[-1][1] == per_thread * n_threads
+    assert all(b <= a for (_, b), (_, a) in zip(cum, cum[1:]))
+    samples = _sample_map(reg.render())
+    assert samples[("repro_test_seconds_count", ())] == per_thread * n_threads
+
+
+# ----------------------------------------------------------------------
+# Tracer units
+# ----------------------------------------------------------------------
+
+
+def test_span_nesting_and_assembly():
+    tracer = Tracer()
+    with tracer.span("admission", relation="R", seq=1) as admission:
+        with tracer.span("flush", admission.ctx, seq=1) as flush:
+            with tracer.span("maintain", flush.ctx, seq=1):
+                pass
+    trees = assemble(tracer.spans())
+    assert len(trees) == 1
+    (root,) = trees[0]["spans"]
+    assert root["stage"] == "admission"
+    assert root["children"][0]["stage"] == "flush"
+    assert root["children"][0]["children"][0]["stage"] == "maintain"
+
+
+def test_trace_context_header_and_wire_roundtrip():
+    ctx = TraceContext("abcd1234", "p-1")
+    assert TraceContext.parse(ctx.header()) == ctx
+    assert TraceContext.from_wire(ctx.to_wire()) == ctx
+    assert TraceContext.parse("garbage") is None
+    assert TraceContext.parse(None) is None
+    assert TraceContext.from_wire({"id": "x"}) is None
+
+
+def test_disabled_tracer_emits_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("admission", seq=1) as h:
+        assert h.ctx is None
+    assert tracer.spans() == []
+
+
+def test_recent_filters_by_view_seq_and_coalesced_seqs():
+    tracer = Tracer()
+    tracer.span("admission", view="a", seq=1).finish()
+    tracer.span("flush", view="b", seqs=[2, 3]).finish()
+    assert len(tracer.recent(view="a")) == 1
+    assert len(tracer.recent(seq=3)) == 1  # membership in seqs list
+    assert tracer.recent(seq=9) == []
+
+
+def test_ndjson_tee_writes_parseable_spans(tmp_path):
+    import json
+
+    out = tmp_path / "spans.ndjson"
+    tracer = Tracer(out=str(out))
+    tracer.span("admission", seq=1).finish()
+    tracer.span("flush", seq=1).finish()
+    tracer.close()
+    lines = out.read_text().splitlines()
+    assert len(lines) == 2
+    spans = [Span.from_dict(json.loads(line)) for line in lines]
+    assert {s.stage for s in spans} == {"admission", "flush"}
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+
+
+def test_service_metrics_cover_sync_and_async_views():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("sync_v", SQL_CNT_A, backend="rivm-batch")
+    service.create_view("async_v", SQL_PER_B, backend="async:rivm-batch")
+    try:
+        for _ in range(3):
+            service.on_batch("R", GMR({(1, 10): 1}))
+        service.on_batch("S", GMR({(10, 2): 1}))
+        service.drain()
+        samples = _sample_map(service.registry.render())
+        v = ("view", "sync_v")
+        assert samples[("repro_view_batches_total", (v,))] == 3
+        assert samples[("repro_view_maintain_seconds_count", (v,))] == 3
+        assert samples[("repro_service_seq", ())] == 4
+        # async views expose queue depth and the ingest-layer counters
+        assert ("repro_ingest_queue_depth", (("view", "async_v"),)) in samples
+        assert samples[
+            ("repro_ingest_flushes", (("view", "async_v"),))
+        ] >= 1
+        # ... and flushes feed the shared maintain histogram
+        assert samples[
+            ("repro_view_maintain_seconds_count", (("view", "async_v"),))
+        ] >= 1
+    finally:
+        service.drop_view("sync_v")
+        service.drop_view("async_v")
+
+
+def test_drop_view_retires_its_series():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("v", SQL_CNT_A, backend="async:rivm-batch")
+    assert 'view="v"' in service.registry.render()
+    service.drop_view("v")
+    assert 'view="v"' not in service.registry.render()
+
+
+def test_admission_span_per_seq():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("v", SQL_CNT_A, backend="rivm-batch")
+    # publish spans are only emitted when someone is listening: the
+    # no-subscriber early return precedes the span
+    sub = service.subscribe("v", lambda event: None)
+    try:
+        for _ in range(5):
+            service.on_batch("R", GMR({(1, 10): 1}))
+        admissions = [
+            s for s in service.tracer.spans() if s.stage == "admission"
+        ]
+        assert sorted(s.attrs["seq"] for s in admissions) == [1, 2, 3, 4, 5]
+        # sync maintain + publish chain off the admission in one trace
+        trees = service.tracer.recent(seq=3)
+        assert len(trees) == 1
+        (root,) = trees[0]["spans"]
+        assert {c["stage"] for c in root["children"]} == {
+            "maintain", "publish",
+        }
+    finally:
+        sub.cancel()
+        service.drop_view("v")
+
+
+def test_stats_counters_survive_concurrent_producers():
+    """Regression for the per-view stats race: ``batches_applied`` and
+    ``deltas_delivered`` were plain ints mutated from batcher threads
+    without the service lock, so concurrent producers lost increments.
+    With registry counters, every applied batch and published delta
+    must be counted exactly once."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("v", SQL_CNT_A, backend="async:rivm-batch")
+    events = []
+    events_lock = threading.Lock()
+
+    def on_delta(event):
+        with events_lock:
+            events.append(event)
+
+    sub = service.subscribe("v", on_delta)
+    n_threads, per_thread = 6, 40
+
+    def produce(seed: int):
+        for i in range(per_thread):
+            service.on_batch("R", GMR({(seed, i): 1}))
+
+    threads = [
+        threading.Thread(target=produce, args=(t,)) for t in range(n_threads)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.drain()
+        handle = service.view("v")
+        assert handle.batches_applied == n_threads * per_thread
+        with events_lock:
+            delivered = len(events)
+        assert handle.deltas_delivered == delivered
+        assert delivered >= 1
+        total = GMR()
+        for e in events:
+            for t_, m in e.delta.items():
+                total.add_tuple(t_, m)
+        assert total == service.snapshot("v")
+    finally:
+        sub.cancel()
+        service.drop_view("v")
+
+
+# ----------------------------------------------------------------------
+# Single-server HTTP surface
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def served():
+    service = ViewService(catalog=CATALOG)
+    server = ViewServer(service).start()
+    client = Client(port=server.port)
+    try:
+        yield service, server, client
+    finally:
+        client.close()
+        server.close()
+
+
+def test_server_metrics_endpoint(served):
+    service, server, client = served
+    client.create_view("v", SQL_CNT_A)
+    client.batch("R", GMR({(1, 10): 1, (2, 20): 1}))
+    text = client.metrics_raw()
+    samples = _sample_map(text)
+    assert samples[("repro_view_batches_total", (("view", "v"),))] == 1
+    assert samples[("repro_service_seq", ())] == 1
+    assert ("repro_server_uptime_seconds", ()) in samples
+    # raw HTTP: the Prometheus content type is part of the contract
+    import http.client
+
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+    try:
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith(
+            "text/plain; version=0.0.4"
+        )
+        resp.read()
+    finally:
+        conn.close()
+
+
+def test_server_trace_recent_and_header_propagation(served):
+    service, _server, client = served
+    client.create_view("v", SQL_CNT_A)
+    ctx = TraceContext("feedc0dedeadbeef", "client-root")
+    reply = client.batch("R", GMR({(1, 10): 1}), trace=ctx)
+    assert reply["trace_id"] == "feedc0dedeadbeef"
+    trees = client.trace_recent(trace_id="feedc0dedeadbeef")
+    assert len(trees) == 1
+    (root,) = trees[0]["spans"]
+    assert root["stage"] == "admission"
+    assert root["attrs"]["seq"] == 1
+    stages = {root["stage"]} | {c["stage"] for c in root["children"]}
+    # no subscriber on this view, so no publish span — admission and
+    # maintain are the whole sync-path trace
+    assert {"admission", "maintain"} <= stages
+    # seq filter reaches the same trace
+    assert client.trace_recent(view="v", seq=1)[0]["trace_id"] == ctx.trace_id
+
+
+def test_heartbeat_carries_seq_and_uptime(served):
+    service, _server, client = served
+    client.create_view("v", SQL_CNT_A)
+    client.batch("R", GMR({(1, 10): 1}))
+    with client.subscribe("v") as stream:
+        assert stream.last_heartbeat is None
+        deadline = time.monotonic() + 10
+        while stream.last_heartbeat is None:
+            assert time.monotonic() < deadline, "no heartbeat within 10s"
+            stream._read_envelope()
+        hb = stream.last_heartbeat
+        assert hb["seq"] == 1
+        assert hb["uptime_s"] > 0
+
+
+def test_delivery_counter_counts_stream_writes(served):
+    service, _server, client = served
+    client.create_view("v", SQL_CNT_A)
+    with client.subscribe("v") as stream:
+        client.batch("R", GMR({(1, 10): 1}))
+        token = client.drain()
+        deltas = stream.read_until_mark(token)
+        assert len(deltas) == 1
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        samples = _sample_map(client.metrics_raw())
+        if ("repro_server_deliveries_total", (("view", "v"),)) in samples:
+            break
+        time.sleep(0.05)
+    assert samples[("repro_server_deliveries_total", (("view", "v"),))] >= 1
+
+
+def test_top_prefers_scraped_tier_seq_over_shard_pages():
+    """Regression: a router's merged /metrics repeats every shard's
+    `repro_service_seq` under shard labels — `repro top` must show the
+    router's own seq/uptime, not whichever shard page parsed last."""
+    from repro.obs.top import TopSnapshot, render_top
+
+    text = "\n".join([
+        "# TYPE repro_router_seq gauge",
+        "repro_router_seq 7",
+        "# TYPE repro_router_uptime_seconds gauge",
+        "repro_router_uptime_seconds 12.5",
+        "# TYPE repro_service_seq gauge",
+        'repro_service_seq{shard="0",replica="0"} 4',
+        'repro_service_seq{shard="1",replica="0"} 5',
+        "# TYPE repro_view_batches_total counter",
+        'repro_view_batches_total{view="v",shard="0",replica="0"} 4',
+        'repro_view_batches_total{view="v",shard="1",replica="0"} 3',
+        "",
+    ])
+    snap = TopSnapshot(parse_prometheus(text), at=100.0)
+    assert snap.service == {
+        "repro_router_seq": 7.0,
+        "repro_router_uptime_seconds": 12.5,
+    }
+    rendered = render_top(snap, None)
+    assert "seq=7" in rendered
+    # per-view counters still aggregate across the shard pages
+    assert snap.views["v"]["batches"] == 7
+
+
+# ----------------------------------------------------------------------
+# Smoke tests (run per Python version in CI)
+# ----------------------------------------------------------------------
+
+
+def test_cluster_metrics_smoke():
+    """2 shards + router: ingest a workload, scrape /metrics on the
+    router and each shard; the exposition must parse, the router page
+    must carry per-shard labels, and the per-view batch counters must
+    match what was ingested (the CI smoke contract)."""
+    with cluster(2) as (router, _services, servers):
+        with Client(port=router.port) as client:
+            client.create_view("per_b", SQL_PER_B)
+            n_batches = 6
+            for i in range(n_batches):
+                client.batch("R", GMR({(i, i % 3): 1}))
+            client.batch("S", GMR({(0, 7): 1}))
+            client.drain()
+
+            router_page = client.metrics_raw()
+            samples = _sample_map(router_page)
+            assert samples[
+                ("repro_router_batches_total", (("relation", "R"),))
+            ] == n_batches
+            assert samples[("repro_router_seq", ())] == n_batches + 1
+            shard_labels = {
+                s.labels["shard"]
+                for s in parse_prometheus(router_page)
+                if "shard" in s.labels
+            }
+            assert shard_labels == {"0", "1"}
+            # shard-side batch counters, summed across the shard pages,
+            # must cover every routed batch exactly once
+            per_shard = [
+                s.value
+                for s in parse_prometheus(router_page)
+                if s.name == "repro_view_batches_total"
+                and s.labels.get("view") == "per_b"
+            ]
+            assert sum(per_shard) == n_batches + 1
+
+            # each shard also serves its own unlabeled exposition
+            for server in servers:
+                with Client(port=server.port) as direct:
+                    assert ("repro_service_seq", ()) in _sample_map(
+                        direct.metrics_raw()
+                    )
+
+
+def test_cluster_single_batch_trace_smoke():
+    """One batch through a 2-shard cluster with a live subscriber:
+    /trace/recent on the router must return ONE assembled trace whose
+    spans cover admission, scatter, flush, maintain, publish, merge and
+    deliver — all sharing the ingest trace id (the acceptance bar)."""
+    with cluster(2) as (router, _services, _servers):
+        with Client(port=router.port) as client:
+            client.create_view("cnt", SQL_CNT_A, backend="async:rivm-batch")
+            stream = client.subscribe("cnt")
+            reader = threading.Thread(
+                target=lambda: list(stream), daemon=True
+            )
+            reader.start()
+            ctx = TraceContext("0123456789abcdef", "origin")
+            client.batch("R", GMR({(1, 1): 1, (2, 2): 1, (3, 3): 1}),
+                         trace=ctx)
+            client.drain()
+
+            def assembled_stages():
+                trees = client.trace_recent(trace_id=ctx.trace_id)
+                if not trees:
+                    return None, set()
+                stages = set()
+                stack = list(trees[0]["spans"])
+                while stack:
+                    node = stack.pop()
+                    stages.add(node["stage"])
+                    stack.extend(node["children"])
+                return trees, stages
+
+            want = {"admission", "scatter", "flush", "maintain",
+                    "publish", "merge", "deliver"}
+            deadline = time.monotonic() + 10
+            while True:
+                trees, stages = assembled_stages()
+                if trees is not None and want <= stages:
+                    break
+                assert time.monotonic() < deadline, (
+                    f"incomplete trace after 10s: {stages}"
+                )
+                time.sleep(0.1)
+            assert len(trees) == 1  # one batch, one trace
+            # the router admission span carries the router seq; the
+            # shard flush span carries the shard's own seq — both 1
+            flat = []
+            stack = list(trees[0]["spans"])
+            while stack:
+                node = stack.pop()
+                flat.append(node)
+                stack.extend(node["children"])
+            admissions = [
+                n for n in flat
+                if n["stage"] == "admission"
+                and n["attrs"].get("tier") == "router"
+            ]
+            assert len(admissions) == 1 and admissions[0]["attrs"]["seq"] == 1
+            assert all(n["trace_id"] == ctx.trace_id for n in flat)
+            stream.close()
+            reader.join(timeout=5)
+
+
+def test_router_batch_span_counts_match_ingest_smoke():
+    """Router admission spans are one-per-accepted-batch: after N
+    ingests the trace ring must hold exactly N router admissions with
+    seqs 1..N (the batch-count half of the CI smoke contract)."""
+    with cluster(2) as (router, _services, _servers):
+        with Client(port=router.port) as client:
+            client.create_view("cnt", SQL_CNT_A)
+            n = 5
+            for i in range(n):
+                client.batch("R", GMR({(i, i): 1}))
+            client.drain()
+        admissions = [
+            s for s in router.tracer.spans() if s.stage == "admission"
+        ]
+        assert sorted(s.attrs["seq"] for s in admissions) == list(
+            range(1, n + 1)
+        )

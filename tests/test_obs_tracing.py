@@ -1,0 +1,183 @@
+"""Trace-structure properties on randomized async streams.
+
+The ISSUE 8 property bar: over a randomized insert+delete stream
+ingested into ``async:rivm-batch`` (and a synchronous control view),
+the trace rings must satisfy
+
+* **seq coverage** — exactly one ``admission`` span per assigned seq,
+  seqs 1..N with no gaps or duplicates;
+* **flush partition** — the ``seqs`` lists of a view's ``flush`` spans
+  partition exactly the set of seqs routed to that view (coalescing
+  merges entries, it never loses or duplicates one);
+* **well-nestedness** — every span's parent resolves within its own
+  trace (or the span is a root), the parent graph is acyclic, and a
+  ``maintain`` span's interval lies inside its owning ``flush``.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs import Span
+from repro.ring import GMR
+from repro.service import ViewService
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+SQL_PER_B = (
+    "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+)
+SQL_CNT_A = "SELECT R.a, COUNT(*) FROM R GROUP BY R.a"
+
+
+def _random_stream(seed: int, n_batches: int) -> list[tuple[str, GMR]]:
+    """Deterministic insert+delete batches over R/S/T (deletions only
+    remove rows inserted earlier in the stream)."""
+    rng = random.Random(seed)
+    live: dict[str, list[tuple]] = {"R": [], "S": [], "T": []}
+    batches: list[tuple[str, GMR]] = []
+    for _ in range(n_batches):
+        relation = rng.choice(("R", "S", "T"))
+        data: dict[tuple, int] = {}
+        for _ in range(rng.randint(1, 5)):
+            if live[relation] and rng.random() < 0.35:
+                victim = rng.choice(live[relation])
+                live[relation].remove(victim)
+                data[victim] = data.get(victim, 0) - 1
+            else:
+                row = (rng.randint(1, 8), rng.randint(1, 15))
+                live[relation].append(row)
+                data[row] = data.get(row, 0) + 1
+        if data:
+            batches.append((relation, GMR(data)))
+    return batches
+
+
+def _drive(seed: int, n_batches: int):
+    """Stream a randomized workload into one async + one sync view;
+    returns ``(spans, routed)`` where ``routed[view]`` is the set of
+    seqs whose batch reached that view."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("async_v", SQL_PER_B, backend="async:rivm-batch")
+    service.create_view("sync_v", SQL_CNT_A, backend="rivm-batch")
+    subs = [
+        service.subscribe("async_v", lambda event: None),
+        service.subscribe("sync_v", lambda event: None),
+    ]
+    routed: dict[str, set[int]] = {"async_v": set(), "sync_v": set()}
+    streams = {"async_v": frozenset({"R", "S"}), "sync_v": frozenset({"R"})}
+    try:
+        for relation, batch in _random_stream(seed, n_batches):
+            seq, _touched = service.ingest(relation, batch)
+            for view, rels in streams.items():
+                if relation in rels:
+                    routed[view].add(seq)
+        service.drain()
+        return service.tracer.spans(), routed
+    finally:
+        for sub in subs:
+            sub.cancel()
+        service.drop_view("async_v")
+        service.drop_view("sync_v")
+
+
+@pytest.mark.parametrize("seed", [7, 23, 91])
+def test_admission_covers_every_seq_exactly_once(seed):
+    spans, routed = _drive(seed, n_batches=60)
+    admissions = [s for s in spans if s.stage == "admission"]
+    seqs = sorted(s.attrs["seq"] for s in admissions)
+    n = len(routed["async_v"] | routed["sync_v"] |
+            {s.attrs["seq"] for s in admissions})
+    assert seqs == list(range(1, len(seqs) + 1))
+    assert len(seqs) == n  # no admission outside the assigned range
+
+
+@pytest.mark.parametrize("seed", [7, 23, 91])
+def test_flush_seqs_partition_routed_seqs(seed):
+    spans, routed = _drive(seed, n_batches=60)
+    flushes = [
+        s for s in spans
+        if s.stage == "flush" and s.attrs.get("view") == "async_v"
+    ]
+    seen: list[int] = []
+    for f in flushes:
+        assert f.attrs["seqs"], "flush span with an empty seqs list"
+        assert f.attrs["seq"] == max(f.attrs["seqs"])
+        seen.extend(f.attrs["seqs"])
+    assert len(seen) == len(set(seen)), "a seq was flushed twice"
+    assert set(seen) == routed["async_v"], (
+        "flush seqs must cover exactly the seqs routed to the view"
+    )
+
+
+@pytest.mark.parametrize("seed", [7, 23])
+def test_span_trees_are_well_nested(seed):
+    spans, _routed = _drive(seed, n_batches=60)
+    by_id: dict[str, Span] = {s.span_id: s for s in spans}
+    assert len(by_id) == len(spans), "span ids must be unique"
+    for s in spans:
+        if s.parent_id is None or s.parent_id not in by_id:
+            continue  # root, or parent from another process/window
+        parent = by_id[s.parent_id]
+        assert parent.trace_id == s.trace_id, (
+            "a parent edge may never cross traces"
+        )
+        # acyclic: walk to a root, never revisiting
+        hops, cur = set(), s
+        while cur.parent_id is not None and cur.parent_id in by_id:
+            assert cur.span_id not in hops, "cycle in the parent graph"
+            hops.add(cur.span_id)
+            cur = by_id[cur.parent_id]
+    # maintain spans run inside their flush (same thread, same scope):
+    # the intervals must nest
+    eps = 5e-3  # time.time() granularity across the two stamps
+    for s in spans:
+        if s.stage != "maintain" or s.parent_id not in by_id:
+            continue
+        parent = by_id[s.parent_id]
+        if parent.stage != "flush":
+            continue  # sync maintains chain straight off admission
+        assert s.start >= parent.start - eps
+        assert s.start + s.dur_s <= parent.start + parent.dur_s + eps
+
+
+def test_concurrent_producers_keep_seq_coverage():
+    """The same coverage property under 4 racing producer threads —
+    the admission span is emitted under the service lock, so the ring
+    must still hold exactly one admission per assigned seq."""
+    service = ViewService(catalog=CATALOG)
+    service.create_view("async_v", SQL_PER_B, backend="async:rivm-batch")
+    n_threads, per_thread = 4, 30
+
+    def produce(seed: int):
+        rng = random.Random(seed)
+        for _ in range(per_thread):
+            relation = rng.choice(("R", "S"))
+            service.on_batch(
+                relation, GMR({(rng.randint(1, 8), rng.randint(1, 15)): 1})
+            )
+
+    threads = [
+        threading.Thread(target=produce, args=(t,)) for t in range(n_threads)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.drain()
+        admissions = [
+            s for s in service.tracer.spans() if s.stage == "admission"
+        ]
+        total = n_threads * per_thread
+        assert sorted(s.attrs["seq"] for s in admissions) == list(
+            range(1, total + 1)
+        )
+        flushed = [
+            q for s in service.tracer.spans()
+            if s.stage == "flush" for q in s.attrs["seqs"]
+        ]
+        assert sorted(flushed) == list(range(1, total + 1))
+    finally:
+        service.drop_view("async_v")
