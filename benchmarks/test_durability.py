@@ -1,0 +1,165 @@
+"""Durability cost model: what the WAL charges ingest, and what
+recovery pays per logged batch.
+
+Two sweeps, both written to ``BENCH_wal.json`` at the repo root:
+
+* **ingest throughput** — the same randomized stream into a plain
+  ``ViewService`` (no WAL) and a ``DurableViewService`` under each
+  fsync policy.  ``off`` shows the pure framing+encode cost,
+  ``interval`` the default deployment point, ``always`` the full
+  fsync-per-ack price (dominated by device sync latency, so expect an
+  order of magnitude, not percents).
+* **recovery time vs tail length** — re-opening a WAL directory whose
+  checkpoint covers nothing, so recovery replays the whole tail;
+  recovery time should scale roughly linearly in replayed batches.
+
+Shapes are asserted (recovery is correct and linear-ish; WAL-off
+throughput is within a sane factor of no-WAL), absolute numbers are
+environment-stamped and reported.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.durability import DurableViewService
+from repro.harness import bench_environment, format_table
+from repro.ring import GMR
+from repro.service import ViewService
+
+CATALOG = {"R": ("a", "b")}
+SQL = "SELECT R.a, COUNT(*) FROM R GROUP BY R.a"
+
+N_BATCHES = 600
+ROWS_PER_BATCH = 20
+TAIL_LENGTHS = (100, 400, 800)
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_wal.json"
+
+
+def _stream(n_batches: int) -> list[GMR]:
+    rng = random.Random(1789)
+    return [
+        GMR({
+            (rng.randint(1, 500), rng.randint(1, 10_000)): 1
+            for _ in range(ROWS_PER_BATCH)
+        })
+        for _ in range(n_batches)
+    ]
+
+
+def _ingest(service, batches) -> float:
+    start = time.perf_counter()
+    for batch in batches:
+        service.on_batch("R", GMR(dict(batch.data)))
+    service.drain()
+    return time.perf_counter() - start
+
+
+@pytest.mark.paper_experiment("durability: WAL fsync policy cost + recovery")
+def test_wal_throughput_and_recovery(tmp_path):
+    batches = _stream(N_BATCHES)
+    n_tuples = N_BATCHES * ROWS_PER_BATCH
+    payload = {
+        "bench": "wal_durability",
+        "unit": "tuples/s ingest; seconds recovery",
+        "n_batches": N_BATCHES,
+        "rows_per_batch": ROWS_PER_BATCH,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
+        "ingest": {},
+        "recovery": [],
+    }
+
+    # -- ingest sweep ---------------------------------------------------
+    rows = []
+    plain = ViewService(catalog=CATALOG)
+    plain.create_view("cnt", SQL, backend="rivm-batch")
+    base_s = _ingest(plain, batches)
+    plain.drop_view("cnt")
+    payload["ingest"]["no-wal"] = {
+        "seconds": base_s, "tuples_per_s": n_tuples / base_s,
+    }
+    rows.append(("no-wal", round(base_s, 3),
+                 round(n_tuples / base_s), "1.000"))
+
+    snapshots = {}
+    for policy in ("off", "interval", "always"):
+        wal_dir = tmp_path / f"ingest-{policy}"
+        svc = DurableViewService(
+            str(wal_dir), catalog=CATALOG, checkpoint_every=0,
+            fsync=policy,
+        )
+        svc.create_view("cnt", SQL, backend="rivm-batch")
+        elapsed = _ingest(svc, batches)
+        snapshots[policy] = svc.snapshot("cnt")
+        svc.close()
+        payload["ingest"][f"wal-{policy}"] = {
+            "seconds": elapsed,
+            "tuples_per_s": n_tuples / elapsed,
+            "slowdown_vs_no_wal": elapsed / base_s,
+        }
+        rows.append((f"wal-{policy}", round(elapsed, 3),
+                     round(n_tuples / elapsed),
+                     f"{elapsed / base_s:.3f}"))
+
+    # Every mode computes the same view (the WAL is pure overhead).
+    assert snapshots["off"] == snapshots["always"] == snapshots["interval"]
+
+    # -- recovery sweep -------------------------------------------------
+    recovery_rows = []
+    per_batch = []
+    for tail in TAIL_LENGTHS:
+        wal_dir = str(tmp_path / f"recover-{tail}")
+        svc = DurableViewService(str(wal_dir), catalog=CATALOG,
+                                 checkpoint_every=0, fsync="off")
+        svc.create_view("cnt", SQL, backend="rivm-batch")
+        for batch in _stream(tail):
+            svc.on_batch("R", batch)
+        svc.drain()
+        expected = svc.snapshot("cnt")
+        seq = svc.seq
+        svc.close()
+
+        start = time.perf_counter()
+        recovered = DurableViewService(str(wal_dir), catalog=CATALOG,
+                                       checkpoint_every=0, fsync="off")
+        elapsed = time.perf_counter() - start
+        assert recovered.seq == seq
+        assert recovered.recovered["replayed"] == tail
+        assert recovered.snapshot("cnt") == expected
+        recovered.close()
+        payload["recovery"].append({
+            "tail_batches": tail,
+            "seconds": elapsed,
+            "ms_per_batch": 1000 * elapsed / tail,
+        })
+        per_batch.append(elapsed / tail)
+        recovery_rows.append((tail, round(elapsed, 3),
+                              round(1000 * elapsed / tail, 3)))
+
+    # Replay cost per batch should be flat-ish (linear total): the
+    # longest tail must not pay more than 5x the shortest per batch.
+    assert max(per_batch) <= 5 * min(per_batch), per_batch
+    # Framing+encode without syncing must stay in the same decade as
+    # no WAL at all (~2x here; 10x would mean the encode path broke).
+    assert payload["ingest"]["wal-off"]["slowdown_vs_no_wal"] <= 10
+
+    print()
+    print(format_table(
+        ("mode", "seconds", "tuples/s", "vs no-wal"),
+        rows,
+        title=f"WAL ingest cost ({N_BATCHES} batches x "
+              f"{ROWS_PER_BATCH} rows)",
+    ))
+    print(format_table(
+        ("tail (batches)", "recovery (s)", "ms/batch"),
+        recovery_rows,
+        title="recovery time vs WAL tail length",
+    ))
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

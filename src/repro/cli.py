@@ -307,7 +307,9 @@ def cmd_serve(args) -> int:
             )
         backend = next_backend()
         defs.append(ViewDef(view_name, sql, backend, options_for(backend)))
-    if not defs:
+    if not defs and args.port is None:
+        # Network mode can start empty: clients create views over
+        # HTTP, and a --wal-dir server recovers its views from the log.
         raise SystemExit("serve needs at least one view (names or --sql)")
     seen: set[str] = set()
     for d in defs:
@@ -374,13 +376,40 @@ def _serve_network(args, defs) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(out=args.trace_out)
-    service = ViewService(catalog=catalog, tracer=tracer)
+    if getattr(args, "wal_dir", None):
+        from repro.durability import DurableViewService
+
+        service = DurableViewService(
+            args.wal_dir, catalog=catalog, tracer=tracer,
+            checkpoint_every=args.checkpoint_every, fsync=args.fsync,
+        )
+        rec = service.recovered or {}
+        print(
+            f"durable: wal-dir={args.wal_dir} fsync={args.fsync} "
+            f"checkpoint-every={args.checkpoint_every}",
+            flush=True,
+        )
+        if rec.get("seq"):
+            print(
+                f"recovered seq={rec['seq']} "
+                f"(checkpoint={rec['checkpoint_seq']}, "
+                f"replayed={rec['replayed']} batches, "
+                f"views={','.join(rec['views']) or '-'})",
+                flush=True,
+            )
+    else:
+        service = ViewService(catalog=catalog, tracer=tracer)
     for d in defs:
+        if d.name in service.views():
+            continue  # recovered from the checkpoint/WAL already
         spec = as_query_spec(d.source, name=d.name, catalog=catalog)
         service.create_view(d.name, spec, backend=d.backend, **d.options)
+    server_kwargs = {}
+    if getattr(args, "stream_queue_limit", None) is not None:
+        server_kwargs["stream_queue_limit"] = args.stream_queue_limit
     server = ViewServer(
         service, host=args.host, port=args.port,
-        auth_token=args.auth_token,
+        auth_token=args.auth_token, **server_kwargs,
     )
     if args.auth_token:
         print("auth: bearer token required (all endpoints but /health)",
@@ -405,6 +434,8 @@ def _serve_network(args, defs) -> int:
         print("interrupted; shutting down", file=sys.stderr)
     finally:
         server.close()
+        if hasattr(service, "wal"):  # durable: flush + close the log
+            service.close()
     print("server closed", flush=True)
     return 0
 
@@ -451,6 +482,11 @@ def cmd_route(args) -> int:
         auth_token=args.auth_token,
         shard_token=args.shard_token,
         tracer=tracer,
+        **(
+            {"stream_queue_limit": args.stream_queue_limit}
+            if args.stream_queue_limit is not None
+            else {}
+        ),
     )
     n = router.shardmap.n_shards
     print(
@@ -663,6 +699,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --port: tee every trace span to this NDJSON file "
              "(the in-memory ring behind GET /trace/recent stays on)",
     )
+    p.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="with --port: make the service durable — log every acked "
+             "batch to a write-ahead log in DIR, checkpoint "
+             "periodically, and recover checkpoint+WAL from DIR on "
+             "startup (enables from_seq stream resume)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1000, metavar="N",
+        help="with --wal-dir: checkpoint state and truncate the WAL "
+             "every N batches (0 disables; default 1000)",
+    )
+    p.add_argument(
+        "--fsync", default="interval", choices=["always", "interval", "off"],
+        help="with --wal-dir: fsync every record (always), at most "
+             "every 50ms (interval, default), or never (off — the OS "
+             "page cache decides)",
+    )
+    p.add_argument(
+        "--stream-queue-limit", type=int, default=None, metavar="N",
+        help="with --port: per-subscriber stream queue bound; a reader "
+             "lagging more than N queued events is dropped with a "
+             "typed 'lagging' close and can resume via from_seq "
+             "(default 256)",
+    )
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])
@@ -714,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="tee the router's trace spans to this NDJSON file",
+    )
+    p.add_argument(
+        "--stream-queue-limit", type=int, default=None, metavar="N",
+        help="per-subscriber merged-stream queue bound; a lagging "
+             "reader is dropped with a typed 'lagging' close "
+             "(default 256)",
     )
 
     p = sub.add_parser(

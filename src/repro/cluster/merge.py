@@ -17,6 +17,21 @@ makes shard restarts lossless.  Failing over to a *different* replica
 would instead deliver that replica's changefeed-since-creation and
 double-count everything already merged.
 
+**Durable shards resume by seq.**  A shard running a
+:class:`~repro.durability.DurableViewService` always consumes its
+changefeed (every delta is written to its WAL before delivery), so the
+accumulate-while-disconnected property above does not hold there.
+Each reader therefore tracks the highest delta seq it merged and, on
+*re*-connect, subscribes with ``from_seq=<that seq>`` — the shard
+replays the missed tail from its WAL and splices into the live stream,
+no gap, no duplicate.  A 400 reply (the shard is not durable) falls
+back to a plain subscribe, which is exactly the accumulation contract
+— unless the shard previously dropped this reader as ``lagging``
+(deltas were discarded, only ``from_seq`` can recover them), in which
+case the stream is declared lost rather than silently resuming with a
+hole.  A 410 (the shard checkpoint-truncated past our seq) is likewise
+terminal: the missed deltas are unrecoverable over the stream.
+
 A reader that cannot reconnect within ``reconnect_timeout_s`` declares
 the stream lost: router subscribers of the view receive a typed
 ``closed`` envelope (``reason`` naming the shard) instead of a silent
@@ -53,6 +68,14 @@ class _ShardReader(threading.Thread):
         self.stopping = threading.Event()
         self._stream = None
         self._stream_lock = threading.Lock()
+        #: highest delta seq merged from this shard — the from_seq a
+        #: durable shard resumes from after a reconnect
+        self.last_seq = 0
+        self._ever_connected = False
+        #: the shard dropped us as lagging: deltas were discarded, so
+        #: only a from_seq resume is lossless — a plain-subscribe
+        #: fallback would silently hide a hole
+        self._resume_required = False
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -72,7 +95,25 @@ class _ShardReader(threading.Thread):
             auth_token=self.merger.shard_token,
         )
         try:
-            return client.subscribe(self.view)
+            if not (self._ever_connected and self.last_seq):
+                # First connect (or nothing merged yet): a plain
+                # subscribe delivers the changefeed from here on.
+                return client.subscribe(self.view)
+            try:
+                return client.subscribe(self.view, from_seq=self.last_seq)
+            except NetError as exc:
+                if exc.status != 400:
+                    raise  # incl. 410: resume horizon passed, terminal
+                if self._resume_required:
+                    raise NetError(
+                        410,
+                        f"shard dropped this stream as lagging and does "
+                        f"not support from_seq resume (not durable): "
+                        f"{exc.message}",
+                    ) from exc
+                # Not durable: the replica's changefeed accumulated
+                # while we were away, so a plain subscribe is lossless.
+                return client.subscribe(self.view)
         finally:
             client.close()
 
@@ -95,6 +136,7 @@ class _ShardReader(threading.Thread):
                     return
                 self._stream = stream
             deadline = None
+            self._ever_connected = True
             self.merger._stream_connected(self)
             try:
                 self._consume(stream)
@@ -115,6 +157,9 @@ class _ShardReader(threading.Thread):
             envelope = stream._read_envelope()
             kind = envelope.get("type")
             if kind == "delta":
+                seq = envelope.get("seq") or 0
+                if seq > self.last_seq:
+                    self.last_seq = seq
                 self.merger._on_delta(self, envelope)
             elif kind == "mark":
                 self.merger._on_mark(self, envelope["token"])
@@ -123,9 +168,12 @@ class _ShardReader(threading.Thread):
                 # dropped there).  Treated as a break: either we are
                 # being stopped (coordinated drop) or the shard is
                 # restarting and the reconnect loop takes over.
-                raise NetError(
-                    410, f"shard stream closed: {envelope.get('reason', '')}"
-                )
+                reason = envelope.get("reason", "")
+                if "lagging" in reason:
+                    # The shard discarded queued deltas; only a
+                    # from_seq resume closes the hole losslessly.
+                    self._resume_required = True
+                raise NetError(410, f"shard stream closed: {reason}")
             # heartbeats just prove liveness
 
 

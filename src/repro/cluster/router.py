@@ -63,8 +63,10 @@ from repro.net.server import (
     _HEARTBEAT_S,
     _STREAM_POLL_S,
     CLOSE_SENTINEL,
+    DEFAULT_STREAM_QUEUE_LIMIT,
     JsonHttpHandler,
     StreamHub,
+    StreamQueue,
 )
 from repro.net.wire import WIRE_VERSION, decode_gmr, dump_line, encode_delta, encode_gmr, encode_mark
 from repro.ring import GMR
@@ -140,6 +142,7 @@ class ClusterRouter:
         shard_call_timeout_s: float = 60.0,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        stream_queue_limit: int = DEFAULT_STREAM_QUEUE_LIMIT,
     ):
         groups = (
             parse_shard_spec(shards) if isinstance(shards, str) else shards
@@ -152,6 +155,7 @@ class ClusterRouter:
         self.shard_token = shard_token
         self.write_retry_timeout_s = write_retry_timeout_s
         self.shard_call_timeout_s = shard_call_timeout_s
+        self.stream_queue_limit = stream_queue_limit
 
         self.hub = StreamHub()
         self.merger = StreamMerger(
@@ -201,6 +205,7 @@ class ClusterRouter:
         self._relation_counters: dict[str, object] = {}
         self._merged_counters: dict[str, object] = {}
         self._delivery_counters: dict[str, object] = {}
+        self._lag_counters: dict[str, object] = {}
         self.registry.gauge_fn(
             "repro_router_seq", lambda: self._seq,
             help="router ingest sequence (accepted /batch requests)",
@@ -1085,6 +1090,16 @@ class _RouterHandler(JsonHttpHandler):
     def _stream_deltas(self, name: str, query: dict):
         initial = query.get("initial", ["0"])[0] in ("1", "true", "yes")
         router = self.router
+        if query.get("from_seq", [None])[0] is not None:
+            # Router out_seq is assigned at merge time and not logged
+            # anywhere durable; shards resume *their* streams with
+            # from_seq internally (see cluster.merge), but the merged
+            # stream itself restarts from now.  A dropped router
+            # subscriber re-subscribes with initial=1.
+            return self._send_error_json(
+                400, "the merged router stream does not support from_seq "
+                "resume; re-subscribe with initial=1 for a snapshot"
+            )
         router.view_info(name)  # 404 before committing to a stream
         if initial:
             # Barrier first: existing subscribers receive everything
@@ -1092,7 +1107,7 @@ class _RouterHandler(JsonHttpHandler):
             # discipline — nothing new flows until the snapshot below
             # is delivered, so snapshot + subsequent deltas is exact.
             router.drain(view=name)
-        q: queue.SimpleQueue = queue.SimpleQueue()
+        q = StreamQueue(router.stream_queue_limit)
         router.hub.register(name, q)
         router._subscriber_delta(name, +1)
         try:
@@ -1116,14 +1131,25 @@ class _RouterHandler(JsonHttpHandler):
             router.hub.unregister(name, q)
             self.close_connection = True
 
-    def _pump(self, name: str, q: queue.SimpleQueue) -> None:
+    def _pump(self, name: str, q: StreamQueue) -> None:
         router = self.router
         delivered = router._labeled_counter(
             router._delivery_counters, "repro_router_deliveries_total",
             name, "view", "merged deltas written to router subscribers",
         )
         idle_s = 0.0
+        last_seq = 0
         while True:
+            if q.lagged:
+                router._labeled_counter(
+                    router._lag_counters,
+                    "repro_router_stream_lag_drops_total",
+                    name, "view",
+                    "router subscriber streams closed because the "
+                    "reader fell behind the bounded queue",
+                ).inc()
+                self._close_stream("lagging", resume_from=last_seq)
+                return
             try:
                 item = q.get(timeout=_STREAM_POLL_S)
             except queue.Empty:
@@ -1155,6 +1181,9 @@ class _RouterHandler(JsonHttpHandler):
                 ):
                     self._write_chunk(dump_line(env))
                 delivered.inc()
+                seq = env.get("seq") or 0
+                if seq > last_seq:
+                    last_seq = seq
             elif kind == "mark":
                 self._write_chunk(dump_line(encode_mark(item[1], item[2])))
             elif kind == "closed":

@@ -1,0 +1,47 @@
+"""Durability: seq-stamped WAL, checkpoints, and crash recovery.
+
+This package makes a :class:`~repro.service.ViewService` survive
+``kill -9``:
+
+* :mod:`repro.durability.wal` — an append-only, CRC-framed write-ahead
+  log of ``(seq, relation, batch)`` records (and the coalesced view
+  deltas derived from them), with configurable fsync policy and
+  segment rotation;
+* :mod:`repro.durability.checkpoint` — atomic full-state checkpoints
+  that license truncating the WAL prefix they cover;
+* :mod:`repro.durability.service` — :class:`DurableViewService`, the
+  drop-in ViewService subclass that logs every acked batch before
+  applying it, checkpoints periodically, recovers on construction
+  (latest valid checkpoint + WAL tail replay, torn final record
+  tolerated), and serves historical deltas for ``from_seq`` stream
+  resumption.
+
+See ARCHITECTURE.md ("Durability") for the record framing, the
+recovery sequence, and the lag-drop/resume protocol.
+"""
+
+from repro.durability.checkpoint import CHECKPOINT_FORMAT, CheckpointStore
+from repro.durability.service import DurableViewService, ResumeHorizonError
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    KIND_BATCH,
+    KIND_DELTA,
+    KIND_DROP,
+    KIND_VIEW,
+    WalError,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "DurableViewService",
+    "FSYNC_POLICIES",
+    "KIND_BATCH",
+    "KIND_DELTA",
+    "KIND_DROP",
+    "KIND_VIEW",
+    "ResumeHorizonError",
+    "WalError",
+    "WriteAheadLog",
+]

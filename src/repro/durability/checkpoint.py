@@ -1,0 +1,109 @@
+"""Checkpoint files: the state that lets the WAL prefix be thrown away.
+
+A checkpoint is one pickled dict written next to the WAL segments as
+``ckpt-<seq>.bin``::
+
+    {
+      "format": 1,
+      "seq": ...,           # every batch <= seq is inside this state
+      "next_segment": ...,  # replay starts at this WAL segment
+      "catalog": {...},
+      "base": {relation: {row_tuple: multiplicity}},
+      "views": [{"name", "spec", "backend", "options"}, ...],
+    }
+
+This extends the simulated-cluster checkpoint idea
+(:mod:`repro.distributed.checkpoint`) to real services: instead of
+serializing backend internals (which differ per engine and include
+threads, pipes, and shared memory), the checkpoint stores the *base
+database* plus the view definitions — recovery re-creates each view
+through the normal ``create_view`` path, which warm-initializes it
+from the base, reproducing exactly the state a drained service had at
+``seq``.  That is why the durable service drains before capturing: at
+a drained boundary, view state is a pure function of the base.
+
+Write protocol: temp file in the same directory, ``fsync``, atomic
+``rename``, then prune older checkpoints — a crash anywhere leaves
+either the old checkpoint or the new one, never a half-written file.
+A 4-byte CRC header guards the payload, so :meth:`load_latest` can
+skip a corrupt file and fall back to the previous one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointStore"]
+
+CHECKPOINT_FORMAT = 1
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{12})\.bin$")
+_CRC = struct.Struct(">I")
+
+
+class CheckpointStore:
+    """Read/write checkpoints in one directory (shared with the WAL)."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, seq: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{seq:012d}.bin")
+
+    def checkpoint_seqs(self) -> list[int]:
+        seqs = []
+        for name in os.listdir(self.directory):
+            m = _CKPT_RE.match(name)
+            if m:
+                seqs.append(int(m.group(1)))
+        return sorted(seqs)
+
+    def save(self, state: dict) -> str:
+        """Durably write ``state`` (must carry ``seq``) and prune every
+        older checkpoint; returns the new file's path."""
+        seq = int(state["seq"])
+        payload = pickle.dumps(dict(state, format=CHECKPOINT_FORMAT))
+        blob = _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        path = self._path(seq)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(blob)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        for old in self.checkpoint_seqs():
+            if old < seq:
+                try:
+                    os.remove(self._path(old))
+                except OSError:
+                    pass
+        return path
+
+    def load_latest(self) -> dict | None:
+        """The newest checkpoint that passes its CRC and unpickles;
+        ``None`` when no usable checkpoint exists."""
+        for seq in reversed(self.checkpoint_seqs()):
+            try:
+                with open(self._path(seq), "rb") as f:
+                    blob = f.read()
+                if len(blob) < _CRC.size:
+                    continue
+                (crc,) = _CRC.unpack_from(blob)
+                payload = blob[_CRC.size:]
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    continue
+                state = pickle.loads(payload)
+                if state.get("format") != CHECKPOINT_FORMAT:
+                    continue
+                return state
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                continue
+        return None
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({self.directory!r})"

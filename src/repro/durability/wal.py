@@ -1,0 +1,356 @@
+"""The append-only, seq-stamped write-ahead log.
+
+One :class:`WriteAheadLog` owns a directory of numbered segment files
+(``wal-000001.log``, ``wal-000002.log``, ...).  Appends always go to
+the highest-numbered segment; a checkpoint rotates to a fresh segment
+so the prefix it covers can be deleted as whole files
+(:meth:`WriteAheadLog.truncate_before`) without rewriting anything.
+
+**Record framing.**  Every record is one binary frame::
+
+    magic(2) | kind(1) | length(4, BE) | crc32(4, BE) | payload(length)
+
+The CRC covers ``kind + payload``, so a flipped byte anywhere in a
+record is detected, and a torn final record (the process died mid
+``write``) fails the length or CRC check.  Replay treats the first
+invalid frame of a segment as that segment's end — everything before
+it is intact, everything after is unreachable — which is exactly the
+crash contract: records are either wholly in the log or wholly absent.
+Opening the log for appending truncates the active segment at that
+point so new records never land behind garbage.
+
+Record kinds (payloads use the :mod:`repro.net.wire` codecs for GMRs,
+as JSON; view-lifecycle records carry a pickled ``QuerySpec``):
+
+``KIND_BATCH``
+    ``{"seq", "relation", "delta"}`` — one ingested base batch, logged
+    under the service lock *before* it is routed, with the seq it will
+    be assigned.  The replayable total order.
+``KIND_DELTA``
+    ``{"seq", "view", "relation", "delta", "seqs"}`` — one published
+    view delta (a coalesced async flush is one record; ``seqs`` lists
+    every batch seq it merged).  What ``?from_seq=`` subscriptions
+    replay.
+``KIND_VIEW`` / ``KIND_DROP``
+    view lifecycle, replayed in log order so recovery rebuilds the
+    same view set the crashed process had.
+
+**Fsync policy.**  ``always`` fsyncs after every append (an
+acknowledged batch survives power loss), ``interval`` fsyncs at most
+once per ``fsync_interval_s`` (bounded loss window, near-zero
+overhead), ``off`` never fsyncs (the OS decides; still
+crash-of-process safe, not crash-of-host safe).  Every append
+*flushes* the userspace buffer regardless, so concurrent readers
+(the ``from_seq`` replay path opens its own file handles) always see
+whole records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import struct
+import threading
+import time
+import zlib
+
+from repro.ring import GMR
+from repro.net.wire import decode_gmr, encode_gmr
+
+__all__ = [
+    "KIND_BATCH",
+    "KIND_DELTA",
+    "KIND_DROP",
+    "KIND_VIEW",
+    "WalError",
+    "WriteAheadLog",
+]
+
+_MAGIC = b"RW"
+_HEADER = struct.Struct(">2sBII")  # magic, kind, length, crc32
+
+KIND_BATCH = 0x42  # 'B'
+KIND_DELTA = 0x44  # 'D'
+KIND_VIEW = 0x56   # 'V'
+KIND_DROP = 0x58   # 'X'
+
+#: payloads of these kinds are JSON; KIND_VIEW is pickled (QuerySpec)
+_JSON_KINDS = frozenset({KIND_BATCH, KIND_DELTA, KIND_DROP})
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{6})\.log$")
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+
+class WalError(ValueError):
+    """Invalid WAL configuration or a structurally broken log."""
+
+
+def _segment_name(number: int) -> str:
+    return f"wal-{number:06d}.log"
+
+
+def _frame(kind: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF
+    return _HEADER.pack(_MAGIC, kind, len(payload), crc) + payload
+
+
+def _encode_payload(kind: int, record: dict) -> bytes:
+    if kind in _JSON_KINDS:
+        return json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return pickle.dumps(record)
+
+
+def _decode_payload(kind: int, payload: bytes) -> dict:
+    if kind in _JSON_KINDS:
+        return json.loads(payload)
+    return pickle.loads(payload)
+
+
+def _read_frames(path: str):
+    """Yield ``(kind, payload_bytes, end_offset)`` for every intact
+    frame of one segment, stopping (silently) at the first torn or
+    corrupt frame — the crash-tolerant read contract."""
+    with open(path, "rb") as f:
+        data = f.read()
+    offset = 0
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        magic, kind, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != _MAGIC:
+            return
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            return  # torn tail: payload incomplete
+        payload = data[start:end]
+        if zlib.crc32(bytes([kind]) + payload) & 0xFFFFFFFF != crc:
+            return
+        yield kind, payload, end
+        offset = end
+
+
+class WriteAheadLog:
+    """Segmented, CRC-framed append log under one directory.
+
+    Thread-safe for appends (one internal lock serializes the
+    write+flush+fsync sequence); reads (:meth:`records`,
+    :meth:`read_deltas`) open their own handles and may run
+    concurrently with appends — they observe a prefix of whole
+    records.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; choose from "
+                + "/".join(FSYNC_POLICIES)
+            )
+        self.directory = str(directory)
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._last_fsync = time.monotonic()
+        # Plain-int stats; the durable service exposes them as metrics.
+        self.appends = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self._closed = False
+        existing = self.segment_numbers()
+        self.segment = existing[-1] if existing else 1
+        path = self._segment_path(self.segment)
+        if existing:
+            # Drop a torn tail before appending behind it: replay stops
+            # at the first bad frame, so anything written after one
+            # would be unreachable.
+            valid_end = 0
+            for _, _, end in _read_frames(path):
+                valid_end = end
+            if valid_end < os.path.getsize(path):
+                with open(path, "r+b") as f:
+                    f.truncate(valid_end)
+        self._file = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # Segment bookkeeping
+    # ------------------------------------------------------------------
+    def _segment_path(self, number: int) -> str:
+        return os.path.join(self.directory, _segment_name(number))
+
+    def segment_numbers(self) -> list[int]:
+        """Sorted numbers of the segments currently on disk."""
+        numbers = []
+        for name in os.listdir(self.directory):
+            m = _SEGMENT_RE.match(name)
+            if m:
+                numbers.append(int(m.group(1)))
+        return sorted(numbers)
+
+    def rotate(self) -> int:
+        """Seal the active segment and open the next; returns the new
+        segment number (the checkpoint records it as ``next_segment``:
+        replay after that checkpoint starts there)."""
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+            self._file.close()
+            self.segment += 1
+            self._file = open(self._segment_path(self.segment), "ab")
+            return self.segment
+
+    def truncate_before(self, segment: int) -> int:
+        """Delete every segment numbered below ``segment`` (a
+        checkpoint covers them); returns how many were removed."""
+        removed = 0
+        for number in self.segment_numbers():
+            if number >= segment:
+                break
+            try:
+                os.remove(self._segment_path(number))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append(self, kind: int, record: dict) -> None:
+        frame = _frame(kind, _encode_payload(kind, record))
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            self._file.write(frame)
+            # Always push to the OS so concurrent from_seq readers (own
+            # file handles) see whole records; fsync per policy.
+            self._file.flush()
+            if self.fsync == "always":
+                os.fsync(self._file.fileno())
+                self.fsyncs += 1
+            elif self.fsync == "interval":
+                now = time.monotonic()
+                if now - self._last_fsync >= self.fsync_interval_s:
+                    os.fsync(self._file.fileno())
+                    self.fsyncs += 1
+                    self._last_fsync = now
+            self.appends += 1
+            self.bytes_written += len(frame)
+
+    def append_batch(self, seq: int, relation: str, batch: GMR) -> None:
+        self._append(
+            KIND_BATCH,
+            {"seq": seq, "relation": relation, "delta": encode_gmr(batch)},
+        )
+
+    def append_delta(
+        self,
+        seq: int,
+        view: str,
+        relation: str | None,
+        delta: GMR,
+        seqs: list[int] | None = None,
+    ) -> None:
+        record = {
+            "seq": seq,
+            "view": view,
+            "relation": relation,
+            "delta": encode_gmr(delta),
+        }
+        if seqs:
+            record["seqs"] = list(seqs)
+        self._append(KIND_DELTA, record)
+
+    def append_view(self, record: dict) -> None:
+        """Log a view creation (``record`` carries the pickled-with-it
+        ``spec``/``backend``/``options``)."""
+        self._append(KIND_VIEW, record)
+
+    def append_drop(self, name: str) -> None:
+        self._append(KIND_DROP, {"name": name})
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy."""
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self.fsyncs += 1
+                self._last_fsync = time.monotonic()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except (OSError, ValueError):
+                pass
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def records(self, from_segment: int | None = None):
+        """Yield ``(kind, record)`` across segments ``>= from_segment``
+        in log order, tolerating a torn tail in any segment."""
+        for number in self.segment_numbers():
+            if from_segment is not None and number < from_segment:
+                continue
+            for kind, payload, _ in _read_frames(self._segment_path(number)):
+                try:
+                    yield kind, _decode_payload(kind, payload)
+                except (ValueError, pickle.UnpicklingError, EOFError):
+                    # An intact frame with an undecodable payload can
+                    # only come from a foreign writer; skip it rather
+                    # than lose the records behind it.
+                    continue
+
+    def read_deltas(self, view: str, from_seq: int):
+        """Yield ``(seq, relation, GMR, seqs)`` for every logged delta
+        of ``view`` with ``seq > from_seq``, in log (= seq) order.
+
+        Snapshots the segment list up front: a concurrent checkpoint
+        may unlink a segment mid-read, but the already-opened handle
+        keeps it readable (POSIX), and records appended after the
+        snapshot are the live stream's problem, not the replay's.
+        """
+        for kind, record in self.records():
+            if kind != KIND_DELTA:
+                continue
+            if record.get("view") != view:
+                continue
+            seq = record["seq"]
+            if seq <= from_seq:
+                continue
+            yield (
+                seq,
+                record.get("relation"),
+                decode_gmr(record["delta"]),
+                record.get("seqs") or [seq],
+            )
+
+    def stats(self) -> dict:
+        return {
+            "appends": self.appends,
+            "bytes_written": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "segment": self.segment,
+            "segments": len(self.segment_numbers()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.directory!r}, segment={self.segment}, "
+            f"fsync={self.fsync!r})"
+        )

@@ -95,13 +95,16 @@ class Batcher(threading.Thread):
         #: serializes inner-backend access between this thread and the
         #: wrapper's initialize/snapshot/last_delta
         self.inner_lock = threading.Lock()
-        #: optional hook ``on_flush(relation, delta_source, seq, trace)``
-        #: fired after each flush; ``delta_source()`` returns the inner
-        #: changefeed's ``last_delta()`` (computed lazily, under
-        #: ``inner_lock``), ``seq`` is the highest producer-assigned
-        #: sequence number actually merged into the flushed batch
-        #: (``None`` when the producer never stamped one), and ``trace``
-        #: is the flush span's context for downstream publish spans
+        #: optional hook ``on_flush(relation, delta_source, seq, trace,
+        #: seqs=...)`` fired after each flush; ``delta_source()`` returns
+        #: the inner changefeed's ``last_delta()`` (computed lazily,
+        #: under ``inner_lock``), ``seq`` is the highest
+        #: producer-assigned sequence number actually merged into the
+        #: flushed batch (``None`` when the producer never stamped one),
+        #: ``trace`` is the flush span's context for downstream publish
+        #: spans, and ``seqs`` lists *every* merged seq — the coverage
+        #: record a durable service writes next to the coalesced delta
+        #: so log replay knows which batches the record spans
         self.on_flush = None
         #: span sink for flush/maintain stages; the service installs its
         #: tracer when it hosts this backend as an async view
@@ -210,7 +213,7 @@ class Batcher(threading.Thread):
         hook = self.on_flush
         if hook is not None:
             hook(pending.relation, self.delta_source, pending.seq,
-                 flush_span.ctx)
+                 flush_span.ctx, seqs=list(pending.seqs))
         flush_span.finish()
         # Completion is published last: a drain that returns implies the
         # flush hook (subscriber deltas) already ran.

@@ -17,8 +17,19 @@ See ARCHITECTURE.md ("Network frontend") for the wire format, the
 threading model, and what ``drain`` means over HTTP.
 """
 
-from repro.net.client import Client, DeltaStream, NetConnectError, NetError
-from repro.net.server import JsonHttpHandler, StreamHub, ViewServer
+from repro.net.client import (
+    Client,
+    DeltaStream,
+    NetConnectError,
+    NetError,
+    ResumableStream,
+)
+from repro.net.server import (
+    JsonHttpHandler,
+    StreamHub,
+    StreamQueue,
+    ViewServer,
+)
 from repro.net.wire import (
     WIRE_VERSION,
     decode_delta,
@@ -34,7 +45,9 @@ __all__ = [
     "JsonHttpHandler",
     "NetConnectError",
     "NetError",
+    "ResumableStream",
     "StreamHub",
+    "StreamQueue",
     "ViewServer",
     "WIRE_VERSION",
     "decode_delta",

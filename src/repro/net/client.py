@@ -33,13 +33,17 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 
 from repro.obs import TRACE_HEADER
 from repro.ring import GMR
 from repro.service import ViewDelta
 from repro.net.wire import decode_delta, decode_gmr, encode_gmr
 
-__all__ = ["Client", "DeltaStream", "NetConnectError", "NetError"]
+__all__ = [
+    "Client", "DeltaStream", "NetConnectError", "NetError",
+    "ResumableStream",
+]
 
 
 class NetError(RuntimeError):
@@ -306,13 +310,23 @@ class Client:
         return reply
 
     def subscribe(
-        self, view: str, *, initial: bool = False, timeout: float = 60.0
+        self, view: str, *, initial: bool = False,
+        from_seq: int | None = None, timeout: float = 60.0
     ) -> "DeltaStream":
         """Open a push subscription on its own connection.
 
         ``timeout`` bounds any single blocking read on the stream; the
         server heartbeats idle streams well inside it, so a timeout
         means the server is gone, not just quiet.
+
+        ``from_seq=N`` asks a *durable* server to first replay every
+        logged delta with seq > N, then splice into the live stream
+        with no gap and no duplicate — a lossless resume after a
+        disconnect, restart, or a ``lagging`` drop.  Mutually exclusive
+        with ``initial``.  Raises :class:`NetError` with status 400 on
+        a non-durable server and 410 when N is below the server's
+        resume horizon (a checkpoint truncated the log there; fall back
+        to ``initial=True`` for a full snapshot).
         """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout
@@ -327,6 +341,8 @@ class Client:
         path = f"/views/{view}/deltas"
         if initial:
             path += "?initial=1"
+        elif from_seq is not None:
+            path += f"?from_seq={int(from_seq)}"
         conn.request("GET", path, headers=self._headers())
         resp = conn.getresponse()
         if resp.status >= 400:
@@ -358,6 +374,12 @@ class DeltaStream:
         self._conn = conn
         self._resp = resp
         self.closed_reason: str | None = None
+        #: highest delta seq read from the stream — the value to pass
+        #: as ``from_seq`` when resuming after a disconnect
+        self.last_seq: int = 0
+        #: seq to resume from, taken from a ``closed`` envelope that
+        #: carried one (the server's ``lagging`` drop includes it)
+        self.resume_from: int | None = None
         #: mark tokens seen while reading (in arrival order)
         self.marks: list[int] = []
         #: per-shard seq vectors of cluster-router marks, keyed by
@@ -395,7 +417,13 @@ class DeltaStream:
             self.last_heartbeat = envelope
         elif kind == "closed":
             self.closed_reason = envelope.get("reason", "")
+            if envelope.get("resume_from") is not None:
+                self.resume_from = envelope["resume_from"]
             self.close()
+        elif kind == "delta":
+            seq = envelope.get("seq") or 0
+            if seq > self.last_seq:
+                self.last_seq = seq
         return envelope
 
     def _record_mark(self, envelope: dict) -> None:
@@ -465,3 +493,109 @@ class DeltaStream:
             f"closed: {self.closed_reason}" if self.closed_reason else "open"
         )
         return f"DeltaStream({self.view!r}, {state})"
+
+
+class ResumableStream:
+    """A delta iterator that survives disconnects via ``from_seq``.
+
+    Wraps :meth:`Client.subscribe` against a *durable* server: when the
+    underlying stream breaks (server restart, network drop, ``lagging``
+    disconnect), it re-subscribes with ``from_seq=<highest seq seen>``
+    and keeps yielding — deduping the resume overlap, so the caller
+    observes every delta seq exactly once, in order, across any number
+    of reconnects.
+
+        stream = ResumableStream(client, "v")
+        for delta in stream:       # seamless across server restarts
+            total.add_inplace(delta.delta)
+
+    Terminal conditions (iteration ends or raises instead of retrying):
+
+    * the server closes with ``view dropped`` — iteration ends;
+    * a non-transient reply — 400 (server not durable), 404 (unknown
+      view), 410 (resume horizon passed: a checkpoint truncated the
+      log; re-subscribe with ``initial=True`` for a snapshot) — raises;
+    * ``max_reconnects`` consecutive failed attempts — raises the last
+      error.  The budget resets every time a delta gets through.
+    """
+
+    def __init__(
+        self,
+        client: Client,
+        view: str,
+        *,
+        from_seq: int = 0,
+        max_reconnects: int = 8,
+        reconnect_delay_s: float = 0.2,
+        timeout: float = 60.0,
+    ):
+        self.client = client
+        self.view = view
+        self.last_seq = from_seq
+        self.max_reconnects = max_reconnects
+        self.reconnect_delay_s = reconnect_delay_s
+        self.timeout = timeout
+        #: reconnects performed so far (diagnostics)
+        self.reconnects = 0
+        self._stream: DeltaStream | None = None
+        self._closed = False
+
+    def _subscribe(self) -> DeltaStream:
+        return self.client.subscribe(
+            self.view, from_seq=self.last_seq, timeout=self.timeout
+        )
+
+    def __iter__(self):
+        failures = 0
+        while not self._closed:
+            if self._stream is None:
+                try:
+                    self._stream = self._subscribe()
+                except NetError as exc:
+                    if exc.status in (400, 404, 410):
+                        raise  # misconfiguration, not a blip: fail loudly
+                    failures += 1
+                    if failures > self.max_reconnects:
+                        raise
+                    self.reconnects += 1
+                    time.sleep(self.reconnect_delay_s)
+                    continue
+            for delta in self._stream:
+                if delta.seq <= self.last_seq:
+                    continue  # resume overlap, already yielded
+                self.last_seq = delta.seq
+                failures = 0  # progress resets the reconnect budget
+                yield delta
+            # The inner iterator only exits on close/break of stream.
+            reason = self._stream.closed_reason
+            self._stream = None
+            if reason == "view dropped":
+                return
+            failures += 1
+            if failures > self.max_reconnects:
+                raise NetError(
+                    499,
+                    f"stream to {self.view!r} lost after "
+                    f"{self.max_reconnects} reconnect attempts "
+                    f"(last close: {reason!r})",
+                )
+            self.reconnects += 1
+            time.sleep(self.reconnect_delay_s)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "ResumableStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResumableStream({self.view!r}, last_seq={self.last_seq}, "
+            f"reconnects={self.reconnects})"
+        )

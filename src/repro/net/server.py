@@ -27,7 +27,11 @@ own around maintenance.  Endpoints:
                             streams it drained
 ``GET  /views/<name>/deltas``    push subscription: chunked NDJSON
                             stream of ``delta`` events (``?initial=1``
-                            seeds with the current snapshot)
+                            seeds with the current snapshot;
+                            ``?from_seq=N`` — durable services only —
+                            replays the logged deltas with seq > N,
+                            then splices into the live stream with no
+                            gap and no duplicate seq)
 ``POST /shutdown``          clean remote shutdown
 =========================== ==========================================
 
@@ -42,6 +46,16 @@ the mark arrives (``DeltaStream.read_until_mark``).
 **Auth.**  With ``auth_token=...`` every endpoint except ``GET /health``
 requires ``Authorization: Bearer <token>`` and replies 401 otherwise —
 the minimum needed for a router tier to front untrusted producers.
+
+**Slow readers.**  Every stream's queue is a bounded
+:class:`StreamQueue` (``stream_queue_limit`` events).  A subscriber
+that falls further behind than the bound has its pending events
+dropped and its stream ended with a typed
+``closed{reason: "lagging", resume_from: N}`` envelope, where ``N`` is
+the last seq actually written to it — against a durable service it
+resumes losslessly via ``?from_seq=N`` (the dropped events are in the
+log); one stalled reader can no longer grow server memory without
+bound, and the other subscribers never notice.
 
 The request plumbing (:class:`JsonHttpHandler`) and the stream registry
 (:class:`StreamHub`) are shared with the cluster router frontend
@@ -60,9 +74,11 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from collections import deque
+
 from repro.exec import BackendError, available_backends, backend_info
 from repro.obs import TRACE_HEADER, TraceContext
-from repro.service import ServiceError, ViewService
+from repro.service import ServiceError, ViewDelta, ViewService
 from repro.net.wire import (
     WIRE_VERSION,
     decode_gmr,
@@ -72,38 +88,92 @@ from repro.net.wire import (
     encode_mark,
 )
 
-__all__ = ["JsonHttpHandler", "StreamHub", "ViewServer"]
+__all__ = ["JsonHttpHandler", "StreamHub", "StreamQueue", "ViewServer"]
 
 #: how long a stream poll waits before re-checking liveness
 _STREAM_POLL_S = 0.25
 #: idle time after which a stream writes a heartbeat line
 _HEARTBEAT_S = 2.0
+#: default per-subscriber stream queue bound (events, not bytes)
+DEFAULT_STREAM_QUEUE_LIMIT = 256
 
 #: sentinel queued to every live stream when the server closes
 CLOSE_SENTINEL = object()
 
 
+class StreamQueue:
+    """One subscriber's bounded event queue, with lag-drop semantics.
+
+    Publishers :meth:`put`, the stream's pump thread :meth:`get`.  An
+    event arriving while ``limit`` events are already pending marks the
+    queue *lagged*: the pending events are discarded (the subscriber
+    will re-fetch them from the durable log via ``from_seq``), further
+    puts are ignored, and the pump — which checks :attr:`lagged` every
+    cycle — ends the stream with the typed lag close.  The close
+    sentinel bypasses the bound so shutdown always reaches the pump.
+
+    This replaces the unbounded ``queue.SimpleQueue`` the streams used
+    before: one stalled reader could grow server memory without limit.
+    """
+
+    def __init__(self, limit: int = DEFAULT_STREAM_QUEUE_LIMIT):
+        self.limit = max(1, int(limit))
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        #: set (sticky) when the bound was hit; pending events dropped
+        self.lagged = False
+
+    def put(self, item) -> None:
+        with self._cond:
+            if item is CLOSE_SENTINEL:
+                self._items.append(item)
+                self._cond.notify()
+                return
+            if self.lagged:
+                return
+            if len(self._items) >= self.limit:
+                self.lagged = True
+                self._items.clear()
+                self._cond.notify()  # wake the pump for the typed close
+                return
+            self._items.append(item)
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None):
+        """Next item, or raises :class:`queue.Empty` after ``timeout``."""
+        with self._cond:
+            if not self._items:
+                self._cond.wait(timeout)
+            if not self._items:
+                raise queue.Empty
+            return self._items.popleft()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
 class StreamHub:
     """Registry of live subscription streams, for mark/close broadcast.
 
-    Every ``/deltas`` connection owns one queue; delta events are
-    enqueued by publisher threads (the service's subscription callback,
-    or the cluster router's shard-stream mergers), marks by ``/drain``
-    handler threads, and the close sentinel by server shutdown — so the
-    stream writer thread is the queue's only consumer and wire order
-    equals enqueue order.
+    Every ``/deltas`` connection owns one :class:`StreamQueue`; delta
+    events are enqueued by publisher threads (the service's
+    subscription callback, or the cluster router's shard-stream
+    mergers), marks by ``/drain`` handler threads, and the close
+    sentinel by server shutdown — so the stream writer thread is the
+    queue's only consumer and wire order equals enqueue order.
     """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._streams: dict[str, list[queue.SimpleQueue]] = {}
+        self._streams: dict[str, list[StreamQueue]] = {}
         self.closing = False
 
-    def register(self, view: str, q: queue.SimpleQueue) -> None:
+    def register(self, view: str, q: StreamQueue) -> None:
         with self._lock:
             self._streams.setdefault(view, []).append(q)
 
-    def unregister(self, view: str, q: queue.SimpleQueue) -> None:
+    def unregister(self, view: str, q: StreamQueue) -> None:
         with self._lock:
             streams = self._streams.get(view, [])
             if q in streams:
@@ -277,8 +347,12 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self._write_chunk(dump_line({"type": "subscribed", "view": view}))
 
-    def _close_stream(self, reason: str) -> None:
-        self._write_chunk(dump_line({"type": "closed", "reason": reason}))
+    def _close_stream(self, reason: str, **extra) -> None:
+        """End a stream with a typed ``closed`` envelope.  ``extra``
+        fields ride along (the lag close carries ``resume_from``)."""
+        envelope = {"type": "closed", "reason": reason}
+        envelope.update(extra)
+        self._write_chunk(dump_line(envelope))
         self._end_chunks()
 
 
@@ -334,14 +408,20 @@ class _Handler(JsonHttpHandler):
     # Control endpoints
     # ------------------------------------------------------------------
     def _get_health(self):
-        self._send_json(
-            {
-                "status": "ok",
-                "wire_version": WIRE_VERSION,
-                "views": len(self.service),
-                "seq": self.service.seq,
-            }
-        )
+        payload = {
+            "status": "ok",
+            "wire_version": WIRE_VERSION,
+            "views": len(self.service),
+            "seq": self.service.seq,
+        }
+        horizon = getattr(self.service, "resume_horizon", None)
+        if horizon is not None:  # durable service: advertise resume info
+            payload["durable"] = True
+            payload["resume_horizon"] = horizon
+            recovered = getattr(self.service, "recovered", None)
+            if recovered:
+                payload["recovered"] = recovered
+        self._send_json(payload)
 
     def _get_metrics(self):
         """Prometheus text exposition of the service registry."""
@@ -487,8 +567,29 @@ class _Handler(JsonHttpHandler):
     # ------------------------------------------------------------------
     def _stream_deltas(self, name: str, query: dict):
         initial = query.get("initial", ["0"])[0] in ("1", "true", "yes")
+        raw_from = query.get("from_seq", [None])[0]
+        from_seq = None
+        if raw_from is not None:
+            if initial:
+                return self._send_error_json(
+                    400, "from_seq and initial=1 are mutually exclusive: "
+                    "resume replays deltas, initial sends a snapshot"
+                )
+            fetch = getattr(self.service, "deltas_since", None)
+            if fetch is None:
+                return self._send_error_json(
+                    400, "from_seq resume needs a durable service "
+                    "(start the server with a WAL directory, e.g. "
+                    "serve --wal-dir)"
+                )
+            try:
+                from_seq = int(raw_from)
+            except ValueError:
+                return self._send_error_json(
+                    400, f"from_seq must be an integer, got {raw_from!r}"
+                )
         hub = self.view_server.hub
-        q: queue.SimpleQueue = queue.SimpleQueue()
+        q = StreamQueue(self.view_server.stream_queue_limit)
         hub.register(name, q)
         sub = None
         try:
@@ -500,8 +601,42 @@ class _Handler(JsonHttpHandler):
             except ServiceError:
                 hub.unregister(name, q)
                 raise
+            handoff = from_seq or 0
+            history = None
+            if from_seq is not None:
+                # Subscribe-then-scan: the durable publish path appends
+                # to the log *before* delivering to subscriptions, so an
+                # event is in this scan, in the live queue, or both —
+                # never in neither.  The pump dedupes the overlap by
+                # seq (per view, delivered seqs strictly increase).
+                try:
+                    history = list(fetch(name, from_seq))
+                except ServiceError as exc:
+                    sub.cancel()
+                    hub.unregister(name, q)
+                    sub = None
+                    horizon = getattr(exc, "horizon", None)
+                    if horizon is None:
+                        raise
+                    # Typed refusal: the log below `horizon` is
+                    # truncated; the client falls back to initial=1.
+                    return self._send_json(
+                        {"error": str(exc), "resume_horizon": horizon},
+                        status=410,
+                    )
             self._start_stream(name)
-            self._pump(name, q, sub)
+            if history:
+                delivered = self.view_server.delivery_counter(name)
+                for seq, relation, delta, _seqs in history:
+                    self._write_chunk(dump_line(
+                        encode_delta(ViewDelta(name, relation, seq, delta))
+                    ))
+                    delivered.inc()
+                    handoff = seq
+            self._pump(
+                name, q, sub,
+                skip_to=handoff if from_seq is not None else None,
+            )
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; fall through to cleanup
         finally:
@@ -511,12 +646,27 @@ class _Handler(JsonHttpHandler):
             # The stream owned this connection; never reuse it.
             self.close_connection = True
 
-    def _pump(self, name: str, q: queue.SimpleQueue, sub) -> None:
-        """Forward queued items to the socket until closed."""
+    def _pump(self, name: str, q: StreamQueue, sub,
+              skip_to: int | None = None) -> None:
+        """Forward queued items to the socket until closed.
+
+        ``skip_to`` (the ``from_seq`` handoff seq) drops queued deltas
+        already covered by the historical replay.  A queue that went
+        lagged ends the stream with ``closed{reason: "lagging",
+        resume_from: <last seq written>}`` — note a *fully* stalled
+        reader blocks this thread inside ``wfile.write``, so the typed
+        close only reaches readers that are slow-but-reading; the
+        memory bound holds either way.
+        """
         idle_s = 0.0
         tracer = self.service.tracer
         delivered = self.view_server.delivery_counter(name)
+        last_seq = skip_to or 0
         while True:
+            if q.lagged:
+                self.view_server.lag_counter(name).inc()
+                self._close_stream("lagging", resume_from=last_seq)
+                return
             try:
                 item = q.get(timeout=_STREAM_POLL_S)
             except queue.Empty:
@@ -548,12 +698,16 @@ class _Handler(JsonHttpHandler):
             kind = item[0]
             if kind == "delta":
                 event = item[1]
+                if skip_to is not None and event.seq <= last_seq:
+                    continue  # already sent by the historical replay
                 with tracer.span(
                     "deliver", event.trace,
                     view=event.view, seq=event.seq,
                 ):
                     self._write_chunk(dump_line(encode_delta(event)))
                 delivered.inc()
+                if event.seq > last_seq:
+                    last_seq = event.seq
             elif kind == "mark":
                 self._write_chunk(
                     dump_line(encode_mark(item[1], item[2]))
@@ -626,10 +780,12 @@ class ViewServer:
         host: str = "127.0.0.1",
         port: int = 0,
         auth_token: str | None = None,
+        stream_queue_limit: int = DEFAULT_STREAM_QUEUE_LIMIT,
     ):
         self.service = service
         self.hub = StreamHub()
         self.auth_token = auth_token
+        self.stream_queue_limit = stream_queue_limit
         handler = type("_BoundHandler", (_Handler,), {"view_server": self})
         self._httpd = _Server((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -638,6 +794,7 @@ class ViewServer:
         self._closed = False
         self.started_at = time.time()
         self._delivery_counters: dict = {}
+        self._lag_counters: dict = {}
         # Server-tier metrics live in the hosted service's registry so
         # one /metrics scrape covers both tiers; the scope is closed on
         # close() so a re-hosting server re-registers cleanly.
@@ -665,6 +822,20 @@ class ViewServer:
                     labels={"view": view},
                 )
                 self._delivery_counters[view] = ctr
+        return ctr
+
+    def lag_counter(self, view: str):
+        """Per-view counter of streams dropped for lagging."""
+        with self._mark_lock:
+            ctr = self._lag_counters.get(view)
+            if ctr is None:
+                ctr = self.metrics_scope.counter(
+                    "repro_server_stream_lag_drops_total",
+                    help="subscriber streams closed because the reader "
+                         "fell behind the bounded queue",
+                    labels={"view": view},
+                )
+                self._lag_counters[view] = ctr
         return ctr
 
     def _next_mark(self) -> int:

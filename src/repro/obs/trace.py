@@ -30,6 +30,18 @@ Stages, in causal order for a single batch:
 ``deliver``
     a network stream wrote the delta envelope to one subscriber.
 
+Two durability stages sit outside the per-batch causal chain (they
+belong to the service lifecycle, not to one seq):
+
+``recover``
+    a :class:`~repro.durability.DurableViewService` rebuilt its state
+    at startup; attrs record the checkpoint seq, the number of WAL
+    batches replayed, and the final seq.
+``checkpoint``
+    the durable service captured a drained state and truncated the
+    WAL prefix it covers; attrs record the checkpointed seq and the
+    next WAL segment.
+
 Spans go to a pluggable sink: an in-memory ring buffer by default
 (served by ``GET /trace/recent``), optionally tee'd to an NDJSON file
 via ``--trace-out``.  A disabled tracer costs one attribute check per

@@ -307,9 +307,10 @@ class ViewService:
                 engine.tracer = self.tracer
                 engine.trace_view = name
                 engine.on_flush = (
-                    lambda relation, delta_source, seq, trace=None, h=handle:
+                    lambda relation, delta_source, seq, trace=None,
+                            seqs=None, h=handle:
                         self._publish(h, relation, seq, delta_source,
-                                      parent=trace)
+                                      parent=trace, seqs=seqs)
                 )
             self._views[name] = handle
             return handle
@@ -557,6 +558,7 @@ class ViewService:
         seq: int | None = None,
         delta_source: Callable[[], GMR] | None = None,
         parent: TraceContext | None = None,
+        seqs: list[int] | None = None,
     ) -> None:
         """Compute and fan out one changefeed event, if anyone listens.
 
@@ -570,7 +572,10 @@ class ViewService:
         seq they assigned under the lock, the async flush hook passes
         the highest seq merged into the flush; ``None`` (unstamped
         entries from callers outside the service) falls back to the
-        current service seq.
+        current service seq.  ``seqs`` is the flush hook's full
+        seq-coverage list (every batch merged into a coalesced event) —
+        recorded on the publish span here, and written into the delta
+        log by the durable subclass.
 
         Deliberately takes **no** service lock: it runs both on
         producer threads (already holding the lock) and on async
@@ -604,6 +609,7 @@ class ViewService:
             "publish", parent,
             view=handle.name, relation=relation, seq=seq_val,
             subscribers=len(live),
+            **({"seqs": list(seqs)} if seqs else {}),
         )
         event = ViewDelta(
             handle.name, relation, seq_val, delta, trace=span.ctx
