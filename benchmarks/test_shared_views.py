@@ -1,0 +1,168 @@
+"""Cross-view sharing benchmark: maintenance cost vs view-set overlap.
+
+Serves 10 / 100 / 1000 views whose definitions are ~90% overlapping —
+alias/order re-spellings of three join+aggregate shapes, plus ~10%
+genuinely unique queries (distinct filter literals) — and streams the
+same insert+delete batch sequence through a ``sharing=True`` and a
+``sharing=False`` service.  With sharing, each distinct shape is
+maintained once by a shared node and the re-spelled views run only a
+trivial re-key consumer program, so ingest cost should scale with the
+number of *distinct* subplans, not the number of views.
+
+The guardrail asserted here (the ISSUE 10 acceptance bar): at 100
+views, shared ingest is at least 3x faster than unshared.  Results
+land in ``BENCH_shared_views.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import bench_environment, format_table
+from repro.ring import GMR
+from repro.service import ViewService
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+#: the three shared shapes, as alias templates — distinct alias pairs
+#: per view exercise the canonicalisation pass, not string identity
+SHAPE_TEMPLATES = [
+    "SELECT {x}.a, COUNT(*) FROM R {x}, S {y} "
+    "WHERE {x}.b = {y}.b GROUP BY {x}.a",
+    "SELECT {x}.b, COUNT(*) FROM S {y}, R {x} "
+    "WHERE {x}.b = {y}.b GROUP BY {x}.b",
+    "SELECT {y}.d, COUNT(*) FROM R {x}, T {y} "
+    "WHERE {x}.a = {y}.a GROUP BY {y}.d",
+]
+
+#: per view-count: (n_batches, rows_per_batch, repeats)
+RUNS = {10: (60, 40, 3), 100: (40, 40, 2), 1000: (8, 40, 1)}
+
+#: the acceptance bar: shared vs unshared ingest at 100 views
+SPEEDUP_FLOOR_AT_100 = 3.0
+
+_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_shared_views.json"
+)
+
+
+def _view_defs(n: int) -> list[tuple[str, str]]:
+    """~90% re-spellings of the shared shapes, ~10% unique queries."""
+    defs = []
+    for i in range(n):
+        if i % 10 == 9:  # unique: a literal no other view uses
+            sql = (
+                f"SELECT a, COUNT(*) FROM R WHERE R.b > {i} GROUP BY a"
+            )
+        else:
+            sql = SHAPE_TEMPLATES[i % 3].format(x=f"x{i}", y=f"y{i}")
+        defs.append((f"view_{i}", sql))
+    return defs
+
+
+def _stream(n_batches: int, rows: int) -> list[tuple[str, GMR]]:
+    rng = random.Random(1234)
+    live = {"R": [], "S": [], "T": []}
+    domains = {
+        "R": lambda: (rng.randint(1, 50), rng.randint(1, 80)),
+        "S": lambda: (rng.randint(1, 80), rng.randint(1, 10)),
+        "T": lambda: (rng.randint(1, 50), rng.randint(1, 20)),
+    }
+    out = []
+    for _ in range(n_batches):
+        relation = rng.choice(("R", "S", "T"))
+        data: dict = {}
+        for _ in range(rows):
+            if live[relation] and rng.random() < 0.25:
+                t = rng.choice(live[relation])
+                live[relation].remove(t)
+                data[t] = data.get(t, 0) - 1
+            else:
+                t = domains[relation]()
+                live[relation].append(t)
+                data[t] = data.get(t, 0) + 1
+        data = {t: m for t, m in data.items() if m != 0}
+        if data:
+            out.append((relation, GMR(data)))
+    return out
+
+
+def _run(defs, stream, sharing: bool) -> tuple[float, int]:
+    """(ingest seconds, maintenance programs) for one arm."""
+    service = ViewService(catalog=CATALOG, sharing=sharing)
+    for name, sql in defs:
+        service.create_view(name, sql)
+        service.subscribe(name, lambda event: None)
+    programs = service.maintenance_programs()
+    start = time.perf_counter()
+    for relation, batch in stream:
+        service.on_batch(relation, GMR(dict(batch.data)))
+    elapsed = time.perf_counter() - start
+    return elapsed, programs
+
+
+@pytest.mark.paper_experiment(
+    "cross-view sharing: ingest cost vs view overlap"
+)
+def test_shared_views_speedup():
+    payload = {
+        "bench": "shared_views",
+        "unit": "seconds (best ingest wall time)",
+        "overlap": "~90% of views re-spell 3 shared shapes",
+        "speedup_floor_at_100": SPEEDUP_FLOOR_AT_100,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": bench_environment(),
+        "sizes": {},
+    }
+    rows = []
+    for n_views, (n_batches, batch_rows, repeats) in RUNS.items():
+        defs = _view_defs(n_views)
+        stream = _stream(n_batches, batch_rows)
+        shared_times, unshared_times = [], []
+        shared_programs = unshared_programs = 0
+        for _ in range(repeats):
+            t, shared_programs = _run(defs, stream, sharing=True)
+            shared_times.append(t)
+            t, unshared_programs = _run(defs, stream, sharing=False)
+            unshared_times.append(t)
+        best_shared = min(shared_times)
+        best_unshared = min(unshared_times)
+        speedup = best_unshared / best_shared
+        payload["sizes"][str(n_views)] = {
+            "n_batches": len(stream),
+            "rows_per_batch": batch_rows,
+            "repeats": repeats,
+            "maintenance_programs": {
+                "shared": shared_programs,
+                "unshared": unshared_programs,
+            },
+            "best_s": {"shared": best_shared, "unshared": best_unshared},
+            "speedup": speedup,
+        }
+        rows.append((
+            n_views,
+            f"{shared_programs}/{unshared_programs}",
+            round(best_shared, 4),
+            round(best_unshared, 4),
+            f"{speedup:.2f}x",
+        ))
+        assert shared_programs < unshared_programs
+        if n_views == 100:
+            assert speedup >= SPEEDUP_FLOOR_AT_100, (
+                f"sharing gave only {speedup:.2f}x at 100 views "
+                f"(floor {SPEEDUP_FLOOR_AT_100}x)"
+            )
+
+    print()
+    print(format_table(
+        ("views", "programs (shared/unshared)", "shared (s)",
+         "unshared (s)", "speedup"),
+        rows,
+        title="cross-view sharing ingest speedup (~90% overlap)",
+    ))
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

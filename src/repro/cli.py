@@ -363,6 +363,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _print_dag(service) -> None:
+    """Startup printout of the shared-subplan DAG: which internal
+    sub-views exist, who consumes their changefeed, and how many full
+    maintenance programs actually run."""
+    dump = service.dag_dump()
+    if not dump["sharing"]:
+        print("sharing: off (every view runs its own full program)",
+              flush=True)
+        return
+    nodes = dump["nodes"]
+    if not nodes:
+        return  # nothing factored (yet) — keep startup output quiet
+    n_views = len(dump["views"])
+    print(
+        f"shared subplan DAG: {len(nodes)} internal node(s); "
+        f"{dump['maintenance_programs']} maintenance program(s) "
+        f"for {n_views} view(s)",
+        flush=True,
+    )
+    for node in nodes:
+        print(
+            f"  node {node['name']} [{node['fingerprint']}] streams "
+            + (",".join(node["streams"]) or "-")
+            + " -> " + (",".join(node["consumers"]) or "-"),
+            flush=True,
+        )
+
+
 def _serve_network(args, defs) -> int:
     """``serve --port``: host the views on a real socket until
     interrupted (or a client POSTs /shutdown)."""
@@ -376,12 +404,14 @@ def _serve_network(args, defs) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(out=args.trace_out)
+    sharing = not getattr(args, "no_sharing", False)
     if getattr(args, "wal_dir", None):
         from repro.durability import DurableViewService
 
         service = DurableViewService(
             args.wal_dir, catalog=catalog, tracer=tracer,
             checkpoint_every=args.checkpoint_every, fsync=args.fsync,
+            sharing=sharing,
         )
         rec = service.recovered or {}
         print(
@@ -398,7 +428,8 @@ def _serve_network(args, defs) -> int:
                 flush=True,
             )
     else:
-        service = ViewService(catalog=catalog, tracer=tracer)
+        service = ViewService(catalog=catalog, tracer=tracer,
+                              sharing=sharing)
     for d in defs:
         if d.name in service.views():
             continue  # recovered from the checkpoint/WAL already
@@ -407,6 +438,8 @@ def _serve_network(args, defs) -> int:
     server_kwargs = {}
     if getattr(args, "stream_queue_limit", None) is not None:
         server_kwargs["stream_queue_limit"] = args.stream_queue_limit
+    if getattr(args, "max_batches_per_sec", None) is not None:
+        server_kwargs["max_batches_per_sec"] = args.max_batches_per_sec
     server = ViewServer(
         service, host=args.host, port=args.port,
         auth_token=args.auth_token, **server_kwargs,
@@ -414,6 +447,12 @@ def _serve_network(args, defs) -> int:
     if args.auth_token:
         print("auth: bearer token required (all endpoints but /health)",
               flush=True)
+    if server.rate_limiter is not None:
+        print(
+            f"quota: max {args.max_batches_per_sec:g} batches/s per "
+            "client on POST /batch (429 + Retry-After beyond it)",
+            flush=True,
+        )
     print(f"serving {len(defs)} views on {server.url}", flush=True)
     for d in defs:
         handle = service.view(d.name)
@@ -422,6 +461,7 @@ def _serve_network(args, defs) -> int:
             + ",".join(sorted(handle.relations)),
             flush=True,
         )
+    _print_dag(service)
     print(
         "endpoints: GET /health /views /views/<v>/snapshot "
         "/views/<v>/deltas /metrics /trace/recent | POST /views "
@@ -487,8 +527,19 @@ def cmd_route(args) -> int:
             if args.stream_queue_limit is not None
             else {}
         ),
+        **(
+            {"max_batches_per_sec": args.max_batches_per_sec}
+            if getattr(args, "max_batches_per_sec", None) is not None
+            else {}
+        ),
     )
     n = router.shardmap.n_shards
+    if router.rate_limiter is not None:
+        print(
+            f"quota: max {args.max_batches_per_sec:g} batches/s per "
+            "client on POST /batch (429 + Retry-After beyond it)",
+            flush=True,
+        )
     print(
         f"routing {n} shard group(s): "
         + " ".join(
@@ -724,6 +775,20 @@ def build_parser() -> argparse.ArgumentParser:
              "typed 'lagging' close and can resume via from_seq "
              "(default 256)",
     )
+    p.add_argument(
+        "--max-batches-per-sec", type=float, default=None, metavar="N",
+        help="with --port: per-client ingest quota on POST /batch — a "
+             "token bucket of N batches/second per bearer token (or "
+             "peer address); over-quota requests get 429 with a "
+             "Retry-After header",
+    )
+    p.add_argument(
+        "--no-sharing", action="store_true",
+        help="disable cross-view subplan sharing: every view runs its "
+             "own full maintenance program (the default factors "
+             "structurally-equal subplans into shared internal "
+             "sub-views maintained once)",
+    )
     p.add_argument("--batch-size", type=int, default=100)
     p.add_argument("--workload", default="tpch",
                    choices=["tpch", "tpcds", "micro"])
@@ -781,6 +846,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-subscriber merged-stream queue bound; a lagging "
              "reader is dropped with a typed 'lagging' close "
              "(default 256)",
+    )
+    p.add_argument(
+        "--max-batches-per-sec", type=float, default=None, metavar="N",
+        help="per-client ingest quota on POST /batch — a token bucket "
+             "of N batches/second per bearer token (or peer address); "
+             "over-quota requests get 429 with a Retry-After header",
     )
 
     p = sub.add_parser(

@@ -65,6 +65,7 @@ from repro.net.server import (
     CLOSE_SENTINEL,
     DEFAULT_STREAM_QUEUE_LIMIT,
     JsonHttpHandler,
+    RateLimiter,
     StreamHub,
     StreamQueue,
 )
@@ -143,6 +144,7 @@ class ClusterRouter:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         stream_queue_limit: int = DEFAULT_STREAM_QUEUE_LIMIT,
+        max_batches_per_sec: float | None = None,
     ):
         groups = (
             parse_shard_spec(shards) if isinstance(shards, str) else shards
@@ -156,6 +158,15 @@ class ClusterRouter:
         self.write_retry_timeout_s = write_retry_timeout_s
         self.shard_call_timeout_s = shard_call_timeout_s
         self.stream_queue_limit = stream_queue_limit
+        # Per-client ingest quota, same semantics as on ViewServer: the
+        # router is the tier that fronts untrusted producers, so the
+        # quota usually lives here rather than on the shards.
+        self.rate_limiter = (
+            RateLimiter(max_batches_per_sec)
+            if max_batches_per_sec is not None
+            else None
+        )
+        self.throttled_counter = None
 
         self.hub = StreamHub()
         self.merger = StreamMerger(
@@ -227,6 +238,12 @@ class ClusterRouter:
             lambda: time.time() - self.started_at,
             help="seconds since the router started",
         )
+        if self.rate_limiter is not None:
+            self.throttled_counter = self.registry.counter(
+                "repro_server_throttled_total",
+                help="ingest requests rejected with 429 by the "
+                     "per-client max_batches_per_sec quota",
+            )
 
     def _labeled_counter(self, cache: dict, name: str, key: str,
                          label: str, help_text: str):
@@ -1055,6 +1072,9 @@ class _RouterHandler(JsonHttpHandler):
         self._send_json({"dropped": name})
 
     def _post_batch(self, relation: str):
+        router = self.router
+        if self._throttled(router.rate_limiter, router.throttled_counter):
+            return
         payload = self._read_json()
         if payload is None:
             raise ValueError("POST /batch/<relation> needs a GMR body")

@@ -18,6 +18,12 @@ from repro.compiler.materializer import compile_query
 from repro.compiler.preagg import apply_batch_preaggregation
 from repro.compiler.access import AccessPattern, analyze_access_patterns
 from repro.compiler.plancache import PlanCache, compile_program
+from repro.compiler.canon import (
+    canonicalize,
+    fingerprint,
+    is_shareable,
+    shareable_subtrees,
+)
 
 __all__ = [
     "Statement",
@@ -30,4 +36,8 @@ __all__ = [
     "analyze_access_patterns",
     "PlanCache",
     "compile_program",
+    "canonicalize",
+    "fingerprint",
+    "is_shareable",
+    "shareable_subtrees",
 ]

@@ -1,0 +1,200 @@
+"""Expression canonicalisation for cross-view subplan sharing.
+
+Two views created independently rarely spell a shared subplan the same
+way: SQL aliases differ (``FROM R x`` vs ``FROM R y``), join factors
+arrive in whatever order the ``FROM`` clause listed them, and the
+workload generators pick their own column variable names.  The service
+can only maintain a shared sub-view *once* if it recognises those
+spellings as the same query, so this module defines a canonical form:
+
+* **commutative-operand ordering** — ``Join`` and ``Union`` parts are
+  sorted by an alpha-invariant shape key (bag join/union are
+  commutative; part order in the AST is an operational hint only);
+* **alias / column-position normalisation** — every column and
+  assignment variable is renamed to ``_cN`` by first occurrence in a
+  deterministic traversal of the ordered expression.
+
+Two expressions with equal canonical forms are alpha-equivalent
+modulo commutativity: identical results up to a column-name bijection
+(the ``mapping`` returned by :func:`canonicalize` — composing one
+mapping with the inverse of the other translates column names between
+the two spellings).  The converse does not hold — equal-shape sort
+ties keep their original order, so some equivalent spellings hash
+apart — which is the sound direction: a missed match costs one extra
+maintenance program, a false match would corrupt results.
+
+Relation *names* are deliberately preserved: two structurally identical
+queries over different tables are different queries.  Literals are
+preserved too (``price > 10`` must not share with ``price > 20``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+from repro.query.ast import (
+    Arith,
+    Assign,
+    Cmp,
+    Col,
+    DeltaRel,
+    Exists,
+    Expr,
+    Func,
+    Join,
+    Rel,
+    Repart,
+    Scatter,
+    Sum,
+    Union,
+    ValueF,
+    children,
+    is_expr,
+    rebuild,
+)
+from repro.query.ast import LOCATION_TRANSFORMERS
+from repro.query.schema import base_relations, free_vars, rename_columns
+
+__all__ = [
+    "canonicalize",
+    "fingerprint",
+    "is_shareable",
+    "shareable_subtrees",
+]
+
+
+def _collect_names(e: Expr, out: dict[str, None]) -> None:
+    """Record every column/variable name in deterministic order."""
+    if isinstance(e, (Rel, DeltaRel)):
+        for c in e.cols:
+            out.setdefault(c, None)
+        return
+    if isinstance(e, Sum):
+        for c in e.group_by:
+            out.setdefault(c, None)
+        _collect_names(e.child, out)
+        return
+    if isinstance(e, ValueF):
+        _collect_term_names(e.term, out)
+        return
+    if isinstance(e, Cmp):
+        _collect_term_names(e.lhs, out)
+        _collect_term_names(e.rhs, out)
+        return
+    if isinstance(e, Assign):
+        out.setdefault(e.var, None)
+        if is_expr(e.child):
+            _collect_names(e.child, out)
+        else:
+            _collect_term_names(e.child, out)
+        return
+    if isinstance(e, (Repart, Scatter)):
+        for c in e.keys:
+            out.setdefault(c, None)
+    for c in children(e):
+        _collect_names(c, out)
+
+
+def _collect_term_names(term, out: dict[str, None]) -> None:
+    if isinstance(term, Col):
+        out.setdefault(term.name, None)
+    elif isinstance(term, Arith):
+        _collect_term_names(term.lhs, out)
+        _collect_term_names(term.rhs, out)
+    elif isinstance(term, Func):
+        for a in term.args:
+            _collect_term_names(a, out)
+
+
+@lru_cache(maxsize=8192)
+def _normalize(e: Expr) -> Expr:
+    """Sort commutative operands, recursively, by alpha-invariant key.
+
+    The sort key of a part is the repr of the part's *own* canonical
+    form, so the ordering does not depend on the names the enclosing
+    query happened to pick.  The sort is stable: parts whose shapes tie
+    (alpha-equivalent in isolation but linked differently to their
+    siblings) keep their original relative order — sound, as above.
+    """
+    kids = children(e)
+    if not kids:
+        return e
+    new_kids = tuple(_normalize(k) for k in kids)
+    if isinstance(e, (Join, Union)):
+        new_kids = tuple(sorted(new_kids, key=lambda p: repr(_canon(p)[0])))
+    return rebuild(e, new_kids)
+
+
+@lru_cache(maxsize=8192)
+def _canon(e: Expr) -> tuple[Expr, tuple[tuple[str, str], ...]]:
+    normal = _normalize(e)
+    names: dict[str, None] = {}
+    _collect_names(normal, names)
+    mapping = {name: f"_c{i}" for i, name in enumerate(names)}
+    return rename_columns(normal, mapping), tuple(mapping.items())
+
+
+def canonicalize(e: Expr) -> tuple[Expr, dict[str, str]]:
+    """The canonical form of ``e`` plus the original -> canonical column
+    renaming (a bijection over the expression's distinct names).
+
+    The canonical expression is a hashable AST value usable directly as
+    a dictionary key; it is a *key*, never an executable plan — sorting
+    may have moved interpreted operands ahead of their binders.
+    """
+    canon, pairs = _canon(e)
+    return canon, dict(pairs)
+
+
+def fingerprint(e: Expr) -> str:
+    """A short stable hex digest of the canonical form, for display
+    (DAG dumps, traces); use the canonical expression itself as the
+    lookup key."""
+    canon, _ = _canon(e)
+    return hashlib.sha1(repr(canon).encode()).hexdigest()[:12]
+
+
+def _contains_unshareable(e: Expr) -> bool:
+    if isinstance(e, (DeltaRel, *LOCATION_TRANSFORMERS)):
+        return True
+    return any(_contains_unshareable(c) for c in children(e))
+
+
+def is_shareable(e: Expr) -> bool:
+    """Whether ``e`` can be materialized as a standalone shared node.
+
+    It must be self-contained (no free variables bound by an enclosing
+    context), reference at least one base relation (pure value
+    expressions are not worth a node), and contain no delta relations
+    or location transformers (those only appear in already-compiled
+    maintenance programs, never in view definitions).
+    """
+    if not isinstance(e, (Join, Sum, Exists, Union)):
+        return False
+    if _contains_unshareable(e):
+        return False
+    if not base_relations(e):
+        return False
+    return not free_vars(e)
+
+
+def shareable_subtrees(e: Expr) -> list[Expr]:
+    """All shareable subtrees of ``e``, outermost first.
+
+    The whole expression (when shareable) leads; nested occurrences
+    follow in pre-order, so a caller that factors greedily prefers the
+    largest match.  Structurally identical occurrences appear once.
+    """
+    out: list[Expr] = []
+    seen: set[Expr] = set()
+
+    def walk(node: Expr) -> None:
+        if is_shareable(node) and node not in seen:
+            seen.add(node)
+            out.append(node)
+        for c in children(node):
+            walk(c)
+
+    walk(e)
+    return out

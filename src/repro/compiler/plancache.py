@@ -1,20 +1,46 @@
-"""Program-level plan caching: lower every trigger statement once.
+"""Program- and service-level plan sharing.
 
-The execution engines pay the lowering cost (schema resolution, join
-planning, closure composition — see :mod:`repro.eval.compiled`) at
-construction time by walking their program through :func:`compile_program`;
-the batch loop then runs pure pipeline lookups.  The cache is keyed on
-statement identity — the statement's expression, which is an immutable,
-structurally hashable AST — so statements shared between triggers (or
-between the workers of a simulated cluster) are lowered exactly once.
+Two granularities of sharing live here:
+
+* **Statement identity** (:class:`PlanCache` / :func:`compile_program`)
+  — the execution engines pay the lowering cost (schema resolution,
+  join planning, closure composition — see :mod:`repro.eval.compiled`)
+  at construction time by walking their program through
+  :func:`compile_program`; the batch loop then runs pure pipeline
+  lookups.  The cache is keyed on statement identity — the statement's
+  expression, which is an immutable, structurally hashable AST — so
+  statements shared between triggers (or between the workers of a
+  simulated cluster) are lowered exactly once.
+
+* **Service-wide subplan canonicalisation** (:func:`canonicalize` /
+  :func:`fingerprint` / :func:`shareable_subtrees`, from
+  :mod:`repro.compiler.canon`) — identity is too strict across
+  *independently created views*, whose equivalent subplans differ in
+  aliases, column names, and join order.  The canonical form erases
+  exactly those differences, giving :class:`~repro.service.ViewService`
+  the key for its shared-subplan DAG: each distinct sub-view is
+  maintained once and dependent views consume its changefeed.
 """
 
 from __future__ import annotations
 
 from repro.eval.compiled import PlanCache
 from repro.query.ast import LOCATION_TRANSFORMERS
+from repro.compiler.canon import (
+    canonicalize,
+    fingerprint,
+    is_shareable,
+    shareable_subtrees,
+)
 
-__all__ = ["PlanCache", "compile_program"]
+__all__ = [
+    "PlanCache",
+    "compile_program",
+    "canonicalize",
+    "fingerprint",
+    "is_shareable",
+    "shareable_subtrees",
+]
 
 
 def compile_program(program, cache: PlanCache | None = None) -> PlanCache:

@@ -105,10 +105,16 @@ class DurableViewService(ViewService):
         checkpoint_every: int = 0,
         fsync: str = "interval",
         fsync_interval_s: float = 0.05,
+        sharing: bool = True,
     ):
+        # Sharing composes with durability deterministically: only user
+        # views are checkpointed/WAL-logged, and recovery replays
+        # create_view in the original order, so the subplan DAG (and
+        # its internal node names) is rebuilt identically before the
+        # batch tail replays through it.
         super().__init__(
             catalog=catalog, base=base, track_base=True,
-            registry=registry, tracer=tracer,
+            registry=registry, tracer=tracer, sharing=sharing,
         )
         self.wal_dir = str(wal_dir)
         self.checkpoint_every = int(checkpoint_every or 0)

@@ -59,6 +59,18 @@ class ExecutionBackend(abc.ABC):
         Backends may return a backend-specific measurement (the cluster
         returns its modeled latency); callers that only maintain views
         ignore the return value.
+
+        **Changefeed-as-input contract.**  ``relation`` need not name a
+        base table: the view service's shared-subplan DAG feeds views
+        from *other views' changefeeds* by streaming one view's
+        :meth:`last_delta` in as another's update batch (the batch is
+        then a delta GMR — deletions appear as negative multiplicities,
+        exactly like base-table deletes).  Backends must therefore
+        treat relation names as opaque stream identifiers declared by
+        their compiled spec, never as a fixed base-schema vocabulary,
+        and must stay correct under mixed-sign batches.  Every
+        registered backend already satisfies this; it is what makes
+        views-maintaining-views composition work on any engine.
         """
 
     @abc.abstractmethod

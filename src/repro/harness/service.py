@@ -161,6 +161,7 @@ def measure_service_throughput(
     use_compiled: bool = True,
     catalog: dict[str, tuple[str, ...]] | None = None,
     subscribe: bool = True,
+    sharing: bool = True,
 ) -> ServiceResult:
     """Serve N concurrent views over one shared update stream.
 
@@ -175,7 +176,9 @@ def measure_service_throughput(
     With ``subscribe`` (default) every view gets a delta-counting push
     subscriber, so the measured window includes changefeed computation —
     the realistic serving cost.  Stream preparation and view creation
-    happen outside the timed window.
+    happen outside the timed window.  ``sharing=False`` disables
+    cross-view subplan sharing (every view runs its own full program) —
+    the control arm of the sharing benchmark.
     """
     defs = coerce_view_defs(views)
     specs, static, batches, n_tuples, fed = prepare_service_run(
@@ -183,7 +186,9 @@ def measure_service_throughput(
         max_batches=max_batches, catalog=catalog,
     )
 
-    service = ViewService(catalog=catalog, base=static, track_base=False)
+    service = ViewService(
+        catalog=catalog, base=static, track_base=False, sharing=sharing
+    )
     create_views(service, defs, specs, use_compiled)
     if subscribe:
         for d in defs:

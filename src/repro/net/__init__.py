@@ -26,6 +26,7 @@ from repro.net.client import (
 )
 from repro.net.server import (
     JsonHttpHandler,
+    RateLimiter,
     StreamHub,
     StreamQueue,
     ViewServer,
@@ -45,6 +46,7 @@ __all__ = [
     "JsonHttpHandler",
     "NetConnectError",
     "NetError",
+    "RateLimiter",
     "ResumableStream",
     "StreamHub",
     "StreamQueue",

@@ -14,6 +14,8 @@ own around maintenance.  Endpoints:
 ``GET  /health``            liveness + wire version + session summary
 ``GET  /backends``          the execution-backend catalog
 ``GET  /views``             all hosted views and their delivery stats
+                            (``?dag=1`` adds the shared-subplan DAG:
+                            internal nodes, consumers, routing)
 ``POST /views``             create a view (SQL source, backend, options)
 ``DELETE /views/<name>``    drop a view (drains async queues first)
 ``POST /batch/<relation>``  ingest one GMR delta batch; returns seq +
@@ -46,6 +48,13 @@ the mark arrives (``DeltaStream.read_until_mark``).
 **Auth.**  With ``auth_token=...`` every endpoint except ``GET /health``
 requires ``Authorization: Bearer <token>`` and replies 401 otherwise —
 the minimum needed for a router tier to front untrusted producers.
+
+**Quotas.**  With ``max_batches_per_sec=...`` every ``POST /batch``
+draws one token from a per-client token bucket (:class:`RateLimiter`;
+clients are keyed by bearer token when presented, else by peer
+address).  An empty bucket replies ``429`` with a ``Retry-After``
+header and bumps ``repro_server_throttled_total``; admitted requests
+are unaffected.  The same knob exists on the cluster router.
 
 **Slow readers.**  Every stream's queue is a bounded
 :class:`StreamQueue` (``stream_queue_limit`` events).  A subscriber
@@ -88,7 +97,13 @@ from repro.net.wire import (
     encode_mark,
 )
 
-__all__ = ["JsonHttpHandler", "StreamHub", "StreamQueue", "ViewServer"]
+__all__ = [
+    "JsonHttpHandler",
+    "RateLimiter",
+    "StreamHub",
+    "StreamQueue",
+    "ViewServer",
+]
 
 #: how long a stream poll waits before re-checking liveness
 _STREAM_POLL_S = 0.25
@@ -99,6 +114,51 @@ DEFAULT_STREAM_QUEUE_LIMIT = 256
 
 #: sentinel queued to every live stream when the server closes
 CLOSE_SENTINEL = object()
+
+
+class RateLimiter:
+    """Per-client token buckets for the ingest quota.
+
+    Each key (one producer: its bearer token, or its peer address when
+    requests are anonymous) gets an independent bucket refilled at
+    ``rate`` tokens/second up to ``burst`` (default: one second's worth,
+    at least 1 — a client at exactly the quota is never throttled, and
+    short bursts after idle are absorbed).  :meth:`try_acquire` is the
+    whole protocol: take a token if one is there, otherwise report how
+    long until one is.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self._lock = threading.Lock()
+        #: key -> [tokens, last refill timestamp]
+        self._buckets: dict[str, list[float]] = {}
+
+    def try_acquire(self, key: str, now: float | None = None) -> float:
+        """Draw one token from ``key``'s bucket.
+
+        Returns ``0.0`` if the request is admitted, else the seconds
+        until a token will be available (the ``Retry-After`` basis).
+        ``now`` injects a clock for tests; the default is monotonic.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = [self.burst, now]
+            tokens = min(
+                self.burst, bucket[0] + (now - bucket[1]) * self.rate
+            )
+            bucket[1] = now
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                return 0.0
+            bucket[0] = tokens
+            return (1.0 - tokens) / self.rate
 
 
 class StreamQueue:
@@ -243,11 +303,15 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ValueError(f"request body is not valid JSON: {exc}")
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(
+        self, payload, status: int = 200, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -288,6 +352,49 @@ class JsonHttpHandler(BaseHTTPRequestHandler):
             return True
         header = self.headers.get("Authorization", "")
         return hmac.compare_digest(header, f"Bearer {token}")
+
+    # ------------------------------------------------------------------
+    # Ingest quotas
+    # ------------------------------------------------------------------
+    def _quota_key(self) -> str:
+        """Who is this producer, for rate-limiting purposes?  The bearer
+        token when one is presented (producers behind one NAT stay
+        distinct), else the peer address."""
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer "):
+            return f"token:{header[len('Bearer '):]}"
+        return f"addr:{self.client_address[0]}"
+
+    def _throttled(self, limiter: RateLimiter | None, counter) -> bool:
+        """Apply ``limiter`` to this request; on an empty bucket reply
+        429 + ``Retry-After`` (whole seconds, rounded up as the spec
+        wants), bump ``counter``, and return True."""
+        if limiter is None:
+            return False
+        wait_s = limiter.try_acquire(self._quota_key())
+        if wait_s <= 0:
+            return False
+        if counter is not None:
+            counter.inc()
+        # Drain the unread body: on a keep-alive connection the next
+        # request would otherwise be parsed starting mid-body.
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                break
+            length -= len(chunk)
+        retry_after = max(1, int(-(-wait_s // 1)))
+        self._send_json(
+            {
+                "error": "rate limit exceeded "
+                         "(max_batches_per_sec quota)",
+                "retry_after": retry_after,
+            },
+            status=429,
+            headers={"Retry-After": str(retry_after)},
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Routing
@@ -381,7 +488,7 @@ class _Handler(JsonHttpHandler):
             if parts == ["trace", "recent"]:
                 return lambda: self._get_trace_recent(query)
             if parts == ["views"]:
-                return self._get_views
+                return lambda: self._get_views(query)
             if len(parts) == 3 and parts[0] == "views":
                 name = parts[1]
                 if parts[2] == "snapshot":
@@ -471,13 +578,21 @@ class _Handler(JsonHttpHandler):
             ),
         }
 
-    def _get_views(self):
+    def _get_views(self, query: dict | None = None):
         listing = {}
         for name in self.service.views():
             try:
                 listing[name] = self._view_stats(name)
             except ServiceError:
                 continue  # dropped between views() and the stat read
+        dag = (query or {}).get("dag", ["0"])[0] in ("1", "true", "yes")
+        if dag:
+            # Shared-subplan DAG view: the flat listing plus the
+            # internal nodes and each view's routing (which base
+            # streams it takes directly, which node feeds it).
+            return self._send_json(
+                {"views": listing, "dag": self.service.dag_dump()}
+            )
         self._send_json(listing)
 
     def _get_view_stats(self, name: str):
@@ -525,6 +640,9 @@ class _Handler(JsonHttpHandler):
         self._send_json({"dropped": name})
 
     def _post_batch(self, relation: str):
+        server = self.view_server
+        if self._throttled(server.rate_limiter, server.throttled_counter):
+            return
         payload = self._read_json()
         if payload is None:
             raise ValueError("POST /batch/<relation> needs a GMR body")
@@ -771,7 +889,9 @@ class ViewServer:
     and closes the socket — it does **not** drop the hosted views, so a
     service can be re-hosted or inspected in-process afterwards.
     ``auth_token`` requires ``Authorization: Bearer <token>`` on every
-    endpoint except ``GET /health``.
+    endpoint except ``GET /health``.  ``max_batches_per_sec`` puts a
+    per-client token-bucket quota on ``POST /batch`` (see the module
+    docstring); ``None`` disables it.
     """
 
     def __init__(
@@ -781,11 +901,18 @@ class ViewServer:
         port: int = 0,
         auth_token: str | None = None,
         stream_queue_limit: int = DEFAULT_STREAM_QUEUE_LIMIT,
+        max_batches_per_sec: float | None = None,
     ):
         self.service = service
         self.hub = StreamHub()
         self.auth_token = auth_token
         self.stream_queue_limit = stream_queue_limit
+        self.rate_limiter = (
+            RateLimiter(max_batches_per_sec)
+            if max_batches_per_sec is not None
+            else None
+        )
+        self.throttled_counter = None
         handler = type("_BoundHandler", (_Handler,), {"view_server": self})
         self._httpd = _Server((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -807,6 +934,12 @@ class ViewServer:
             "repro_server_active_streams", self.hub.count,
             help="open push subscription streams",
         )
+        if self.rate_limiter is not None:
+            self.throttled_counter = self.metrics_scope.counter(
+                "repro_server_throttled_total",
+                help="ingest requests rejected with 429 by the "
+                     "per-client max_batches_per_sec quota",
+            )
 
     def uptime_s(self) -> float:
         return time.time() - self.started_at

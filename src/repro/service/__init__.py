@@ -8,6 +8,7 @@ the full protocol and ARCHITECTURE.md ("Service layer") for how it sits
 on top of the execution backends.
 """
 
+from repro.service.dag import NODE_PREFIX, SharedNode, SubplanDAG
 from repro.service.service import (
     ServiceError,
     Subscription,
@@ -22,8 +23,11 @@ from repro.service.sharding import (
 )
 
 __all__ = [
+    "NODE_PREFIX",
     "PartitionPlan",
     "ServiceError",
+    "SharedNode",
+    "SubplanDAG",
     "Subscription",
     "ViewDelta",
     "ViewHandle",

@@ -1,0 +1,121 @@
+"""The service-wide shared-subplan DAG (higher-order IVM).
+
+A :class:`~repro.service.ViewService` with sharing enabled factors
+every ``create_view`` against this structure: each *distinct* shareable
+subplan (distinct under :func:`~repro.compiler.canonicalize`) is
+maintained exactly once by an internal, hidden :class:`SharedNode`,
+and every dependent view consumes the node's native changefeed
+(:meth:`~repro.exec.ExecutionBackend.last_delta`) as its input delta —
+the paper's "views maintaining views" made service-wide.  Routing is
+topological: a base batch first advances the shared nodes it streams
+into, then each user view receives either the base batch directly or
+the delta of a node it consumes.
+
+Nodes are reference-counted by consumer edges.  ``drop_view`` releases
+the dropped view's edges; a node is torn down only when its last
+consumer leaves, so dropping one consumer never kills a shared node.
+
+The structures here are bookkeeping only — creation policy (when to
+materialize, when to promote an existing view into a node) lives in
+:meth:`ViewService.create_view`, and all mutation happens under the
+service lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exec import ExecutionBackend
+from repro.workloads.spec import QuerySpec
+
+__all__ = ["NODE_PREFIX", "SharedNode", "SubplanDAG"]
+
+#: name prefix of internal shared sub-views; user views and catalog
+#: tables must not collide with it (``create_view`` enforces this)
+NODE_PREFIX = "__shared_"
+
+
+@dataclass
+class SharedNode:
+    """One internal shared sub-view: a maintenance program whose
+    changefeed feeds every consumer of the subplan.
+
+    ``mapping`` is the representative spelling's column renaming into
+    canonical names (from :func:`~repro.compiler.canonicalize`);
+    composing a consumer's own mapping inverse with it translates the
+    node's physical columns (``rep_cols``, the tuple order of the
+    node's GMR) into any consumer's column names.
+    """
+
+    name: str
+    spec: QuerySpec
+    backend: ExecutionBackend
+    backend_name: str
+    #: sharing key: (canonical expr, frozenset of updatable relations)
+    key: object = field(repr=False)
+    #: representative column name -> canonical name (a bijection)
+    mapping: dict[str, str] = field(repr=False)
+    #: physical output columns, in the node's tuple order
+    rep_cols: tuple[str, ...] = ()
+    #: base relations whose batches this node streams
+    direct_rels: frozenset[str] = frozenset()
+    #: short digest of the canonical form, for dumps/traces
+    fingerprint: str = ""
+    #: number of consumer edges (user views referencing this node)
+    refcount: int = 0
+    #: batches maintained so far
+    batches: int = 0
+
+
+class SubplanDAG:
+    """Internal shared nodes, indexed by name and by sharing key."""
+
+    def __init__(self) -> None:
+        #: insertion-ordered: creation order is a topological order
+        self.nodes: dict[str, SharedNode] = {}
+        self.by_key: dict[object, SharedNode] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def next_name(self) -> str:
+        name = f"{NODE_PREFIX}{self._counter}"
+        self._counter += 1
+        return name
+
+    def add(self, node: SharedNode) -> SharedNode:
+        self.nodes[node.name] = node
+        self.by_key[node.key] = node
+        return node
+
+    def release(self, name: str) -> SharedNode | None:
+        """Drop one consumer edge; returns the node if that freed it
+        (the caller closes its backend outside the service lock)."""
+        node = self.nodes.get(name)
+        if node is None:
+            return None
+        node.refcount -= 1
+        if node.refcount > 0:
+            return None
+        del self.nodes[name]
+        self.by_key.pop(node.key, None)
+        return node
+
+    def dump(self, consumers: dict[str, list[str]] | None = None) -> list[dict]:
+        """JSON-friendly node listing (for ``GET /views?dag=1`` and the
+        CLI startup printout)."""
+        consumers = consumers or {}
+        return [
+            {
+                "name": n.name,
+                "fingerprint": n.fingerprint,
+                "backend": n.backend_name,
+                "streams": sorted(n.direct_rels),
+                "columns": list(n.rep_cols),
+                "refcount": n.refcount,
+                "batches": n.batches,
+                "consumers": sorted(consumers.get(n.name, ())),
+            }
+            for n in self.nodes.values()
+        ]

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.compiler import canonicalize, fingerprint, is_shareable, shareable_subtrees
 from repro.eval import Database
 from repro.exec import (
     ExecutionBackend,
@@ -48,7 +49,10 @@ from repro.exec import (
 )
 from repro.ingest import AsyncIngestBackend
 from repro.obs import Counter, MetricsRegistry, TraceContext, Tracer
+from repro.query.ast import Rel, Sum
+from repro.query.schema import base_relations, out_cols, substitute
 from repro.ring import GMR
+from repro.service.dag import NODE_PREFIX, SharedNode, SubplanDAG
 from repro.workloads.spec import QuerySpec, as_query_spec
 
 __all__ = [
@@ -58,6 +62,11 @@ __all__ = [
     "ViewHandle",
     "ViewService",
 ]
+
+#: backend used for shared nodes materialized from scratch (cheapest
+#: native-changefeed engine); promoted nodes keep the engine the
+#: promoted view already ran
+_NODE_BACKEND = "rivm-batch"
 
 
 class ServiceError(ValueError):
@@ -130,6 +139,14 @@ class ViewHandle:
     metrics_scope: object = field(default=None, repr=False)
     #: shared per-view maintenance-latency histogram
     maintain_hist: object = field(default=None, repr=False)
+    #: base relations routed directly into this view's backend; equals
+    #: ``spec.updatable`` when the view is unshared
+    route_rels: frozenset[str] = frozenset()
+    #: internal shared nodes whose changefeeds feed this view
+    consumes: tuple[str, ...] = ()
+    #: the program the backend actually maintains — the spec factored
+    #: against the service's subplan DAG (``spec`` itself when unshared)
+    exec_spec: QuerySpec | None = field(default=None, repr=False)
 
     @property
     def batches_applied(self) -> int:
@@ -185,12 +202,24 @@ class ViewService:
         track_base: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        sharing: bool = True,
     ):
         self.catalog: dict[str, tuple[str, ...]] = {
             t: tuple(cols) for t, cols in (catalog or {}).items()
         }
         self.base = base if base is not None else Database()
         self.track_base = track_base
+        self.sharing = sharing
+        #: the shared-subplan DAG (``None`` with ``sharing=False`` — the
+        #: differential baseline where every view runs its full program)
+        self._dag: SubplanDAG | None = SubplanDAG() if sharing else None
+        #: whole-query sharing key -> name of a live, sync, unshared
+        #: view that can be *promoted* into a shared node on second use
+        self._view_keys: dict[object, str] = {}
+        #: sharing key -> (subtree spelling, updatable set) of every
+        #: shareable subplan any view has mentioned; second mention
+        #: materializes a fresh node from the shared base database
+        self._subplan_keys: dict[object, tuple[object, frozenset[str]]] = {}
         self._views: dict[str, ViewHandle] = {}
         self._seq = 0
         # Re-entrant: a subscriber callback delivered under the lock may
@@ -209,6 +238,11 @@ class ViewService:
         self.registry.gauge_fn(
             "repro_service_views", lambda: len(self._views),
             help="registered views",
+        )
+        self.registry.gauge_fn(
+            "repro_service_shared_subviews",
+            lambda: len(self._dag) if self._dag is not None else 0,
+            help="internal shared sub-views materialized by the subplan DAG",
         )
 
     # ------------------------------------------------------------------
@@ -269,6 +303,11 @@ class ViewService:
                 raise ServiceError(
                     f"view {name!r} already exists; drop_view() it first"
                 )
+            if name.startswith(NODE_PREFIX):
+                raise ServiceError(
+                    f"view names starting with {NODE_PREFIX!r} are "
+                    "reserved for internal shared sub-views"
+                )
             if not is_registered(backend):
                 raise ServiceError(
                     f"unknown backend {backend!r}; registered backends: "
@@ -285,13 +324,48 @@ class ViewService:
                 )
             except TypeError as exc:
                 raise ServiceError(str(exc)) from exc
-            engine = create_backend(backend, spec, **options)
-            engine.initialize(self.base.copy())
-            # Baseline the changefeed: the warm-start contents are
-            # delivered through subscribe(initial=True), not as the
-            # first batch delta.
-            engine.last_delta()
+            if any(r.startswith(NODE_PREFIX) for r in base_relations(spec.query)):
+                raise ServiceError(
+                    f"relation names starting with {NODE_PREFIX!r} are "
+                    "reserved for internal shared sub-views"
+                )
+            # Factor the program against the shared-subplan DAG: the
+            # returned spec references internal node relations instead
+            # of re-deriving subplans another view already maintains.
+            exec_spec, consumes = (
+                self._factor_spec(spec)
+                if self._dag is not None
+                else (spec, ())
+            )
+            try:
+                engine = create_backend(backend, exec_spec, **options)
+                init_db = self.base.copy()
+                for node_name in consumes:
+                    # Consumed nodes appear to the program as warm base
+                    # relations holding the node's current contents.
+                    node = self._dag.nodes[node_name]
+                    init_db.apply_update(
+                        node_name, GMR(dict(node.backend.snapshot().data))
+                    )
+                engine.initialize(init_db)
+                # Baseline the changefeed: the warm-start contents are
+                # delivered through subscribe(initial=True), not as the
+                # first batch delta.
+                engine.last_delta()
+            except BaseException:
+                # Release the consumer edges taken during factoring so
+                # a failed creation never strands a fresh node.
+                for node_name in consumes:
+                    self._close_freed(self._dag.release(node_name))
+                raise
             handle = ViewHandle(name, spec, backend, engine)
+            handle.exec_spec = exec_spec
+            handle.consumes = consumes
+            handle.route_rels = frozenset(
+                r for r in exec_spec.updatable if not r.startswith(NODE_PREFIX)
+            )
+            if self._dag is not None:
+                self._index_keys(handle)
             self._register_view_metrics(handle)
             if isinstance(engine, AsyncIngestBackend):
                 # Async views publish from the batcher thread, once per
@@ -315,6 +389,348 @@ class ViewService:
             self._views[name] = handle
             return handle
 
+    # ------------------------------------------------------------------
+    # Cross-view sharing (the shared-subplan DAG)
+    # ------------------------------------------------------------------
+    def _share_key(self, expr, updatable: frozenset[str]):
+        """The sharing key of a shareable (sub)expression, or ``None``.
+
+        The key pairs the canonical form with the set of relations the
+        expression actually streams: two views whose identical subplan
+        disagrees on which inputs are updatable must not share one
+        maintenance program.
+        """
+        if not is_shareable(expr):
+            return None
+        streamed = frozenset(updatable) & base_relations(expr)
+        if not streamed:
+            return None  # fully static: would never receive a batch
+        canon, _ = canonicalize(expr)
+        return (canon, streamed)
+
+    def _can_materialize(self) -> bool:
+        # A fresh node initializes from the shared base database; with
+        # base tracking off that database is stale after the first
+        # batch, so mid-stream materialization would start wrong.
+        return self.track_base or self._seq == 0
+
+    def _node_ref(self, node: SharedNode, expr) -> Rel | None:
+        """A ``Rel`` reference to ``node`` spelled in ``expr``'s own
+        column names: position ``j`` names the consumer's column for the
+        node's ``j``-th physical output column, translated through the
+        two canonical mappings.  ``None`` when they do not line up (a
+        defensive guard; equal canonical forms always align)."""
+        _, mapping = canonicalize(expr)
+        inverse = {c: o for o, c in mapping.items()}
+        cols = []
+        for rep_col in node.rep_cols:
+            local = inverse.get(node.mapping.get(rep_col))
+            if local is None:
+                return None
+            cols.append(local)
+        return Rel(node.name, tuple(cols))
+
+    def _alias_spec(self, view_name: str, expr, node: SharedNode):
+        """The whole-query consumer program: a multiplicity-preserving
+        re-key of the node's changefeed into the view's column names and
+        output order — identical results at O(|delta|) per batch."""
+        ref = self._node_ref(node, expr)
+        if ref is None:
+            return None
+        return QuerySpec(
+            name=view_name,
+            query=Sum(out_cols(expr), ref),
+            updatable=frozenset({node.name}),
+        )
+
+    def _materialize(self, key, expr, streamed: frozenset[str]) -> SharedNode:
+        """Maintain subplan ``expr`` once, as a fresh internal node.
+
+        The node's physical tuple order must be ``out_cols(expr)`` —
+        that is what consumers' alias programs assume when they read
+        the changefeed positionally.  A compiled engine only guarantees
+        that for a ``Sum`` top (tuple order = ``group_by``); any other
+        top is wrapped in the identity re-key ``Sum(out_cols(expr))``,
+        which preserves multiplicities and pins the order.
+        """
+        name = self._dag.next_name()
+        query = expr if isinstance(expr, Sum) else Sum(out_cols(expr), expr)
+        node_spec = QuerySpec(
+            name=name, query=query, updatable=frozenset(streamed)
+        )
+        engine = create_backend(_NODE_BACKEND, node_spec)
+        engine.initialize(self.base.copy())
+        engine.last_delta()
+        _, mapping = canonicalize(expr)
+        return self._dag.add(SharedNode(
+            name=name,
+            spec=node_spec,
+            backend=engine,
+            backend_name=_NODE_BACKEND,
+            key=key,
+            mapping=mapping,
+            rep_cols=out_cols(expr),
+            direct_rels=frozenset(streamed),
+            fingerprint=fingerprint(expr),
+        ))
+
+    def _promote(self, handle: ViewHandle, key) -> SharedNode | None:
+        """Turn a live, unshared, synchronous view into a shared node.
+
+        The view's engine — whose state is already exact — becomes the
+        internal node, and the view itself is rebuilt as the node's
+        first changefeed consumer.  Not every view is promotable:
+        async admission policy is per-view and a node must be
+        synchronous under the service lock, and any backend that owns
+        external resources (a ``close`` method: batcher threads,
+        worker processes) must stay attached to its user view, whose
+        creator may hold ``view(name).backend`` for lifecycle
+        management.  Callers then fall back to materializing a fresh
+        node.
+        """
+        if handle.consumes or hasattr(handle.backend, "close"):
+            return None
+        expr = handle.spec.query
+        if not isinstance(expr, Sum):
+            # Only a Sum top guarantees the engine's physical tuple
+            # order is out_cols(expr), which consumers assume; other
+            # tops fall back to a fresh (re-key-wrapped) node.
+            return None
+        # Flush changefeed owed to current subscribers, then baseline:
+        # from here on this engine's changefeed feeds the DAG.
+        self._publish(handle, None, self._seq)
+        handle.backend.last_delta()
+        name = self._dag.next_name()
+        _, mapping = canonicalize(expr)
+        node = self._dag.add(SharedNode(
+            name=name,
+            spec=QuerySpec(name=name, query=expr, updatable=frozenset(key[1])),
+            backend=handle.backend,
+            backend_name=handle.backend_name,
+            key=key,
+            mapping=mapping,
+            rep_cols=out_cols(expr),
+            direct_rels=frozenset(key[1]),
+            fingerprint=fingerprint(expr),
+        ))
+        alias_spec = self._alias_spec(handle.name, expr, node)
+        alias = create_backend(_NODE_BACKEND, alias_spec)
+        init_db = Database()
+        init_db.apply_update(name, GMR(dict(node.backend.snapshot().data)))
+        alias.initialize(init_db)
+        alias.last_delta()
+        handle.backend = alias
+        handle.exec_spec = alias_spec
+        handle.route_rels = frozenset()
+        handle.consumes = (name,)
+        node.refcount += 1
+        self._view_keys.pop(key, None)
+        return node
+
+    def _factor_spec(self, spec: QuerySpec) -> tuple[QuerySpec, tuple[str, ...]]:
+        """Factor a new view's program against the DAG.
+
+        Returns ``(exec_spec, consumed_node_names)`` with the consumer
+        edges' refcounts already taken.  Falls back to ``(spec, ())`` —
+        the full unshared program — whenever sharing is not clearly
+        sound: no match, mappings that do not line up, or inputs whose
+        upstream base relations overlap (each batch must reach a view
+        through exactly one input, or per-view seq monotonicity and
+        delta accounting would break).
+        """
+        from repro.query.ast import children as ast_children
+
+        expr = spec.query
+        # Whole-query match first — the strongest form: the view becomes
+        # a pure changefeed consumer of one node.
+        key = self._share_key(expr, spec.updatable)
+        if key is not None:
+            node = self._dag.by_key.get(key)
+            if node is None:
+                owner = self._view_keys.get(key)
+                if owner is not None and owner in self._views:
+                    node = self._promote(self._views[owner], key)
+                if (
+                    node is None
+                    and key in self._subplan_keys
+                    and self._can_materialize()
+                ):
+                    node = self._materialize(key, expr, key[1])
+            if node is not None:
+                alias_spec = self._alias_spec(spec.name, expr, node)
+                if alias_spec is not None:
+                    node.refcount += 1
+                    return alias_spec, (node.name,)
+        # Subtree factoring: replace shareable subplans some view has
+        # already spelled with references to their nodes.  Selection
+        # runs before any node is materialized, so bailing out is free.
+        chosen: list[tuple[object, object, SharedNode | None]] = []
+        claimed: set[str] = set()
+        taken_keys: set = set()
+
+        def _occurs_in(needle, hay) -> bool:
+            if hay == needle:
+                return True
+            return any(_occurs_in(needle, c) for c in ast_children(hay))
+
+        def consider(sub) -> bool:
+            k = self._share_key(sub, spec.updatable)
+            if k is None or k in taken_keys:
+                return False
+            node = self._dag.by_key.get(k)
+            if node is None and (
+                k not in self._subplan_keys or not self._can_materialize()
+            ):
+                return False
+            if k[1] & claimed:
+                return False  # would double-deliver a base relation
+            # substitute() replaces by structural equality: a candidate
+            # nested inside (or containing) an earlier pick would break
+            # the earlier replacement when rebuilt.
+            for _, prev_sub, _ in chosen:
+                if _occurs_in(sub, prev_sub) or _occurs_in(prev_sub, sub):
+                    return False
+            chosen.append((k, sub, node))
+            claimed.update(k[1])
+            taken_keys.add(k)
+            return True
+
+        def walk(node_expr) -> None:
+            for c in ast_children(node_expr):
+                if consider(c):
+                    continue
+                walk(c)
+
+        walk(expr)
+        if not chosen:
+            return spec, ()
+        fresh: list[SharedNode] = []
+
+        def bail() -> tuple[QuerySpec, tuple[str, ...]]:
+            # Fresh nodes carry no consumer edges yet: discard directly.
+            for node in fresh:
+                self._dag.nodes.pop(node.name, None)
+                self._dag.by_key.pop(node.key, None)
+            return spec, ()
+
+        replacements: dict = {}
+        consumed: list[SharedNode] = []
+        for k, sub, node in chosen:
+            if node is None:
+                node = self._materialize(k, sub, k[1])
+                fresh.append(node)
+            ref = self._node_ref(node, sub)
+            if ref is None:
+                continue
+            replacements[sub] = ref
+            consumed.append(node)
+        if not replacements:
+            return bail()
+        for node in fresh:
+            if node not in consumed:
+                # Materialized but its reference failed to line up:
+                # discard rather than strand an unconsumed node.
+                self._dag.nodes.pop(node.name, None)
+                self._dag.by_key.pop(node.key, None)
+        factored = substitute(expr, replacements)
+        direct = spec.updatable & frozenset(
+            r for r in base_relations(factored)
+            if not r.startswith(NODE_PREFIX)
+        )
+        upstream: set[str] = set()
+        for node in consumed:
+            upstream |= node.direct_rels
+        if direct & upstream:
+            return bail()
+        if out_cols(factored) != out_cols(expr):
+            if set(out_cols(factored)) != set(out_cols(expr)):
+                return bail()
+            # Restore the original output order with an identity re-key.
+            factored = Sum(out_cols(expr), factored)
+        for node in consumed:
+            node.refcount += 1
+        names = tuple(node.name for node in consumed)
+        exec_spec = QuerySpec(
+            name=spec.name,
+            query=factored,
+            updatable=frozenset(direct) | frozenset(names),
+            key_hints={
+                r: h for r, h in spec.key_hints.items() if r in direct
+            },
+            notes=spec.notes,
+        )
+        return exec_spec, names
+
+    def _index_keys(self, handle: ViewHandle) -> None:
+        """Record the spellings this view contributes to future sharing:
+        every shareable subtree (first spelling wins), and — for fully
+        unshared synchronous views — the whole query as a promotion
+        candidate."""
+        spec = handle.spec
+        for sub in shareable_subtrees(spec.query):
+            k = self._share_key(sub, spec.updatable)
+            if k is not None and k not in self._subplan_keys:
+                self._subplan_keys[k] = (sub, k[1])
+        if not handle.consumes and not isinstance(
+            handle.backend, AsyncIngestBackend
+        ):
+            k = self._share_key(spec.query, spec.updatable)
+            if (
+                k is not None
+                and k not in self._view_keys
+                and k not in self._dag.by_key
+            ):
+                self._view_keys[k] = handle.name
+
+    @staticmethod
+    def _close_freed(
+        node: SharedNode | None,
+        errors: list[tuple[str, BaseException]] | None = None,
+    ) -> None:
+        """Close the backend of a node freed by its last consumer."""
+        if node is None:
+            return
+        close = getattr(node.backend, "close", None)
+        if not callable(close):
+            return
+        try:
+            close()
+        except Exception as exc:
+            if errors is not None:
+                errors.append((node.name, exc))
+
+    def dag_dump(self) -> dict:
+        """A JSON-friendly picture of the shared-subplan DAG: internal
+        nodes with their consumers, plus each view's inputs (direct
+        base relations and consumed nodes)."""
+        with self._lock:
+            consumers: dict[str, list[str]] = {}
+            views: dict[str, dict] = {}
+            for handle in self._views.values():
+                for node_name in handle.consumes:
+                    consumers.setdefault(node_name, []).append(handle.name)
+                views[handle.name] = {
+                    "streams": sorted(handle.relations),
+                    "direct": sorted(handle.route_rels),
+                    "consumes": list(handle.consumes),
+                    "backend": handle.backend_name,
+                    "shared": bool(handle.consumes),
+                }
+            return {
+                "sharing": self._dag is not None,
+                "nodes": self._dag.dump(consumers) if self._dag else [],
+                "views": views,
+                "maintenance_programs": self.maintenance_programs(),
+            }
+
+    def maintenance_programs(self) -> int:
+        """Full maintenance programs the service runs: internal shared
+        nodes plus views still streaming base relations directly (pure
+        changefeed consumers run only a trivial re-key program)."""
+        with self._lock:
+            full = sum(1 for h in self._views.values() if h.route_rels)
+            return full + (len(self._dag) if self._dag is not None else 0)
+
     def _register_view_metrics(self, handle: ViewHandle) -> None:
         """Create the view's label scope and re-home its stats counters
         and the backend's island metrics into the service registry."""
@@ -336,6 +752,12 @@ class ViewService:
             "repro_view_subscribers",
             lambda h=handle: sum(1 for s in h.subscriptions if s.active),
             help="active subscriptions",
+        )
+        scope.gauge_fn(
+            "repro_view_fan_in",
+            lambda h=handle: len(h.route_rels) + len(h.consumes),
+            help="inputs feeding this view (direct base relations "
+                 "plus consumed shared sub-views)",
         )
         engine = handle.backend
         if isinstance(engine, AsyncIngestBackend):
@@ -365,21 +787,48 @@ class ViewService:
         then are the subscriptions cancelled.  Cancelling before the
         drain would flush the queued updates into the inner backend but
         silently never deliver their deltas.
+
+        Teardown is exception-safe: even when the backend's ``close``
+        raises, the subscriptions are cancelled, the metrics scope is
+        removed, and the view's consumer edges on shared nodes are
+        released (a node freed by its last consumer is torn down with
+        it — dropping one consumer never kills a node others use).
+        The first error is re-raised after cleanup completes.
         """
         with self._lock:
             handle = self._handle(name)
             del self._views[name]
-        # Close outside the service lock: the drain joins the batcher
-        # thread, whose flush hook publishes to the (still active)
-        # subscribers and must not wait on this caller.
-        if isinstance(handle.backend, AsyncIngestBackend):
-            handle.backend.close()
+            if self._view_keys:
+                # Drop promotion candidates pointing at this view.
+                self._view_keys = {
+                    k: v for k, v in self._view_keys.items() if v != name
+                }
+        errors: list[tuple[str, BaseException]] = []
+        try:
+            # Close outside the service lock: the drain joins the
+            # batcher thread, whose flush hook publishes to the (still
+            # active) subscribers and must not wait on this caller.
+            if isinstance(handle.backend, AsyncIngestBackend):
+                handle.backend.close()
+        except Exception as exc:
+            errors.append((name, exc))
         for sub in handle.subscriptions:
             sub.cancel()
         if handle.metrics_scope is not None:
             # Remove the view's label series so create/drop churn does
             # not grow the registry without bound.
             handle.metrics_scope.close()
+        if handle.consumes and self._dag is not None:
+            freed: list[SharedNode] = []
+            with self._lock:
+                for node_name in handle.consumes:
+                    node = self._dag.release(node_name)
+                    if node is not None:
+                        freed.append(node)
+            for node in freed:
+                self._close_freed(node, errors)
+        if errors:
+            raise errors[0][1]
 
     def views(self) -> tuple[str, ...]:
         """Names of the registered views, sorted."""
@@ -464,11 +913,46 @@ class ViewService:
             ctr.inc()
             touched: list[str] = []
             failures: list[tuple[str, BaseException]] = []
-            # Snapshot the view list: a subscriber callback may react by
-            # creating or dropping views mid-batch.
+            # Topological stage 1: advance the shared sub-views this
+            # relation streams into, collecting each node's changefeed
+            # delta for its consumers below.  Nodes are synchronous and
+            # run under the service lock, so the deltas are exact for
+            # this seq.
+            derived: dict[str, GMR] = {}
+            if self._dag is not None and self._dag.nodes:
+                with self.tracer.span(
+                    "factor", admission.ctx, relation=relation, seq=seq,
+                ):
+                    for node in list(self._dag.nodes.values()):
+                        if relation not in node.direct_rels:
+                            continue
+                        try:
+                            node.backend.on_batch(relation, batch)
+                        except Exception as exc:
+                            # Consumers of this node permanently miss
+                            # the batch, like a failing view does.
+                            failures.append((node.name, exc))
+                            continue
+                        node.batches += 1
+                        delta = node.backend.last_delta()
+                        if not delta.is_zero():
+                            derived[node.name] = delta
+            # Topological stage 2: user views — fed either the base
+            # batch directly or the delta of a node they consume (at
+            # most one input per batch: factoring enforces disjoint
+            # upstream base relations).  Snapshot the view list: a
+            # subscriber callback may create or drop views mid-batch.
             for handle in list(self._views.values()):
-                if relation not in handle.relations:
-                    continue
+                if relation in handle.route_rels:
+                    rel_in, delta_in = relation, batch
+                else:
+                    rel_in = None
+                    for node_name in handle.consumes:
+                        if node_name in derived:
+                            rel_in, delta_in = node_name, derived[node_name]
+                            break
+                    if rel_in is None:
+                        continue
                 try:
                     if isinstance(handle.backend, AsyncIngestBackend):
                         # Enqueue only, stamping the seq on the entry;
@@ -478,19 +962,19 @@ class ViewService:
                         # merged — publishing here would drain and
                         # re-couple the stream to the slowest backend.
                         handle.backend.on_batch(
-                            relation, batch, seq=seq, trace=admission.ctx
+                            rel_in, delta_in, seq=seq, trace=admission.ctx
                         )
                     else:
                         with self.tracer.span(
                             "maintain", admission.ctx,
-                            relation=relation, seq=seq, view=handle.name,
+                            relation=rel_in, seq=seq, view=handle.name,
                         ):
                             start = time.perf_counter()
-                            handle.backend.on_batch(relation, batch)
+                            handle.backend.on_batch(rel_in, delta_in)
                             handle.maintain_hist.observe(
                                 time.perf_counter() - start
                             )
-                        self._publish(handle, relation, seq,
+                        self._publish(handle, rel_in, seq,
                                       parent=admission.ctx)
                 except Exception as exc:
                     # Keep routing: one view's overflow/failure must not

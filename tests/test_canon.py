@@ -1,0 +1,197 @@
+"""Expression canonicalisation (the compiler pass behind cross-view
+subplan sharing).
+
+The contract under test: two spellings of the same query — different
+aliases, different FROM-clause order — canonicalize to the *same*
+hashable key with a usable column bijection, while queries that differ
+in tables, literals, or join linkage canonicalize apart.  The miss
+direction is allowed (a missed match costs one extra maintenance
+program); the false-share direction is not.
+"""
+
+import pytest
+
+from repro.compiler import (
+    canonicalize,
+    fingerprint,
+    is_shareable,
+    shareable_subtrees,
+)
+from repro.query.ast import DeltaRel, Exists, Join, Rel, Repart, Sum, Union
+from repro.query.builder import cmp, join, rel, sum_over
+from repro.query.schema import out_cols, rename_columns
+from repro.query.sqlfront import parse_sql
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")}
+
+
+def _canon_sql(sql: str):
+    return canonicalize(parse_sql(sql, CATALOG))
+
+
+# ----------------------------------------------------------------------
+# Collisions: spellings that MUST share
+# ----------------------------------------------------------------------
+
+
+def test_alias_invariance():
+    """SQL aliases disappear under canonicalisation."""
+    c1, m1 = _canon_sql(
+        "SELECT x.a, COUNT(*) FROM R x, S y WHERE x.b = y.b GROUP BY x.a"
+    )
+    c2, m2 = _canon_sql(
+        "SELECT u.a, COUNT(*) FROM R u, S v WHERE u.b = v.b GROUP BY u.a"
+    )
+    assert c1 == c2
+    assert fingerprint(c1) == fingerprint(c2)
+
+
+def test_join_commutativity():
+    """FROM-clause order is operational, not semantic."""
+    c1, _ = _canon_sql(
+        "SELECT R.a, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.a"
+    )
+    c2, _ = _canon_sql(
+        "SELECT R.a, COUNT(*) FROM S, R WHERE R.b = S.b GROUP BY R.a"
+    )
+    assert c1 == c2
+
+
+def test_algebra_vs_sql_spellings_collide():
+    """A hand-built algebra expression and the SQL front's output of
+    the same query canonicalize together."""
+    expr = sum_over(["a"], join(rel("R", "a", "b"), rel("S", "b", "c")))
+    q = parse_sql(
+        "SELECT R.a, COUNT(*) FROM S, R WHERE S.b = R.b GROUP BY R.a",
+        CATALOG,
+    )
+    assert canonicalize(expr)[0] == canonicalize(q)[0]
+
+
+def test_union_commutativity():
+    u1 = Union((rel("R", "a", "b"), rel("S", "a", "b")))
+    u2 = Union((rel("S", "a", "b"), rel("R", "a", "b")))
+    assert canonicalize(u1)[0] == canonicalize(u2)[0]
+
+
+def test_canonical_form_is_idempotent():
+    c1, _ = _canon_sql(
+        "SELECT R.a, COUNT(*) FROM S, R WHERE R.b = S.b GROUP BY R.a"
+    )
+    c2, _ = canonicalize(c1)
+    assert c1 == c2
+
+
+# ----------------------------------------------------------------------
+# Separations: queries that MUST NOT share
+# ----------------------------------------------------------------------
+
+
+def test_different_tables_do_not_collide():
+    c1, _ = _canon_sql("SELECT a, COUNT(*) FROM R GROUP BY a")
+    c2, _ = canonicalize(sum_over(["c"], rel("T", "c", "d")))
+    assert c1 != c2
+
+
+def test_different_literals_do_not_collide():
+    c1, _ = _canon_sql(
+        "SELECT a, COUNT(*) FROM R WHERE R.b > 10 GROUP BY a"
+    )
+    c2, _ = _canon_sql(
+        "SELECT a, COUNT(*) FROM R WHERE R.b > 20 GROUP BY a"
+    )
+    assert c1 != c2
+
+
+def test_different_join_linkage_does_not_collide():
+    """Same tables, different equi-join columns: distinct queries."""
+    on_b = sum_over(["a"], join(rel("R", "a", "b"), rel("S", "b", "c")))
+    cross = sum_over(["a"], join(rel("R", "a", "b"), rel("S", "x", "c")))
+    assert canonicalize(on_b)[0] != canonicalize(cross)[0]
+
+
+def test_different_group_by_does_not_collide():
+    c1, _ = _canon_sql(
+        "SELECT R.a, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.a"
+    )
+    c2, _ = _canon_sql(
+        "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+    )
+    assert c1 != c2
+
+
+# ----------------------------------------------------------------------
+# The mapping: a bijection that translates between spellings
+# ----------------------------------------------------------------------
+
+
+def test_mapping_is_a_bijection_onto_canonical_names():
+    expr = sum_over(["a"], join(rel("R", "a", "b"), rel("S", "b", "c")))
+    canon, mapping = canonicalize(expr)
+    assert len(set(mapping.values())) == len(mapping)
+    assert all(v.startswith("_c") for v in mapping.values())
+    assert rename_columns(expr, mapping) is not None  # total over expr
+
+
+def test_mapping_translates_output_columns_across_spellings():
+    """Composing one spelling's mapping with the inverse of the other
+    carries output columns between the two — the property the shared
+    node relies on to re-key its changefeed for each consumer."""
+    e1 = sum_over(["a"], join(rel("R", "a", "b"), rel("S", "b", "c")))
+    e2 = sum_over(["x"], join(rel("S", "y", "z"), rel("R", "x", "y")))
+    c1, m1 = canonicalize(e1)
+    c2, m2 = canonicalize(e2)
+    assert c1 == c2
+    inv2 = {v: k for k, v in m2.items()}
+    translated = [inv2[m1[c]] for c in out_cols(e1)]
+    assert translated == list(out_cols(e2))
+
+
+def test_fingerprint_is_short_stable_hex():
+    expr = sum_over(["a"], rel("R", "a", "b"))
+    fp = fingerprint(expr)
+    assert fp == fingerprint(expr)
+    assert len(fp) == 12
+    int(fp, 16)  # hex
+
+
+# ----------------------------------------------------------------------
+# Shareability
+# ----------------------------------------------------------------------
+
+
+def test_bare_relation_is_not_shareable():
+    assert not is_shareable(rel("R", "a", "b"))
+
+
+def test_join_and_sum_are_shareable():
+    j = join(rel("R", "a", "b"), rel("S", "b", "c"))
+    assert is_shareable(j)
+    assert is_shareable(sum_over(["a"], j))
+    assert is_shareable(Exists(rel("R", "a", "b")))
+
+
+def test_delta_rel_and_location_transformers_are_not_shareable():
+    j = Join((DeltaRel("R", ("a", "b")), Rel("S", ("b", "c"))))
+    assert not is_shareable(j)
+    assert not is_shareable(
+        Sum(("a",), Repart(("a",), rel("R", "a", "b")))
+    )
+
+
+def test_free_variables_make_a_subtree_unshareable():
+    """A comparison against a column bound by an enclosing join is not
+    self-contained and must not become a standalone node."""
+    filtered = join(rel("R", "a", "b"), cmp("b", ">", 0))
+    assert is_shareable(filtered)
+    # the Cmp alone has a free variable; it never appears standalone
+    assert not is_shareable(cmp("b", ">", 0))
+
+
+def test_shareable_subtrees_outermost_first_and_deduped():
+    inner = join(rel("R", "a", "b"), rel("S", "b", "c"))
+    outer = sum_over(["a"], inner)
+    subs = shareable_subtrees(outer)
+    assert subs[0] == outer
+    assert inner in subs
+    assert len(subs) == len(set(subs))

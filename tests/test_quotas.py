@@ -1,0 +1,162 @@
+"""Per-client ingest quotas: the token bucket on POST /batch.
+
+Covers the ``RateLimiter`` bucket arithmetic (with an injected clock —
+no sleeping), the ViewServer wiring (429 + ``Retry-After`` + the
+``repro_server_throttled_total`` counter, per-client keying by bearer
+token, keep-alive survival of a throttled request), and the same quota
+on the cluster router tier.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.net import Client, NetError, RateLimiter, ViewServer
+from repro.ring import GMR
+from repro.service import ViewService
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+# ----------------------------------------------------------------------
+# The bucket itself
+# ----------------------------------------------------------------------
+
+
+def test_bucket_admits_burst_then_throttles():
+    rl = RateLimiter(rate=2)  # burst defaults to max(1, rate) = 2
+    assert rl.try_acquire("k", now=0.0) == 0.0
+    assert rl.try_acquire("k", now=0.0) == 0.0
+    wait = rl.try_acquire("k", now=0.0)
+    assert wait == pytest.approx(0.5)  # 1 token at 2/s
+
+
+def test_bucket_refills_at_rate_up_to_burst():
+    rl = RateLimiter(rate=1, burst=3)
+    for _ in range(3):
+        assert rl.try_acquire("k", now=0.0) == 0.0
+    assert rl.try_acquire("k", now=0.0) > 0
+    # after 10 idle seconds the bucket is full again — but only to
+    # burst, not to 10
+    for _ in range(3):
+        assert rl.try_acquire("k", now=10.0) == 0.0
+    assert rl.try_acquire("k", now=10.0) > 0
+
+
+def test_bucket_keys_are_independent():
+    rl = RateLimiter(rate=1)
+    assert rl.try_acquire("alice", now=0.0) == 0.0
+    assert rl.try_acquire("alice", now=0.0) > 0
+    assert rl.try_acquire("bob", now=0.0) == 0.0  # unaffected
+
+
+def test_bucket_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        RateLimiter(rate=0)
+
+
+# ----------------------------------------------------------------------
+# ViewServer wiring
+# ----------------------------------------------------------------------
+
+
+def _post_batch(conn, relation="R", token=None):
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    body = json.dumps([[[1, 2], 1]])  # encode_gmr wire shape
+    conn.request("POST", f"/batch/{relation}", body, headers)
+    resp = conn.getresponse()
+    payload = resp.read()
+    return resp.status, dict(resp.getheaders()), payload
+
+
+def test_server_throttles_with_429_and_retry_after():
+    service = ViewService(catalog=CATALOG)
+    service.create_view(
+        "v", "SELECT a, COUNT(*) FROM R GROUP BY a"
+    )
+    with ViewServer(service, max_batches_per_sec=2) as server:
+        conn = http.client.HTTPConnection(server.host, server.port)
+        statuses = [_post_batch(conn)[0] for _ in range(4)]
+        assert statuses[:2] == [200, 200]  # burst of 2 admitted
+        assert 429 in statuses[2:]
+        status, headers, payload = _post_batch(conn)
+        assert status == 429
+        retry_after = headers.get("Retry-After")
+        assert retry_after is not None and int(retry_after) >= 1
+        assert json.loads(payload)["retry_after"] == int(retry_after)
+
+        # the throttled keep-alive connection stays usable: the body
+        # was drained, so the next request parses cleanly
+        conn.request("GET", "/health")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        resp.read()
+
+        # over-quota batches were never ingested
+        assert service.seq == 2
+
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        expo = resp.read().decode()
+        throttled = [
+            line for line in expo.splitlines()
+            if line.startswith("repro_server_throttled_total")
+        ]
+        assert throttled and int(throttled[0].rsplit(" ", 1)[1]) >= 2
+
+
+def test_server_quota_is_keyed_per_bearer_token():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("v", "SELECT a, COUNT(*) FROM R GROUP BY a")
+    with ViewServer(
+        service, auth_token=None, max_batches_per_sec=1
+    ) as server:
+        conn = http.client.HTTPConnection(server.host, server.port)
+        # exhaust alice's bucket; bob's is untouched (auth is off, but
+        # a presented bearer token still identifies the client)
+        assert _post_batch(conn, token="alice")[0] == 200
+        assert _post_batch(conn, token="alice")[0] == 429
+        assert _post_batch(conn, token="bob")[0] == 200
+
+
+def test_server_without_quota_never_throttles():
+    service = ViewService(catalog=CATALOG)
+    service.create_view("v", "SELECT a, COUNT(*) FROM R GROUP BY a")
+    with ViewServer(service) as server:
+        assert server.rate_limiter is None
+        client = Client(host=server.host, port=server.port)
+        for _ in range(10):
+            client.batch("R", GMR({(1, 2): 1}))
+        assert "throttled" not in service.registry.render()
+
+
+# ----------------------------------------------------------------------
+# Router tier
+# ----------------------------------------------------------------------
+
+
+def test_router_throttles_with_429_and_counter():
+    from repro.cluster import ClusterRouter
+
+    service = ViewService(catalog=CATALOG)
+    with ViewServer(service) as shard:
+        router = ClusterRouter(
+            f"{shard.host}:{shard.port}", CATALOG, max_batches_per_sec=1
+        )
+        try:
+            router_thread = __import__("threading").Thread(
+                target=router._httpd.serve_forever, daemon=True
+            )
+            router_thread.start()
+            conn = http.client.HTTPConnection(router.host, router.port)
+            first, _, _ = _post_batch(conn)
+            status, headers, _ = _post_batch(conn)
+            assert status == 429
+            assert int(headers.get("Retry-After")) >= 1
+            expo = router.metrics_exposition()
+            assert "repro_server_throttled_total 1" in expo
+        finally:
+            router._httpd.shutdown()

@@ -1,0 +1,372 @@
+"""Cross-view sharing: the service-wide shared-subplan DAG.
+
+The acceptance bar (the sharing analogue of the service layer's):
+a service with ``sharing=True`` must be **observationally identical**
+to one with ``sharing=False`` — same snapshots, same accumulated
+subscription deltas, per view, over arbitrary insert+delete streams —
+while running strictly fewer maintenance programs when views overlap.
+Sharing is an execution strategy, never a semantics change.
+"""
+
+import random
+
+import pytest
+
+from repro.eval import Database, evaluate
+from repro.exec import available_backends
+from repro.query.sqlfront import parse_sql
+from repro.ring import GMR
+from repro.service import NODE_PREFIX, ServiceError, ViewService
+
+CATALOG = {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "d")}
+
+#: one equi-join+aggregate query in deliberately different spellings
+#: (aliases, FROM order) — all must factor onto one shared node
+SPELLINGS = [
+    "SELECT R.a, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.a",
+    "SELECT x.a, COUNT(*) FROM R x, S y WHERE x.b = y.b GROUP BY x.a",
+    "SELECT u.a, COUNT(*) FROM S v, R u WHERE u.b = v.b GROUP BY u.a",
+]
+#: a second distinct shape over the same tables (different group key)
+SQL_PER_B = "SELECT R.b, COUNT(*) FROM R, S WHERE R.b = S.b GROUP BY R.b"
+#: and a single-table shape
+SQL_CNT_A = "SELECT a, COUNT(*) FROM R GROUP BY a"
+
+STREAM = [
+    ("R", {(1, 10): 1, (2, 20): 1, (3, 10): 1}),
+    ("S", {(10, 5): 1, (20, 6): 2}),
+    ("T", {(1, 4): 1, (2, 9): 1}),
+    ("R", {(1, 10): -1, (4, 20): 1}),
+    ("S", {(20, 6): -1, (10, 7): 1}),
+    ("R", {(3, 10): -1, (2, 20): -1}),
+]
+
+
+def _stream(service, stream=STREAM):
+    for relation, data in stream:
+        service.on_batch(relation, GMR(dict(data)))
+
+
+def _random_stream(seed: int, n_batches: int = 14):
+    """A seeded insert+delete stream over R/S/T: deletes only remove
+    live tuples, so multiplicities stay meaningful bags."""
+    rng = random.Random(seed)
+    live = {"R": [], "S": [], "T": []}
+    domains = {
+        "R": lambda: (rng.randint(1, 5), rng.randint(10, 30)),
+        "S": lambda: (rng.randint(10, 30), rng.randint(1, 6)),
+        "T": lambda: (rng.randint(1, 5), rng.randint(1, 9)),
+    }
+    out = []
+    for _ in range(n_batches):
+        relation = rng.choice(("R", "S", "T"))
+        batch: dict = {}
+        for _ in range(rng.randint(1, 4)):
+            if live[relation] and rng.random() < 0.35:
+                t = rng.choice(live[relation])
+                live[relation].remove(t)
+                batch[t] = batch.get(t, 0) - 1
+            else:
+                t = domains[relation]()
+                live[relation].append(t)
+                batch[t] = batch.get(t, 0) + 1
+        batch = {t: m for t, m in batch.items() if m != 0}
+        if batch:
+            out.append((relation, batch))
+    return out
+
+
+def _make_views(service, backend, names_and_sql):
+    accs = {}
+    for name, sql in names_and_sql:
+        service.create_view(name, sql, backend=backend)
+        acc = GMR()
+        service.subscribe(
+            name, lambda event, acc=acc: acc.add_inplace(event.delta)
+        )
+        accs[name] = acc
+    return accs
+
+
+# ----------------------------------------------------------------------
+# The differential property: sharing on == sharing off, everywhere
+# ----------------------------------------------------------------------
+
+ALL_BACKENDS = list(available_backends()) + ["async:rivm-batch"]
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_sharing_matches_unshared_on_every_backend(backend):
+    """Overlapping views on one backend, randomized insert+delete
+    stream: snapshots and accumulated deltas must be identical with
+    sharing on and off, and the shared run must actually share."""
+    defs = [
+        ("v0", SPELLINGS[0]),
+        ("v1", SPELLINGS[1]),
+        ("v2", SPELLINGS[2]),
+        ("per_b", SQL_PER_B),
+    ]
+    stream = _random_stream(
+        seed=sum(ord(c) for c in backend), n_batches=12
+    )
+
+    shared = ViewService(catalog=CATALOG, sharing=True)
+    unshared = ViewService(catalog=CATALOG, sharing=False)
+    try:
+        shared_accs = _make_views(shared, backend, defs)
+        _make_views(unshared, backend, defs)
+        assert shared.maintenance_programs() < len(defs) + 1
+        for relation, data in stream:
+            shared.on_batch(relation, GMR(dict(data)))
+            unshared.on_batch(relation, GMR(dict(data)))
+        shared.drain()
+        unshared.drain()
+        for name, _ in defs:
+            snap_shared = shared.snapshot(name)
+            snap_unshared = unshared.snapshot(name)
+            assert snap_shared == snap_unshared, name
+            assert shared_accs[name] == snap_shared, name
+    finally:
+        for name, _ in defs:
+            for svc in (shared, unshared):
+                try:
+                    svc.drop_view(name)
+                except ServiceError:
+                    pass
+
+
+def test_mixed_backends_share_one_node():
+    """The node serves consumers on *different* engines: the changefeed
+    contract is backend-agnostic."""
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("v_batch", SPELLINGS[0], backend="rivm-batch")
+    service.create_view("v_reeval", SPELLINGS[1], backend="reeval")
+    service.create_view("v_civm", SPELLINGS[2], backend="civm")
+    dump = service.dag_dump()
+    assert len(dump["nodes"]) == 1
+    assert dump["nodes"][0]["refcount"] == 3
+    assert service.maintenance_programs() == 1
+    _stream(service)
+    reference = ViewService(catalog=CATALOG, sharing=False)
+    reference.create_view("ref", SPELLINGS[0])
+    _stream(reference)
+    expected = reference.snapshot("ref")
+    for name in ("v_batch", "v_reeval", "v_civm"):
+        assert service.snapshot(name) == expected
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: refcounts, promotion, teardown
+# ----------------------------------------------------------------------
+
+
+def test_refcounted_teardown_across_drop_churn():
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("v0", SPELLINGS[0])
+    service.create_view("v1", SPELLINGS[1])
+    _stream(service)
+    assert len(service.dag_dump()["nodes"]) == 1
+
+    service.drop_view("v0")
+    dump = service.dag_dump()
+    assert len(dump["nodes"]) == 1  # v1 still consumes it
+    assert dump["nodes"][0]["refcount"] == 1
+
+    service.drop_view("v1")
+    assert service.dag_dump()["nodes"] == []  # last consumer freed it
+
+    # Churn: the DAG grows back on demand, correctly initialized from
+    # the base data streamed so far.
+    service.create_view("v2", SPELLINGS[2])
+    service.create_view("v3", SPELLINGS[0])
+    assert len(service.dag_dump()["nodes"]) == 1
+    reference = ViewService(catalog=CATALOG, sharing=False)
+    reference.create_view("ref", SPELLINGS[0])
+    _stream(reference)
+    assert service.snapshot("v2") == reference.snapshot("ref")
+
+
+def test_promotion_of_a_live_view_into_a_node():
+    """A view created first (alone, unshared) is promoted when a second
+    view spells the same query: its live engine becomes the node."""
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("first", SPELLINGS[0], backend="reeval")
+    _stream(service)  # the view is live and mid-stream before sharing
+    assert service.dag_dump()["nodes"] == []
+
+    service.create_view("second", SPELLINGS[1])
+    dump = service.dag_dump()
+    assert len(dump["nodes"]) == 1
+    assert dump["nodes"][0]["refcount"] == 2
+    assert sorted(dump["nodes"][0]["consumers"]) == ["first", "second"]
+    # the promoted view's engine was reused, not rebuilt
+    assert dump["nodes"][0]["backend"] == "reeval"
+    assert service.view("first").backend_name == "reeval"
+
+    service.on_batch("R", GMR({(9, 10): 1}))
+    service.on_batch("S", GMR({(10, 1): 1}))
+    reference = ViewService(catalog=CATALOG, sharing=False)
+    reference.create_view("ref", SPELLINGS[0])
+    _stream(reference)
+    reference.on_batch("R", GMR({(9, 10): 1}))
+    reference.on_batch("S", GMR({(10, 1): 1}))
+    expected = reference.snapshot("ref")
+    assert service.snapshot("first") == expected
+    assert service.snapshot("second") == expected
+
+
+def test_internal_node_names_are_hidden_and_reserved():
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("v0", SPELLINGS[0])
+    service.create_view("v1", SPELLINGS[1])
+    assert service.views() == ("v0", "v1")  # nodes never listed
+    with pytest.raises(ServiceError):
+        service.create_view(f"{NODE_PREFIX}mine", SQL_CNT_A)
+
+
+def test_fan_in_gauge_counts_direct_and_consumed_inputs():
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("v0", SPELLINGS[0])
+    service.create_view("v1", SPELLINGS[1])
+    handle = service.view("v1")
+    assert len(handle.route_rels) + len(handle.consumes) == 1
+    expo = service.registry.render()
+    assert 'repro_view_fan_in{view="v1"} 1' in expo
+    assert "repro_service_shared_subviews 1" in expo
+
+
+# ----------------------------------------------------------------------
+# drop_view exception safety (regression: half-registered teardown)
+# ----------------------------------------------------------------------
+
+
+def test_drop_view_cleans_up_when_backend_close_raises():
+    """A backend whose close() raises must not leave the service
+    half-registered: the view is gone, its subscriptions are dead, its
+    shared-node edges are released, and the name is reusable."""
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("keeper", SPELLINGS[0])
+    service.create_view("doomed", SPELLINGS[1], backend="async:rivm-batch")
+    _stream(service)
+    service.drain()
+    events = []
+    sub = service.subscribe("doomed", events.append)
+
+    handle = service.view("doomed")
+    original_close = handle.backend.close
+
+    def exploding_close():
+        original_close()
+        raise RuntimeError("boom on close")
+
+    handle.backend.close = exploding_close
+    with pytest.raises(RuntimeError, match="boom on close"):
+        service.drop_view("doomed")
+
+    assert "doomed" not in service.views()
+    assert not sub.active
+    dump = service.dag_dump()
+    assert dump["nodes"][0]["refcount"] == 1  # edge released
+    # the name is immediately reusable (metrics scope was closed too)
+    service.create_view("doomed", SPELLINGS[1])
+    assert service.dag_dump()["nodes"][0]["refcount"] == 2
+    n_events = len(events)
+    service.on_batch("R", GMR({(8, 10): 1}))
+    assert len(events) == n_events  # old subscription stays dead
+
+
+# ----------------------------------------------------------------------
+# The DAG over HTTP
+# ----------------------------------------------------------------------
+
+
+def test_dag_dump_over_http():
+    """``GET /views?dag=1`` exposes nodes, consumers, and per-view
+    routing; the plain listing is unchanged and never shows nodes."""
+    import http.client
+    import json
+
+    from repro.net import ViewServer
+
+    service = ViewService(catalog=CATALOG, sharing=True)
+    service.create_view("v0", SPELLINGS[0])
+    service.create_view("v1", SPELLINGS[1])
+    with ViewServer(service) as server:
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("GET", "/views")
+        plain = json.loads(conn.getresponse().read())
+        assert sorted(plain) == ["v0", "v1"]
+
+        conn.request("GET", "/views?dag=1")
+        body = json.loads(conn.getresponse().read())
+        assert sorted(body["views"]) == ["v0", "v1"]
+        dag = body["dag"]
+        assert dag["sharing"] is True
+        assert dag["maintenance_programs"] == 1
+        (node,) = dag["nodes"]
+        assert node["name"].startswith(NODE_PREFIX)
+        assert sorted(node["consumers"]) == ["v0", "v1"]
+        assert node["refcount"] == 2
+        assert dag["views"]["v1"]["shared"] is True
+        assert dag["views"]["v1"]["consumes"] == [node["name"]]
+
+
+# ----------------------------------------------------------------------
+# Durability composition
+# ----------------------------------------------------------------------
+
+
+def test_durable_recovery_rebuilds_the_dag(tmp_path):
+    from repro.durability import DurableViewService
+
+    wal = str(tmp_path / "wal")
+    service = DurableViewService(wal, catalog=CATALOG)
+    service.create_view("v0", SPELLINGS[0])
+    service.create_view("v1", SPELLINGS[1])
+    _stream(service)
+    expected = service.snapshot("v0")
+    assert len(service.dag_dump()["nodes"]) == 1
+    service.close()
+
+    recovered = DurableViewService(wal, catalog=CATALOG)
+    dump = recovered.dag_dump()
+    assert len(dump["nodes"]) == 1
+    assert sorted(dump["nodes"][0]["consumers"]) == ["v0", "v1"]
+    assert recovered.snapshot("v0") == expected
+    assert recovered.snapshot("v1") == expected
+    recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Scale smoke (also the CI shared-views step: -k smoke)
+# ----------------------------------------------------------------------
+
+
+def test_smoke_twenty_overlapping_views_share():
+    """20 views over ~3 distinct shapes: far fewer maintenance programs
+    than views, with every snapshot identical to the unshared run."""
+    defs = []
+    for i in range(20):
+        if i % 4 == 3:
+            sql = SQL_PER_B if i % 8 == 3 else SQL_CNT_A
+        else:
+            sql = SPELLINGS[i % 3]
+        defs.append((f"view_{i}", sql))
+
+    shared = ViewService(catalog=CATALOG, sharing=True)
+    unshared = ViewService(catalog=CATALOG, sharing=False)
+    accs = _make_views(shared, "rivm-batch", defs)
+    _make_views(unshared, "rivm-batch", defs)
+
+    assert shared.maintenance_programs() < 20
+    assert unshared.maintenance_programs() == 20
+
+    stream = list(STREAM) + _random_stream(seed=7, n_batches=20)
+    for relation, data in stream:
+        shared.on_batch(relation, GMR(dict(data)))
+        unshared.on_batch(relation, GMR(dict(data)))
+
+    for name, _ in defs:
+        snap = shared.snapshot(name)
+        assert snap == unshared.snapshot(name), name
+        assert accs[name] == snap, name
